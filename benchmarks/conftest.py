@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper by calling the
+corresponding driver in :mod:`repro.experiments`, asserts the qualitative shape the
+paper reports (who wins, in which direction), and writes the rendered table to
+``benchmarks/results/<artefact>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.settings import FunctionalSettings, fast_functional_settings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def functional_settings() -> FunctionalSettings:
+    """One set of functional-experiment settings shared by every benchmark.
+
+    Sharing the settings (and the in-process quality cache keyed by them) means the
+    Table 2 / Table 3 / Fig. 9 benchmarks reuse the same trained models instead of
+    re-training them.
+    """
+    return fast_functional_settings()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one artefact's rendered output to ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

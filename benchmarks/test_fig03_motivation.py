@@ -1,0 +1,37 @@
+"""Benchmark reproducing Fig. 3: the motivational breakdown and naive-compression study."""
+
+from __future__ import annotations
+
+from repro.experiments.fig03_motivation import run_fig03
+
+
+def test_fig03_motivation(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_fig03(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("fig03_motivation", result.render())
+
+    rows = {row.label: row for row in result.rows}
+
+    # Communication is a significant share of the baseline iteration (paper Fig. 3).
+    assert result.communication_fraction > 0.15
+
+    # Every compressed configuration trains faster than the baseline.
+    for label in ("naive DP", "naive CB", "Opt-CC", "Opt-CC (TopK)"):
+        assert rows[label].training_days < rows["Baseline"].training_days
+
+    # Naive compression harms model quality noticeably more than Optimus-CC.
+    assert rows["naive CB"].perplexity_increase > rows["Opt-CC"].perplexity_increase
+    assert rows["naive DP"].perplexity_increase > 0.5 * rows["Opt-CC"].perplexity_increase
+
+    # The top-k variant also degrades quality relative to the baseline.  (At full
+    # scale the paper finds it strictly worse than the low-rank variant; on the
+    # small functional proxy the gap between the two compressors narrows — see
+    # EXPERIMENTS.md, known deviations.)
+    assert rows["Opt-CC (TopK)"].perplexity_increase > 0.0
+
+    # Optimus-CC keeps perplexity closer to the baseline than both naive schemes
+    # while being the fastest quality-preserving configuration.
+    assert rows["Opt-CC"].perplexity_increase < rows["naive CB"].perplexity_increase
+    assert rows["Opt-CC"].perplexity_increase < rows["naive DP"].perplexity_increase
+    assert rows["Opt-CC"].speedup_over_baseline > 0.05

@@ -1,0 +1,29 @@
+"""Benchmark reproducing Fig. 9: validation perplexity curves over training."""
+
+from __future__ import annotations
+
+from repro.experiments.fig09_ppl_curves import run_fig09
+
+
+def test_fig09_ppl_curves(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_fig09(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("fig09_ppl_curves", result.render())
+
+    labels = {curve.label for curve in result.curves}
+    assert labels == {"Baseline", "CB", "CB+FE", "CB+FE+SC"}
+
+    baseline = result.curve("Baseline")
+    # Training makes progress: the curve decreases substantially from its first point.
+    assert baseline.perplexities[-1] < baseline.perplexities[0] * 0.9
+
+    # CB/CB+FE track the baseline closely throughout training (paper: curves overlap).
+    assert result.max_gap_to_baseline("CB") < 0.15 * baseline.final_perplexity
+    assert result.max_gap_to_baseline("CB+FE") < 0.15 * baseline.final_perplexity
+
+    # The full stack ends within a modest margin of the baseline.
+    assert result.curve("CB+FE+SC").final_perplexity < baseline.final_perplexity * 1.6
+
+    # All curves share the same validation schedule.
+    assert all(curve.iterations == baseline.iterations for curve in result.curves)

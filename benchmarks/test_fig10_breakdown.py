@@ -1,0 +1,30 @@
+"""Benchmark reproducing Fig. 10: execution-time breakdown under the technique ablation."""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_breakdown import run_fig10
+
+
+def test_fig10_breakdown(benchmark, record):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    record("fig10_breakdown", result.render())
+
+    for model in ("GPT-8.3B", "GPT-2.5B"):
+        baseline = result.row(model, "Baseline")
+        full = result.row(model, "CB+FE+SC")
+
+        # CB removes a substantial part of the exposed inter-stage communication.
+        assert result.interstage_reduction(model, "CB") > 0.20
+        # FE reduces the embedding-synchronisation component (paper: ~40 %,
+        # analytic bound 42.9 %).
+        assert result.embedding_reduction(model, "CB+FE") > 0.25
+        # The full stack removes most of the exposed communication (paper: 63 %).
+        assert result.communication_reduction(model, "CB+FE+SC") > 0.40
+        # Total iteration time shrinks monotonically across the ablation.
+        totals = [result.row(model, label).breakdown.total for label in
+                  ("Baseline", "CB", "CB+FE", "CB+FE+SC")]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+        # Compression overhead stays negligible relative to what it saves.
+        assert full.breakdown.compression_overhead < 0.2 * (
+            baseline.communication_time - full.communication_time
+        ) + 0.2

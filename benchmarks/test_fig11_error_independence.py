@@ -1,0 +1,21 @@
+"""Benchmark reproducing Fig. 11: the error/activation-difference independence condition."""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_error_independence import run_fig11
+
+
+def test_fig11_error_independence(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_fig11(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("fig11_error_independence", result.render())
+
+    assert result.num_observations > 50
+
+    # Eq. (14) conditions: both averages stay near zero, and the compression error is
+    # far from collinear with the activation difference (paper: cosine ~ 0).
+    assert abs(result.mean_error_mean) < 0.02
+    assert abs(result.mean_activation_diff_mean) < 0.02
+    assert result.mean_abs_cosine < 0.5
+    assert result.max_abs_cosine < 0.95

@@ -1,0 +1,24 @@
+"""Benchmark reproducing Fig. 12: peak-memory overhead of CB and lazy error propagation."""
+
+from __future__ import annotations
+
+from repro.experiments.fig12_memory import run_fig12
+
+
+def test_fig12_memory(benchmark, record):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    record("fig12_memory", result.render())
+
+    for model in ("GPT-2.5B", "GPT-8.3B"):
+        baseline = result.row(model, "Baseline")
+        cb = result.row(model, "CB (Non-LEP)")
+        lep = result.row(model, "CB (LEP)")
+
+        # The compression buffers add a visible but bounded overhead (paper: 5-10 %).
+        assert 0.01 < cb.overhead_over_baseline < 0.15
+        # Lazy error propagation adds only a marginal extra overhead (paper: ~1 %).
+        assert 0.0 < result.lep_overhead(model) < 0.03
+        # Ordering: baseline < CB < CB+LEP.
+        assert baseline.report.total < cb.report.total < lep.report.total
+        # Peak memory stays within the A100's capacity for both models.
+        assert lep.report.total_gb < 40.0

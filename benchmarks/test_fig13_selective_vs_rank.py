@@ -1,0 +1,35 @@
+"""Benchmark reproducing Fig. 13: selective stage compression versus rank adjustment."""
+
+from __future__ import annotations
+
+from repro.experiments.fig13_selective_vs_rank import run_fig13
+
+
+def test_fig13_selective_vs_rank(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_fig13(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("fig13_selective_vs_rank", result.render())
+
+    # Left plot: compressing more stages gives monotonically more speedup...
+    sc_speedups = [point.speedup for point in result.stage_fraction_points]
+    assert all(a <= b + 1e-9 for a, b in zip(sc_speedups, sc_speedups[1:]))
+    # ...at a gently increasing perplexity cost (0 % compression = baseline quality).
+    sc_ppls = [point.validation_perplexity for point in result.stage_fraction_points]
+    assert sc_ppls[-1] >= sc_ppls[0]
+
+    # Middle plot: a very large rank hurts the speedup again (compression kernels
+    # dominate), reproducing the paper's non-monotonic behaviour at rank 512.
+    by_rank = {int(point.value): point.speedup for point in result.rank_points}
+    assert by_rank[512] < by_rank[128]
+    assert by_rank[512] < max(by_rank.values())
+
+    # Right plot: selective stage compression offers the better trade-off — reaching
+    # the rank knob's best speed costs far more perplexity than reaching SC's best
+    # speed (the paper's upper-left-is-better argument).
+    assert result.rank_knob_quality_penalty() > 0.5
+    # And at the paper's operating point (75 % of stages), SC's perplexity stays well
+    # below the low-rank extreme of the rank sweep.
+    sc_75 = next(p for p in result.stage_fraction_points if abs(p.value - 0.75) < 1e-9)
+    lowest_rank = min(result.rank_points, key=lambda p: p.value)
+    assert sc_75.validation_perplexity < lowest_rank.validation_perplexity

@@ -1,0 +1,29 @@
+"""Benchmark reproducing Fig. 14: sensitivity to the tensor/pipeline-parallel configuration."""
+
+from __future__ import annotations
+
+from repro.experiments.fig14_config_sensitivity import run_fig14
+
+
+def test_fig14_config_sensitivity(benchmark, record):
+    result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    record("fig14_config_sensitivity", result.render())
+
+    layouts = [(8, 4), (4, 8), (2, 16)]
+
+    # Optimus-CC provides a healthy speedup for every parallel configuration
+    # (paper: at least 19.2 %; the simulator lands in the same regime).
+    for tp, pp in layouts:
+        assert result.speedup(tp, pp, "CB+FE+SC") > 0.10
+
+    # CB's advantage grows as the pipeline gets deeper (more inter-stage traffic).
+    cb_by_depth = result.cb_gain_by_depth()
+    assert cb_by_depth[4] < cb_by_depth[8] < cb_by_depth[16]
+
+    # Every configuration keeps the CB < CB+FE < CB+FE+SC ordering.
+    for tp, pp in layouts:
+        assert (
+            result.speedup(tp, pp, "CB")
+            < result.speedup(tp, pp, "CB+FE")
+            < result.speedup(tp, pp, "CB+FE+SC")
+        )

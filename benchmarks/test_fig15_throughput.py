@@ -1,0 +1,31 @@
+"""Benchmark reproducing Fig. 15: compression/decompression throughput versus rank."""
+
+from __future__ import annotations
+
+from repro.experiments.fig15_throughput import run_fig15
+
+
+def test_fig15_throughput(benchmark, record):
+    result = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    record("fig15_throughput", result.render())
+
+    for model_name in ("GPT-8.3B", "GPT-175B"):
+        points = result.points(model_name)
+        # Both kernels stay far above the interconnect bandwidth at every rank
+        # (paper Section 9.6: compression is never the bottleneck).
+        for point in points:
+            if point.rank <= 64:
+                assert point.compress_gbps > result.interconnect_gbps
+            assert point.decompress_gbps > result.interconnect_gbps
+            assert point.decompress_gbps > point.compress_gbps
+        # Throughput decreases as the rank grows (orthogonalisation dominates).
+        compress = [point.compress_gbps for point in points]
+        assert all(a > b for a, b in zip(compress, compress[1:]))
+
+    # The larger model compresses at higher throughput (fixed overheads amortise).
+    for small, large in zip(result.points("GPT-8.3B"), result.points("GPT-175B")):
+        assert large.compress_gbps > small.compress_gbps
+
+    # The measured NumPy kernel point exists and is positive (CPU-scale numbers).
+    assert result.measured_cpu_point is not None
+    assert result.measured_cpu_point.compress_gbps > 0

@@ -1,0 +1,31 @@
+"""Benchmark reproducing Fig. 16: scalability of Optimus-CC with model size."""
+
+from __future__ import annotations
+
+from repro.experiments.fig16_scalability import run_fig16
+
+
+def test_fig16_scalability(benchmark, record):
+    result = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    record("fig16_scalability", result.render())
+
+    assert [point.model for point in result.points] == [
+        "GPT-2.5B",
+        "GPT-8.3B",
+        "GPT-39B",
+        "GPT-175B",
+    ]
+
+    # Every model size sees a clear full-stack speedup.
+    speedups = result.full_stack_speedups()
+    assert all(speedup > 0.10 for speedup in speedups)
+
+    # The speedup is sustained at the largest scales: GPT-175B benefits at least as
+    # much as GPT-8.3B (paper: Optimus-CC scales well up to 175B).
+    by_model = {point.model: point.speedups["CB+FE+SC"] for point in result.points}
+    assert by_model["GPT-175B"] >= by_model["GPT-8.3B"]
+    assert by_model["GPT-39B"] >= by_model["GPT-8.3B"]
+
+    # Baseline iteration time grows with the model (sanity of the simulation).
+    times = [point.baseline_iteration_time for point in result.points]
+    assert all(a < b for a, b in zip(times, times[1:]))

@@ -1,0 +1,35 @@
+"""Benchmark reproducing Table 2: pretraining time, speedup, and validation perplexity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2_pretraining import run_table2
+
+
+def test_table2_pretraining(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_table2(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("table2_pretraining", result.render())
+
+    for model in ("GPT-8.3B", "GPT-2.5B"):
+        baseline = result.cell(model, "Baseline")
+        cb = result.cell(model, "CB")
+        cb_fe = result.cell(model, "CB+FE")
+        full = result.cell(model, "CB+FE+SC")
+
+        # Paper ordering: each added technique increases the speedup.
+        assert 0.0 < cb.speedup < cb_fe.speedup < full.speedup
+        # Wall-clock projections shrink accordingly.
+        assert full.training_days < cb_fe.training_days < cb.training_days < baseline.training_days
+        # The simulated baseline lands in the same regime as the paper (days, not hours).
+        assert 5 < baseline.training_days < 100
+
+        # Quality: CB and CB+FE match the baseline perplexity closely; the full stack
+        # (with selective DP compression) trades a small increase for its speedup.
+        assert cb.validation_perplexity <= baseline.validation_perplexity * 1.10
+        # FE is mathematically exact; only float summation order differs.
+        assert cb_fe.validation_perplexity == pytest.approx(cb.validation_perplexity, rel=1e-3)
+        assert full.validation_perplexity >= cb_fe.validation_perplexity * 0.999
+        assert full.validation_perplexity <= baseline.validation_perplexity * 1.6

@@ -1,0 +1,30 @@
+"""Benchmark reproducing Table 3: zero-shot task accuracy of the pretrained variants."""
+
+from __future__ import annotations
+
+from repro.experiments.table3_zeroshot import run_table3
+
+
+def test_table3_zeroshot(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_table3(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("table3_zeroshot", result.render())
+
+    assert len(result.task_names) == 5
+    labels = set(result.accuracies)
+    assert labels == {"Baseline", "CB", "CB+FE", "CB+FE+SC"}
+
+    # The pretrained baseline beats chance on average (the tasks are learnable).
+    chance_mean = sum(result.chance.values()) / len(result.chance)
+    assert result.mean_accuracy("Baseline") > chance_mean + 0.05
+
+    # CB / CB+FE stay comparable to the baseline (paper: within ~1.5 accuracy points;
+    # the functional proxy is noisier, so allow a wider but still small margin).
+    assert result.mean_accuracy("CB") > result.mean_accuracy("Baseline") - 0.10
+    # FE is mathematically exact; tiny float-ordering differences may flip at most
+    # one borderline example.
+    assert abs(result.mean_accuracy("CB+FE") - result.mean_accuracy("CB")) <= 0.03
+
+    # The full stack shows at most a marginal mean-accuracy degradation.
+    assert result.mean_accuracy("CB+FE+SC") > result.mean_accuracy("Baseline") - 0.15

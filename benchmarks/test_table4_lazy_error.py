@@ -1,0 +1,26 @@
+"""Benchmark reproducing Table 4: the effect of lazy error propagation."""
+
+from __future__ import annotations
+
+from repro.experiments.table4_lazy_error import run_table4
+
+
+def test_table4_lazy_error_propagation(benchmark, functional_settings, record):
+    result = benchmark.pedantic(
+        lambda: run_table4(settings=functional_settings), rounds=1, iterations=1
+    )
+    record("table4_lazy_error", result.render())
+
+    assert set(result.accuracies) == {"Baseline", "CB (Non-LEP)", "CB (LEP)"}
+    assert len(result.task_names) == 5
+
+    # Lazy error propagation recovers model quality: the LEP variant's perplexity is
+    # closer to the baseline than the Non-LEP variant's (paper: Non-LEP has the
+    # lowest accuracies, LEP is comparable to the baseline).
+    baseline_ppl = result.perplexities["Baseline"]
+    lep_gap = result.perplexities["CB (LEP)"] - baseline_ppl
+    non_lep_gap = result.perplexities["CB (Non-LEP)"] - baseline_ppl
+    assert lep_gap < non_lep_gap
+
+    # And on the zero-shot suite, LEP is at least as accurate as Non-LEP on average.
+    assert result.mean_accuracy("CB (LEP)") >= result.mean_accuracy("CB (Non-LEP)") - 0.02

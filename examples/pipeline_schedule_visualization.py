@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Visualise the pipeline schedules and the epilogue that Optimus-CC compresses.
+
+Prints an ASCII timing diagram (one row per pipeline stage) of the GPipe, 1F1B, and
+interleaved-1F1B schedules, marks which backward transfers fall into the pipeline
+epilogue (the critical-path region targeted by epilogue-only compression, paper
+Fig. 6), and reports how much of the inter-stage traffic the epilogue represents.
+
+Run with:  python examples/pipeline_schedule_visualization.py [--stages 4] [--micro-batches 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.parallel.pipeline_schedule import (
+    build_1f1b_schedule,
+    build_gpipe_schedule,
+    build_interleaved_1f1b_schedule,
+    epilogue_micro_batches,
+)
+
+
+def render_schedule(schedule, title: str) -> str:
+    """Render one op per column: F<n> for forwards, B<n> for backwards."""
+    lines = [title, "-" * len(title)]
+    for stage, ops in enumerate(schedule):
+        cells = []
+        for op in ops:
+            marker = "F" if op.kind == "forward" else "B"
+            suffix = f".{op.chunk}" if op.chunk else ""
+            cells.append(f"{marker}{op.micro_batch}{suffix}")
+        lines.append(f"stage {stage}: " + " ".join(f"{cell:>5s}" for cell in cells))
+    return "\n".join(lines)
+
+
+def render_epilogue(num_stages: int, num_micro_batches: int) -> str:
+    """Show which backward transfers are on the critical path (compressed by CB)."""
+    lines = [
+        f"Epilogue (critical-path backward transfers), {num_stages} stages, "
+        f"{num_micro_batches} micro-batches:"
+    ]
+    total_transfers = (num_stages - 1) * num_micro_batches
+    epilogue_transfers = 0
+    for receiving_stage in range(num_stages - 1):
+        epilogue = sorted(epilogue_micro_batches(receiving_stage, num_stages, num_micro_batches))
+        epilogue_transfers += len(epilogue)
+        lines.append(
+            f"  into stage {receiving_stage}: micro-batches {epilogue} "
+            f"({len(epilogue)}/{num_micro_batches} transfers compressed)"
+        )
+    share = epilogue_transfers / total_transfers if total_transfers else 0.0
+    lines.append(
+        f"  -> epilogue-only compression touches {epilogue_transfers}/{total_transfers} "
+        f"backward transfers ({share:.0%}); the rest stay uncompressed and are hidden "
+        "by computation."
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stages", type=int, default=4)
+    parser.add_argument("--micro-batches", type=int, default=8)
+    parser.add_argument("--chunks", type=int, default=2, help="model chunks for the interleaved schedule")
+    arguments = parser.parse_args()
+
+    stages, micro = arguments.stages, arguments.micro_batches
+    print(render_schedule(build_gpipe_schedule(stages, micro), f"GPipe schedule ({stages} stages, {micro} micro-batches)"))
+    print()
+    print(render_schedule(build_1f1b_schedule(stages, micro), f"1F1B schedule ({stages} stages, {micro} micro-batches)"))
+    print()
+    if micro % stages == 0:
+        print(
+            render_schedule(
+                build_interleaved_1f1b_schedule(stages, micro, arguments.chunks),
+                f"Interleaved 1F1B ({arguments.chunks} chunks/stage)",
+            )
+        )
+        print()
+    print(render_epilogue(stages, micro))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Optimus-CC reproduction library.
+
+A from-scratch Python implementation of *Optimus-CC: Efficient Large NLP Model
+Training with 3D Parallelism Aware Communication Compression* (ASPLOS 2023),
+including every substrate the paper depends on: a NumPy GPT with manual
+backpropagation, 3D-parallel training engines (data / tensor / pipeline), gradient
+and activation-gradient compressors (PowerSGD, top-k, quantisation), a cluster
+performance simulator, and the paper's three techniques — compressed
+backpropagation with lazy error propagation and epilogue-only compression, fused
+embedding synchronisation, and selective stage compression.
+
+Quick start
+-----------
+>>> from repro import OptimusCC, OptimusCCConfig
+>>> from repro.models import GPT_8_3B
+>>> from repro.simulator import TrainingJob
+>>> job = TrainingJob(model=GPT_8_3B)
+>>> optimus = OptimusCC(OptimusCCConfig.cb_fe_sc())
+>>> timing = optimus.simulate_iteration(job)
+>>> speedup = optimus.speedup_over_baseline(job)
+
+See ``examples/`` for functional-training quick starts and the ``benchmarks/``
+directory for the scripts that regenerate every table and figure of the paper.
+"""
+
+from repro.core import OptimusCC, OptimusCCConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["OptimusCC", "OptimusCCConfig", "__version__"]

@@ -1,0 +1,240 @@
+"""Command-line interface for the Optimus-CC reproduction.
+
+Subcommands
+-----------
+``simulate``
+    Simulate one training iteration of a paper-scale model under a named
+    Optimus-CC configuration and print iteration time, projected days, and speedup.
+``breakdown``
+    Print the CPI-stack execution-time breakdown for a model/configuration pair.
+``autotune``
+    Search the selective-stage-compression operating point for a model within an
+    aggressiveness budget (Section 9.4's future-work knob).
+``reproduce``
+    Run one of the paper's tables/figures (fast functional settings) and print it.
+``list``
+    List the available models, configurations, and reproducible artefacts.
+
+Example
+-------
+``python -m repro simulate --model GPT-8.3B --config cb_fe_sc --iterations 230000``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core.autotune import SelectiveCompressionAutoTuner
+from repro.core.config import OptimusCCConfig
+from repro.core.framework import OptimusCC
+from repro.models.gpt_configs import (
+    GPT_2_5B,
+    GPT_8_3B,
+    GPT_9_2B,
+    GPT_18B,
+    GPT_39B,
+    GPT_76B,
+    GPT_175B,
+    PaperModelSpec,
+)
+from repro.simulator.cost_model import TrainingJob
+from repro.utils.tables import Table, format_float
+
+#: Models addressable from the command line.
+MODEL_CATALOGUE: dict[str, PaperModelSpec] = {
+    spec.name: spec
+    for spec in (GPT_2_5B, GPT_8_3B, GPT_9_2B, GPT_18B, GPT_39B, GPT_76B, GPT_175B)
+}
+
+#: Named configurations addressable from the command line.
+CONFIG_CATALOGUE: dict[str, Callable[[], OptimusCCConfig]] = {
+    "baseline": OptimusCCConfig.baseline,
+    "cb": OptimusCCConfig.cb,
+    "cb_fe": OptimusCCConfig.cb_fe,
+    "cb_fe_sc": OptimusCCConfig.cb_fe_sc,
+    "naive_dp": OptimusCCConfig.naive_dp,
+    "naive_cb": OptimusCCConfig.naive_cb,
+    "optimus_topk": OptimusCCConfig.optimus_topk,
+}
+
+
+def _resolve_model(name: str) -> PaperModelSpec:
+    if name not in MODEL_CATALOGUE:
+        raise SystemExit(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_CATALOGUE))}"
+        )
+    return MODEL_CATALOGUE[name]
+
+
+def _resolve_config(name: str) -> OptimusCCConfig:
+    if name not in CONFIG_CATALOGUE:
+        raise SystemExit(
+            f"unknown configuration {name!r}; available: {', '.join(sorted(CONFIG_CATALOGUE))}"
+        )
+    return CONFIG_CATALOGUE[name]()
+
+
+def _artefact_catalogue() -> dict[str, Callable[[], object]]:
+    """Lazy artefact table so that ``list`` stays fast."""
+    from repro.experiments.discussion_accelerators import run_accelerator_comparison
+    from repro.experiments.fig03_motivation import run_fig03
+    from repro.experiments.fig09_ppl_curves import run_fig09
+    from repro.experiments.fig10_breakdown import run_fig10
+    from repro.experiments.fig11_error_independence import run_fig11
+    from repro.experiments.fig12_memory import run_fig12
+    from repro.experiments.fig13_selective_vs_rank import run_fig13
+    from repro.experiments.fig14_config_sensitivity import run_fig14
+    from repro.experiments.fig15_throughput import run_fig15
+    from repro.experiments.fig16_scalability import run_fig16
+    from repro.experiments.table2_pretraining import run_table2
+    from repro.experiments.table3_zeroshot import run_table3
+    from repro.experiments.table4_lazy_error import run_table4
+
+    return {
+        "fig3": run_fig03,
+        "table2": run_table2,
+        "fig9": run_fig09,
+        "table3": run_table3,
+        "table4": run_table4,
+        "fig10": run_fig10,
+        "fig11": run_fig11,
+        "fig12": run_fig12,
+        "fig13": run_fig13,
+        "fig14": run_fig14,
+        "fig15": run_fig15,
+        "fig16": run_fig16,
+        "accelerators": run_accelerator_comparison,
+    }
+
+
+# ----------------------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------------------
+
+
+def command_simulate(arguments: argparse.Namespace) -> int:
+    model = _resolve_model(arguments.model)
+    job = TrainingJob(model=model)
+    table = Table(
+        title=f"{model.name}: simulated training on the paper's 128-GPU cluster",
+        columns=["Configuration", "Iteration (s)", f"Days/{arguments.iterations // 1000}K", "Speedup"],
+    )
+    baseline = OptimusCC(OptimusCCConfig.baseline()).simulate_iteration(job)
+    names = [arguments.config] if arguments.config != "all" else list(CONFIG_CATALOGUE)
+    for name in names:
+        timing = OptimusCC(_resolve_config(name)).simulate_iteration(job)
+        table.add_row(
+            [
+                name,
+                format_float(timing.iteration_time, 2),
+                format_float(timing.days_for(arguments.iterations), 1),
+                f"{timing.speedup_over(baseline):+.2%}",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def command_breakdown(arguments: argparse.Namespace) -> int:
+    model = _resolve_model(arguments.model)
+    config = _resolve_config(arguments.config)
+    breakdown = OptimusCC(config).breakdown(TrainingJob(model=model))
+    table = Table(
+        title=f"{model.name} / {config.describe()}: execution-time breakdown",
+        columns=["Component", "Seconds", "Share"],
+    )
+    for component, seconds in breakdown.as_dict().items():
+        share = seconds / breakdown.total if breakdown.total else 0.0
+        table.add_row([component, format_float(seconds, 3), f"{share:.1%}"])
+    table.add_row(["Total", format_float(breakdown.total, 3), "100.0%"])
+    print(table.render())
+    return 0
+
+
+def command_autotune(arguments: argparse.Namespace) -> int:
+    model = _resolve_model(arguments.model)
+    tuner = SelectiveCompressionAutoTuner(TrainingJob(model=model))
+    result = tuner.tune(budget=arguments.budget)
+    print(result.render())
+    best = result.best
+    print(
+        f"Best operating point: compress {best.stage_fraction:.0%} of stages at rank "
+        f"{best.dp_rank} for a {best.speedup:+.2%} speedup."
+    )
+    return 0
+
+
+def command_reproduce(arguments: argparse.Namespace) -> int:
+    catalogue = _artefact_catalogue()
+    if arguments.artefact not in catalogue:
+        raise SystemExit(
+            f"unknown artefact {arguments.artefact!r}; available: {', '.join(sorted(catalogue))}"
+        )
+    result = catalogue[arguments.artefact]()
+    print(result.render())
+    return 0
+
+
+def command_list(arguments: argparse.Namespace) -> int:
+    del arguments
+    print("Models:")
+    for name, spec in MODEL_CATALOGUE.items():
+        print(f"  {name:<10s} {spec.num_layers} layers, hidden {spec.hidden_size}, "
+              f"{spec.parameters_billion():.1f}B parameters")
+    print("Configurations:")
+    for name in CONFIG_CATALOGUE:
+        print(f"  {name}")
+    print("Artefacts (reproduce):")
+    for name in _artefact_catalogue():
+        print(f"  {name}")
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Optimus-CC reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="simulate iteration time and speedup")
+    simulate.add_argument("--model", default="GPT-8.3B")
+    simulate.add_argument("--config", default="all", help="configuration name or 'all'")
+    simulate.add_argument("--iterations", type=int, default=230_000)
+    simulate.set_defaults(handler=command_simulate)
+
+    breakdown = subparsers.add_parser("breakdown", help="CPI-stack execution-time breakdown")
+    breakdown.add_argument("--model", default="GPT-2.5B")
+    breakdown.add_argument("--config", default="baseline")
+    breakdown.set_defaults(handler=command_breakdown)
+
+    autotune = subparsers.add_parser("autotune", help="tune selective stage compression")
+    autotune.add_argument("--model", default="GPT-8.3B")
+    autotune.add_argument("--budget", type=float, default=0.8,
+                          help="max fraction of DP gradient bytes that may be removed")
+    autotune.set_defaults(handler=command_autotune)
+
+    reproduce = subparsers.add_parser("reproduce", help="run one paper table/figure")
+    reproduce.add_argument("artefact", help="e.g. table2, fig10, fig16")
+    reproduce.set_defaults(handler=command_reproduce)
+
+    lister = subparsers.add_parser("list", help="list models, configurations, artefacts")
+    lister.set_defaults(handler=command_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Gradient / activation-gradient compressors.
+
+This subpackage implements the compression algorithms the paper builds on or
+compares against:
+
+* :class:`~repro.compression.powersgd.PowerSGDCompressor` — rank-r low-rank
+  approximation with a single power-iteration step and Q-matrix reuse
+  (Vogels et al., 2019), the compressor Optimus-CC adopts for both data-parallel
+  gradients and inter-stage activation gradients.
+* :class:`~repro.compression.topk.TopKCompressor` /
+  :class:`~repro.compression.topk.RandomKCompressor` — sparsification baselines.
+* :class:`~repro.compression.quantization.TernGradCompressor`,
+  :class:`~repro.compression.quantization.SignSGDCompressor`,
+  :class:`~repro.compression.quantization.FP16Compressor` — quantisation baselines.
+* :class:`~repro.compression.error_feedback.ErrorFeedback` — the residual-carrying
+  wrapper used for classic error feedback (data parallel) and re-used by the paper's
+  lazy error propagation (pipeline parallel).
+
+All compressors share the :class:`~repro.compression.base.Compressor` interface and
+report the exact number of *bytes on the wire* for their payload, which is what the
+performance simulator charges to the interconnect.
+"""
+
+from repro.compression.base import (
+    CompressedPayload,
+    Compressor,
+    NoCompression,
+)
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.compression.topk import RandomKCompressor, TopKCompressor
+from repro.compression.quantization import (
+    FP16Compressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+)
+from repro.compression.qsgd import AdaCompCompressor, QSGDCompressor
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.metrics import (
+    compression_error,
+    compression_ratio,
+    cosine_similarity,
+    relative_error,
+)
+
+__all__ = [
+    "Compressor",
+    "CompressedPayload",
+    "NoCompression",
+    "PowerSGDCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "TernGradCompressor",
+    "SignSGDCompressor",
+    "FP16Compressor",
+    "QSGDCompressor",
+    "AdaCompCompressor",
+    "ErrorFeedback",
+    "compression_error",
+    "compression_ratio",
+    "cosine_similarity",
+    "relative_error",
+]

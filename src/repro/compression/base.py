@@ -1,0 +1,104 @@
+"""Compressor interface shared by every compression algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Bytes per element assumed for uncompressed traffic.  Megatron-LM communicates
+#: fp16/bf16 activations and fp32 (or fp16 + fp32 master) gradients; we follow the
+#: paper's setting of half-precision on the wire for activations and gradients.
+UNCOMPRESSED_BYTES_PER_ELEMENT = 2
+
+
+@dataclass
+class CompressedPayload:
+    """The result of compressing one tensor.
+
+    Attributes
+    ----------
+    kind:
+        Short identifier of the producing algorithm (``"powersgd"``, ``"topk"``, ...).
+    data:
+        Algorithm-specific contents (factors, indices/values, quantised codes, ...).
+    original_shape:
+        Shape of the tensor before compression, needed for decompression.
+    payload_bytes:
+        Exact number of bytes this payload occupies on the wire.  This is the
+        quantity the performance simulator charges to the network links.
+    metadata:
+        Optional extra information (e.g. the rank used), for diagnostics.
+    """
+
+    kind: str
+    data: dict[str, Any]
+    original_shape: tuple[int, ...]
+    payload_bytes: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def original_bytes(self) -> int:
+        """Size of the uncompressed tensor on the wire."""
+        count = 1
+        for dim in self.original_shape:
+            count *= dim
+        return count * UNCOMPRESSED_BYTES_PER_ELEMENT
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed bytes divided by payload bytes (>1 means smaller traffic)."""
+        if self.payload_bytes <= 0:
+            return float("inf")
+        return self.original_bytes / self.payload_bytes
+
+
+class Compressor:
+    """Abstract compressor.
+
+    Concrete compressors may keep internal state keyed by a caller-supplied ``key``
+    (PowerSGD reuses the previous Q factor per tensor, for example), so the same
+    compressor instance must be used consistently for the same logical tensor.
+    """
+
+    #: Short algorithm name used in payloads and reports.
+    name = "identity"
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        """Compress ``tensor`` and return the wire payload."""
+        raise NotImplementedError
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        """Reconstruct the (lossy) tensor from a payload."""
+        raise NotImplementedError
+
+    def roundtrip(self, tensor: np.ndarray, key: str | None = None) -> tuple[np.ndarray, CompressedPayload]:
+        """Compress then decompress; returns ``(approximation, payload)``."""
+        payload = self.compress(tensor, key=key)
+        return self.decompress(payload), payload
+
+    def reset(self) -> None:
+        """Drop any per-tensor state (Q reuse, residuals held by subclasses)."""
+
+
+class NoCompression(Compressor):
+    """Identity compressor: the payload is the tensor itself.
+
+    Used for the 'Baseline' configurations so that every experiment goes through the
+    same code path and accounting.
+    """
+
+    name = "none"
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        return CompressedPayload(
+            kind=self.name,
+            data={"tensor": tensor.copy()},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return payload.data["tensor"].copy()

@@ -1,0 +1,38 @@
+"""Metrics used to characterise compression quality and cost."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload
+
+
+def compression_ratio(payload: CompressedPayload) -> float:
+    """Uncompressed-to-compressed byte ratio of a payload."""
+    return payload.compression_ratio
+
+
+def compression_error(original: np.ndarray, approximation: np.ndarray) -> float:
+    """Frobenius norm of the approximation error."""
+    return float(np.linalg.norm(np.asarray(original) - np.asarray(approximation)))
+
+
+def relative_error(original: np.ndarray, approximation: np.ndarray, eps: float = 1e-12) -> float:
+    """Approximation error normalised by the norm of the original tensor."""
+    original = np.asarray(original, dtype=np.float64)
+    denominator = float(np.linalg.norm(original))
+    return compression_error(original, approximation) / max(denominator, eps)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float:
+    """Cosine similarity between two tensors viewed as flat vectors.
+
+    This is the statistic plotted in the paper's Fig. 11 to show that compression
+    errors are independent of activation differences (similarity ≈ 0).
+    """
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    denominator = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denominator < eps:
+        return 0.0
+    return float(np.dot(a, b) / denominator)

@@ -1,0 +1,164 @@
+"""QSGD-style stochastic quantisation and AdaComp-style adaptive residual compression.
+
+These two compressors round out the quantisation/sparsification families the paper
+surveys in Section 2.3:
+
+* :class:`QSGDCompressor` — stochastic uniform quantisation to ``2^bits`` levels per
+  tensor with an unbiased rounding rule (Alistarh et al., 2017).
+* :class:`AdaCompCompressor` — AdaComp-like adaptive sparsification: an element is
+  transmitted when adding it to the local residual would change the local maximum by
+  more than a sensitivity threshold; everything else stays in the residual (Chen et
+  al., 2018).  The residual handling is internal, so the compressor can be used
+  directly or wrapped by :class:`repro.compression.error_feedback.ErrorFeedback`
+  (with its own feedback disabled).
+
+Both follow the :class:`repro.compression.base.Compressor` interface so they can be
+dropped into compressed backpropagation or the data-parallel path for comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import (
+    UNCOMPRESSED_BYTES_PER_ELEMENT,
+    CompressedPayload,
+    Compressor,
+)
+from repro.compression.topk import INDEX_BYTES
+from repro.utils.random import seeded_rng
+
+
+class QSGDCompressor(Compressor):
+    """Stochastic uniform quantisation to ``2^bits`` levels (per-tensor scale).
+
+    Each element ``x`` is mapped to ``sign(x) * scale * l / L`` where ``L = 2^bits - 1``
+    and the level ``l`` is chosen stochastically so the estimate is unbiased.
+    """
+
+    name = "qsgd"
+
+    def __init__(self, bits: int = 4, seed: int = 0, deterministic: bool = False) -> None:
+        if not 1 <= bits <= 8:
+            raise ValueError(f"bits must be in [1, 8], got {bits}")
+        self.bits = int(bits)
+        self.seed = int(seed)
+        self.deterministic = bool(deterministic)
+        self._call_count = 0
+
+    @property
+    def num_levels(self) -> int:
+        return 2**self.bits - 1
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+        if scale == 0.0:
+            codes = np.zeros(tensor.shape, dtype=np.int16)
+            signs = np.ones(tensor.shape, dtype=np.int8)
+        else:
+            normalised = np.abs(tensor) / scale * self.num_levels
+            lower = np.floor(normalised)
+            probability_up = normalised - lower
+            if self.deterministic:
+                rounded = np.round(normalised)
+            else:
+                rng = seeded_rng(self.seed + self._call_count)
+                self._call_count += 1
+                rounded = lower + (rng.random(tensor.shape) < probability_up)
+            codes = rounded.astype(np.int16)
+            signs = np.where(tensor < 0, -1, 1).astype(np.int8)
+        payload_bytes = int(math.ceil(tensor.size * (self.bits + 1) / 8)) + 4
+        return CompressedPayload(
+            kind=self.name,
+            data={"codes": codes, "signs": signs, "scale": scale},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=max(payload_bytes, 1),
+            metadata={"bits": self.bits, "compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        codes = payload.data["codes"].astype(np.float64)
+        signs = payload.data["signs"].astype(np.float64)
+        return signs * codes / self.num_levels * payload.data["scale"]
+
+    def reset(self) -> None:
+        self._call_count = 0
+
+
+class AdaCompCompressor(Compressor):
+    """AdaComp-like adaptive residual sparsification.
+
+    The compressor accumulates a local residual per ``key``.  On each call it adds
+    the new tensor to the residual and transmits the elements whose magnitude exceeds
+    ``sensitivity`` times the current maximum magnitude; transmitted elements are
+    removed from the residual, the rest stay for later calls.
+    """
+
+    name = "adacomp"
+
+    def __init__(self, sensitivity: float = 0.4, min_elements: int = 16) -> None:
+        if not 0.0 < sensitivity <= 1.0:
+            raise ValueError(f"sensitivity must be in (0, 1], got {sensitivity}")
+        self.sensitivity = float(sensitivity)
+        self.min_elements = int(min_elements)
+        self._residuals: dict[str, np.ndarray] = {}
+
+    def residual(self, key: str) -> np.ndarray | None:
+        """Internal residual for ``key`` (diagnostics)."""
+        return self._residuals.get(key)
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        key = key if key is not None else "default"
+        flat = tensor.reshape(-1)
+        if flat.size <= self.min_elements:
+            return CompressedPayload(
+                kind="adacomp-passthrough",
+                data={"tensor": tensor.copy()},
+                original_shape=tuple(tensor.shape),
+                payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
+                metadata={"kept": flat.size, "compressed": False},
+            )
+
+        residual = self._residuals.get(key)
+        if residual is None or residual.shape != flat.shape:
+            residual = np.zeros_like(flat)
+        accumulated = residual + flat
+
+        threshold = self.sensitivity * float(np.max(np.abs(accumulated))) if accumulated.size else 0.0
+        mask = np.abs(accumulated) >= max(threshold, 1e-30)
+        indices = np.nonzero(mask)[0]
+        values = accumulated[indices]
+
+        new_residual = accumulated.copy()
+        new_residual[indices] = 0.0
+        self._residuals[key] = new_residual
+
+        payload_bytes = int(indices.size * (UNCOMPRESSED_BYTES_PER_ELEMENT + INDEX_BYTES))
+        return CompressedPayload(
+            kind=self.name,
+            data={"indices": indices.astype(np.int64), "values": values},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=max(payload_bytes, 1),
+            metadata={"kept": int(indices.size), "compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind == "adacomp-passthrough":
+            return payload.data["tensor"].copy()
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        size = 1
+        for dim in payload.original_shape:
+            size *= dim
+        flat = np.zeros(size, dtype=np.float64)
+        flat[payload.data["indices"]] = payload.data["values"]
+        return flat.reshape(payload.original_shape)
+
+    def reset(self) -> None:
+        self._residuals.clear()

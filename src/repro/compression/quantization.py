@@ -1,0 +1,112 @@
+"""Quantisation-based gradient compressors (baselines).
+
+These reproduce the quantisation family the paper discusses in Section 2.3:
+TernGrad (ternary levels), signSGD (1 bit per element), and plain FP16 casting.
+They are used by the compression-comparison tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import (
+    UNCOMPRESSED_BYTES_PER_ELEMENT,
+    CompressedPayload,
+    Compressor,
+)
+from repro.utils.random import seeded_rng
+
+
+class TernGradCompressor(Compressor):
+    """TernGrad: stochastic ternarisation to ``{-s, 0, +s}`` per tensor.
+
+    The scale ``s`` is the per-tensor max-magnitude; each element is kept with
+    probability ``|x| / s`` (unbiased).  Wire cost is 2 bits/element plus the scale.
+    """
+
+    name = "terngrad"
+
+    def __init__(self, seed: int = 0, deterministic: bool = False) -> None:
+        self.seed = int(seed)
+        self.deterministic = bool(deterministic)
+        self._call_count = 0
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+        if scale == 0.0:
+            codes = np.zeros(tensor.shape, dtype=np.int8)
+        else:
+            probabilities = np.abs(tensor) / scale
+            if self.deterministic:
+                keep = probabilities >= 0.5
+            else:
+                rng = seeded_rng(self.seed + self._call_count)
+                self._call_count += 1
+                keep = rng.random(tensor.shape) < probabilities
+            codes = (np.sign(tensor) * keep).astype(np.int8)
+        payload_bytes = int(math.ceil(tensor.size / 4)) + 4  # 2 bits/element + fp32 scale
+        return CompressedPayload(
+            kind=self.name,
+            data={"codes": codes, "scale": scale},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=max(payload_bytes, 1),
+            metadata={"compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        return payload.data["codes"].astype(np.float64) * payload.data["scale"]
+
+
+class SignSGDCompressor(Compressor):
+    """signSGD: transmit only the sign, scaled by the mean magnitude (1-bit style)."""
+
+    name = "signsgd"
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        scale = float(np.mean(np.abs(tensor))) if tensor.size else 0.0
+        signs = np.sign(tensor).astype(np.int8)
+        payload_bytes = int(math.ceil(tensor.size / 8)) + 4  # 1 bit/element + fp32 scale
+        return CompressedPayload(
+            kind=self.name,
+            data={"signs": signs, "scale": scale},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=max(payload_bytes, 1),
+            metadata={"compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        return payload.data["signs"].astype(np.float64) * payload.data["scale"]
+
+
+class FP16Compressor(Compressor):
+    """Cast to half precision on the wire (2 bytes/element).
+
+    With the library's wire convention already being fp16 this gives ratio 1.0; it
+    exists so quantisation sweeps have a lossless-ish reference point.
+    """
+
+    name = "fp16"
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        half = tensor.astype(np.float16)
+        return CompressedPayload(
+            kind=self.name,
+            data={"half": half},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
+            metadata={"compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        return payload.data["half"].astype(np.float64)

@@ -1,0 +1,128 @@
+"""Top-k and random-k sparsification compressors (baselines).
+
+The paper's motivational study (Fig. 3, 'Opt-CC (TopK)') shows that top-k
+sparsification is a poor fit for point-to-point inter-stage traffic: every rank
+selects its own indices, so an extra index payload has to be shipped and the
+reconstruction error is larger than low-rank approximation at the same budget.
+These compressors exist to reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    UNCOMPRESSED_BYTES_PER_ELEMENT,
+    CompressedPayload,
+    Compressor,
+)
+from repro.utils.random import seeded_rng
+
+#: Bytes used to encode one index on the wire (int32, as in common implementations).
+INDEX_BYTES = 4
+
+
+class TopKCompressor(Compressor):
+    """Keep the ``fraction`` largest-magnitude elements of the tensor."""
+
+    name = "topk"
+
+    def __init__(self, fraction: float = 0.01, min_elements: int = 16) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.min_elements = int(min_elements)
+
+    def _num_kept(self, size: int) -> int:
+        return max(1, min(size, int(round(self.fraction * size))))
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        flat = tensor.reshape(-1)
+        if flat.size <= self.min_elements:
+            return CompressedPayload(
+                kind="topk-passthrough",
+                data={"tensor": tensor.copy()},
+                original_shape=tuple(tensor.shape),
+                payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
+                metadata={"kept": flat.size, "compressed": False},
+            )
+        kept = self._num_kept(flat.size)
+        indices = np.argpartition(np.abs(flat), -kept)[-kept:]
+        values = flat[indices]
+        payload_bytes = kept * (UNCOMPRESSED_BYTES_PER_ELEMENT + INDEX_BYTES)
+        return CompressedPayload(
+            kind=self.name,
+            data={"indices": indices.astype(np.int64), "values": values},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=payload_bytes,
+            metadata={"kept": kept, "compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind == "topk-passthrough":
+            return payload.data["tensor"].copy()
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        size = 1
+        for dim in payload.original_shape:
+            size *= dim
+        flat = np.zeros(size, dtype=np.float64)
+        flat[payload.data["indices"]] = payload.data["values"]
+        return flat.reshape(payload.original_shape)
+
+
+class RandomKCompressor(Compressor):
+    """Keep a uniformly random ``fraction`` of elements (cheap, noisier baseline)."""
+
+    name = "randomk"
+
+    def __init__(self, fraction: float = 0.01, seed: int = 0, min_elements: int = 16) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.seed = int(seed)
+        self.min_elements = int(min_elements)
+        self._call_count = 0
+
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        flat = tensor.reshape(-1)
+        if flat.size <= self.min_elements:
+            return CompressedPayload(
+                kind="randomk-passthrough",
+                data={"tensor": tensor.copy()},
+                original_shape=tuple(tensor.shape),
+                payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
+                metadata={"kept": flat.size, "compressed": False},
+            )
+        kept = max(1, int(round(self.fraction * flat.size)))
+        rng = seeded_rng(self.seed + self._call_count)
+        self._call_count += 1
+        indices = rng.choice(flat.size, size=kept, replace=False)
+        values = flat[indices]
+        # Random-k is an unbiased estimator when scaled by 1/fraction.
+        scale = flat.size / kept
+        payload_bytes = kept * (UNCOMPRESSED_BYTES_PER_ELEMENT + INDEX_BYTES)
+        return CompressedPayload(
+            kind=self.name,
+            data={"indices": indices.astype(np.int64), "values": values, "scale": scale},
+            original_shape=tuple(tensor.shape),
+            payload_bytes=payload_bytes,
+            metadata={"kept": kept, "compressed": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        if payload.kind == "randomk-passthrough":
+            return payload.data["tensor"].copy()
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        size = 1
+        for dim in payload.original_shape:
+            size *= dim
+        flat = np.zeros(size, dtype=np.float64)
+        flat[payload.data["indices"]] = payload.data["values"] * payload.data["scale"]
+        return flat.reshape(payload.original_shape)
+
+    def reset(self) -> None:
+        self._call_count = 0

@@ -1,0 +1,35 @@
+"""Optimus-CC core: the paper's three techniques plus the orchestration facade.
+
+* :mod:`repro.core.compressed_backprop` — compressed backpropagation (CB) with lazy
+  error propagation (LEP) and epilogue-only compression (Section 5).
+* :mod:`repro.core.fused_embedding` — fused embedding synchronisation (FE) and its
+  analytic cost model (Section 6).
+* :mod:`repro.core.selective_stage` — selective stage compression (SC) of the
+  data-parallel traffic (Section 7).
+* :mod:`repro.core.config` / :mod:`repro.core.framework` — a single configuration
+  object and the :class:`~repro.core.framework.OptimusCC` facade that wires the
+  techniques into both the functional training engine and the performance simulator.
+"""
+
+from repro.core.config import OptimusCCConfig
+from repro.core.compressed_backprop import CompressedBackpropagation, ErrorIndependenceRecord
+from repro.core.fused_embedding import (
+    EmbeddingSynchronizer,
+    baseline_embedding_cost,
+    embedding_sync_improvement,
+    fused_embedding_cost,
+)
+from repro.core.selective_stage import SelectiveStageCompression
+from repro.core.framework import OptimusCC
+
+__all__ = [
+    "OptimusCCConfig",
+    "OptimusCC",
+    "CompressedBackpropagation",
+    "ErrorIndependenceRecord",
+    "EmbeddingSynchronizer",
+    "baseline_embedding_cost",
+    "fused_embedding_cost",
+    "embedding_sync_improvement",
+    "SelectiveStageCompression",
+]

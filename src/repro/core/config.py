@@ -1,0 +1,172 @@
+"""Unified configuration of the Optimus-CC techniques.
+
+One :class:`OptimusCCConfig` drives both fidelity layers: the functional training
+engine (quality measurements) and the performance simulator (speed measurements),
+so every experiment toggles exactly the same flags in both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simulator.executor import CompressionPlan
+
+
+@dataclass(frozen=True)
+class OptimusCCConfig:
+    """Feature flags and hyper-parameters of Optimus-CC.
+
+    Attributes
+    ----------
+    compress_backward:
+        Enable compressed backpropagation (CB) on inter-stage backward traffic.
+    cb_rank:
+        PowerSGD rank for CB (paper default 16).
+    cb_compressor:
+        ``"powersgd"`` (paper default) or ``"topk"`` (the Opt-CC (TopK) variant of
+        Fig. 3, which performs worse for point-to-point traffic).
+    lazy_error_propagation:
+        Carry the compression residual to the next micro-batch within the iteration
+        (Section 5.1).  Disabling this is the "Non-LEP" ablation of Table 4.
+    epilogue_only:
+        Compress only the epilogue (critical-path) transfers (Section 5.2).
+        Disabling this is the "naive CB" configuration of Fig. 3.
+    compress_forward:
+        Also compress forward activations.  The paper reports this diverges; it is
+        kept only so the motivational comparison can be reproduced.
+    fuse_embedding:
+        Enable fused embedding synchronisation (FE, Section 6).
+    dp_stage_fraction:
+        Fraction of pipeline stages whose data-parallel gradients are compressed
+        (selective stage compression, earliest stages first; paper default 0.75).
+        0.0 disables DP compression; 1.0 is the "naive DP" configuration.
+    dp_rank:
+        PowerSGD rank for DP gradient compression (paper default 128).
+    dp_error_feedback:
+        Classic error feedback on the DP gradient compression.
+    topk_fraction:
+        Kept fraction when ``cb_compressor == "topk"``.
+    seed:
+        Seed for the compressors' random initial factors.
+    """
+
+    compress_backward: bool = False
+    cb_rank: int = 16
+    cb_compressor: str = "powersgd"
+    lazy_error_propagation: bool = True
+    epilogue_only: bool = True
+    compress_forward: bool = False
+    fuse_embedding: bool = False
+    dp_stage_fraction: float = 0.0
+    dp_rank: int = 128
+    dp_error_feedback: bool = True
+    topk_fraction: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cb_compressor not in ("powersgd", "topk"):
+            raise ValueError(f"cb_compressor must be 'powersgd' or 'topk', got {self.cb_compressor!r}")
+        if not 0.0 <= self.dp_stage_fraction <= 1.0:
+            raise ValueError("dp_stage_fraction must be in [0, 1]")
+        if self.cb_rank <= 0 or self.dp_rank <= 0:
+            raise ValueError("compression ranks must be positive")
+        if not 0.0 < self.topk_fraction <= 1.0:
+            raise ValueError("topk_fraction must be in (0, 1]")
+
+    # -- named configurations (paper nomenclature) --------------------------------
+
+    @classmethod
+    def baseline(cls) -> "OptimusCCConfig":
+        """Megatron-LM without any communication compression."""
+        return cls()
+
+    @classmethod
+    def cb(cls, rank: int = 16) -> "OptimusCCConfig":
+        """Compressed backpropagation (with LEP and epilogue-only compression)."""
+        return cls(compress_backward=True, cb_rank=rank)
+
+    @classmethod
+    def cb_non_lep(cls, rank: int = 16) -> "OptimusCCConfig":
+        """CB without lazy error propagation (Table 4's 'CB (Non-LEP)')."""
+        return cls(compress_backward=True, cb_rank=rank, lazy_error_propagation=False)
+
+    @classmethod
+    def naive_cb(cls, rank: int = 16) -> "OptimusCCConfig":
+        """CB applied to every backward transfer, no epilogue-only restriction."""
+        return cls(compress_backward=True, cb_rank=rank, epilogue_only=False)
+
+    @classmethod
+    def cb_fe(cls, rank: int = 16) -> "OptimusCCConfig":
+        """CB + fused embedding synchronisation."""
+        return cls(compress_backward=True, cb_rank=rank, fuse_embedding=True)
+
+    @classmethod
+    def cb_fe_sc(
+        cls, cb_rank: int = 16, dp_rank: int = 128, stage_fraction: float = 0.75
+    ) -> "OptimusCCConfig":
+        """Full Optimus-CC: CB + FE + selective stage compression."""
+        return cls(
+            compress_backward=True,
+            cb_rank=cb_rank,
+            fuse_embedding=True,
+            dp_stage_fraction=stage_fraction,
+            dp_rank=dp_rank,
+        )
+
+    @classmethod
+    def naive_dp(cls, dp_rank: int = 128) -> "OptimusCCConfig":
+        """Naive data-parallel compression of every stage (Fig. 3 'naive DP')."""
+        return cls(dp_stage_fraction=1.0, dp_rank=dp_rank)
+
+    @classmethod
+    def optimus_topk(cls, fraction: float = 0.01) -> "OptimusCCConfig":
+        """Optimus-CC with top-k instead of low-rank CB (Fig. 3 'Opt-CC (TopK)')."""
+        return cls(
+            compress_backward=True,
+            cb_compressor="topk",
+            topk_fraction=fraction,
+            fuse_embedding=True,
+            dp_stage_fraction=0.75,
+        )
+
+    # -- conversions ---------------------------------------------------------------
+
+    def with_(self, **kwargs) -> "OptimusCCConfig":
+        """Return a modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def to_compression_plan(self) -> CompressionPlan:
+        """Translate the config into the performance simulator's plan."""
+        return CompressionPlan(
+            compress_backward=self.compress_backward,
+            backward_rank=self.cb_rank,
+            backward_epilogue_only=self.epilogue_only,
+            compress_forward=self.compress_forward,
+            dp_compressed_stage_fraction=self.dp_stage_fraction,
+            dp_rank=self.dp_rank,
+            fuse_embedding=self.fuse_embedding,
+        )
+
+    def describe(self) -> str:
+        """Paper-style label: Baseline / CB / CB+FE / CB+FE+SC / ..."""
+        if not any(
+            [self.compress_backward, self.fuse_embedding, self.dp_stage_fraction > 0]
+        ):
+            return "Baseline"
+        parts = []
+        if self.compress_backward:
+            label = "CB"
+            if not self.lazy_error_propagation:
+                label += "(Non-LEP)"
+            if not self.epilogue_only:
+                label += "(naive)"
+            if self.cb_compressor == "topk":
+                label += "(TopK)"
+            parts.append(label)
+        if self.fuse_embedding:
+            parts.append("FE")
+        if self.dp_stage_fraction >= 1.0:
+            parts.append("DP(all)")
+        elif self.dp_stage_fraction > 0:
+            parts.append("SC")
+        return "+".join(parts)

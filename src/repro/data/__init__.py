@@ -1,0 +1,32 @@
+"""Synthetic corpus, data loading, and synthetic zero-shot evaluation tasks.
+
+The paper pretrains on a concatenation of RealNews, Wikipedia, CC-Stories and
+OpenWebText and evaluates on LAMBADA/PIQA/MathQA/WinoGrande/RACE.  Those corpora are
+not available offline, so this package provides a seeded synthetic language with
+enough structure (Zipfian unigram distribution + sparse Markov transitions +
+deterministic "idiom" patterns) for next-token perplexity and cloze/multiple-choice
+accuracy to be meaningful, and task suites that follow the same evaluation
+protocols.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.data.synthetic_corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.data.dataloader import LanguageModelingDataLoader, MicroBatch
+from repro.data.tasks import (
+    ClozeTask,
+    MultipleChoiceTask,
+    ZeroShotExample,
+    ZeroShotTask,
+    build_zero_shot_suite,
+)
+
+__all__ = [
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+    "LanguageModelingDataLoader",
+    "MicroBatch",
+    "ZeroShotTask",
+    "ZeroShotExample",
+    "ClozeTask",
+    "MultipleChoiceTask",
+    "build_zero_shot_suite",
+]

@@ -1,0 +1,105 @@
+"""Mini-batch / micro-batch construction for 3D-parallel training.
+
+A training iteration uses one *mini-batch*, split evenly across the data-parallel
+replicas, and each replica's share is further split into *micro-batches* that flow
+through the pipeline.  The loader produces ``(tokens, targets)`` pairs where the
+targets are the tokens shifted left by one (next-token prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic_corpus import SyntheticCorpus
+
+
+@dataclass
+class MicroBatch:
+    """One micro-batch of token ids and next-token targets."""
+
+    tokens: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.tokens.shape != self.targets.shape:
+            raise ValueError(
+                f"tokens shape {self.tokens.shape} does not match targets shape {self.targets.shape}"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.tokens.shape[0])
+
+    @property
+    def sequence_length(self) -> int:
+        return int(self.tokens.shape[1])
+
+    def as_tuple(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(tokens, targets)`` for the pipeline engine."""
+        return self.tokens, self.targets
+
+
+class LanguageModelingDataLoader:
+    """Produces per-replica micro-batch lists for each training iteration.
+
+    Parameters
+    ----------
+    corpus:
+        The synthetic corpus to sample from.
+    sequence_length:
+        Token count per sequence (the model consumes this many positions).
+    micro_batch_size:
+        Sequences per micro-batch (paper: 8).
+    num_micro_batches:
+        Micro-batches per replica per iteration.
+    data_parallel_degree:
+        Number of replicas; each gets its own share of the mini-batch.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        sequence_length: int,
+        micro_batch_size: int,
+        num_micro_batches: int,
+        data_parallel_degree: int = 1,
+    ) -> None:
+        if sequence_length <= 0 or micro_batch_size <= 0 or num_micro_batches <= 0:
+            raise ValueError("sequence_length, micro_batch_size, num_micro_batches must be positive")
+        if data_parallel_degree <= 0:
+            raise ValueError("data_parallel_degree must be positive")
+        self.corpus = corpus
+        self.sequence_length = int(sequence_length)
+        self.micro_batch_size = int(micro_batch_size)
+        self.num_micro_batches = int(num_micro_batches)
+        self.data_parallel_degree = int(data_parallel_degree)
+
+    @property
+    def mini_batch_size(self) -> int:
+        """Global mini-batch size (sequences per iteration across all replicas)."""
+        return self.micro_batch_size * self.num_micro_batches * self.data_parallel_degree
+
+    def _make_micro_batch(self, rng: np.random.Generator) -> MicroBatch:
+        sampled = self.corpus.sample_batch(self.micro_batch_size, self.sequence_length + 1, rng)
+        return MicroBatch(tokens=sampled[:, :-1], targets=sampled[:, 1:])
+
+    def iteration_batches(self, iteration: int) -> list[list[MicroBatch]]:
+        """Micro-batches for one iteration: ``result[replica][micro_batch]``.
+
+        Deterministic in ``iteration`` so that two runs with different compression
+        settings see exactly the same data (paired comparisons).
+        """
+        batches = []
+        for replica in range(self.data_parallel_degree):
+            rng = self.corpus.train_rng(iteration, replica)
+            batches.append([self._make_micro_batch(rng) for _ in range(self.num_micro_batches)])
+        return batches
+
+    def validation_batch(self, batch_index: int = 0, batch_size: int | None = None) -> MicroBatch:
+        """A deterministic validation batch, disjoint from the training stream."""
+        rng = self.corpus.validation_rng(batch_index)
+        size = batch_size if batch_size is not None else self.micro_batch_size
+        sampled = self.corpus.sample_batch(size, self.sequence_length + 1, rng)
+        return MicroBatch(tokens=sampled[:, :-1], targets=sampled[:, 1:])

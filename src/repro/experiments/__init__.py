@@ -1,0 +1,41 @@
+"""Experiment drivers reproducing every table and figure of the paper's evaluation.
+
+Each module owns one experiment: it assembles the right workloads and Optimus-CC
+configurations, runs them through the functional training layer and/or the
+performance simulator, and returns a structured result object with a ``render()``
+method that prints the same rows/series the paper reports.  The benchmark harness
+under ``benchmarks/`` is a thin wrapper around these drivers.
+
+| Paper artefact | Module |
+|---|---|
+| Fig. 3 (motivation)                   | :mod:`repro.experiments.fig03_motivation` |
+| Table 2 (pretraining time + PPL)      | :mod:`repro.experiments.table2_pretraining` |
+| Fig. 9 (validation PPL curves)        | :mod:`repro.experiments.fig09_ppl_curves` |
+| Table 3 (zero-shot accuracy)          | :mod:`repro.experiments.table3_zeroshot` |
+| Table 4 (lazy error propagation)      | :mod:`repro.experiments.table4_lazy_error` |
+| Fig. 10 (execution-time breakdown)    | :mod:`repro.experiments.fig10_breakdown` |
+| Fig. 11 (error independence)          | :mod:`repro.experiments.fig11_error_independence` |
+| Fig. 12 (memory overhead)             | :mod:`repro.experiments.fig12_memory` |
+| Fig. 13 (SC vs rank trade-off)        | :mod:`repro.experiments.fig13_selective_vs_rank` |
+| Fig. 14 (TP/PP sensitivity)           | :mod:`repro.experiments.fig14_config_sensitivity` |
+| Fig. 15 (compression throughput)      | :mod:`repro.experiments.fig15_throughput` |
+| Fig. 16 (scalability)                 | :mod:`repro.experiments.fig16_scalability` |
+"""
+
+from repro.experiments.settings import (
+    FunctionalSettings,
+    paper_job,
+    fast_functional_settings,
+    thorough_functional_settings,
+)
+from repro.experiments.quality import QualityResult, run_quality_experiment, clear_quality_cache
+
+__all__ = [
+    "FunctionalSettings",
+    "paper_job",
+    "fast_functional_settings",
+    "thorough_functional_settings",
+    "QualityResult",
+    "run_quality_experiment",
+    "clear_quality_cache",
+]

@@ -1,0 +1,76 @@
+"""Fig. 9 — validation perplexity over training for the four configurations.
+
+The paper plots validation LM perplexity against iteration count for Baseline, CB,
+CB+FE, and CB+FE+SC while pretraining GPT-8.3B, showing that CB and CB+FE track the
+baseline while CB+FE+SC trades a small perplexity increase for its extra speedup.
+The functional reproduction trains the proxy model under each configuration on
+identical data and records the same curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.quality import paper_variant_configurations, run_quality_suite
+from repro.experiments.settings import FunctionalSettings, fast_functional_settings
+from repro.utils.tables import Table, format_float
+
+
+@dataclass
+class PerplexityCurve:
+    """One line of Fig. 9."""
+
+    label: str
+    iterations: list[int]
+    perplexities: list[float]
+
+    @property
+    def final_perplexity(self) -> float:
+        return self.perplexities[-1]
+
+
+@dataclass
+class Fig9Result:
+    """All four perplexity curves."""
+
+    curves: list[PerplexityCurve] = field(default_factory=list)
+
+    def curve(self, label: str) -> PerplexityCurve:
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(f"no curve labelled {label!r}")
+
+    def render(self) -> str:
+        if not self.curves:
+            return "Fig. 9: no curves recorded"
+        iterations = self.curves[0].iterations
+        table = Table(
+            title="Fig. 9: validation perplexity over training (functional proxy)",
+            columns=["Iteration"] + [curve.label for curve in self.curves],
+        )
+        for index, iteration in enumerate(iterations):
+            table.add_row(
+                [iteration]
+                + [format_float(curve.perplexities[index], 2) for curve in self.curves]
+            )
+        return table.render()
+
+    def max_gap_to_baseline(self, label: str) -> float:
+        """Largest perplexity gap of ``label``'s curve over the baseline curve."""
+        baseline = self.curve("Baseline")
+        other = self.curve(label)
+        return max(o - b for o, b in zip(other.perplexities, baseline.perplexities))
+
+
+def run_fig09(settings: FunctionalSettings | None = None) -> Fig9Result:
+    """Reproduce Fig. 9 with the functional proxy model."""
+    settings = settings if settings is not None else fast_functional_settings()
+    quality = run_quality_suite(
+        paper_variant_configurations(), settings, evaluate_zero_shot=False
+    )
+    curves = []
+    for label, result in quality.items():
+        iterations, perplexities = result.perplexity_curve
+        curves.append(PerplexityCurve(label=label, iterations=iterations, perplexities=perplexities))
+    return Fig9Result(curves=curves)

@@ -1,0 +1,140 @@
+"""Fig. 10 — execution-time breakdown under the ablation of the proposed techniques.
+
+For GPT-8.3B and GPT-2.5B, the paper decomposes the iteration time of Baseline, CB,
+CB+FE, and CB+FE+SC into FWD / BWD / DP / inter-stage / embedding components
+(CPI-stack style), observing that CB removes most of the exposed backward
+inter-stage communication (~78 %), FE removes ~40 % of the embedding-synchronisation
+time (vs. the 42.9 % analytic bound), and the full stack removes ~63 % of the total
+communication overhead.  The reproduction performs the same decomposition with the
+performance simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import OptimusCCConfig
+from repro.experiments.settings import paper_job
+from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, PaperModelSpec
+from repro.simulator.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.utils.tables import Table, format_float
+
+
+@dataclass
+class BreakdownRow:
+    """One bar of Fig. 10 (one model under one configuration)."""
+
+    model: str
+    label: str
+    breakdown: ExecutionBreakdown
+
+    @property
+    def communication_time(self) -> float:
+        return (
+            self.breakdown.interstage_comm
+            + self.breakdown.data_parallel_comm
+            + self.breakdown.embedding_comm
+        )
+
+
+@dataclass
+class Fig10Result:
+    """Breakdowns for every (model, configuration) pair."""
+
+    rows: list[BreakdownRow] = field(default_factory=list)
+
+    def row(self, model: str, label: str) -> BreakdownRow:
+        for row in self.rows:
+            if row.model == model and row.label == label:
+                return row
+        raise KeyError(f"no breakdown for ({model}, {label})")
+
+    def communication_reduction(self, model: str, label: str = "CB+FE+SC") -> float:
+        """Fraction of the baseline's exposed communication removed by ``label``."""
+        baseline = self.row(model, "Baseline").communication_time
+        optimised = self.row(model, label).communication_time
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - optimised / baseline
+
+    def embedding_reduction(self, model: str, label: str = "CB+FE") -> float:
+        """Reduction of the embedding-synchronisation component under ``label``."""
+        baseline = self.row(model, "Baseline").breakdown.embedding_comm
+        optimised = self.row(model, label).breakdown.embedding_comm
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - optimised / baseline
+
+    def interstage_reduction(self, model: str, label: str = "CB") -> float:
+        """Reduction of the exposed inter-stage component under ``label``."""
+        baseline = self.row(model, "Baseline").breakdown.interstage_comm
+        optimised = self.row(model, label).breakdown.interstage_comm
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - optimised / baseline
+
+    def render(self) -> str:
+        table = Table(
+            title="Fig. 10: execution-time breakdown (seconds/iteration) in ablation",
+            columns=[
+                "Model",
+                "Config",
+                "Total",
+                "FWD",
+                "BWD",
+                "Inter-stage",
+                "DP",
+                "EMB",
+                "Compression",
+            ],
+        )
+        for row in self.rows:
+            b = row.breakdown
+            table.add_row(
+                [
+                    row.model,
+                    row.label,
+                    format_float(b.total, 2),
+                    format_float(b.forward, 2),
+                    format_float(b.backward, 2),
+                    format_float(b.interstage_comm, 2),
+                    format_float(b.data_parallel_comm, 2),
+                    format_float(b.embedding_comm, 3),
+                    format_float(b.compression_overhead, 3),
+                ]
+            )
+        notes = []
+        for model in sorted({row.model for row in self.rows}):
+            notes.append(
+                f"{model}: CB removes {self.interstage_reduction(model):.0%} of exposed inter-stage "
+                f"comm, FE removes {self.embedding_reduction(model):.0%} of embedding sync, "
+                f"CB+FE+SC removes {self.communication_reduction(model):.0%} of total exposed "
+                "communication."
+            )
+        return table.render() + "\n" + "\n".join(notes)
+
+
+#: The Fig. 10 configurations, in the paper's order.
+ABLATION_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
+    "Baseline": OptimusCCConfig.baseline(),
+    "CB": OptimusCCConfig.cb(),
+    "CB+FE": OptimusCCConfig.cb_fe(),
+    "CB+FE+SC": OptimusCCConfig.cb_fe_sc(),
+}
+
+
+def run_fig10(models: list[PaperModelSpec] | None = None) -> Fig10Result:
+    """Reproduce Fig. 10 for the given models (default: GPT-8.3B and GPT-2.5B)."""
+    models = models if models is not None else [GPT_8_3B, GPT_2_5B]
+    result = Fig10Result()
+    for model in models:
+        job = paper_job(model)
+        for label, config in ABLATION_CONFIGURATIONS.items():
+            result.rows.append(
+                BreakdownRow(
+                    model=model.name,
+                    label=label,
+                    breakdown=compute_breakdown(job, config.to_compression_plan()),
+                )
+            )
+    return result

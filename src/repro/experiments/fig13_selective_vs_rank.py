@@ -1,0 +1,180 @@
+"""Fig. 13 — selective stage compression versus adjusting the compression rank.
+
+The paper compares two knobs for trading model quality against speed when
+compressing data-parallel gradients on GPT-2.5B:
+
+* (left) selective stage compression: vary the *fraction of stages* compressed at a
+  fixed rank — the speedup grows smoothly and the perplexity rises gently;
+* (middle) rank adjustment: vary the PowerSGD *rank* with every stage compressed —
+  the perplexity/speed relationship is non-monotonic and a very large rank (512)
+  even slows training down because the compression kernels dominate;
+* (right) plotted together, selective stage compression dominates the rank knob
+  (better speedup at equal or lower perplexity).
+
+The reproduction sweeps both knobs: speedups come from the performance simulator on
+GPT-2.5B, perplexities from paired functional runs (with the ranks rescaled to the
+proxy model size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import OptimusCCConfig
+from repro.experiments.quality import run_quality_experiment
+from repro.experiments.settings import FunctionalSettings, fast_functional_settings, paper_job
+from repro.models.gpt_configs import GPT_2_5B
+from repro.simulator.cost_model import TrainingJob
+from repro.simulator.executor import CompressionPlan, PipelineTimingSimulator
+from repro.utils.tables import Table, format_float
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of the speed/quality trade-off."""
+
+    knob: str  # "stage_fraction" or "rank"
+    value: float
+    speedup: float
+    validation_perplexity: float
+
+
+@dataclass
+class Fig13Result:
+    """The two sweeps of Fig. 13."""
+
+    stage_fraction_points: list[TradeoffPoint] = field(default_factory=list)
+    rank_points: list[TradeoffPoint] = field(default_factory=list)
+
+    def best_speedup(self, points: list[TradeoffPoint]) -> float:
+        return max(point.speedup for point in points)
+
+    def fastest_point(self, points: list[TradeoffPoint]) -> TradeoffPoint:
+        return max(points, key=lambda point: point.speedup)
+
+    def rank_knob_quality_penalty(self) -> float:
+        """Extra perplexity the *fastest* rank-knob point pays over the fastest SC point.
+
+        This is the paper's right-hand-plot conclusion expressed as a scalar: to reach
+        its best speed, the rank knob has to accept a (much) higher perplexity than
+        selective stage compression does at its best speed.  Positive values mean SC
+        offers the better trade-off.
+        """
+        fastest_rank = self.fastest_point(self.rank_points)
+        fastest_sc = self.fastest_point(self.stage_fraction_points)
+        return fastest_rank.validation_perplexity - fastest_sc.validation_perplexity
+
+    def selective_dominates_rank_knob(self, perplexity_tolerance: float = 1e-6) -> bool:
+        """True when some SC point beats every rank point on speed at no worse PPL.
+
+        This strict Pareto formulation holds in the paper's full-scale measurements;
+        at functional scale the two frontiers can touch, so the benchmarks assert the
+        softer :meth:`rank_knob_quality_penalty` instead and report this flag for
+        information.
+        """
+        for rank_point in self.rank_points:
+            dominated = any(
+                sc.speedup >= rank_point.speedup - 1e-9
+                and sc.validation_perplexity <= rank_point.validation_perplexity + perplexity_tolerance
+                for sc in self.stage_fraction_points
+            )
+            if not dominated:
+                return False
+        return True
+
+    def render(self) -> str:
+        left = Table(
+            title="Fig. 13 (left): selective stage compression sweep (GPT-2.5B)",
+            columns=["Compressed stages", "Speedup (sim)", "Val. PPL (functional)"],
+        )
+        for point in self.stage_fraction_points:
+            left.add_row(
+                [f"{point.value:.0%}", f"{point.speedup:+.2%}", format_float(point.validation_perplexity, 2)]
+            )
+        middle = Table(
+            title="Fig. 13 (middle): rank-adjustment sweep at 100% stages (GPT-2.5B)",
+            columns=["Rank (paper scale)", "Speedup (sim)", "Val. PPL (functional)"],
+        )
+        for point in self.rank_points:
+            middle.add_row(
+                [int(point.value), f"{point.speedup:+.2%}", format_float(point.validation_perplexity, 2)]
+            )
+        verdict = (
+            "Fig. 13 (right): to reach its best speed the rank knob pays "
+            f"{self.rank_knob_quality_penalty():+.2f} perplexity over selective stage "
+            f"compression at its best speed (strict Pareto dominance: "
+            f"{self.selective_dominates_rank_knob()})."
+        )
+        return "\n\n".join([left.render(), middle.render(), verdict])
+
+
+#: Paper sweep values.
+STAGE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+PAPER_RANKS = (4, 16, 128, 512)
+#: Functional-scale ranks paired with the paper ranks (same order, ~constant ratio).
+FUNCTIONAL_RANKS = (1, 2, 4, 8)
+
+
+def run_fig13(
+    settings: FunctionalSettings | None = None,
+    job: TrainingJob | None = None,
+    stage_fractions: tuple[float, ...] = STAGE_FRACTIONS,
+    paper_ranks: tuple[int, ...] = PAPER_RANKS,
+    functional_ranks: tuple[int, ...] = FUNCTIONAL_RANKS,
+) -> Fig13Result:
+    """Reproduce both sweeps of Fig. 13."""
+    if len(paper_ranks) != len(functional_ranks):
+        raise ValueError("paper_ranks and functional_ranks must pair up")
+    settings = settings if settings is not None else fast_functional_settings()
+    job = job if job is not None else paper_job(GPT_2_5B)
+
+    baseline_timing = PipelineTimingSimulator(job, CompressionPlan.baseline()).run()
+    result = Fig13Result()
+
+    # Left plot: stage-fraction sweep at the paper's default DP rank.
+    for fraction in stage_fractions:
+        plan = CompressionPlan(
+            compress_backward=True,
+            fuse_embedding=True,
+            dp_compressed_stage_fraction=fraction,
+            dp_rank=128,
+        )
+        timing = PipelineTimingSimulator(job, plan).run()
+        config = OptimusCCConfig.cb_fe().with_(dp_stage_fraction=fraction)
+        quality = run_quality_experiment(
+            f"SC {fraction:.0%}", config, settings, evaluate_zero_shot=False
+        )
+        result.stage_fraction_points.append(
+            TradeoffPoint(
+                knob="stage_fraction",
+                value=fraction,
+                speedup=timing.speedup_over(baseline_timing),
+                validation_perplexity=quality.final_validation_perplexity,
+            )
+        )
+
+    # Middle plot: rank sweep with every stage compressed.
+    for paper_rank, functional_rank in zip(paper_ranks, functional_ranks):
+        plan = CompressionPlan(
+            compress_backward=True,
+            fuse_embedding=True,
+            dp_compressed_stage_fraction=1.0,
+            dp_rank=paper_rank,
+        )
+        timing = PipelineTimingSimulator(job, plan).run()
+        config = OptimusCCConfig.cb_fe().with_(dp_stage_fraction=1.0)
+        quality = run_quality_experiment(
+            f"rank {paper_rank}",
+            config,
+            settings.with_(dp_rank=functional_rank),
+            evaluate_zero_shot=False,
+        )
+        result.rank_points.append(
+            TradeoffPoint(
+                knob="rank",
+                value=float(paper_rank),
+                speedup=timing.speedup_over(baseline_timing),
+                validation_perplexity=quality.final_validation_perplexity,
+            )
+        )
+    return result

@@ -1,0 +1,89 @@
+"""Fig. 15 — compression / decompression throughput of the inter-stage compressor.
+
+The paper measures the PowerSGD compression and decompression throughput on the
+inter-stage tensors of GPT-8.3B and GPT-175B across ranks, showing that (a) both are
+far above the 200 Gb/s interconnect bandwidth, (b) throughput *decreases* as the
+rank grows (the sequential orthogonalisation dominates), and (c) throughput is
+higher for larger models (fixed kernel overheads amortise).  The reproduction uses
+the analytic kernel model plus one genuinely measured NumPy data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.settings import paper_job
+from repro.models.gpt_configs import GPT_8_3B, GPT_175B, PaperModelSpec
+from repro.simulator.throughput import (
+    CompressionThroughputModel,
+    ThroughputPoint,
+    measured_numpy_throughput,
+)
+from repro.utils.tables import Table, format_float
+
+
+@dataclass
+class Fig15Result:
+    """Throughput sweeps per model plus the interconnect reference line."""
+
+    interconnect_gbps: float
+    sweeps: dict[str, list[ThroughputPoint]] = field(default_factory=dict)
+    measured_cpu_point: ThroughputPoint | None = None
+
+    def points(self, model_name: str) -> list[ThroughputPoint]:
+        return self.sweeps[model_name]
+
+    def min_compress_gbps(self, model_name: str) -> float:
+        return min(point.compress_gbps for point in self.points(model_name))
+
+    def render(self) -> str:
+        table = Table(
+            title="Fig. 15: PowerSGD compression/decompression throughput (Gbit/s)",
+            columns=["Model", "Rank", "Compress", "Decompress", "Interconnect"],
+        )
+        for model_name, points in self.sweeps.items():
+            for point in points:
+                table.add_row(
+                    [
+                        model_name,
+                        point.rank,
+                        format_float(point.compress_gbps, 1),
+                        format_float(point.decompress_gbps, 1),
+                        format_float(self.interconnect_gbps, 0),
+                    ]
+                )
+        lines = [table.render()]
+        if self.measured_cpu_point is not None:
+            lines.append(
+                "Measured on this machine's CPU (NumPy kernels, small tensor): "
+                f"compress {self.measured_cpu_point.compress_gbps:.2f} Gb/s, "
+                f"decompress {self.measured_cpu_point.decompress_gbps:.2f} Gb/s "
+                f"at rank {self.measured_cpu_point.rank}."
+            )
+        return "\n".join(lines)
+
+
+#: Ranks swept in the figure.
+FIG15_RANKS = (4, 16, 64, 256)
+
+
+def run_fig15(
+    models: list[PaperModelSpec] | None = None,
+    ranks: tuple[int, ...] = FIG15_RANKS,
+    include_measured_point: bool = True,
+) -> Fig15Result:
+    """Reproduce Fig. 15 for the given models (default: GPT-8.3B and GPT-175B)."""
+    models = models if models is not None else [GPT_8_3B, GPT_175B]
+    interconnect = None
+    sweeps = {}
+    for model in models:
+        job = paper_job(model)
+        throughput_model = CompressionThroughputModel(job)
+        sweeps[model.name] = throughput_model.sweep(list(ranks))
+        interconnect = throughput_model.interconnect_gbps()
+    measured = measured_numpy_throughput(rows=1024, cols=256, rank=16, repeats=2) if include_measured_point else None
+    return Fig15Result(
+        interconnect_gbps=float(interconnect),
+        sweeps=sweeps,
+        measured_cpu_point=measured,
+    )

@@ -1,0 +1,98 @@
+"""Fig. 16 — scalability of Optimus-CC with model size.
+
+The paper fixes the tensor-parallel degree at 8 and grows the model (up to GPT-3
+scale, 175B) while adding GPUs, showing that Optimus-CC's speedup is sustained or
+improves with scale: larger models suffer more from communication, and the
+compression kernels get relatively cheaper.  The reproduction simulates one
+iteration for each model with a pipeline depth chosen so the model fits the GPU
+count growth pattern, and reports the speedup of each technique stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import OptimusCCConfig
+from repro.experiments.settings import paper_job
+from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, GPT_39B, GPT_175B, PaperModelSpec
+from repro.parallel.process_groups import ParallelLayout
+from repro.parallel.topology import ClusterTopology
+from repro.simulator.executor import PipelineTimingSimulator
+from repro.simulator.hardware import ClusterSpec
+from repro.utils.tables import Table, format_float
+
+
+@dataclass
+class ScalabilityPoint:
+    """Speedups of the technique stacks for one model size."""
+
+    model: str
+    parameters_billion: float
+    num_gpus: int
+    baseline_iteration_time: float
+    speedups: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig16Result:
+    points: list[ScalabilityPoint] = field(default_factory=list)
+
+    def full_stack_speedups(self) -> list[float]:
+        """CB+FE+SC speedup per model, ordered smallest to largest model."""
+        return [point.speedups["CB+FE+SC"] for point in self.points]
+
+    def render(self) -> str:
+        table = Table(
+            title="Fig. 16: scalability of Optimus-CC with model size (TP fixed at 8)",
+            columns=["Model", "Params (B)", "GPUs", "Baseline iter (s)", "CB", "CB+FE", "CB+FE+SC"],
+        )
+        for point in self.points:
+            table.add_row(
+                [
+                    point.model,
+                    format_float(point.parameters_billion, 1),
+                    point.num_gpus,
+                    format_float(point.baseline_iteration_time, 2),
+                    f"{point.speedups['CB']:+.2%}",
+                    f"{point.speedups['CB+FE']:+.2%}",
+                    f"{point.speedups['CB+FE+SC']:+.2%}",
+                ]
+            )
+        return table.render()
+
+
+#: (model, pipeline depth) pairs: TP stays 8, DP stays 4, PP grows with the model.
+FIG16_MODELS: tuple[tuple[PaperModelSpec, int], ...] = (
+    (GPT_2_5B, 4),
+    (GPT_8_3B, 4),
+    (GPT_39B, 8),
+    (GPT_175B, 16),
+)
+
+FIG16_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
+    "CB": OptimusCCConfig.cb(),
+    "CB+FE": OptimusCCConfig.cb_fe(),
+    "CB+FE+SC": OptimusCCConfig.cb_fe_sc(),
+}
+
+
+def run_fig16(models: tuple[tuple[PaperModelSpec, int], ...] = FIG16_MODELS) -> Fig16Result:
+    """Reproduce Fig. 16 across the model-size sweep."""
+    result = Fig16Result()
+    for model, pipeline_depth in models:
+        layout = ParallelLayout(tensor_parallel=8, pipeline_parallel=pipeline_depth, data_parallel=4)
+        topology = ClusterTopology(num_nodes=layout.world_size // 8, gpus_per_node=8)
+        cluster = ClusterSpec(topology=topology)
+        job = paper_job(model, layout=layout, cluster=cluster)
+        baseline = PipelineTimingSimulator(job).run()
+        point = ScalabilityPoint(
+            model=model.name,
+            parameters_billion=model.parameters_billion(),
+            num_gpus=layout.world_size,
+            baseline_iteration_time=baseline.iteration_time,
+        )
+        for label, config in FIG16_CONFIGURATIONS.items():
+            timing = PipelineTimingSimulator(job, config.to_compression_plan()).run()
+            point.speedups[label] = timing.speedup_over(baseline)
+        result.points.append(point)
+    return result

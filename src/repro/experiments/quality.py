@@ -1,0 +1,184 @@
+"""Functional quality experiments: train small GPTs under an Optimus-CC configuration.
+
+Every quality-side experiment (Fig. 3 perplexity bars, Table 2 perplexities, Fig. 9
+curves, Tables 3/4 zero-shot accuracies, Fig. 11 diagnostics) boils down to "train
+the same model on the same data under configuration X and measure quality", so the
+driver lives here once and the per-figure modules assemble results from it.
+
+Runs are cached in-process by ``(configuration, settings)`` so that, e.g., Table 2
+and Table 3 share the same trained models instead of re-training them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compressed_backprop import ErrorIndependenceRecord
+from repro.core.config import OptimusCCConfig
+from repro.data.tasks import build_zero_shot_suite
+from repro.experiments.settings import FunctionalSettings
+from repro.training.metrics import TrainingHistory
+from repro.training.trainer import Pretrainer
+from repro.utils.logging import get_logger
+
+_logger = get_logger("experiments.quality")
+
+#: In-process cache of completed quality runs.
+_QUALITY_CACHE: dict[tuple, "QualityResult"] = {}
+
+
+@dataclass
+class QualityResult:
+    """Outcome of one functional pretraining run."""
+
+    label: str
+    config: OptimusCCConfig
+    final_validation_perplexity: float
+    history: TrainingHistory
+    zero_shot_accuracy: dict[str, float] = field(default_factory=dict)
+    cb_diagnostics: list[ErrorIndependenceRecord] = field(default_factory=list)
+    peak_residual_bytes: int = 0
+    compression_summary: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def perplexity_curve(self) -> tuple[list[int], list[float]]:
+        """(iterations, validation perplexities) — the Fig. 9 series."""
+        return self.history.perplexity_curve()
+
+    def perplexity_increase_over(self, baseline: "QualityResult") -> float:
+        """Absolute validation-perplexity increase versus a baseline run."""
+        return self.final_validation_perplexity - baseline.final_validation_perplexity
+
+
+def _configure_for_functional_scale(
+    config: OptimusCCConfig, settings: FunctionalSettings
+) -> OptimusCCConfig:
+    """Scale the compression ranks down to the functional model size.
+
+    The paper's ranks (16 for CB, 128 for DP) would be lossless on the tiny
+    functional models, so each run uses the ranks from the settings, which keep a
+    comparable ~10x compression ratio.
+    """
+    return config.with_(
+        cb_rank=settings.cb_rank,
+        dp_rank=settings.dp_rank,
+        topk_fraction=settings.topk_fraction,
+    )
+
+
+def clear_quality_cache() -> None:
+    """Drop every cached quality run (mainly for tests)."""
+    _QUALITY_CACHE.clear()
+
+
+def run_quality_experiment(
+    label: str,
+    config: OptimusCCConfig,
+    settings: FunctionalSettings,
+    evaluate_zero_shot: bool = True,
+    collect_diagnostics: bool = False,
+    use_cache: bool = True,
+) -> QualityResult:
+    """Train one model under ``config`` and measure its quality.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name used in reports (e.g. ``"CB+FE"``).
+    config:
+        The Optimus-CC configuration; its ranks are rescaled to the functional
+        model size (see :func:`_configure_for_functional_scale`).
+    settings:
+        Model / data / optimisation settings shared by every configuration of one
+        experiment so that comparisons are paired.
+    evaluate_zero_shot:
+        Also run the five-task synthetic zero-shot suite on the final model.
+    collect_diagnostics:
+        Record the Fig. 11 error-independence statistics during training.
+    use_cache:
+        Reuse a previous identical run if available (results are deterministic).
+    """
+    scaled_config = _configure_for_functional_scale(config, settings)
+    key = (scaled_config, settings.cache_key(), evaluate_zero_shot, collect_diagnostics)
+    if use_cache and key in _QUALITY_CACHE:
+        cached = _QUALITY_CACHE[key]
+        return QualityResult(
+            label=label,
+            config=cached.config,
+            final_validation_perplexity=cached.final_validation_perplexity,
+            history=cached.history,
+            zero_shot_accuracy=dict(cached.zero_shot_accuracy),
+            cb_diagnostics=list(cached.cb_diagnostics),
+            peak_residual_bytes=cached.peak_residual_bytes,
+            compression_summary=dict(cached.compression_summary),
+        )
+
+    corpus = settings.build_corpus()
+    loader = settings.build_loader(corpus)
+    trainer = Pretrainer(
+        settings.model,
+        loader,
+        num_stages=settings.num_stages,
+        optimus_config=scaled_config,
+        learning_rate=settings.learning_rate,
+        seed=settings.seed,
+        collect_cb_diagnostics=collect_diagnostics,
+    )
+    _logger.info("training %s (%s) for %d iterations", label, scaled_config.describe(), settings.num_iterations)
+    outcome = trainer.train(
+        num_iterations=settings.num_iterations,
+        validation_interval=settings.validation_interval,
+        validation_batches=settings.validation_batches,
+    )
+
+    zero_shot: dict[str, float] = {}
+    if evaluate_zero_shot:
+        tasks = build_zero_shot_suite(corpus, examples_per_task=settings.zero_shot_examples)
+        zero_shot = trainer.evaluate_zero_shot(tasks)
+
+    residual_bytes = 0
+    if trainer.cb_hooks and trainer.cb_hooks[0] is not None:
+        residual_bytes = trainer.cb_hooks[0].residual_memory_bytes()
+
+    result = QualityResult(
+        label=label,
+        config=scaled_config,
+        final_validation_perplexity=outcome.final_validation_perplexity,
+        history=outcome.history,
+        zero_shot_accuracy=zero_shot,
+        cb_diagnostics=outcome.cb_diagnostics,
+        peak_residual_bytes=residual_bytes,
+        compression_summary=trainer.compression_summary,
+    )
+    if use_cache:
+        _QUALITY_CACHE[key] = result
+    return result
+
+
+def run_quality_suite(
+    configurations: dict[str, OptimusCCConfig],
+    settings: FunctionalSettings,
+    evaluate_zero_shot: bool = True,
+    collect_diagnostics: bool = False,
+) -> dict[str, QualityResult]:
+    """Run several configurations on identical data; returns label -> result."""
+    return {
+        label: run_quality_experiment(
+            label,
+            config,
+            settings,
+            evaluate_zero_shot=evaluate_zero_shot,
+            collect_diagnostics=collect_diagnostics,
+        )
+        for label, config in configurations.items()
+    }
+
+
+def paper_variant_configurations() -> dict[str, OptimusCCConfig]:
+    """The four main configurations of Table 2 / Table 3 / Fig. 9."""
+    return {
+        "Baseline": OptimusCCConfig.baseline(),
+        "CB": OptimusCCConfig.cb(),
+        "CB+FE": OptimusCCConfig.cb_fe(),
+        "CB+FE+SC": OptimusCCConfig.cb_fe_sc(),
+    }

@@ -1,0 +1,33 @@
+"""Model catalogue: paper-scale GPT specifications and small functional configs."""
+
+from repro.models.gpt_configs import (
+    FUNCTIONAL_SMALL,
+    FUNCTIONAL_TINY,
+    GPT_2_5B,
+    GPT_8_3B,
+    GPT_9_2B,
+    GPT_18B,
+    GPT_39B,
+    GPT_76B,
+    GPT_175B,
+    PAPER_MODELS,
+    SCALABILITY_MODELS,
+    PaperModelSpec,
+    functional_config,
+)
+
+__all__ = [
+    "PaperModelSpec",
+    "GPT_2_5B",
+    "GPT_8_3B",
+    "GPT_9_2B",
+    "GPT_18B",
+    "GPT_39B",
+    "GPT_76B",
+    "GPT_175B",
+    "PAPER_MODELS",
+    "SCALABILITY_MODELS",
+    "FUNCTIONAL_TINY",
+    "FUNCTIONAL_SMALL",
+    "functional_config",
+]

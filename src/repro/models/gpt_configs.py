@@ -1,0 +1,172 @@
+"""GPT model specifications.
+
+Two families live here:
+
+* **Paper-scale specifications** (:class:`PaperModelSpec`) — the architectural
+  numbers of the models the paper evaluates (GPT-2.5B / 8.3B from Table 1, GPT-9.2B
+  from Fig. 14, and the larger models of the Fig. 16 scalability study).  These are
+  consumed by the performance simulator; they are never instantiated as NumPy
+  weights.
+* **Functional configurations** — small :class:`repro.nn.GPTModelConfig` instances
+  that *are* instantiated and trained to measure the quality effects of compression
+  at reduced scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.transformer import GPTModelConfig
+
+#: Megatron-LM pads the GPT-2 BPE vocabulary (50257) to a multiple of 128 per TP rank.
+MEGATRON_PADDED_VOCAB = 51200
+
+#: Sequence length used throughout the paper's pretraining setup.
+PAPER_SEQUENCE_LENGTH = 1024
+
+
+@dataclass(frozen=True)
+class PaperModelSpec:
+    """Architectural description of a paper-scale GPT model."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    vocab_size: int = MEGATRON_PADDED_VOCAB
+    sequence_length: int = PAPER_SEQUENCE_LENGTH
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_size <= 0 or self.num_heads <= 0:
+            raise ValueError("model dimensions must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} must be divisible by num_heads {self.num_heads}"
+            )
+
+    @property
+    def ffn_size(self) -> int:
+        """Feed-forward width (4H)."""
+        return 4 * self.hidden_size
+
+    # -- parameter accounting ----------------------------------------------------
+
+    def transformer_parameters_per_layer(self) -> int:
+        """Parameters of one transformer layer (weights + biases + LayerNorms)."""
+        attention = 4 * self.hidden_size * self.hidden_size + 4 * self.hidden_size
+        mlp = 2 * 4 * self.hidden_size * self.hidden_size + 5 * self.hidden_size
+        layer_norms = 4 * self.hidden_size
+        return attention + mlp + layer_norms
+
+    def embedding_parameters(self) -> int:
+        """Word + position embedding parameters (single copy)."""
+        return (self.vocab_size + self.sequence_length) * self.hidden_size
+
+    def total_parameters(self) -> int:
+        """Total parameter count (single copy of the tied embedding)."""
+        return (
+            self.num_layers * self.transformer_parameters_per_layer()
+            + self.embedding_parameters()
+            + 2 * self.hidden_size  # final LayerNorm
+        )
+
+    def parameters_billion(self) -> float:
+        """Total parameters in billions (for display)."""
+        return self.total_parameters() / 1e9
+
+    # -- per-stage accounting (used by the performance model) -----------------------
+
+    def parameters_per_stage(self, num_stages: int, stage: int) -> int:
+        """Parameters owned by pipeline stage ``stage`` of ``num_stages``.
+
+        Layers are split evenly (earlier stages take the remainder); the first stage
+        additionally holds the embeddings and the last stage the duplicated word
+        embedding and the final LayerNorm — matching :func:`repro.nn.gpt_stage.build_gpt_stages`.
+        """
+        if not 0 <= stage < num_stages:
+            raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+        base = self.num_layers // num_stages
+        remainder = self.num_layers % num_stages
+        layers_here = base + (1 if stage < remainder else 0)
+        total = layers_here * self.transformer_parameters_per_layer()
+        if stage == 0:
+            total += self.embedding_parameters()
+        if stage == num_stages - 1:
+            total += self.vocab_size * self.hidden_size  # duplicated word embedding
+            total += 2 * self.hidden_size  # final LayerNorm
+        return total
+
+    def word_embedding_parameters(self) -> int:
+        """Size of one word-embedding copy (the embedding-sync payload)."""
+        return self.vocab_size * self.hidden_size
+
+
+# --------------------------------------------------------------------------------
+# Paper models
+# --------------------------------------------------------------------------------
+
+#: Table 1: GPT with 2.5 billion parameters (52 layers, hidden 1920).
+GPT_2_5B = PaperModelSpec(name="GPT-2.5B", num_layers=52, hidden_size=1920, num_heads=24)
+
+#: Table 1: GPT with 8.3 billion parameters (72 layers, hidden 3072).
+GPT_8_3B = PaperModelSpec(name="GPT-8.3B", num_layers=72, hidden_size=3072, num_heads=24)
+
+#: Fig. 14: 80-layer variant (9.2B) used for the configuration-sensitivity study.
+GPT_9_2B = PaperModelSpec(name="GPT-9.2B", num_layers=80, hidden_size=3072, num_heads=24)
+
+#: Fig. 16 scalability study: larger Megatron-style models up to GPT-3 scale.
+GPT_18B = PaperModelSpec(name="GPT-18B", num_layers=40, hidden_size=6144, num_heads=48)
+GPT_39B = PaperModelSpec(name="GPT-39B", num_layers=48, hidden_size=8192, num_heads=64)
+GPT_76B = PaperModelSpec(name="GPT-76B", num_layers=60, hidden_size=10240, num_heads=80)
+GPT_175B = PaperModelSpec(name="GPT-175B", num_layers=96, hidden_size=12288, num_heads=96)
+
+#: The two models of the main evaluation (Table 2 / Table 3 / Fig. 10).
+PAPER_MODELS: dict[str, PaperModelSpec] = {
+    GPT_2_5B.name: GPT_2_5B,
+    GPT_8_3B.name: GPT_8_3B,
+}
+
+#: Models used by the Fig. 16 scalability study (smallest to largest).
+SCALABILITY_MODELS: list[PaperModelSpec] = [GPT_2_5B, GPT_8_3B, GPT_39B, GPT_175B]
+
+
+# --------------------------------------------------------------------------------
+# Functional (trainable) configurations
+# --------------------------------------------------------------------------------
+
+#: Tiny model for fast unit tests (a few thousand parameters per layer).
+FUNCTIONAL_TINY = GPTModelConfig(
+    vocab_size=64,
+    max_sequence_length=16,
+    num_layers=2,
+    hidden_size=16,
+    num_heads=2,
+)
+
+#: Small model used by the functional quality experiments in the benchmarks.
+FUNCTIONAL_SMALL = GPTModelConfig(
+    vocab_size=128,
+    max_sequence_length=32,
+    num_layers=4,
+    hidden_size=32,
+    num_heads=4,
+)
+
+
+def functional_config(
+    vocab_size: int = 128,
+    sequence_length: int = 32,
+    num_layers: int = 4,
+    hidden_size: int = 32,
+    num_heads: int = 4,
+    dropout: float = 0.0,
+) -> GPTModelConfig:
+    """Build a custom functional configuration (convenience for experiments)."""
+    return GPTModelConfig(
+        vocab_size=vocab_size,
+        max_sequence_length=sequence_length,
+        num_layers=num_layers,
+        hidden_size=hidden_size,
+        num_heads=num_heads,
+        dropout=dropout,
+    )

@@ -1,0 +1,36 @@
+"""From-scratch NumPy neural-network modules used by the functional experiments.
+
+The module system is intentionally small and explicit:
+
+* every layer's ``forward`` returns ``(output, cache)`` and its ``backward`` takes
+  ``(grad_output, cache)`` and returns the gradient with respect to the input while
+  accumulating parameter gradients in place;
+* caches are plain objects owned by the caller, so several micro-batches can be in
+  flight at once — exactly what the 1F1B pipeline engine requires.
+
+The GPT building blocks mirror Megatron-LM's layer structure (Fig. 2 of the paper):
+LayerNorm → self-attention → residual → LayerNorm → MLP (H→4H, GeLU, 4H→H) →
+residual, with tied input/output embeddings.
+"""
+
+from repro.nn.module import Module
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.mlp import TransformerMLP
+from repro.nn.transformer import TransformerLayer, GPTModel, GPTModelConfig
+from repro.nn.loss import CrossEntropyLoss
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadSelfAttention",
+    "TransformerMLP",
+    "TransformerLayer",
+    "GPTModel",
+    "GPTModelConfig",
+    "CrossEntropyLoss",
+]

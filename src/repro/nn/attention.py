@@ -1,0 +1,153 @@
+"""Causal multi-head self-attention with an explicit backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear, LinearCache
+from repro.nn.module import Module
+from repro.tensor import functional as F
+
+
+class AttentionCache:
+    """All intermediate activations needed for the attention backward pass."""
+
+    __slots__ = (
+        "qkv_cache",
+        "proj_cache",
+        "queries",
+        "keys",
+        "values",
+        "attention_probs",
+        "context",
+        "dropout_mask",
+        "input_shape",
+    )
+
+    def __init__(self) -> None:
+        self.qkv_cache: LinearCache | None = None
+        self.proj_cache: LinearCache | None = None
+        self.queries: np.ndarray | None = None
+        self.keys: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+        self.attention_probs: np.ndarray | None = None
+        self.context: np.ndarray | None = None
+        self.dropout_mask: np.ndarray | None = None
+        self.input_shape: tuple[int, ...] | None = None
+
+
+class MultiHeadSelfAttention(Module):
+    """Megatron-style causal self-attention block (without the surrounding LayerNorm).
+
+    Shapes follow the ``(batch, seq, hidden)`` convention.  The QKV projection is a
+    single fused Linear of width ``3 * hidden`` as in Megatron-LM, and the output
+    projection uses the residual-output initialisation scaling.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        num_layers_for_init: int = 1,
+        attention_dropout: float = 0.0,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ValueError(
+                f"hidden_size {hidden_size} must be divisible by num_heads {num_heads}"
+            )
+        self.hidden_size = int(hidden_size)
+        self.num_heads = int(num_heads)
+        self.head_dim = hidden_size // num_heads
+        self.attention_dropout = float(attention_dropout)
+
+        self.qkv = self.register_module(
+            "qkv", Linear(hidden_size, 3 * hidden_size, rng, init_std=init_std)
+        )
+        self.proj = self.register_module(
+            "proj",
+            Linear(
+                hidden_size,
+                hidden_size,
+                rng,
+                init_std=init_std,
+                output_layer_num_layers=num_layers_for_init,
+            ),
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(batch, seq, hidden) -> (batch, heads, seq, head_dim)``."""
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(batch, heads, seq, head_dim) -> (batch, seq, hidden)``."""
+        batch, _, seq, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+
+    # -- forward / backward --------------------------------------------------
+
+    def forward(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> tuple[np.ndarray, AttentionCache]:
+        """Causal self-attention; returns output and cache."""
+        cache = AttentionCache()
+        cache.input_shape = x.shape
+        batch, seq, _ = x.shape
+
+        qkv, cache.qkv_cache = self.qkv.forward(x)
+        queries, keys, values = np.split(qkv, 3, axis=-1)
+        queries = self._split_heads(queries)
+        keys = self._split_heads(keys)
+        values = self._split_heads(values)
+        cache.queries, cache.keys, cache.values = queries, keys, values
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("bhqd,bhkd->bhqk", queries, keys) * scale
+        mask = F.causal_mask(seq)
+        scores = F.masked_fill(scores, mask)
+        probs = F.softmax(scores, axis=-1)
+
+        if self.training and self.attention_dropout > 0.0 and rng is not None:
+            probs, cache.dropout_mask = F.dropout_forward(
+                probs, self.attention_dropout, rng, training=True
+            )
+        cache.attention_probs = probs
+
+        context = np.einsum("bhqk,bhkd->bhqd", probs, values)
+        merged = self._merge_heads(context)
+        cache.context = merged
+        output, cache.proj_cache = self.proj.forward(merged)
+        return output, cache
+
+    def backward(self, grad_output: np.ndarray, cache: AttentionCache) -> np.ndarray:
+        """Backward pass; accumulates parameter gradients, returns input gradient."""
+        grad_merged = self.proj.backward(grad_output, cache.proj_cache)
+
+        batch, seq, _ = cache.input_shape
+        grad_context = grad_merged.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+        probs = cache.attention_probs
+        grad_probs = np.einsum("bhqd,bhkd->bhqk", grad_context, cache.values)
+        grad_values = np.einsum("bhqk,bhqd->bhkd", probs, grad_context)
+
+        grad_probs = F.dropout_backward(grad_probs, cache.dropout_mask)
+        grad_scores = F.softmax_backward(grad_probs, probs, axis=-1)
+        # Masked positions have zero probability, so their score gradient is already zero.
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        grad_scores = grad_scores * scale
+        grad_queries = np.einsum("bhqk,bhkd->bhqd", grad_scores, cache.keys)
+        grad_keys = np.einsum("bhqk,bhqd->bhkd", grad_scores, cache.queries)
+
+        grad_qkv = np.concatenate(
+            [self._merge_heads(grad_queries), self._merge_heads(grad_keys), self._merge_heads(grad_values)],
+            axis=-1,
+        )
+        return self.qkv.backward(grad_qkv, cache.qkv_cache)

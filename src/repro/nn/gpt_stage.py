@@ -1,0 +1,312 @@
+"""Pipeline-stage slices of a GPT model.
+
+Megatron-LM's pipeline parallelism assigns a contiguous range of transformer layers
+to each stage.  The first stage additionally owns the input embeddings, and the last
+stage owns the final LayerNorm and the tied output projection.  Because the output
+projection reuses the *word embedding* weight, that weight is **duplicated** on the
+first and last stages and must be kept in sync with a dedicated all-reduce — the
+"embedding synchronisation" traffic that the paper's fused-embedding-synchronisation
+technique targets.
+
+Stage weights are initialised from the same derived random streams as
+:class:`repro.nn.transformer.GPTModel`, so a pipeline of stages starts bit-identical
+to the single-device reference model (this is what the equivalence tests rely on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.embedding import Embedding, EmbeddingCache
+from repro.nn.layernorm import LayerNorm
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.transformer import GPTModelConfig, TransformerLayer, TransformerLayerCache
+from repro.utils.random import RandomState
+
+
+class StageCache:
+    """Per-micro-batch activation cache of one pipeline stage."""
+
+    __slots__ = (
+        "token_cache",
+        "position_cache",
+        "layer_caches",
+        "final_ln_cache",
+        "final_hidden",
+        "loss_cache",
+        "stage_input",
+    )
+
+    def __init__(self) -> None:
+        self.token_cache: EmbeddingCache | None = None
+        self.position_cache: EmbeddingCache | None = None
+        self.layer_caches: list[TransformerLayerCache] = []
+        self.final_ln_cache: dict | None = None
+        self.final_hidden: np.ndarray | None = None
+        self.loss_cache: dict | None = None
+        self.stage_input: np.ndarray | None = None
+
+
+class GPTStage(Module):
+    """One pipeline stage of a GPT model.
+
+    Parameters
+    ----------
+    config:
+        Full-model configuration.
+    layer_indices:
+        Global indices of the transformer layers this stage owns.
+    is_first / is_last:
+        Whether the stage holds the input embeddings / the output head.
+    seed:
+        Seed of the *full model*; per-layer streams are derived from it exactly as in
+        :class:`~repro.nn.transformer.GPTModel`.
+    """
+
+    def __init__(
+        self,
+        config: GPTModelConfig,
+        layer_indices: list[int],
+        is_first: bool,
+        is_last: bool,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.layer_indices = list(layer_indices)
+        self.is_first = bool(is_first)
+        self.is_last = bool(is_last)
+        state = RandomState(seed)
+
+        self.token_embedding: Embedding | None = None
+        self.position_embedding: Embedding | None = None
+        if self.is_first:
+            self.token_embedding = self.register_module(
+                "embedding",
+                Embedding(
+                    config.vocab_size,
+                    config.hidden_size,
+                    state.child("token_embedding"),
+                    init_std=config.init_std,
+                    name="word_embeddings",
+                ),
+            )
+            self.position_embedding = self.register_module(
+                "position_embedding",
+                Embedding(
+                    config.max_sequence_length,
+                    config.hidden_size,
+                    state.child("position_embedding"),
+                    init_std=config.init_std,
+                    name="position_embeddings",
+                ),
+            )
+
+        self.layers: list[TransformerLayer] = []
+        for global_index in self.layer_indices:
+            layer = TransformerLayer(
+                config.hidden_size,
+                config.num_heads,
+                state.child("layer", global_index),
+                num_layers_for_init=config.num_layers,
+                dropout=config.dropout,
+                init_std=config.init_std,
+            )
+            self.layers.append(self.register_module(f"layer{global_index}", layer))
+
+        self.final_ln: LayerNorm | None = None
+        self.output_embedding: Embedding | None = None
+        self.loss_fn: CrossEntropyLoss | None = None
+        if self.is_last:
+            self.final_ln = self.register_module("final_ln", LayerNorm(config.hidden_size))
+            # Duplicate of the word embedding used as the tied output projection.
+            # On a single stage pipeline the same object would be reused; across
+            # stages the duplicate must be synchronised (embedding synchronisation).
+            self.output_embedding = self.register_module(
+                "output_embedding",
+                Embedding(
+                    config.vocab_size,
+                    config.hidden_size,
+                    state.child("token_embedding"),
+                    init_std=config.init_std,
+                    name="word_embeddings",
+                ),
+            )
+            self.loss_fn = CrossEntropyLoss()
+
+        self.assign_parameter_names(prefix=f"stage[{'-'.join(map(str, layer_indices)) or 'emb'}]")
+
+    # -- embedding access (used by embedding synchronisation) -----------------
+
+    def embedding_parameter(self):
+        """Return the word-embedding :class:`Parameter` owned by this stage, if any."""
+        if self.is_first and self.token_embedding is not None:
+            return self.token_embedding.weight
+        if self.is_last and self.output_embedding is not None:
+            return self.output_embedding.weight
+        return None
+
+    def embedding_parameters(self) -> list:
+        """All word-embedding copies this stage owns.
+
+        A middle stage owns none; the first stage owns the input lookup copy; the
+        last stage owns the output-projection copy; a single-stage pipeline owns
+        both (and they still need synchronisation to stay tied).
+        """
+        copies = []
+        if self.is_first and self.token_embedding is not None:
+            copies.append(self.token_embedding.weight)
+        if self.is_last and self.output_embedding is not None:
+            copies.append(self.output_embedding.weight)
+        return copies
+
+    # -- forward -------------------------------------------------------------
+
+    def forward(
+        self, stage_input: np.ndarray, targets: np.ndarray | None = None
+    ) -> tuple[np.ndarray | float, StageCache]:
+        """Run the stage forward.
+
+        * First stage: ``stage_input`` is the integer token-id array.
+        * Other stages: ``stage_input`` is the hidden-state activation from the
+          previous stage.
+        * Last stage: requires ``targets`` and returns the scalar loss; other stages
+          return the output hidden state to be sent downstream.
+        """
+        cache = StageCache()
+        if self.is_first:
+            token_ids = np.asarray(stage_input, dtype=np.int64)
+            batch, seq = token_ids.shape
+            token_vectors, cache.token_cache = self.token_embedding.forward(token_ids)
+            positions = np.broadcast_to(np.arange(seq), (batch, seq))
+            position_vectors, cache.position_cache = self.position_embedding.forward(positions)
+            hidden = token_vectors + position_vectors
+        else:
+            hidden = np.asarray(stage_input, dtype=np.float64)
+            cache.stage_input = hidden
+
+        for layer, layer_cache_slot in zip(self.layers, range(len(self.layers))):
+            del layer_cache_slot
+            hidden, layer_cache = layer.forward(hidden)
+            cache.layer_caches.append(layer_cache)
+
+        if not self.is_last:
+            return hidden, cache
+
+        if targets is None:
+            raise ValueError("the last pipeline stage requires targets to compute the loss")
+        hidden, cache.final_ln_cache = self.final_ln.forward(hidden)
+        cache.final_hidden = hidden
+        logits = self.output_embedding.project_to_vocab(hidden)
+        loss, cache.loss_cache = self.loss_fn.forward(logits, targets)
+        return loss, cache
+
+    def evaluate_logits(self, stage_input: np.ndarray) -> np.ndarray:
+        """Inference-only helper returning logits (last stage only)."""
+        if not self.is_last:
+            raise RuntimeError("evaluate_logits is only available on the last stage")
+        hidden = np.asarray(stage_input, dtype=np.float64)
+        for layer in self.layers:
+            hidden, _ = layer.forward(hidden)
+        hidden, _ = self.final_ln.forward(hidden)
+        return self.output_embedding.project_to_vocab(hidden)
+
+    def forward_only(self, stage_input: np.ndarray) -> np.ndarray:
+        """Inference-only forward pass without caching (non-last stages)."""
+        if self.is_first:
+            token_ids = np.asarray(stage_input, dtype=np.int64)
+            batch, seq = token_ids.shape
+            token_vectors, _ = self.token_embedding.forward(token_ids)
+            positions = np.broadcast_to(np.arange(seq), (batch, seq))
+            position_vectors, _ = self.position_embedding.forward(positions)
+            hidden = token_vectors + position_vectors
+        else:
+            hidden = np.asarray(stage_input, dtype=np.float64)
+        for layer in self.layers:
+            hidden, _ = layer.forward(hidden)
+        if self.is_last:
+            hidden, _ = self.final_ln.forward(hidden)
+            return self.output_embedding.project_to_vocab(hidden)
+        return hidden
+
+    # -- backward ------------------------------------------------------------
+
+    def backward(
+        self, grad_from_next: np.ndarray | None, cache: StageCache, loss_scale: float = 1.0
+    ) -> np.ndarray | None:
+        """Run the stage backward.
+
+        * Last stage: ``grad_from_next`` must be ``None``; the stage seeds the
+          backward pass from its loss cache, scaled by ``loss_scale`` (1/num_micro_batches
+          for mean-over-mini-batch semantics).
+        * Other stages: ``grad_from_next`` is the activation gradient received from
+          the downstream stage.
+
+        Returns the activation gradient to send upstream, or ``None`` for the first
+        stage (which instead accumulates the embedding gradients).
+        """
+        if self.is_last:
+            if grad_from_next is not None:
+                raise ValueError("the last stage derives its gradient from the loss")
+            grad_logits = self.loss_fn.backward(cache.loss_cache) * loss_scale
+            grad_hidden = self.output_embedding.project_to_vocab_backward(
+                grad_logits, cache.final_hidden
+            )
+            grad_hidden = self.final_ln.backward(grad_hidden, cache.final_ln_cache)
+        else:
+            if grad_from_next is None:
+                raise ValueError("non-last stages require the downstream activation gradient")
+            grad_hidden = np.asarray(grad_from_next, dtype=np.float64)
+
+        for layer, layer_cache in zip(reversed(self.layers), reversed(cache.layer_caches)):
+            grad_hidden = layer.backward(grad_hidden, layer_cache)
+
+        if self.is_first:
+            self.token_embedding.backward(grad_hidden, cache.token_cache)
+            self.position_embedding.backward(grad_hidden, cache.position_cache)
+            return None
+        return grad_hidden
+
+
+def partition_layers(num_layers: int, num_stages: int) -> list[list[int]]:
+    """Split ``num_layers`` transformer layers into ``num_stages`` contiguous groups.
+
+    Earlier stages receive the remainder layers, matching Megatron's balanced split.
+    """
+    if num_stages <= 0:
+        raise ValueError(f"num_stages must be positive, got {num_stages}")
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot split {num_layers} layers across {num_stages} stages (need >= 1 per stage)"
+        )
+    base = num_layers // num_stages
+    remainder = num_layers % num_stages
+    partitions: list[list[int]] = []
+    start = 0
+    for stage in range(num_stages):
+        count = base + (1 if stage < remainder else 0)
+        partitions.append(list(range(start, start + count)))
+        start += count
+    return partitions
+
+
+def build_gpt_stages(config: GPTModelConfig, num_stages: int, seed: int = 0) -> list[GPTStage]:
+    """Construct the pipeline stages of a GPT model.
+
+    The returned stages, run in sequence, are functionally identical to
+    :class:`repro.nn.transformer.GPTModel` built with the same ``config`` and
+    ``seed``.
+    """
+    partitions = partition_layers(config.num_layers, num_stages)
+    stages = []
+    for stage_index, layer_indices in enumerate(partitions):
+        stage = GPTStage(
+            config,
+            layer_indices,
+            is_first=(stage_index == 0),
+            is_last=(stage_index == num_stages - 1),
+            seed=seed,
+        )
+        stages.append(stage)
+    return stages

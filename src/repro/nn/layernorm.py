@@ -1,0 +1,32 @@
+"""LayerNorm module wrapping the functional forward/backward pair."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.parameter import Parameter
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable gain/bias."""
+
+    def __init__(self, hidden_size: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.hidden_size = int(hidden_size)
+        self.eps = float(eps)
+        self.gamma = self.register_parameter("gamma", Parameter(init.ones_init((hidden_size,))))
+        self.beta = self.register_parameter("beta", Parameter(init.zeros_init((hidden_size,))))
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Normalise ``x``; returns output and the functional cache."""
+        return F.layer_norm_forward(x, self.gamma.data, self.beta.data, eps=self.eps)
+
+    def backward(self, grad_output: np.ndarray, cache: dict) -> np.ndarray:
+        """Accumulate gamma/beta gradients and return the input gradient."""
+        grad_input, grad_gamma, grad_beta = F.layer_norm_backward(grad_output, cache)
+        self.gamma.accumulate_grad(grad_gamma)
+        self.beta.accumulate_grad(grad_beta)
+        return grad_input

@@ -1,0 +1,77 @@
+"""Dense (affine) layer with explicit backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import init
+from repro.tensor.parameter import Parameter
+
+
+class LinearCache:
+    """Activation cache for :class:`Linear` (input of the forward pass)."""
+
+    __slots__ = ("input",)
+
+    def __init__(self, input_activation: np.ndarray) -> None:
+        self.input = input_activation
+
+
+class Linear(Module):
+    """``y = x @ W + b`` over the last dimension of ``x``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Whether to include the additive bias term.
+    init_std:
+        Standard deviation of the normal weight initialisation.
+    output_layer_num_layers:
+        When set, uses the Megatron residual-output scaling
+        ``std / sqrt(2 * num_layers)`` instead of plain ``std``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_std: float = 0.02,
+        output_layer_num_layers: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if output_layer_num_layers is None:
+            weight = init.normal_init((in_features, out_features), rng, std=init_std)
+        else:
+            weight = init.scaled_output_init(
+                (in_features, out_features), rng, num_layers=output_layer_num_layers, std=init_std
+            )
+        self.weight = self.register_parameter("weight", Parameter(weight))
+        self.bias: Parameter | None
+        if bias:
+            self.bias = self.register_parameter("bias", Parameter(init.zeros_init((out_features,))))
+        else:
+            self.bias = None
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, LinearCache]:
+        """Apply the affine map; returns output and cache."""
+        output = x @ self.weight.data
+        if self.bias is not None:
+            output = output + self.bias.data
+        return output, LinearCache(x)
+
+    def backward(self, grad_output: np.ndarray, cache: LinearCache) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient."""
+        x = cache.input
+        flat_x = x.reshape(-1, self.in_features)
+        flat_grad = grad_output.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(flat_x.T @ flat_grad)
+        if self.bias is not None:
+            self.bias.accumulate_grad(flat_grad.sum(axis=0))
+        return grad_output @ self.weight.data.T

@@ -1,0 +1,38 @@
+"""Token-level cross-entropy loss with perplexity helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Mean next-token cross entropy.
+
+    The forward pass returns ``(loss, cache)``; the backward pass returns the logit
+    gradient.  The loss is averaged over every token in the micro-batch, which
+    matches how Megatron-LM averages before the data-parallel all-reduce.
+    """
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, dict]:
+        loss, probabilities = F.cross_entropy_forward(logits, targets)
+        return loss, {"probabilities": probabilities, "targets": targets}
+
+    def backward(self, cache: dict) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        return F.cross_entropy_backward(cache["probabilities"], cache["targets"])
+
+
+def perplexity_from_loss(mean_cross_entropy: float) -> float:
+    """Convert a mean cross-entropy (nats/token) into perplexity."""
+    # Clamp to avoid overflow when a model diverges during an ablation run.
+    return float(np.exp(min(mean_cross_entropy, 30.0)))
+
+
+def loss_from_perplexity(perplexity: float) -> float:
+    """Inverse of :func:`perplexity_from_loss`."""
+    if perplexity <= 0:
+        raise ValueError(f"perplexity must be positive, got {perplexity}")
+    return float(np.log(perplexity))

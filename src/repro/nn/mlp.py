@@ -1,0 +1,67 @@
+"""Transformer feed-forward block (H -> 4H -> GeLU -> H) with explicit backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear, LinearCache
+from repro.nn.module import Module
+from repro.tensor import functional as F
+
+
+class MLPCache:
+    """Cache for the MLP backward pass."""
+
+    __slots__ = ("fc_cache", "proj_cache", "pre_gelu")
+
+    def __init__(self) -> None:
+        self.fc_cache: LinearCache | None = None
+        self.proj_cache: LinearCache | None = None
+        self.pre_gelu: np.ndarray | None = None
+
+
+class TransformerMLP(Module):
+    """Megatron MLP: ``Linear(H, ffn) -> GeLU -> Linear(ffn, H)``.
+
+    The default feed-forward width is ``4 * hidden`` following GPT-2/Megatron.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        rng: np.random.Generator,
+        ffn_size: int | None = None,
+        num_layers_for_init: int = 1,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = int(hidden_size)
+        self.ffn_size = int(ffn_size) if ffn_size is not None else 4 * int(hidden_size)
+        self.fc = self.register_module(
+            "fc", Linear(self.hidden_size, self.ffn_size, rng, init_std=init_std)
+        )
+        self.proj = self.register_module(
+            "proj",
+            Linear(
+                self.ffn_size,
+                self.hidden_size,
+                rng,
+                init_std=init_std,
+                output_layer_num_layers=num_layers_for_init,
+            ),
+        )
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, MLPCache]:
+        """Apply the two-layer MLP; returns output and cache."""
+        cache = MLPCache()
+        hidden, cache.fc_cache = self.fc.forward(x)
+        cache.pre_gelu = hidden
+        activated = F.gelu(hidden)
+        output, cache.proj_cache = self.proj.forward(activated)
+        return output, cache
+
+    def backward(self, grad_output: np.ndarray, cache: MLPCache) -> np.ndarray:
+        """Backward pass; accumulates parameter gradients, returns input gradient."""
+        grad_activated = self.proj.backward(grad_output, cache.proj_cache)
+        grad_hidden = F.gelu_backward(grad_activated, cache.pre_gelu)
+        return self.fc.backward(grad_hidden, cache.fc_cache)

@@ -1,0 +1,228 @@
+"""Transformer layer and a single-device GPT model with tied embeddings.
+
+The layer follows the pre-LayerNorm structure used by Megatron-LM (paper Fig. 2):
+
+    x ─ LayerNorm ─ SelfAttention ─(+)─ LayerNorm ─ MLP ─(+)─ output
+    └──────────────────────────────┘└────────────────────┘
+              residual                      residual
+
+:class:`GPTModel` is the single-device reference used to validate the pipeline
+engine (the pipeline-parallel run must produce bit-identical gradients when no
+compression is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.attention import AttentionCache, MultiHeadSelfAttention
+from repro.nn.embedding import Embedding, EmbeddingCache
+from repro.nn.layernorm import LayerNorm
+from repro.nn.mlp import MLPCache, TransformerMLP
+from repro.nn.module import Module
+from repro.utils.random import RandomState
+
+
+@dataclass(frozen=True)
+class GPTModelConfig:
+    """Architectural hyper-parameters of a GPT model.
+
+    The paper's models (GPT-2.5B, GPT-8.3B, ...) are described by the same fields at
+    much larger values; see :mod:`repro.models.gpt_configs`.
+    """
+
+    vocab_size: int
+    max_sequence_length: int
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    dropout: float = 0.0
+    init_std: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} must be divisible by num_heads {self.num_heads}"
+            )
+
+    @property
+    def ffn_size(self) -> int:
+        """Feed-forward width (4H, GPT-2 convention)."""
+        return 4 * self.hidden_size
+
+    def parameter_count(self) -> int:
+        """Approximate parameter count (used by the performance model)."""
+        per_layer = (
+            4 * self.hidden_size * self.hidden_size  # QKV (3H^2) + proj (H^2)
+            + 2 * 4 * self.hidden_size * self.hidden_size  # MLP H->4H and 4H->H
+            + 9 * self.hidden_size  # biases (3H + H + 4H + H)
+            + 4 * self.hidden_size  # the two LayerNorms (gamma + beta each)
+        )
+        embeddings = self.vocab_size * self.hidden_size + self.max_sequence_length * self.hidden_size
+        return self.num_layers * per_layer + embeddings + 2 * self.hidden_size
+
+
+class TransformerLayerCache:
+    """Cache holding every sub-cache of one transformer layer."""
+
+    __slots__ = ("ln1_cache", "attn_cache", "ln2_cache", "mlp_cache")
+
+    def __init__(self) -> None:
+        self.ln1_cache: dict | None = None
+        self.attn_cache: AttentionCache | None = None
+        self.ln2_cache: dict | None = None
+        self.mlp_cache: MLPCache | None = None
+
+
+class TransformerLayer(Module):
+    """A single pre-LN transformer block."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        num_layers_for_init: int = 1,
+        dropout: float = 0.0,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = int(hidden_size)
+        self.ln1 = self.register_module("ln1", LayerNorm(hidden_size))
+        self.attention = self.register_module(
+            "attention",
+            MultiHeadSelfAttention(
+                hidden_size,
+                num_heads,
+                rng,
+                num_layers_for_init=num_layers_for_init,
+                attention_dropout=dropout,
+                init_std=init_std,
+            ),
+        )
+        self.ln2 = self.register_module("ln2", LayerNorm(hidden_size))
+        self.mlp = self.register_module(
+            "mlp",
+            TransformerMLP(
+                hidden_size, rng, num_layers_for_init=num_layers_for_init, init_std=init_std
+            ),
+        )
+
+    def forward(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> tuple[np.ndarray, TransformerLayerCache]:
+        """Apply the block; returns output and cache."""
+        cache = TransformerLayerCache()
+        normed, cache.ln1_cache = self.ln1.forward(x)
+        attn_out, cache.attn_cache = self.attention.forward(normed, rng=rng)
+        residual = x + attn_out
+        normed2, cache.ln2_cache = self.ln2.forward(residual)
+        mlp_out, cache.mlp_cache = self.mlp.forward(normed2)
+        return residual + mlp_out, cache
+
+    def backward(self, grad_output: np.ndarray, cache: TransformerLayerCache) -> np.ndarray:
+        """Backward pass; accumulates parameter gradients, returns input gradient."""
+        grad_mlp_in = self.mlp.backward(grad_output, cache.mlp_cache)
+        grad_residual = grad_output + self.ln2.backward(grad_mlp_in, cache.ln2_cache)
+        grad_attn_in = self.attention.backward(grad_residual, cache.attn_cache)
+        grad_input = grad_residual + self.ln1.backward(grad_attn_in, cache.ln1_cache)
+        return grad_input
+
+
+class GPTForwardCache:
+    """Cache for a full single-device GPT forward pass."""
+
+    __slots__ = ("token_cache", "position_cache", "layer_caches", "final_ln_cache", "final_hidden")
+
+    def __init__(self) -> None:
+        self.token_cache: EmbeddingCache | None = None
+        self.position_cache: EmbeddingCache | None = None
+        self.layer_caches: list[TransformerLayerCache] = []
+        self.final_ln_cache: dict | None = None
+        self.final_hidden: np.ndarray | None = None
+
+
+class GPTModel(Module):
+    """Single-device GPT with tied input/output embeddings.
+
+    This is the functional reference model: the pipeline-parallel engine must
+    reproduce its gradients exactly when compression is disabled.
+    """
+
+    def __init__(self, config: GPTModelConfig, seed: int = 0) -> None:
+        super().__init__()
+        self.config = config
+        state = RandomState(seed)
+
+        self.token_embedding = self.register_module(
+            "embedding",
+            Embedding(
+                config.vocab_size,
+                config.hidden_size,
+                state.child("token_embedding"),
+                init_std=config.init_std,
+                name="word_embeddings",
+            ),
+        )
+        self.position_embedding = self.register_module(
+            "position_embedding",
+            Embedding(
+                config.max_sequence_length,
+                config.hidden_size,
+                state.child("position_embedding"),
+                init_std=config.init_std,
+                name="position_embeddings",
+            ),
+        )
+        self.layers: list[TransformerLayer] = []
+        for index in range(config.num_layers):
+            layer = TransformerLayer(
+                config.hidden_size,
+                config.num_heads,
+                state.child("layer", index),
+                num_layers_for_init=config.num_layers,
+                dropout=config.dropout,
+                init_std=config.init_std,
+            )
+            self.layers.append(self.register_module(f"layer{index}", layer))
+        self.final_ln = self.register_module("final_ln", LayerNorm(config.hidden_size))
+        self.assign_parameter_names()
+
+    def forward(self, token_ids: np.ndarray) -> tuple[np.ndarray, GPTForwardCache]:
+        """Compute next-token logits of shape ``(batch, seq, vocab)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        batch, seq = token_ids.shape
+        if seq > self.config.max_sequence_length:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_sequence_length "
+                f"{self.config.max_sequence_length}"
+            )
+        cache = GPTForwardCache()
+        token_vectors, cache.token_cache = self.token_embedding.forward(token_ids)
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        position_vectors, cache.position_cache = self.position_embedding.forward(positions)
+        hidden = token_vectors + position_vectors
+
+        for layer in self.layers:
+            hidden, layer_cache = layer.forward(hidden)
+            cache.layer_caches.append(layer_cache)
+
+        hidden, cache.final_ln_cache = self.final_ln.forward(hidden)
+        cache.final_hidden = hidden
+        logits = self.token_embedding.project_to_vocab(hidden)
+        return logits, cache
+
+    def backward(self, grad_logits: np.ndarray, cache: GPTForwardCache) -> None:
+        """Backpropagate from the logit gradient through the whole model."""
+        grad_hidden = self.token_embedding.project_to_vocab_backward(
+            grad_logits, cache.final_hidden
+        )
+        grad_hidden = self.final_ln.backward(grad_hidden, cache.final_ln_cache)
+        for layer, layer_cache in zip(reversed(self.layers), reversed(cache.layer_caches)):
+            grad_hidden = layer.backward(grad_hidden, layer_cache)
+        self.token_embedding.backward(grad_hidden, cache.token_cache)
+        self.position_embedding.backward(grad_hidden, cache.position_cache)

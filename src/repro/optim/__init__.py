@@ -1,0 +1,20 @@
+"""Optimisers and learning-rate schedules for the functional training runs."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import (
+    ConstantSchedule,
+    CosineWithWarmup,
+    LinearWarmupLinearDecay,
+    LRSchedule,
+)
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRSchedule",
+    "ConstantSchedule",
+    "CosineWithWarmup",
+    "LinearWarmupLinearDecay",
+]

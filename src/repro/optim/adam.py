@@ -1,0 +1,87 @@
+"""Adam and AdamW optimisers.
+
+The paper pretrains GPT with Adam (via Megatron-LM); the functional experiments here
+use the same optimiser family so that the interaction between compression error and
+the adaptive moments is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.tensor.parameter import Parameter
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015) with optional L2 regularisation."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters: Sequence[Parameter] = list(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._exp_avg = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        self._exp_avg_sq = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Zero every managed parameter gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def _regularised_grad(self, parameter: Parameter) -> np.ndarray:
+        if self.weight_decay:
+            return parameter.grad + self.weight_decay * parameter.data
+        return parameter.grad
+
+    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+        """Hook for AdamW-style decoupled decay (no-op for plain Adam)."""
+
+    def step(self) -> None:
+        """Apply one Adam update."""
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, exp_avg, exp_avg_sq in zip(
+            self.parameters, self._exp_avg, self._exp_avg_sq
+        ):
+            if not parameter.requires_grad:
+                continue
+            grad = self._regularised_grad(parameter)
+            exp_avg *= self.beta1
+            exp_avg += (1.0 - self.beta1) * grad
+            exp_avg_sq *= self.beta2
+            exp_avg_sq += (1.0 - self.beta2) * grad * grad
+
+            corrected_avg = exp_avg / bias_correction1
+            corrected_sq = exp_avg_sq / bias_correction2
+            self._apply_decoupled_decay(parameter)
+            parameter.data -= self.lr * corrected_avg / (np.sqrt(corrected_sq) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _regularised_grad(self, parameter: Parameter) -> np.ndarray:
+        # Decoupled decay: the gradient is not modified.
+        return parameter.grad
+
+    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+        if self.weight_decay:
+            parameter.data -= self.lr * self.weight_decay * parameter.data

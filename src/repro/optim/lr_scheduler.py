@@ -1,0 +1,81 @@
+"""Learning-rate schedules (warmup + decay) used in GPT pretraining."""
+
+from __future__ import annotations
+
+import math
+
+
+class LRSchedule:
+    """Base class: maps an iteration index to a learning rate."""
+
+    def lr_at(self, iteration: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer, iteration: int) -> float:
+        """Set ``optimizer.lr`` for ``iteration`` and return the value used."""
+        lr = self.lr_at(iteration)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(LRSchedule):
+    """Constant learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def lr_at(self, iteration: int) -> float:
+        return self.lr
+
+
+class CosineWithWarmup(LRSchedule):
+    """Linear warmup followed by cosine decay to ``min_lr`` (GPT-3 style)."""
+
+    def __init__(
+        self, max_lr: float, warmup_iterations: int, total_iterations: int, min_lr: float = 0.0
+    ) -> None:
+        if max_lr <= 0:
+            raise ValueError(f"max_lr must be positive, got {max_lr}")
+        if warmup_iterations < 0 or total_iterations <= 0:
+            raise ValueError("warmup_iterations must be >= 0 and total_iterations > 0")
+        if min_lr < 0 or min_lr > max_lr:
+            raise ValueError("min_lr must satisfy 0 <= min_lr <= max_lr")
+        self.max_lr = float(max_lr)
+        self.min_lr = float(min_lr)
+        self.warmup_iterations = int(warmup_iterations)
+        self.total_iterations = int(total_iterations)
+
+    def lr_at(self, iteration: int) -> float:
+        if self.warmup_iterations > 0 and iteration < self.warmup_iterations:
+            return self.max_lr * (iteration + 1) / self.warmup_iterations
+        progress = (iteration - self.warmup_iterations) / max(
+            1, self.total_iterations - self.warmup_iterations
+        )
+        progress = min(max(progress, 0.0), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.max_lr - self.min_lr) * cosine
+
+
+class LinearWarmupLinearDecay(LRSchedule):
+    """Linear warmup followed by linear decay to ``min_lr``."""
+
+    def __init__(
+        self, max_lr: float, warmup_iterations: int, total_iterations: int, min_lr: float = 0.0
+    ) -> None:
+        if max_lr <= 0:
+            raise ValueError(f"max_lr must be positive, got {max_lr}")
+        self.max_lr = float(max_lr)
+        self.min_lr = float(min_lr)
+        self.warmup_iterations = int(warmup_iterations)
+        self.total_iterations = int(total_iterations)
+
+    def lr_at(self, iteration: int) -> float:
+        if self.warmup_iterations > 0 and iteration < self.warmup_iterations:
+            return self.max_lr * (iteration + 1) / self.warmup_iterations
+        progress = (iteration - self.warmup_iterations) / max(
+            1, self.total_iterations - self.warmup_iterations
+        )
+        progress = min(max(progress, 0.0), 1.0)
+        return self.max_lr + (self.min_lr - self.max_lr) * progress

@@ -1,0 +1,57 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.tensor.parameter import Parameter
+
+
+class SGD:
+    """Classic SGD.
+
+    Updates are applied in place to :class:`repro.tensor.Parameter` objects using the
+    gradients accumulated in their ``grad`` buffers.  Learning-rate scheduling is
+    handled externally by setting :attr:`lr` before each step (see
+    :mod:`repro.optim.lr_scheduler`).
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters: Sequence[Parameter] = list(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Zero every managed parameter gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if not parameter.requires_grad:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            parameter.data -= self.lr * update

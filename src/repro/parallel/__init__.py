@@ -1,0 +1,47 @@
+"""3D-parallelism substrate: topology, process groups, collectives, and engines.
+
+The package provides two kinds of building blocks:
+
+* *mechanism* — cluster topology, Megatron-style rank grids, simulated (numerically
+  exact, traffic-logged) collectives, pipeline schedules, and functional engines for
+  pipeline / data / tensor parallelism;
+* *hook points* — the engines accept compression hooks so that the paper's
+  techniques (in :mod:`repro.core`) can plug in without the engines knowing about
+  any specific compressor.
+"""
+
+from repro.parallel.topology import ClusterTopology, DeviceId
+from repro.parallel.process_groups import ParallelLayout, ProcessGrid
+from repro.parallel.collectives import CommunicationLog, SimulatedProcessGroup, TrafficRecord
+from repro.parallel.pipeline_schedule import (
+    PipelineOp,
+    ScheduleKind,
+    build_1f1b_schedule,
+    build_gpipe_schedule,
+    build_interleaved_1f1b_schedule,
+    epilogue_micro_batches,
+)
+from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
+from repro.parallel.data_parallel import DataParallelGradientSync
+from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+
+__all__ = [
+    "ClusterTopology",
+    "DeviceId",
+    "ParallelLayout",
+    "ProcessGrid",
+    "CommunicationLog",
+    "SimulatedProcessGroup",
+    "TrafficRecord",
+    "PipelineOp",
+    "ScheduleKind",
+    "build_gpipe_schedule",
+    "build_1f1b_schedule",
+    "build_interleaved_1f1b_schedule",
+    "epilogue_micro_batches",
+    "PipelineParallelEngine",
+    "InterStageChannel",
+    "DataParallelGradientSync",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+]

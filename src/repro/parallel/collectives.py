@@ -1,0 +1,275 @@
+"""Simulated collective communication.
+
+The functional engines run every data-parallel replica and pipeline stage in one
+process, so "communication" is just array arithmetic — but the *traffic* still has
+to be accounted for exactly, because it is what the performance model charges to the
+interconnect and what the compression techniques reduce.  Every operation therefore
+returns numerically exact results **and** appends a :class:`TrafficRecord` to a
+shared :class:`CommunicationLog`.
+
+The all-reduce volume convention follows the standard ring algorithm cost the paper
+cites (Section 6): for ``R`` ranks and per-rank payload ``V`` bytes, each rank sends
+and receives ``2V(R-1)/R`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TrafficRecord:
+    """One logged communication operation."""
+
+    operation: str  # "all_reduce", "p2p", "all_gather", ...
+    category: str  # "data_parallel", "inter_stage", "embedding_sync", "tensor_parallel"
+    payload_bytes: int  # bytes on the wire per participating rank (before ring factor)
+    wire_bytes: float  # effective bytes each rank moves (ring/algorithm factor applied)
+    ranks: tuple[int, ...]
+    compressed: bool = False
+    description: str = ""
+
+
+@dataclass
+class CommunicationLog:
+    """Accumulates traffic records for one experiment or iteration."""
+
+    records: list[TrafficRecord] = field(default_factory=list)
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def total_wire_bytes(self, category: str | None = None) -> float:
+        """Sum of per-rank wire bytes, optionally filtered by category."""
+        return sum(
+            record.wire_bytes
+            for record in self.records
+            if category is None or record.category == category
+        )
+
+    def total_payload_bytes(self, category: str | None = None) -> int:
+        """Sum of raw payload bytes, optionally filtered by category."""
+        return sum(
+            record.payload_bytes
+            for record in self.records
+            if category is None or record.category == category
+        )
+
+    def count(self, category: str | None = None, operation: str | None = None) -> int:
+        """Number of records matching the filters."""
+        return sum(
+            1
+            for record in self.records
+            if (category is None or record.category == category)
+            and (operation is None or record.operation == operation)
+        )
+
+    def by_category(self) -> dict[str, float]:
+        """Wire bytes grouped by category."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.category] = totals.get(record.category, 0.0) + record.wire_bytes
+        return totals
+
+
+def ring_all_reduce_wire_bytes(payload_bytes: float, num_ranks: int) -> float:
+    """Per-rank bytes moved by a ring all-reduce: ``2 V (R-1) / R``."""
+    if num_ranks <= 1:
+        return 0.0
+    return 2.0 * payload_bytes * (num_ranks - 1) / num_ranks
+
+
+class SimulatedProcessGroup:
+    """A process group whose collectives are exact and traffic-logged.
+
+    The arrays passed in are the per-rank contributions; the methods return the
+    per-rank results (one array per rank), mimicking the in-place semantics of NCCL
+    collectives without any actual message passing.
+    """
+
+    def __init__(
+        self,
+        ranks: Sequence[int],
+        log: CommunicationLog,
+        category: str,
+        spans_nodes: bool = True,
+    ) -> None:
+        if len(ranks) == 0:
+            raise ValueError("a process group needs at least one rank")
+        self.ranks = tuple(int(rank) for rank in ranks)
+        self.log = log
+        self.category = category
+        self.spans_nodes = bool(spans_nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    # -- collectives --------------------------------------------------------------
+
+    def all_reduce(
+        self,
+        contributions: Sequence[np.ndarray],
+        op: str = "sum",
+        payload_bytes: int | None = None,
+        compressed: bool = False,
+        description: str = "",
+    ) -> list[np.ndarray]:
+        """All-reduce: every rank receives the elementwise reduction."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"expected {self.size} contributions (one per rank), got {len(contributions)}"
+            )
+        stacked = np.stack([np.asarray(c, dtype=np.float64) for c in contributions])
+        if op == "sum":
+            reduced = stacked.sum(axis=0)
+        elif op == "mean":
+            reduced = stacked.mean(axis=0)
+        elif op == "max":
+            reduced = stacked.max(axis=0)
+        else:
+            raise ValueError(f"unsupported all-reduce op {op!r}")
+
+        if payload_bytes is None:
+            payload_bytes = int(contributions[0].size * 2)  # fp16 wire convention
+        self.log.add(
+            TrafficRecord(
+                operation="all_reduce",
+                category=self.category,
+                payload_bytes=payload_bytes,
+                wire_bytes=ring_all_reduce_wire_bytes(payload_bytes, self.size),
+                ranks=self.ranks,
+                compressed=compressed,
+                description=description,
+            )
+        )
+        return [reduced.copy() for _ in range(self.size)]
+
+    def all_gather(
+        self,
+        contributions: Sequence[np.ndarray],
+        payload_bytes: int | None = None,
+        compressed: bool = False,
+        description: str = "",
+    ) -> list[list[np.ndarray]]:
+        """All-gather: every rank receives the list of all contributions."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"expected {self.size} contributions (one per rank), got {len(contributions)}"
+            )
+        gathered = [np.asarray(c, dtype=np.float64).copy() for c in contributions]
+        if payload_bytes is None:
+            payload_bytes = int(contributions[0].size * 2)
+        wire = payload_bytes * (self.size - 1)
+        self.log.add(
+            TrafficRecord(
+                operation="all_gather",
+                category=self.category,
+                payload_bytes=payload_bytes,
+                wire_bytes=float(wire),
+                ranks=self.ranks,
+                compressed=compressed,
+                description=description,
+            )
+        )
+        return [list(gathered) for _ in range(self.size)]
+
+    def reduce_scatter(
+        self,
+        contributions: Sequence[np.ndarray],
+        payload_bytes: int | None = None,
+        description: str = "",
+    ) -> list[np.ndarray]:
+        """Reduce-scatter: rank ``i`` receives the ``i``-th shard of the reduction."""
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"expected {self.size} contributions (one per rank), got {len(contributions)}"
+            )
+        stacked = np.stack([np.asarray(c, dtype=np.float64) for c in contributions])
+        reduced = stacked.sum(axis=0)
+        shards = np.array_split(reduced.reshape(-1), self.size)
+        if payload_bytes is None:
+            payload_bytes = int(contributions[0].size * 2)
+        self.log.add(
+            TrafficRecord(
+                operation="reduce_scatter",
+                category=self.category,
+                payload_bytes=payload_bytes,
+                wire_bytes=payload_bytes * (self.size - 1) / self.size,
+                ranks=self.ranks,
+                compressed=False,
+                description=description,
+            )
+        )
+        return [shard.copy() for shard in shards]
+
+    def broadcast(
+        self,
+        tensor: np.ndarray,
+        root_rank: int,
+        payload_bytes: int | None = None,
+        description: str = "",
+    ) -> list[np.ndarray]:
+        """Broadcast from ``root_rank`` to every rank in the group."""
+        if root_rank not in self.ranks:
+            raise ValueError(f"root rank {root_rank} is not part of the group {self.ranks}")
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if payload_bytes is None:
+            payload_bytes = int(tensor.size * 2)
+        self.log.add(
+            TrafficRecord(
+                operation="broadcast",
+                category=self.category,
+                payload_bytes=payload_bytes,
+                wire_bytes=float(payload_bytes),
+                ranks=self.ranks,
+                compressed=False,
+                description=description,
+            )
+        )
+        return [tensor.copy() for _ in range(self.size)]
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send_recv(
+        self,
+        tensor: np.ndarray,
+        src_rank: int,
+        dst_rank: int,
+        payload_bytes: int | None = None,
+        compressed: bool = False,
+        description: str = "",
+    ) -> np.ndarray:
+        """Point-to-point transfer; returns the tensor as the receiver sees it."""
+        for rank in (src_rank, dst_rank):
+            if rank not in self.ranks:
+                raise ValueError(f"rank {rank} is not part of the group {self.ranks}")
+        tensor = np.asarray(tensor, dtype=np.float64)
+        if payload_bytes is None:
+            payload_bytes = int(tensor.size * 2)
+        self.log.add(
+            TrafficRecord(
+                operation="p2p",
+                category=self.category,
+                payload_bytes=payload_bytes,
+                wire_bytes=float(payload_bytes),
+                ranks=(src_rank, dst_rank),
+                compressed=compressed,
+                description=description,
+            )
+        )
+        return tensor.copy()
+
+
+def average_arrays(arrays: Iterable[np.ndarray]) -> np.ndarray:
+    """Plain average of a list of equally shaped arrays (no traffic logged)."""
+    arrays = [np.asarray(array, dtype=np.float64) for array in arrays]
+    if not arrays:
+        raise ValueError("cannot average an empty list of arrays")
+    return np.mean(np.stack(arrays), axis=0)

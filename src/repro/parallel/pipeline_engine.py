@@ -1,0 +1,244 @@
+"""Functional pipeline-parallel training engine.
+
+The engine runs one pipeline (one data-parallel replica) over a mini-batch split
+into micro-batches, producing exactly the gradients the single-device reference
+model would produce when no compression is enabled.  All inter-stage traffic flows
+through an :class:`InterStageChannel`, whose backward path exposes the hook that the
+paper's compressed backpropagation plugs into.
+
+Execution order
+---------------
+Within a single iteration no weights change, so the numerical result depends only on
+(1) which micro-batches are processed and (2) the per-boundary *order* of backward
+communications (which matters when lazy error propagation carries residuals from one
+micro-batch to the next).  Both are identical between a real 1F1B execution and the
+simpler "all forwards in micro-batch order, then all backwards in micro-batch order"
+loop used here, so the functional engine uses the simpler loop; the 1F1B timing
+behaviour is modelled separately by :mod:`repro.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.gpt_stage import GPTStage, StageCache
+from repro.parallel.collectives import CommunicationLog, TrafficRecord
+
+#: Hook applied to every backward inter-stage transfer.
+#:
+#: ``hook(grad, boundary, micro_batch, num_micro_batches) -> (delivered, payload_bytes, compressed)``
+#: where ``boundary`` is the index of the *receiving* stage (the gradient flows from
+#: stage ``boundary + 1`` to stage ``boundary``).
+BackwardCommHook = Callable[
+    [np.ndarray, int, int, int], tuple[np.ndarray, int, bool]
+]
+
+#: Hook applied to every forward inter-stage transfer (same signature).
+ForwardCommHook = Callable[
+    [np.ndarray, int, int, int], tuple[np.ndarray, int, bool]
+]
+
+#: Wire bytes per element for uncompressed activations/gradients (fp16 convention).
+WIRE_BYTES_PER_ELEMENT = 2
+
+
+@dataclass
+class IterationResult:
+    """Outcome of one pipeline iteration (before the optimiser step)."""
+
+    mean_loss: float
+    num_micro_batches: int
+    forward_bytes: int
+    backward_bytes: int
+
+
+class InterStageChannel:
+    """Carries activations (forward) and activation gradients (backward) between stages."""
+
+    def __init__(
+        self,
+        log: CommunicationLog | None = None,
+        backward_hook: BackwardCommHook | None = None,
+        forward_hook: ForwardCommHook | None = None,
+    ) -> None:
+        self.log = log if log is not None else CommunicationLog()
+        self.backward_hook = backward_hook
+        self.forward_hook = forward_hook
+
+    def send_forward(
+        self, activation: np.ndarray, boundary: int, micro_batch: int, num_micro_batches: int
+    ) -> np.ndarray:
+        """Transfer an activation from stage ``boundary`` to stage ``boundary + 1``."""
+        delivered = activation
+        payload_bytes = int(activation.size * WIRE_BYTES_PER_ELEMENT)
+        compressed = False
+        if self.forward_hook is not None:
+            delivered, payload_bytes, compressed = self.forward_hook(
+                activation, boundary, micro_batch, num_micro_batches
+            )
+        self.log.add(
+            TrafficRecord(
+                operation="p2p",
+                category="inter_stage_forward",
+                payload_bytes=payload_bytes,
+                wire_bytes=float(payload_bytes),
+                ranks=(boundary, boundary + 1),
+                compressed=compressed,
+                description=f"fwd activation mb={micro_batch}",
+            )
+        )
+        return delivered
+
+    def send_backward(
+        self, gradient: np.ndarray, boundary: int, micro_batch: int, num_micro_batches: int
+    ) -> np.ndarray:
+        """Transfer an activation gradient from stage ``boundary + 1`` to stage ``boundary``."""
+        delivered = gradient
+        payload_bytes = int(gradient.size * WIRE_BYTES_PER_ELEMENT)
+        compressed = False
+        if self.backward_hook is not None:
+            delivered, payload_bytes, compressed = self.backward_hook(
+                gradient, boundary, micro_batch, num_micro_batches
+            )
+        self.log.add(
+            TrafficRecord(
+                operation="p2p",
+                category="inter_stage_backward",
+                payload_bytes=payload_bytes,
+                wire_bytes=float(payload_bytes),
+                ranks=(boundary + 1, boundary),
+                compressed=compressed,
+                description=f"bwd gradient mb={micro_batch}",
+            )
+        )
+        return delivered
+
+
+class PipelineParallelEngine:
+    """Runs forward/backward over a list of :class:`GPTStage` objects.
+
+    Parameters
+    ----------
+    stages:
+        The pipeline stages in order (stage 0 first).
+    channel:
+        The inter-stage channel (owns the compression hooks and the traffic log).
+    """
+
+    def __init__(self, stages: Sequence[GPTStage], channel: InterStageChannel | None = None) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        if not stages[0].is_first or not stages[-1].is_last:
+            raise ValueError("stages[0] must be the first stage and stages[-1] the last stage")
+        self.stages: list[GPTStage] = list(stages)
+        self.channel = channel if channel is not None else InterStageChannel()
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def parameters(self):
+        """All parameters of every stage (stable order: stage 0 first)."""
+        params = []
+        for stage in self.stages:
+            params.extend(stage.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Zero gradients on every stage."""
+        for stage in self.stages:
+            stage.zero_grad()
+
+    # -- training -----------------------------------------------------------------
+
+    def run_iteration(
+        self, micro_batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> IterationResult:
+        """Run forward+backward for one mini-batch split into micro-batches.
+
+        ``micro_batches`` is a list of ``(token_ids, targets)`` pairs.  Gradients are
+        accumulated into the stage parameters (already averaged over the whole
+        mini-batch via the ``1/num_micro_batches`` loss scale).
+        """
+        num_micro_batches = len(micro_batches)
+        if num_micro_batches == 0:
+            raise ValueError("run_iteration requires at least one micro-batch")
+        loss_scale = 1.0 / num_micro_batches
+
+        forward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_forward")
+        backward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_backward")
+
+        # Per-stage, per-micro-batch caches; index [stage][micro_batch].
+        caches: list[list[StageCache | None]] = [
+            [None] * num_micro_batches for _ in range(self.num_stages)
+        ]
+        losses: list[float] = []
+
+        # Forward phase (micro-batch order).
+        for micro_batch, (tokens, targets) in enumerate(micro_batches):
+            activation: np.ndarray = np.asarray(tokens)
+            for stage_index, stage in enumerate(self.stages):
+                if stage.is_last:
+                    loss, cache = stage.forward(activation, targets=targets)
+                    losses.append(float(loss))
+                else:
+                    activation, cache = stage.forward(activation)
+                    activation = self.channel.send_forward(
+                        activation, stage_index, micro_batch, num_micro_batches
+                    )
+                caches[stage_index][micro_batch] = cache
+
+        # Backward phase (micro-batch order, stages in reverse).
+        for micro_batch in range(num_micro_batches):
+            grad: np.ndarray | None = None
+            for stage_index in range(self.num_stages - 1, -1, -1):
+                stage = self.stages[stage_index]
+                cache = caches[stage_index][micro_batch]
+                if stage.is_last:
+                    grad = stage.backward(None, cache, loss_scale=loss_scale)
+                else:
+                    grad = stage.backward(grad, cache)
+                caches[stage_index][micro_batch] = None  # release activation memory
+                if stage_index > 0 and grad is not None:
+                    grad = self.channel.send_backward(
+                        grad, stage_index - 1, micro_batch, num_micro_batches
+                    )
+
+        forward_bytes = self.channel.log.total_wire_bytes("inter_stage_forward") - forward_bytes_before
+        backward_bytes = (
+            self.channel.log.total_wire_bytes("inter_stage_backward") - backward_bytes_before
+        )
+        return IterationResult(
+            mean_loss=float(np.mean(losses)),
+            num_micro_batches=num_micro_batches,
+            forward_bytes=int(forward_bytes),
+            backward_bytes=int(backward_bytes),
+        )
+
+    # -- inference ------------------------------------------------------------------
+
+    def evaluate_loss(self, token_ids: np.ndarray, targets: np.ndarray) -> float:
+        """Compute the loss of a batch without touching gradients."""
+        for stage in self.stages:
+            stage.eval()
+        activation: np.ndarray = np.asarray(token_ids)
+        try:
+            for stage in self.stages:
+                if stage.is_last:
+                    loss, _ = stage.forward(activation, targets=targets)
+                    return float(loss)
+                activation, _ = stage.forward(activation)
+        finally:
+            for stage in self.stages:
+                stage.train()
+        raise RuntimeError("pipeline had no last stage")  # pragma: no cover - guarded in __init__
+
+    def forward_logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Full inference pass returning logits (used by zero-shot evaluation)."""
+        activation: np.ndarray = np.asarray(token_ids)
+        for stage in self.stages:
+            activation = stage.forward_only(activation)
+        return activation

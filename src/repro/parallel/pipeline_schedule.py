@@ -1,0 +1,205 @@
+"""Pipeline-parallel schedules: GPipe, 1F1B, and interleaved 1F1B.
+
+A schedule is, per pipeline stage, an ordered list of :class:`PipelineOp` values.
+Two consumers use them:
+
+* the event-driven performance simulator replays the ops with compute and
+  communication costs attached to compute iteration time;
+* the epilogue analysis (:func:`epilogue_micro_batches`) derives *which* backward
+  communications sit on the critical path — the set the paper's epilogue-only
+  compression targets (Section 5.2).
+
+The 1F1B schedule follows Megatron-LM / PipeDream-Flush: stage ``k`` (0-indexed, of
+``p`` stages) performs ``p-1-k`` warm-up forwards, then alternates one forward and
+one backward, and finally drains ``p-1-k`` cool-down backwards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScheduleKind(str, enum.Enum):
+    """Supported pipeline schedules."""
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+    INTERLEAVED_1F1B = "interleaved"
+
+
+@dataclass(frozen=True)
+class PipelineOp:
+    """One unit of pipeline work on a stage.
+
+    Attributes
+    ----------
+    kind:
+        ``"forward"`` or ``"backward"``.
+    micro_batch:
+        Zero-based micro-batch index.
+    chunk:
+        Model-chunk index (always 0 except for interleaved schedules).
+    """
+
+    kind: str
+    micro_batch: int
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("forward", "backward"):
+            raise ValueError(f"op kind must be 'forward' or 'backward', got {self.kind!r}")
+        if self.micro_batch < 0:
+            raise ValueError(f"micro_batch must be non-negative, got {self.micro_batch}")
+
+
+def _validate(num_stages: int, num_micro_batches: int) -> None:
+    if num_stages <= 0:
+        raise ValueError(f"num_stages must be positive, got {num_stages}")
+    if num_micro_batches <= 0:
+        raise ValueError(f"num_micro_batches must be positive, got {num_micro_batches}")
+
+
+def build_gpipe_schedule(num_stages: int, num_micro_batches: int) -> list[list[PipelineOp]]:
+    """GPipe: all forwards, then all backwards, per stage."""
+    _validate(num_stages, num_micro_batches)
+    schedule = []
+    for _stage in range(num_stages):
+        ops = [PipelineOp("forward", mb) for mb in range(num_micro_batches)]
+        ops.extend(PipelineOp("backward", mb) for mb in range(num_micro_batches))
+        schedule.append(ops)
+    return schedule
+
+
+def build_1f1b_schedule(num_stages: int, num_micro_batches: int) -> list[list[PipelineOp]]:
+    """Non-interleaved 1F1B (PipeDream-Flush), the paper's baseline schedule."""
+    _validate(num_stages, num_micro_batches)
+    schedule = []
+    for stage in range(num_stages):
+        num_warmup = min(num_stages - 1 - stage, num_micro_batches)
+        ops: list[PipelineOp] = []
+        forward_mb = 0
+        backward_mb = 0
+        for _ in range(num_warmup):
+            ops.append(PipelineOp("forward", forward_mb))
+            forward_mb += 1
+        while forward_mb < num_micro_batches:
+            ops.append(PipelineOp("forward", forward_mb))
+            forward_mb += 1
+            ops.append(PipelineOp("backward", backward_mb))
+            backward_mb += 1
+        while backward_mb < num_micro_batches:
+            ops.append(PipelineOp("backward", backward_mb))
+            backward_mb += 1
+        schedule.append(ops)
+    return schedule
+
+
+def build_interleaved_1f1b_schedule(
+    num_stages: int, num_micro_batches: int, num_chunks: int = 2
+) -> list[list[PipelineOp]]:
+    """Interleaved 1F1B with ``num_chunks`` model chunks per stage.
+
+    This follows the structure of Megatron-LM's interleaved schedule: forward units
+    are issued in groups of ``num_stages`` micro-batches per chunk, warm-up length is
+    ``(num_stages - 1 - stage) * 2 + (num_chunks - 1) * num_stages`` units, and the
+    remainder alternates forward/backward units before draining the backwards.
+    """
+    _validate(num_stages, num_micro_batches)
+    if num_chunks <= 0:
+        raise ValueError(f"num_chunks must be positive, got {num_chunks}")
+    if num_chunks == 1:
+        return build_1f1b_schedule(num_stages, num_micro_batches)
+    if num_micro_batches % num_stages != 0:
+        # Megatron requires the micro-batch count to be a multiple of the pipeline
+        # size for the interleaved schedule; we keep the same constraint explicit.
+        raise ValueError(
+            f"interleaved schedule requires num_micro_batches ({num_micro_batches}) to be a "
+            f"multiple of num_stages ({num_stages})"
+        )
+
+    total_units = num_micro_batches * num_chunks
+
+    def unit_to_op(unit_index: int, forward: bool) -> PipelineOp:
+        """Map the ``unit_index``-th forward (or backward) unit to (micro_batch, chunk)."""
+        group = unit_index // (num_stages * num_chunks)
+        within = unit_index % (num_stages * num_chunks)
+        chunk = within // num_stages
+        micro_in_group = within % num_stages
+        micro_batch = group * num_stages + micro_in_group
+        if not forward:
+            chunk = num_chunks - 1 - chunk
+        return PipelineOp("forward" if forward else "backward", micro_batch, chunk)
+
+    schedule = []
+    for stage in range(num_stages):
+        num_warmup = min((num_stages - 1 - stage) * 2 + (num_chunks - 1) * num_stages, total_units)
+        ops: list[PipelineOp] = []
+        forward_unit = 0
+        backward_unit = 0
+        for _ in range(num_warmup):
+            ops.append(unit_to_op(forward_unit, forward=True))
+            forward_unit += 1
+        while forward_unit < total_units:
+            ops.append(unit_to_op(forward_unit, forward=True))
+            forward_unit += 1
+            ops.append(unit_to_op(backward_unit, forward=False))
+            backward_unit += 1
+        while backward_unit < total_units:
+            ops.append(unit_to_op(backward_unit, forward=False))
+            backward_unit += 1
+        schedule.append(ops)
+    return schedule
+
+
+def build_schedule(
+    kind: ScheduleKind, num_stages: int, num_micro_batches: int, num_chunks: int = 2
+) -> list[list[PipelineOp]]:
+    """Dispatch to the requested schedule builder."""
+    if kind == ScheduleKind.GPIPE:
+        return build_gpipe_schedule(num_stages, num_micro_batches)
+    if kind == ScheduleKind.ONE_F_ONE_B:
+        return build_1f1b_schedule(num_stages, num_micro_batches)
+    if kind == ScheduleKind.INTERLEAVED_1F1B:
+        return build_interleaved_1f1b_schedule(num_stages, num_micro_batches, num_chunks)
+    raise ValueError(f"unknown schedule kind {kind!r}")
+
+
+def warmup_micro_batches(stage: int, num_stages: int, num_micro_batches: int) -> int:
+    """Number of warm-up forwards stage ``stage`` performs under 1F1B."""
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+    return min(num_stages - 1 - stage, num_micro_batches)
+
+
+def epilogue_micro_batches(
+    receiving_stage: int, num_stages: int, num_micro_batches: int
+) -> set[int]:
+    """Micro-batches whose backward communication *into* ``receiving_stage`` is exposed.
+
+    Under 1F1B, stage ``k`` finishes its forwards ``num_stages - 1 - k`` backwards
+    before the end of the iteration; during that cool-down there is no forward
+    computation left to hide the incoming activation-gradient transfer, so those
+    transfers sit on the critical path.  They are exactly the backward communications
+    of the last ``num_stages - 1 - k`` micro-batches — the pipeline *epilogue* the
+    paper compresses (Section 5.2, Fig. 6).
+
+    Returns a set of zero-based micro-batch indices.  The last stage receives no
+    backward traffic, so its set is empty.
+    """
+    if not 0 <= receiving_stage < num_stages:
+        raise ValueError(f"receiving_stage {receiving_stage} out of range [0, {num_stages})")
+    cooldown = min(num_stages - 1 - receiving_stage, num_micro_batches)
+    if cooldown <= 0:
+        return set()
+    return set(range(num_micro_batches - cooldown, num_micro_batches))
+
+
+def count_in_flight_micro_batches(stage: int, num_stages: int, num_micro_batches: int) -> int:
+    """Peak number of activations stage ``stage`` holds simultaneously under 1F1B.
+
+    Used by the memory model: earlier stages keep more in-flight micro-batches
+    (``num_stages - stage``), which is why 1F1B bounds activation memory compared to
+    GPipe's ``num_micro_batches``.
+    """
+    return min(num_stages - stage, num_micro_batches)

@@ -1,0 +1,179 @@
+"""Megatron-style rank grids for 3D parallelism.
+
+Given a world of ``tp * pp * dp`` GPUs, Megatron-LM assigns ranks so that
+
+* tensor-parallel groups are *contiguous* ranks (and therefore fit inside a node),
+* pipeline stages stride across nodes,
+* data-parallel groups connect the corresponding GPUs of different model replicas.
+
+:class:`ParallelLayout` captures the degrees, and :class:`ProcessGrid` materialises
+the rank groups plus the embedding group (first + last pipeline stage), which is the
+group the paper's fused embedding synchronisation operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.topology import ClusterTopology
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """Degrees of the three parallelism dimensions.
+
+    The paper's main configuration is ``TP8 / DP4 / PP4`` on 128 GPUs (Table 1).
+    """
+
+    tensor_parallel: int = 8
+    pipeline_parallel: int = 4
+    data_parallel: int = 4
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("tensor_parallel", self.tensor_parallel),
+            ("pipeline_parallel", self.pipeline_parallel),
+            ("data_parallel", self.data_parallel),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} degree must be positive, got {value}")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks required."""
+        return self.tensor_parallel * self.pipeline_parallel * self.data_parallel
+
+    def describe(self) -> str:
+        """Short textual description, e.g. ``"TP8/DP4/PP4"``."""
+        return f"TP{self.tensor_parallel}/DP{self.data_parallel}/PP{self.pipeline_parallel}"
+
+
+@dataclass(frozen=True)
+class RankCoordinates:
+    """Position of a rank in the (dp, pp, tp) grid."""
+
+    data_parallel: int
+    pipeline_stage: int
+    tensor_parallel: int
+
+
+class ProcessGrid:
+    """Materialised rank groups for a :class:`ParallelLayout` on a topology.
+
+    Rank ordering follows Megatron-LM: the tensor dimension varies fastest, then the
+    pipeline dimension, then the data-parallel dimension:
+
+        rank = dp * (pp_degree * tp_degree) + pp * tp_degree + tp
+    """
+
+    def __init__(self, layout: ParallelLayout, topology: ClusterTopology | None = None) -> None:
+        self.layout = layout
+        self.topology = topology if topology is not None else ClusterTopology(
+            num_nodes=max(1, layout.world_size // 8), gpus_per_node=min(8, layout.world_size)
+        )
+        if self.topology.world_size < layout.world_size:
+            raise ValueError(
+                f"layout needs {layout.world_size} ranks but topology only has "
+                f"{self.topology.world_size} GPUs"
+            )
+
+    # -- coordinate transforms -------------------------------------------------
+
+    def rank_of(self, dp: int, pp: int, tp: int) -> int:
+        """Global rank of the GPU at grid position ``(dp, pp, tp)``."""
+        layout = self.layout
+        if not (0 <= dp < layout.data_parallel):
+            raise ValueError(f"dp index {dp} out of range")
+        if not (0 <= pp < layout.pipeline_parallel):
+            raise ValueError(f"pp index {pp} out of range")
+        if not (0 <= tp < layout.tensor_parallel):
+            raise ValueError(f"tp index {tp} out of range")
+        return dp * (layout.pipeline_parallel * layout.tensor_parallel) + pp * layout.tensor_parallel + tp
+
+    def coordinates_of(self, rank: int) -> RankCoordinates:
+        """Inverse of :meth:`rank_of`."""
+        layout = self.layout
+        if not 0 <= rank < layout.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {layout.world_size})")
+        per_replica = layout.pipeline_parallel * layout.tensor_parallel
+        dp, remainder = divmod(rank, per_replica)
+        pp, tp = divmod(remainder, layout.tensor_parallel)
+        return RankCoordinates(data_parallel=dp, pipeline_stage=pp, tensor_parallel=tp)
+
+    # -- group construction -----------------------------------------------------
+
+    def tensor_parallel_groups(self) -> list[list[int]]:
+        """Groups of ranks sharing a layer split (contiguous, intra-node)."""
+        groups = []
+        for dp in range(self.layout.data_parallel):
+            for pp in range(self.layout.pipeline_parallel):
+                groups.append(
+                    [self.rank_of(dp, pp, tp) for tp in range(self.layout.tensor_parallel)]
+                )
+        return groups
+
+    def pipeline_parallel_groups(self) -> list[list[int]]:
+        """Groups of ranks forming one pipeline (fixed dp and tp)."""
+        groups = []
+        for dp in range(self.layout.data_parallel):
+            for tp in range(self.layout.tensor_parallel):
+                groups.append(
+                    [self.rank_of(dp, pp, tp) for pp in range(self.layout.pipeline_parallel)]
+                )
+        return groups
+
+    def data_parallel_groups(self) -> list[list[int]]:
+        """Groups of ranks holding the same model shard across replicas."""
+        groups = []
+        for pp in range(self.layout.pipeline_parallel):
+            for tp in range(self.layout.tensor_parallel):
+                groups.append(
+                    [self.rank_of(dp, pp, tp) for dp in range(self.layout.data_parallel)]
+                )
+        return groups
+
+    def embedding_groups(self) -> list[list[int]]:
+        """Groups of the first- and last-stage ranks that share the embedding weight.
+
+        One group per (dp, tp) pair.  When the pipeline has a single stage the group
+        degenerates to one rank and no synchronisation traffic is needed.
+        """
+        first, last = 0, self.layout.pipeline_parallel - 1
+        groups = []
+        for dp in range(self.layout.data_parallel):
+            for tp in range(self.layout.tensor_parallel):
+                ranks = [self.rank_of(dp, first, tp)]
+                if last != first:
+                    ranks.append(self.rank_of(dp, last, tp))
+                groups.append(ranks)
+        return groups
+
+    def fused_embedding_groups(self) -> list[list[int]]:
+        """Fused embedding-synchronisation groups (first+last stage × all replicas).
+
+        One group per tp index, containing ``2 * data_parallel`` ranks — the group
+        over which the paper's fused embedding synchronisation runs its single
+        all-reduce (Section 6).
+        """
+        first, last = 0, self.layout.pipeline_parallel - 1
+        groups = []
+        for tp in range(self.layout.tensor_parallel):
+            ranks = []
+            for dp in range(self.layout.data_parallel):
+                ranks.append(self.rank_of(dp, first, tp))
+                if last != first:
+                    ranks.append(self.rank_of(dp, last, tp))
+            groups.append(sorted(set(ranks)))
+        return groups
+
+    # -- placement diagnostics ----------------------------------------------------
+
+    def tensor_groups_are_intra_node(self) -> bool:
+        """Check the Megatron placement invariant: TP groups never cross nodes."""
+        return all(
+            self.topology.group_is_intra_node(group) for group in self.tensor_parallel_groups()
+        )
+
+    def group_spans_nodes(self, ranks: list[int]) -> bool:
+        """True when a group's traffic must use the inter-node interconnect."""
+        return not self.topology.group_is_intra_node(ranks)

@@ -1,0 +1,85 @@
+"""Physical cluster topology: nodes, GPUs, and the links between them.
+
+The topology answers one question the rest of the system keeps asking: *is this
+communication intra-node (NVLink) or inter-node (InfiniBand)?*  Megatron-LM places
+each tensor-parallel group inside one node precisely so its heavy all-reduces stay
+on NVLink, while data-parallel and pipeline-parallel traffic crosses nodes — the
+traffic Optimus-CC compresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceId:
+    """Identifies one GPU by node index and local index within the node."""
+
+    node: int
+    local_rank: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"node{self.node}:gpu{self.local_rank}"
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster of ``num_nodes`` nodes with ``gpus_per_node`` GPUs each.
+
+    The default values match the paper's testbed (Table 1): 16 nodes × 8 A100,
+    NVLink 600 GB/s per GPU intra-node, InfiniBand HDR 200 Gb/s (25 GB/s) per node.
+    """
+
+    num_nodes: int = 16
+    gpus_per_node: int = 8
+    intra_node_bandwidth_gbps: float = 600.0 * 8  # NVLink, expressed in Gbit/s
+    inter_node_bandwidth_gbps: float = 200.0  # InfiniBand HDR
+    intra_node_latency_us: float = 3.0
+    inter_node_latency_us: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.gpus_per_node <= 0:
+            raise ValueError("num_nodes and gpus_per_node must be positive")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.num_nodes * self.gpus_per_node
+
+    def device_of_rank(self, rank: int) -> DeviceId:
+        """Map a global rank to its physical device (ranks fill nodes contiguously)."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {self.world_size})")
+        return DeviceId(node=rank // self.gpus_per_node, local_rank=rank % self.gpus_per_node)
+
+    def ranks_on_same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when both ranks live on the same physical node."""
+        return self.device_of_rank(rank_a).node == self.device_of_rank(rank_b).node
+
+    def group_is_intra_node(self, ranks: list[int]) -> bool:
+        """True when every rank of the group lives on one node."""
+        if not ranks:
+            return True
+        nodes = {self.device_of_rank(rank).node for rank in ranks}
+        return len(nodes) == 1
+
+    def link_for_group(self, ranks: list[int]) -> tuple[float, float]:
+        """Return ``(bandwidth_gbps, latency_us)`` of the link class a group uses."""
+        if self.group_is_intra_node(ranks):
+            return self.intra_node_bandwidth_gbps, self.intra_node_latency_us
+        return self.inter_node_bandwidth_gbps, self.inter_node_latency_us
+
+
+#: The paper's evaluation cluster (Table 1).
+PAPER_CLUSTER = ClusterTopology()
+
+
+def ethernet_cluster(num_nodes: int = 16, gpus_per_node: int = 8) -> ClusterTopology:
+    """A commodity 10 GbE cluster, used by sensitivity studies in the tests."""
+    return ClusterTopology(
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        inter_node_bandwidth_gbps=10.0,
+        inter_node_latency_us=30.0,
+    )

@@ -1,0 +1,349 @@
+"""Analytic cost model: FLOPs, communication volumes, and kernel times.
+
+The model follows the structure of Megatron-LM's 3D parallelism:
+
+* each pipeline stage owns a contiguous block of transformer layers (the first
+  stage also owns the embeddings, the last the tied output head);
+* tensor parallelism splits every layer across the GPUs of one node, so its
+  all-reduces ride NVLink and are folded into the compute terms (as the paper does
+  in its breakdowns);
+* pipeline-parallel point-to-point traffic and data-parallel all-reduce traffic
+  cross the node NIC, which is shared by the node's GPUs.
+
+All times are seconds, all volumes bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.gpt_configs import PaperModelSpec
+from repro.parallel.collectives import ring_all_reduce_wire_bytes
+from repro.parallel.process_groups import ParallelLayout
+from repro.simulator.hardware import ClusterSpec, PAPER_CLUSTER_SPEC
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A model + parallel layout + batch configuration to be simulated.
+
+    The defaults mirror Table 1 of the paper: micro-batch 8, global mini-batch 512,
+    sequence length 1024, TP8/DP4/PP4.
+    """
+
+    model: PaperModelSpec
+    layout: ParallelLayout = field(default_factory=ParallelLayout)
+    cluster: ClusterSpec = PAPER_CLUSTER_SPEC
+    micro_batch_size: int = 8
+    global_batch_size: int = 512
+    sequence_length: int | None = None
+    #: Megatron interleaved-1F1B model chunks per stage.  The paper applies the
+    #: interleaved schedule (Section 8), which multiplies the number of inter-stage
+    #: transfers while shrinking each compute segment; 1 selects plain 1F1B (the
+    #: schedule the paper's timing diagrams are drawn with).
+    num_model_chunks: int = 2
+
+    def __post_init__(self) -> None:
+        per_replica = self.global_batch_size / self.layout.data_parallel
+        if per_replica != int(per_replica):
+            raise ValueError(
+                f"global batch {self.global_batch_size} not divisible by data-parallel degree "
+                f"{self.layout.data_parallel}"
+            )
+        if int(per_replica) % self.micro_batch_size != 0:
+            raise ValueError(
+                f"per-replica batch {int(per_replica)} not divisible by micro-batch "
+                f"{self.micro_batch_size}"
+            )
+        if self.num_model_chunks <= 0:
+            raise ValueError("num_model_chunks must be positive")
+        if self.num_model_chunks > 1 and self.num_micro_batches % self.layout.pipeline_parallel != 0:
+            raise ValueError(
+                "interleaved scheduling requires the micro-batch count per replica "
+                f"({self.num_micro_batches}) to be a multiple of the pipeline depth "
+                f"({self.layout.pipeline_parallel})"
+            )
+
+    @property
+    def seq_length(self) -> int:
+        return self.sequence_length if self.sequence_length is not None else self.model.sequence_length
+
+    @property
+    def num_micro_batches(self) -> int:
+        """Micro-batches per data-parallel replica per iteration."""
+        return self.global_batch_size // self.layout.data_parallel // self.micro_batch_size
+
+    @property
+    def num_stages(self) -> int:
+        return self.layout.pipeline_parallel
+
+
+class CostModel:
+    """Computes compute times, communication times, and compression kernel times."""
+
+    def __init__(self, job: TrainingJob) -> None:
+        self.job = job
+        self.model = job.model
+        self.layout = job.layout
+        self.cluster = job.cluster
+        self.constants = job.cluster.constants
+        # When a node hosts GPUs from several pipeline stages (TP degree smaller than
+        # the node size), its NIC is shared by their concurrent inter-node traffic.
+        self._nic_contention = max(
+            1.0, self.cluster.topology.gpus_per_node / self.layout.tensor_parallel
+        )
+
+    # ------------------------------------------------------------------ layers --
+
+    def layers_on_stage(self, stage: int) -> int:
+        """Number of transformer layers owned by ``stage``."""
+        num_stages = self.layout.pipeline_parallel
+        if not 0 <= stage < num_stages:
+            raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+        base = self.model.num_layers // num_stages
+        remainder = self.model.num_layers % num_stages
+        return base + (1 if stage < remainder else 0)
+
+    # ------------------------------------------------------------------ compute --
+
+    def _layer_forward_flops(self) -> float:
+        """Forward FLOPs of one transformer layer for one micro-batch."""
+        batch = self.job.micro_batch_size
+        seq = self.job.seq_length
+        hidden = self.model.hidden_size
+        # 12 H^2 per token from the four GEMMs (QKV 3H^2, proj H^2, MLP 2*4H^2),
+        # plus the attention score/context GEMMs (2 * S * H per token); factor 2 for MACs.
+        return 2.0 * batch * seq * (12.0 * hidden * hidden + 2.0 * seq * hidden)
+
+    def _embedding_forward_flops(self) -> float:
+        """Forward FLOPs of the output-logit projection for one micro-batch."""
+        batch = self.job.micro_batch_size
+        seq = self.job.seq_length
+        return 2.0 * batch * seq * self.model.hidden_size * self.model.vocab_size
+
+    def _flops_to_time(self, flops: float) -> float:
+        """Convert per-stage FLOPs into seconds, accounting for the TP split."""
+        per_gpu = flops / self.layout.tensor_parallel
+        effective = self.cluster.gpu.peak_fp16_flops * self.constants.compute_efficiency
+        return per_gpu / effective
+
+    def forward_time(self, stage: int) -> float:
+        """Forward-pass compute time of ``stage`` for one micro-batch."""
+        flops = self.layers_on_stage(stage) * self._layer_forward_flops()
+        if stage == self.layout.pipeline_parallel - 1:
+            flops += self._embedding_forward_flops()
+        return self._flops_to_time(flops)
+
+    def backward_time(self, stage: int) -> float:
+        """Backward-pass compute time of ``stage`` for one micro-batch.
+
+        Backward is 2x forward; with activation recomputation enabled (Megatron's
+        default for these model sizes) an extra forward is added, giving 3x.
+        """
+        multiplier = 3.0 if self.constants.recompute_activations else 2.0
+        flops = multiplier / 2.0 * 2.0 * self.layers_on_stage(stage) * self._layer_forward_flops()
+        if stage == self.layout.pipeline_parallel - 1:
+            flops += 2.0 * self._embedding_forward_flops()
+        return self._flops_to_time(flops)
+
+    # ----------------------------------------------------------- inter-stage p2p --
+
+    def activation_elements(self) -> int:
+        """Elements of one inter-stage activation tensor (per micro-batch)."""
+        return self.job.micro_batch_size * self.job.seq_length * self.model.hidden_size
+
+    def interstage_message_bytes(self) -> float:
+        """Bytes one inter-stage transfer pushes through the node NIC.
+
+        Every tensor-parallel rank exchanges the (replicated) activation with its
+        peer on the adjacent stage, so without the scatter-gather optimisation the
+        node NIC carries ``tp`` copies.
+        """
+        per_rank = self.activation_elements() * self.constants.activation_wire_bytes
+        if self.constants.scatter_gather_pipeline_comm:
+            return float(per_rank * self._nic_contention)
+        return float(per_rank * self.layout.tensor_parallel * self._nic_contention)
+
+    def compressed_activation_bytes(self, rank: int) -> float:
+        """Wire bytes of a PowerSGD-compressed inter-stage transfer.
+
+        The activation gradient of shape ``(micro_batch * seq, hidden)`` is
+        factorised into ``P (n x r)`` and ``Q (m x r)``.
+        """
+        rows = self.job.micro_batch_size * self.job.seq_length
+        cols = self.model.hidden_size
+        rank = max(1, min(rank, rows, cols))
+        elements = rank * (rows + cols)
+        per_rank_bytes = elements * self.constants.activation_wire_bytes
+        if self.constants.scatter_gather_pipeline_comm:
+            return float(per_rank_bytes * self._nic_contention)
+        return float(per_rank_bytes * self.layout.tensor_parallel * self._nic_contention)
+
+    def p2p_time(self, message_bytes: float) -> float:
+        """Point-to-point transfer time across the inter-node link.
+
+        Pipeline transfers of the node's tensor-parallel peers serialise through the
+        node's HCA at the effective point-to-point rate (PyTorch-era blocking
+        send/recv achieves far less than the NIC line rate), which is why the paper
+        finds inter-stage communication worth compressing even on InfiniBand HDR.
+        """
+        if message_bytes <= 0:
+            return 0.0
+        return self.cluster.inter_node_latency_s + message_bytes / self.cluster.p2p_bandwidth_bytes_per_s
+
+    def interstage_time(self, compressed_rank: int | None = None) -> float:
+        """Time of one inter-stage transfer (optionally PowerSGD-compressed)."""
+        if compressed_rank is None:
+            return self.p2p_time(self.interstage_message_bytes())
+        return self.p2p_time(self.compressed_activation_bytes(compressed_rank))
+
+    # ------------------------------------------------------------ data parallel --
+
+    def stage_weight_matrices(self, stage: int) -> list[tuple[int, int]]:
+        """Shapes of the 2-D weight matrices a stage all-reduces (excluding embeddings)."""
+        hidden = self.model.hidden_size
+        per_layer = [
+            (hidden, 3 * hidden),  # fused QKV
+            (hidden, hidden),  # attention output projection
+            (hidden, 4 * hidden),  # MLP up-projection
+            (4 * hidden, hidden),  # MLP down-projection
+        ]
+        return per_layer * self.layers_on_stage(stage)
+
+    def stage_small_parameters(self, stage: int) -> int:
+        """Scalar count of the 1-D parameters (biases, LayerNorms) of a stage."""
+        hidden = self.model.hidden_size
+        per_layer = 3 * hidden + hidden + 4 * hidden + hidden + 4 * hidden  # biases + 2 LN
+        total = per_layer * self.layers_on_stage(stage)
+        if stage == self.layout.pipeline_parallel - 1:
+            total += 2 * hidden  # final LayerNorm
+        if stage == 0:
+            total += self.job.seq_length * 0  # position embedding handled below
+        return total
+
+    def dp_gradient_bytes(self, stage: int, include_position_embedding: bool = True) -> float:
+        """Per-node-NIC bytes of the stage's data-parallel gradient all-reduce.
+
+        The word-embedding copies are excluded (they are synchronised by the
+        embedding path); the position embedding of the first stage is included.
+        """
+        elements = sum(rows * cols for rows, cols in self.stage_weight_matrices(stage))
+        elements += self.stage_small_parameters(stage)
+        if include_position_embedding and stage == 0:
+            elements += self.job.seq_length * self.model.hidden_size
+        total_bytes = elements * self.constants.gradient_wire_bytes * self._nic_contention
+        # Each of the node's TP ranks all-reduces its 1/tp shard through the shared
+        # NIC; the shards together cover the full stage, hence the full volume.
+        return ring_all_reduce_wire_bytes(total_bytes, self.layout.data_parallel)
+
+    def dp_compressed_gradient_bytes(self, stage: int, rank: int) -> float:
+        """Per-node-NIC bytes of the stage's DP all-reduce under PowerSGD rank ``rank``."""
+        elements = 0
+        for rows, cols in self.stage_weight_matrices(stage):
+            effective = max(1, min(rank, rows, cols))
+            low_rank = effective * (rows + cols)
+            elements += min(low_rank, rows * cols)
+        elements += self.stage_small_parameters(stage)  # uncompressed pass-through
+        if stage == 0:
+            elements += self.job.seq_length * self.model.hidden_size
+        total_bytes = elements * self.constants.gradient_wire_bytes * self._nic_contention
+        return ring_all_reduce_wire_bytes(total_bytes, self.layout.data_parallel)
+
+    def collective_time(self, wire_bytes: float) -> float:
+        """Time of a collective given its per-NIC wire bytes."""
+        if wire_bytes <= 0:
+            return 0.0
+        return self.cluster.inter_node_latency_s + wire_bytes / self.cluster.node_inter_bandwidth_bytes_per_s
+
+    def dp_time(self, stage: int, compressed_rank: int | None = None) -> float:
+        """Data-parallel all-reduce time of one stage (optionally compressed)."""
+        if self.layout.data_parallel == 1:
+            return 0.0
+        if compressed_rank is None:
+            return self.collective_time(self.dp_gradient_bytes(stage))
+        return self.collective_time(self.dp_compressed_gradient_bytes(stage, compressed_rank))
+
+    # --------------------------------------------------------------- embeddings --
+
+    def embedding_gradient_bytes(self) -> float:
+        """Raw bytes of one word-embedding gradient copy (per node NIC)."""
+        return float(
+            self.model.word_embedding_parameters()
+            * self.constants.gradient_wire_bytes
+            * self._nic_contention
+        )
+
+    def embedding_dp_time(self) -> float:
+        """Baseline: DP all-reduce of one embedding copy across the replicas."""
+        if self.layout.data_parallel == 1:
+            return 0.0
+        wire = ring_all_reduce_wire_bytes(self.embedding_gradient_bytes(), self.layout.data_parallel)
+        return self.collective_time(wire)
+
+    def embedding_sync_time(self) -> float:
+        """Baseline: the 2-way all-reduce between the first- and last-stage copies.
+
+        A two-rank all-reduce is effectively a point-to-point exchange, so it runs
+        at the (slow) p2p rate rather than the ring-collective rate — one of the
+        inefficiencies fused embedding synchronisation removes by folding the
+        exchange into a single 2D-way NCCL ring.
+        """
+        if self.layout.pipeline_parallel == 1:
+            return 0.0
+        wire = ring_all_reduce_wire_bytes(self.embedding_gradient_bytes(), 2)
+        return self.p2p_time(wire)
+
+    def fused_embedding_time(self) -> float:
+        """Fused: a single all-reduce over ``2 * D`` embedding copies (Section 6)."""
+        if self.layout.pipeline_parallel == 1:
+            return self.embedding_dp_time()
+        ranks = 2 * self.layout.data_parallel
+        wire = ring_all_reduce_wire_bytes(self.embedding_gradient_bytes(), ranks)
+        return self.collective_time(wire)
+
+    # --------------------------------------------------------- compression kernels --
+
+    def powersgd_compress_time(self, rows: int, cols: int, rank: int) -> float:
+        """Time to compress an ``rows x cols`` matrix at rank ``rank`` on one GPU.
+
+        The cost is two GEMMs (``M @ Q`` and ``M.T @ P``) plus the Gram-Schmidt
+        orthogonalisation whose sequential, per-column kernel launches dominate —
+        matching the paper's observation that orthogonalisation is ~80 % of the cost
+        and that throughput *decreases* as the rank grows (Section 9.6).
+        """
+        rank = max(1, min(rank, rows, cols))
+        gemm_flops = 4.0 * rows * cols * rank
+        gemm_rate = self.cluster.gpu.peak_fp16_flops * self.constants.compression_gemm_efficiency
+        gemm_time = gemm_flops / gemm_rate
+        ortho_time = rank * self.constants.orthogonalisation_kernel_launch_s + (
+            2.0 * rows * rank * rank
+        ) / gemm_rate
+        return self.constants.kernel_fixed_overhead_s + gemm_time + ortho_time
+
+    def powersgd_decompress_time(self, rows: int, cols: int, rank: int) -> float:
+        """Time to reconstruct ``P @ Q.T`` on one GPU."""
+        rank = max(1, min(rank, rows, cols))
+        gemm_flops = 2.0 * rows * cols * rank
+        gemm_rate = self.cluster.gpu.peak_fp16_flops * self.constants.compression_gemm_efficiency
+        return self.constants.kernel_fixed_overhead_s + gemm_flops / gemm_rate
+
+    def activation_compression_overhead(self, rank: int) -> float:
+        """Compress + decompress overhead for one inter-stage transfer."""
+        rows = self.job.micro_batch_size * self.job.seq_length
+        cols = self.model.hidden_size
+        return self.powersgd_compress_time(rows, cols, rank) + self.powersgd_decompress_time(
+            rows, cols, rank
+        )
+
+    def dp_compression_overhead(self, stage: int, rank: int) -> float:
+        """Compress + decompress overhead for a stage's DP gradients (per iteration).
+
+        Each TP rank compresses its shard of every weight matrix; the shards are
+        ``1/tp`` of the full matrices, so we charge the full-matrix cost divided by
+        the TP degree.
+        """
+        total = 0.0
+        for rows, cols in self.stage_weight_matrices(stage):
+            total += self.powersgd_compress_time(rows, cols, rank)
+            total += self.powersgd_decompress_time(rows, cols, rank)
+        return total / self.layout.tensor_parallel

@@ -1,0 +1,435 @@
+"""Event-driven timing simulation of one 3D-parallel training iteration.
+
+The simulator replays the pipeline schedule (plain 1F1B or Megatron's interleaved
+1F1B with multiple model chunks per stage — the paper's configuration) across the
+pipeline stages of one data-parallel replica.  Point-to-point transfers delay the
+receiving stage; data-parallel all-reduces start as soon as a stage finishes its
+last backward pass (the property selective stage compression exploits); the
+embedding synchronisation runs after the first and last stages have finished their
+embedding all-reduces (or as one fused all-reduce when fused embedding
+synchronisation is enabled).
+
+Compression changes two things: the bytes on the wire (smaller) and the kernel
+overhead (compress + decompress time added to the transfer latency), exactly the
+trade-off the paper's Fig. 13 (rank sweep) exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.parallel.pipeline_schedule import (
+    PipelineOp,
+    build_1f1b_schedule,
+    build_interleaved_1f1b_schedule,
+)
+from repro.simulator.cost_model import CostModel, TrainingJob
+
+
+@dataclass(frozen=True)
+class ComponentToggles:
+    """Multipliers used by the CPI-stack style breakdown (1.0 = enabled, 0.0 = off)."""
+
+    forward: float = 1.0
+    backward: float = 1.0
+    interstage: float = 1.0
+    data_parallel: float = 1.0
+    embedding: float = 1.0
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """Which Optimus-CC techniques are active for a simulated run.
+
+    Attributes
+    ----------
+    compress_backward:
+        Enable compressed backpropagation (CB) on inter-stage backward traffic.
+    backward_rank:
+        PowerSGD rank used for CB (paper default: 16).
+    backward_epilogue_only:
+        Compress only the epilogue (critical-path) transfers; ``False`` means naive
+        CB on every backward transfer.
+    compress_forward:
+        Compress forward activations too (the paper shows this breaks convergence;
+        kept for the motivational comparison only).
+    dp_compressed_stage_fraction:
+        Fraction of pipeline stages whose data-parallel traffic is compressed
+        (selective stage compression; earliest stages first).  1.0 compresses every
+        stage ("naive DP").
+    dp_rank:
+        PowerSGD rank for data-parallel gradient compression (paper default: 128).
+    fuse_embedding:
+        Enable fused embedding synchronisation (FE).
+    """
+
+    compress_backward: bool = False
+    backward_rank: int = 16
+    backward_epilogue_only: bool = True
+    compress_forward: bool = False
+    dp_compressed_stage_fraction: float = 0.0
+    dp_rank: int = 128
+    fuse_embedding: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dp_compressed_stage_fraction <= 1.0:
+            raise ValueError("dp_compressed_stage_fraction must be in [0, 1]")
+        if self.backward_rank <= 0 or self.dp_rank <= 0:
+            raise ValueError("compression ranks must be positive")
+
+    # -- named configurations used across the benchmarks -------------------------
+
+    @classmethod
+    def baseline(cls) -> "CompressionPlan":
+        """No compression (Megatron-LM baseline)."""
+        return cls()
+
+    @classmethod
+    def cb(cls, rank: int = 16) -> "CompressionPlan":
+        """Compressed backpropagation only (epilogue-only, with LEP implied)."""
+        return cls(compress_backward=True, backward_rank=rank)
+
+    @classmethod
+    def cb_fe(cls, rank: int = 16) -> "CompressionPlan":
+        """CB + fused embedding synchronisation."""
+        return cls(compress_backward=True, backward_rank=rank, fuse_embedding=True)
+
+    @classmethod
+    def cb_fe_sc(
+        cls, cb_rank: int = 16, dp_rank: int = 128, stage_fraction: float = 0.75
+    ) -> "CompressionPlan":
+        """Full Optimus-CC: CB + FE + selective stage compression (paper default 75 %)."""
+        return cls(
+            compress_backward=True,
+            backward_rank=cb_rank,
+            fuse_embedding=True,
+            dp_compressed_stage_fraction=stage_fraction,
+            dp_rank=dp_rank,
+        )
+
+    @classmethod
+    def naive_dp(cls, dp_rank: int = 128) -> "CompressionPlan":
+        """Naive data-parallel compression of every stage (motivational 'naive DP')."""
+        return cls(dp_compressed_stage_fraction=1.0, dp_rank=dp_rank)
+
+    @classmethod
+    def naive_cb(cls, rank: int = 16) -> "CompressionPlan":
+        """Naive compressed backpropagation on every transfer (no epilogue-only)."""
+        return cls(compress_backward=True, backward_rank=rank, backward_epilogue_only=False)
+
+    def compressed_dp_stages(self, num_stages: int) -> set[int]:
+        """Stages whose DP traffic is compressed (earliest first, per Fig. 8)."""
+        count = int(round(self.dp_compressed_stage_fraction * num_stages))
+        count = min(count, num_stages)
+        return set(range(count))
+
+    def describe(self) -> str:
+        """Short label such as ``"CB+FE+SC"`` for reports."""
+        parts = []
+        if self.compress_backward:
+            parts.append("CB" if self.backward_epilogue_only else "CB(naive)")
+        if self.fuse_embedding:
+            parts.append("FE")
+        if self.dp_compressed_stage_fraction > 0:
+            if self.dp_compressed_stage_fraction >= 1.0:
+                parts.append("DP(all)")
+            else:
+                parts.append(f"SC({self.dp_compressed_stage_fraction:.0%})")
+        return "+".join(parts) if parts else "Baseline"
+
+
+@dataclass
+class IterationTiming:
+    """Timing of one simulated iteration."""
+
+    iteration_time: float
+    stage_backward_finish: list[float]
+    stage_finish: list[float]
+    dp_times: list[float]
+    embedding_time: float
+    compression_overhead: float
+    forward_compute: float
+    backward_compute: float
+    interstage_wire_bytes: float
+    dp_wire_bytes: float
+    embedding_wire_bytes: float
+
+    def days_for(self, num_iterations: int) -> float:
+        """Wall-clock days for ``num_iterations`` iterations at this rate."""
+        return self.iteration_time * num_iterations / 86400.0
+
+    def speedup_over(self, baseline: "IterationTiming") -> float:
+        """Relative speedup versus a baseline timing (paper's convention: old/new - 1)."""
+        return baseline.iteration_time / self.iteration_time - 1.0
+
+
+class PipelineTimingSimulator:
+    """Replays the pipeline schedule with communication and compression costs."""
+
+    def __init__(
+        self,
+        job: TrainingJob,
+        plan: CompressionPlan | None = None,
+        toggles: ComponentToggles | None = None,
+    ) -> None:
+        self.job = job
+        self.cost = CostModel(job)
+        self.plan = plan if plan is not None else CompressionPlan.baseline()
+        self.toggles = toggles if toggles is not None else ComponentToggles()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def with_toggles(self, **kwargs: float) -> "PipelineTimingSimulator":
+        """Return a copy with some component toggles changed (for breakdowns)."""
+        return PipelineTimingSimulator(self.job, self.plan, replace(self.toggles, **kwargs))
+
+    def _build_schedule(self) -> list[list[PipelineOp]]:
+        num_stages = self.job.num_stages
+        num_micro = self.job.num_micro_batches
+        chunks = self.job.num_model_chunks
+        if num_stages == 1:
+            return build_1f1b_schedule(1, num_micro)
+        if chunks > 1:
+            return build_interleaved_1f1b_schedule(num_stages, num_micro, chunks)
+        return build_1f1b_schedule(num_stages, num_micro)
+
+    @staticmethod
+    def _epilogue_sets(schedule: list[list[PipelineOp]]) -> list[set[tuple[int, int]]]:
+        """Per-stage set of (micro_batch, chunk) whose backward runs in the cool-down.
+
+        The cool-down of a stage is everything after its last forward op: there is no
+        forward computation left to hide the incoming activation-gradient transfer,
+        so those transfers sit on the critical path — the paper's epilogue
+        (Section 5.2, Fig. 6).  This definition applies uniformly to the plain and
+        interleaved schedules.
+        """
+        epilogue: list[set[tuple[int, int]]] = []
+        for ops in schedule:
+            last_forward = max(
+                (index for index, op in enumerate(ops) if op.kind == "forward"), default=-1
+            )
+            stage_set = {
+                (op.micro_batch, op.chunk)
+                for op in ops[last_forward + 1 :]
+                if op.kind == "backward"
+            }
+            epilogue.append(stage_set)
+        return epilogue
+
+    def _transfer(
+        self, compressed: bool
+    ) -> tuple[float, float, float]:
+        """Return ``(delay_seconds, wire_bytes, compression_overhead)`` of a transfer."""
+        plan = self.plan
+        overhead = 0.0
+        if compressed:
+            wire = self.cost.compressed_activation_bytes(plan.backward_rank)
+            overhead = self.cost.activation_compression_overhead(plan.backward_rank)
+        else:
+            wire = self.cost.interstage_message_bytes()
+        delay = self.cost.p2p_time(wire) * self.toggles.interstage + overhead
+        return delay, wire * self.toggles.interstage, overhead
+
+    # -- main simulation ---------------------------------------------------------------
+
+    def run(self) -> IterationTiming:
+        """Simulate one iteration and return its timing."""
+        num_stages = self.job.num_stages
+        num_micro = self.job.num_micro_batches
+        chunks = self.job.num_model_chunks if num_stages > 1 else 1
+        plan = self.plan
+        schedule = self._build_schedule()
+        epilogue_sets = self._epilogue_sets(schedule)
+
+        # Per-chunk compute times: a stage's layers are split evenly across chunks.
+        forward_times = [
+            self.cost.forward_time(s) * self.toggles.forward / chunks for s in range(num_stages)
+        ]
+        backward_times = [
+            self.cost.backward_time(s) * self.toggles.backward / chunks for s in range(num_stages)
+        ]
+
+        device_free = [0.0] * num_stages
+        pointers = [0] * num_stages
+        forward_arrival: dict[tuple[int, int, int], float] = {}
+        backward_arrival: dict[tuple[int, int, int], float] = {}
+        for micro in range(num_micro):
+            forward_arrival[(0, micro, 0)] = 0.0  # stage 0 reads input data locally
+            backward_arrival[(num_stages - 1, micro, chunks - 1)] = 0.0  # seeded by the loss
+
+        stage_backward_finish = [0.0] * num_stages
+        compression_overhead_total = 0.0
+        interstage_wire_total = 0.0
+
+        def forward_consumer(stage: int, micro: int, chunk: int) -> tuple[int, int, int] | None:
+            if stage < num_stages - 1:
+                return (stage + 1, micro, chunk)
+            if chunk < chunks - 1:
+                return (0, micro, chunk + 1)
+            return None
+
+        def backward_consumer(stage: int, micro: int, chunk: int) -> tuple[int, int, int] | None:
+            if stage > 0:
+                return (stage - 1, micro, chunk)
+            if chunk > 0:
+                return (num_stages - 1, micro, chunk - 1)
+            return None
+
+        remaining = sum(len(ops) for ops in schedule)
+        while remaining > 0:
+            progressed = False
+            for stage in range(num_stages):
+                while pointers[stage] < len(schedule[stage]):
+                    op = schedule[stage][pointers[stage]]
+                    key = (stage, op.micro_batch, op.chunk)
+                    arrivals = forward_arrival if op.kind == "forward" else backward_arrival
+                    if key not in arrivals:
+                        break
+                    ready = arrivals[key]
+                    duration = (
+                        forward_times[stage] if op.kind == "forward" else backward_times[stage]
+                    )
+                    start = max(device_free[stage], ready)
+                    end = start + duration
+                    device_free[stage] = end
+                    pointers[stage] += 1
+                    remaining -= 1
+                    progressed = True
+
+                    if op.kind == "forward":
+                        consumer = forward_consumer(stage, op.micro_batch, op.chunk)
+                        if consumer is not None:
+                            compressed = plan.compress_forward
+                            delay, wire, overhead = self._transfer(compressed)
+                            forward_arrival[consumer] = end + delay
+                            interstage_wire_total += wire
+                            compression_overhead_total += overhead
+                    else:
+                        stage_backward_finish[stage] = end
+                        consumer = backward_consumer(stage, op.micro_batch, op.chunk)
+                        if consumer is not None:
+                            receiving_stage = consumer[0]
+                            compressed = False
+                            if plan.compress_backward:
+                                if plan.backward_epilogue_only:
+                                    compressed = (
+                                        (op.micro_batch, op.chunk)
+                                        in epilogue_sets[receiving_stage]
+                                    ) or (
+                                        (consumer[1], consumer[2])
+                                        in epilogue_sets[receiving_stage]
+                                    )
+                                else:
+                                    compressed = True
+                            delay, wire, overhead = self._transfer(compressed)
+                            backward_arrival[consumer] = end + delay
+                            interstage_wire_total += wire
+                            compression_overhead_total += overhead
+            if not progressed:
+                raise RuntimeError("pipeline schedule deadlocked (invalid dependency structure)")
+
+        # ---------------- data-parallel gradient all-reduce -----------------------
+        compressed_stages = plan.compressed_dp_stages(num_stages)
+        dp_times = []
+        dp_wire_total = 0.0
+        stage_finish = []
+        for stage in range(num_stages):
+            if stage in compressed_stages and self.job.layout.data_parallel > 1:
+                dp_time = self.cost.dp_time(stage, compressed_rank=plan.dp_rank)
+                dp_overhead = self.cost.dp_compression_overhead(stage, plan.dp_rank)
+                dp_wire = self.cost.dp_compressed_gradient_bytes(stage, plan.dp_rank)
+            else:
+                dp_time = self.cost.dp_time(stage)
+                dp_overhead = 0.0
+                dp_wire = (
+                    self.cost.dp_gradient_bytes(stage)
+                    if self.job.layout.data_parallel > 1
+                    else 0.0
+                )
+            dp_time = dp_time * self.toggles.data_parallel
+            dp_wire = dp_wire * self.toggles.data_parallel
+            compression_overhead_total += dp_overhead
+            dp_times.append(dp_time + dp_overhead)
+            dp_wire_total += dp_wire
+            stage_finish.append(stage_backward_finish[stage] + dp_time + dp_overhead)
+
+        # ---------------- embedding synchronisation -------------------------------
+        # Baseline (Fig. 4a): each stage's NIC serialises DP all-reduce, then the
+        # embedding DP all-reduce, then the 2-way synchronisation.  With fused
+        # embedding synchronisation the single 2D-way all-reduce is issued as soon
+        # as the embedding gradients are ready (right after the backward pass) and
+        # runs alongside the stage's bulk DP all-reduce.
+        embedding_time = 0.0
+        embedding_wire = 0.0
+        first, last = 0, num_stages - 1
+        if num_stages == 1:
+            # Single stage: the embedding gradient is just part of DP traffic.
+            if self.job.layout.data_parallel > 1:
+                extra = self.cost.embedding_dp_time() * self.toggles.embedding
+                stage_finish[0] += extra
+                embedding_time = extra
+                embedding_wire = self.cost.embedding_gradient_bytes() * self.toggles.embedding
+        elif plan.fuse_embedding:
+            # The fused all-reduce is issued as soon as both embedding gradients are
+            # ready.  The last stage (whose backward drains early) runs its bulk DP
+            # all-reduce inside that waiting window; the first stage performs the
+            # fused collective first and its own DP afterwards (NIC serialisation).
+            fused = self.cost.fused_embedding_time() * self.toggles.embedding
+            fused_start = max(stage_backward_finish[first], stage_backward_finish[last])
+            fused_end = fused_start + fused
+            stage_finish[first] = fused_end + dp_times[first]
+            stage_finish[last] = max(fused_end, stage_backward_finish[last] + dp_times[last])
+            embedding_time = fused
+            embedding_wire = self.cost.embedding_gradient_bytes() * self.toggles.embedding
+        else:
+            emb_dp = self.cost.embedding_dp_time() * self.toggles.embedding
+            emb_sync = self.cost.embedding_sync_time() * self.toggles.embedding
+            first_ready = stage_finish[first] + emb_dp
+            last_ready = stage_finish[last] + emb_dp
+            finish = max(first_ready, last_ready) + emb_sync
+            stage_finish[first] = finish
+            stage_finish[last] = finish
+            embedding_time = emb_dp + emb_sync
+            embedding_wire = 2.0 * self.cost.embedding_gradient_bytes() * self.toggles.embedding
+
+        # ---------------- steady-state iteration period -----------------------------
+        # The next iteration's forward pass starts as soon as stage 0 is done; stage
+        # s only needs its updated weights when its first forward arrives, i.e.
+        # after s (forward + transfer) hops.  In the pipelined steady state the
+        # iteration period is therefore the largest finish time minus that slack —
+        # this is why the data-parallel traffic of *later* stages can stay
+        # uncompressed under selective stage compression (Section 7, Fig. 8).
+        forward_delay, _, _ = self._transfer(compressed=plan.compress_forward)
+        warmup_offset = [0.0] * num_stages
+        for stage in range(1, num_stages):
+            warmup_offset[stage] = warmup_offset[stage - 1] + forward_times[stage - 1] + forward_delay
+
+        iteration_time = max(
+            stage_finish[stage] - warmup_offset[stage] for stage in range(num_stages)
+        )
+        iteration_time = max(iteration_time, max(stage_backward_finish))
+        forward_compute = sum(
+            forward_times[s] * chunks * num_micro for s in range(num_stages)
+        ) / num_stages
+        backward_compute = sum(
+            backward_times[s] * chunks * num_micro for s in range(num_stages)
+        ) / num_stages
+
+        return IterationTiming(
+            iteration_time=iteration_time,
+            stage_backward_finish=stage_backward_finish,
+            stage_finish=stage_finish,
+            dp_times=dp_times,
+            embedding_time=embedding_time,
+            compression_overhead=compression_overhead_total,
+            forward_compute=forward_compute,
+            backward_compute=backward_compute,
+            interstage_wire_bytes=interstage_wire_total,
+            dp_wire_bytes=dp_wire_total,
+            embedding_wire_bytes=embedding_wire,
+        )
+
+
+def simulate_plan(job: TrainingJob, plan: CompressionPlan) -> IterationTiming:
+    """Convenience wrapper: simulate one iteration of ``job`` under ``plan``."""
+    return PipelineTimingSimulator(job, plan).run()

@@ -1,0 +1,156 @@
+"""Hardware catalogue and simulation constants.
+
+The default values describe the paper's testbed (Table 1): nodes with 8 NVIDIA A100
+GPUs connected by NVLink (600 GB/s per GPU) inside the node and InfiniBand HDR
+(200 Gb/s per node) between nodes.
+
+The efficiency constants are deliberately explicit: they are the calibration knobs
+that map analytic FLOP/byte counts onto realistic wall-clock times.  Absolute times
+are not the reproduction target (the paper's shapes and ratios are), but the
+defaults are chosen so that iteration times and communication fractions land in the
+same regime the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.topology import ClusterTopology
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Peak characteristics of one accelerator."""
+
+    name: str
+    peak_fp16_tflops: float
+    memory_gb: float
+
+    @property
+    def peak_fp16_flops(self) -> float:
+        """Peak half-precision throughput in FLOP/s."""
+        return self.peak_fp16_tflops * 1e12
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * 1e9
+
+
+#: NVIDIA A100 (the paper's GPU); 40 GB variant unless stated otherwise.
+A100 = GPUSpec(name="A100", peak_fp16_tflops=312.0, memory_gb=40.0)
+
+#: NVIDIA V100, used by sensitivity tests.
+V100 = GPUSpec(name="V100", peak_fp16_tflops=125.0, memory_gb=32.0)
+
+
+@dataclass(frozen=True)
+class SimulationConstants:
+    """Calibration constants of the performance model.
+
+    Attributes
+    ----------
+    compute_efficiency:
+        Achieved fraction of peak FLOP/s for the dense transformer math.  The
+        default (0.13) reproduces the ~10-15 % model FLOPs utilisation implied by
+        the paper's measured iteration times (Table 2) for Megatron-LM v2.5 with
+        activation recomputation on A100s.
+    collective_bw_efficiency:
+        Achieved fraction of the node NIC bandwidth for the concurrent NCCL ring
+        all-reduces of the node's eight GPUs.  The default (0.2) matches the
+        data-parallel communication share the paper measures.
+    p2p_bandwidth_gbps:
+        Effective bandwidth of one pipeline point-to-point transfer in Gbit/s.
+        PyTorch 1.8-era blocking ``send``/``recv`` over InfiniBand achieves only a
+        few GB/s; the default (40 Gb/s = 5 GB/s) reproduces the exposed
+        inter-stage communication the paper reports — which is precisely the
+        inefficiency compressed backpropagation attacks.
+    activation_wire_bytes:
+        Bytes per element of inter-stage activations/activation gradients (fp16).
+    gradient_wire_bytes:
+        Bytes per element of data-parallel gradients (fp32 master gradients, as in
+        Megatron's distributed optimizer-less DDP path).
+    recompute_activations:
+        When ``True`` the backward pass includes an extra forward (activation
+        checkpointing), i.e. backward cost = 3x forward instead of 2x.
+    scatter_gather_pipeline_comm:
+        When ``True``, inter-stage point-to-point transfers are scattered across the
+        tensor-parallel ranks (Megatron's scatter-gather optimisation), dividing the
+        per-NIC volume by the TP degree.  The paper's measurements indicate the
+        un-optimised path (each TP rank ships the full activation), so the default
+        is ``False``.
+    compression_gemm_efficiency:
+        Achieved fraction of peak FLOP/s for the PowerSGD GEMM kernels.
+    orthogonalisation_kernel_launch_s:
+        Fixed per-column cost of the Gram-Schmidt orthogonalisation (sequential
+        kernel launches); this is what makes orthogonalisation ~80 % of the
+        compression time, as the paper observes (Section 9.6).
+    kernel_fixed_overhead_s:
+        Fixed per-call overhead of a compression or decompression invocation.
+    """
+
+    compute_efficiency: float = 0.13
+    collective_bw_efficiency: float = 0.20
+    p2p_bandwidth_gbps: float = 40.0
+    activation_wire_bytes: int = 2
+    gradient_wire_bytes: int = 4
+    recompute_activations: bool = True
+    scatter_gather_pipeline_comm: bool = False
+    compression_gemm_efficiency: float = 0.21
+    orthogonalisation_kernel_launch_s: float = 20e-6
+    kernel_fixed_overhead_s: float = 30e-6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.collective_bw_efficiency <= 1:
+            raise ValueError("collective_bw_efficiency must be in (0, 1]")
+        if self.p2p_bandwidth_gbps <= 0:
+            raise ValueError("p2p_bandwidth_gbps must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster = topology + GPU model + calibration constants."""
+
+    topology: ClusterTopology = field(default_factory=ClusterTopology)
+    gpu: GPUSpec = A100
+    constants: SimulationConstants = field(default_factory=SimulationConstants)
+
+    @property
+    def node_inter_bandwidth_bytes_per_s(self) -> float:
+        """Inter-node NIC bandwidth in bytes/s (effective, after efficiency factor)."""
+        return (
+            self.topology.inter_node_bandwidth_gbps
+            * 1e9
+            / 8.0
+            * self.constants.collective_bw_efficiency
+        )
+
+    @property
+    def p2p_bandwidth_bytes_per_s(self) -> float:
+        """Effective point-to-point (pipeline) bandwidth in bytes/s."""
+        p2p = self.constants.p2p_bandwidth_gbps * 1e9 / 8.0
+        # The p2p path can never exceed the physical NIC rate.
+        return min(p2p, self.topology.inter_node_bandwidth_gbps * 1e9 / 8.0)
+
+    @property
+    def gpu_intra_bandwidth_bytes_per_s(self) -> float:
+        """Intra-node (NVLink) bandwidth per GPU in bytes/s."""
+        return (
+            self.topology.intra_node_bandwidth_gbps
+            * 1e9
+            / 8.0
+            * self.constants.collective_bw_efficiency
+        )
+
+    @property
+    def inter_node_latency_s(self) -> float:
+        return self.topology.inter_node_latency_us * 1e-6
+
+    @property
+    def intra_node_latency_s(self) -> float:
+        return self.topology.intra_node_latency_us * 1e-6
+
+
+#: The paper's cluster: 16 nodes x 8 A100, NVLink + InfiniBand HDR.
+PAPER_CLUSTER_SPEC = ClusterSpec()

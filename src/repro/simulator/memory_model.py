@@ -1,0 +1,131 @@
+"""Per-GPU peak-memory model (paper Fig. 12).
+
+Fig. 12 compares the peak memory of compressed backpropagation with and without lazy
+error propagation: the PowerSGD low-rank buffers add 5–10 % over the baseline and the
+lazy-error residuals add roughly one more percent.  The model here accounts for the
+same components:
+
+* parameter, gradient, and optimizer state (Megatron mixed-precision recipe);
+* activations of the in-flight micro-batches under 1F1B;
+* PowerSGD ``P``/``Q`` work buffers when compression is enabled;
+* one activation-gradient-sized residual per outgoing boundary when lazy error
+  propagation is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.pipeline_schedule import count_in_flight_micro_batches
+from repro.simulator.cost_model import CostModel, TrainingJob
+from repro.simulator.executor import CompressionPlan
+
+#: fp16 weight + fp16 gradient + fp32 master weight + fp32 Adam m + fp32 Adam v.
+BYTES_PER_PARAMETER_WITH_OPTIMIZER = 2 + 2 + 4 + 4 + 4
+
+#: Bytes of activation memory per token per hidden unit for one transformer layer
+#: (fp16, no sequence parallelism): the standard ~34 B·s·h estimate.
+ACTIVATION_BYTES_PER_TOKEN_HIDDEN = 34
+
+
+@dataclass
+class MemoryReport:
+    """Peak-memory estimate of one pipeline stage (bytes)."""
+
+    stage: int
+    parameters_and_optimizer: float
+    activations: float
+    compression_buffers: float
+    lazy_error_buffers: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.parameters_and_optimizer
+            + self.activations
+            + self.compression_buffers
+            + self.lazy_error_buffers
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total / 1e9
+
+    def overhead_over(self, baseline: "MemoryReport") -> float:
+        """Relative peak-memory increase versus a baseline report."""
+        if baseline.total <= 0:
+            return 0.0
+        return self.total / baseline.total - 1.0
+
+
+class MemoryModel:
+    """Estimates the peak memory of each pipeline stage under a compression plan."""
+
+    def __init__(self, job: TrainingJob, plan: CompressionPlan | None = None) -> None:
+        self.job = job
+        self.plan = plan if plan is not None else CompressionPlan.baseline()
+        self.cost = CostModel(job)
+
+    def _parameters_per_gpu(self, stage: int) -> float:
+        total = self.job.model.parameters_per_stage(self.job.num_stages, stage)
+        return total / self.job.layout.tensor_parallel
+
+    def _activation_bytes_per_microbatch(self, stage: int) -> float:
+        tokens = self.job.micro_batch_size * self.job.seq_length
+        per_layer = tokens * self.job.model.hidden_size * ACTIVATION_BYTES_PER_TOKEN_HIDDEN
+        per_layer /= self.job.layout.tensor_parallel
+        return per_layer * self.cost.layers_on_stage(stage)
+
+    def _compression_buffer_bytes(self, stage: int) -> float:
+        """Work buffers (fp32) of the compression paths active on this stage.
+
+        Compressed backpropagation keeps, per in-flight micro-batch, a full-size
+        fp32 staging buffer for the activation gradient being compressed (the
+        PowerSGD implementation's send/workspace buffer) plus the low-rank ``P``/``Q``
+        factors — the paper's "separate memory region ... for low-rank matrices"
+        that accounts for its 5-10 % overhead (Fig. 12).  Selective stage compression
+        adds per-weight-matrix ``P``/``Q`` factors on the compressed stages.
+        """
+        plan = self.plan
+        total = 0.0
+        if plan.compress_backward and self.job.num_stages > 1:
+            rows = self.job.micro_batch_size * self.job.seq_length
+            cols = self.job.model.hidden_size
+            rank = max(1, min(plan.backward_rank, rows, cols))
+            in_flight = count_in_flight_micro_batches(
+                stage, self.job.num_stages, self.job.num_micro_batches
+            )
+            total += in_flight * rows * cols * 4  # fp32 staging buffers
+            total += rank * (rows + cols) * 4 * 2  # P and Q, previous Q kept for reuse
+        if stage in plan.compressed_dp_stages(self.job.num_stages):
+            for rows, cols in self.cost.stage_weight_matrices(stage):
+                rank = max(1, min(plan.dp_rank, rows, cols))
+                total += rank * (rows + cols) * 4 * 2 / self.job.layout.tensor_parallel
+        return total
+
+    def _lazy_error_bytes(self, stage: int, lazy_error: bool) -> float:
+        """Residual storage added by lazy error propagation (one buffer per boundary)."""
+        if not lazy_error or not self.plan.compress_backward or self.job.num_stages <= 1:
+            return 0.0
+        elements = self.job.micro_batch_size * self.job.seq_length * self.job.model.hidden_size
+        return elements * 4.0  # fp32 residual of the previous micro-batch
+
+    def stage_report(self, stage: int, lazy_error_propagation: bool = True) -> MemoryReport:
+        """Peak-memory report of one stage."""
+        in_flight = count_in_flight_micro_batches(stage, self.job.num_stages, self.job.num_micro_batches)
+        return MemoryReport(
+            stage=stage,
+            parameters_and_optimizer=self._parameters_per_gpu(stage)
+            * BYTES_PER_PARAMETER_WITH_OPTIMIZER,
+            activations=self._activation_bytes_per_microbatch(stage) * in_flight,
+            compression_buffers=self._compression_buffer_bytes(stage),
+            lazy_error_buffers=self._lazy_error_bytes(stage, lazy_error_propagation),
+        )
+
+    def peak_report(self, lazy_error_propagation: bool = True) -> MemoryReport:
+        """Report of the stage with the largest peak memory."""
+        reports = [
+            self.stage_report(stage, lazy_error_propagation)
+            for stage in range(self.job.num_stages)
+        ]
+        return max(reports, key=lambda report: report.total)

@@ -1,0 +1,108 @@
+"""Compression / decompression kernel throughput (paper Fig. 15).
+
+Two views are provided:
+
+* an **analytic model** driven by :class:`repro.simulator.cost_model.CostModel`,
+  which reproduces the paper's trends — throughput far above the 200 Gb/s
+  interconnect, higher for larger models (fixed overheads amortise), and *lower*
+  for higher ranks (the sequential orthogonalisation grows with the rank);
+* a **measured path** that times the actual NumPy PowerSGD kernels in this library,
+  so the benchmark reports a real measurement alongside the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.simulator.cost_model import CostModel, TrainingJob
+
+
+@dataclass
+class ThroughputPoint:
+    """Throughput of compression and decompression at one rank."""
+
+    rank: int
+    compress_gbps: float
+    decompress_gbps: float
+
+
+class CompressionThroughputModel:
+    """Analytic throughput of the PowerSGD kernels for inter-stage tensors."""
+
+    def __init__(self, job: TrainingJob) -> None:
+        self.job = job
+        self.cost = CostModel(job)
+
+    def _tensor_shape(self) -> tuple[int, int]:
+        rows = self.job.micro_batch_size * self.job.seq_length
+        cols = self.job.model.hidden_size
+        return rows, cols
+
+    def uncompressed_bits(self) -> float:
+        """Size of the uncompressed tensor in bits (fp16 wire format)."""
+        rows, cols = self._tensor_shape()
+        return rows * cols * self.cost.constants.activation_wire_bytes * 8.0
+
+    def compress_throughput_gbps(self, rank: int) -> float:
+        """Compression throughput in Gbit/s of uncompressed data processed."""
+        rows, cols = self._tensor_shape()
+        seconds = self.cost.powersgd_compress_time(rows, cols, rank)
+        return self.uncompressed_bits() / seconds / 1e9
+
+    def decompress_throughput_gbps(self, rank: int) -> float:
+        """Decompression throughput in Gbit/s of reconstructed data produced."""
+        rows, cols = self._tensor_shape()
+        seconds = self.cost.powersgd_decompress_time(rows, cols, rank)
+        return self.uncompressed_bits() / seconds / 1e9
+
+    def sweep(self, ranks: list[int]) -> list[ThroughputPoint]:
+        """Throughput at each rank in ``ranks``."""
+        return [
+            ThroughputPoint(
+                rank=rank,
+                compress_gbps=self.compress_throughput_gbps(rank),
+                decompress_gbps=self.decompress_throughput_gbps(rank),
+            )
+            for rank in ranks
+        ]
+
+    def interconnect_gbps(self) -> float:
+        """The inter-node link bandwidth the paper plots as the reference line."""
+        return self.job.cluster.topology.inter_node_bandwidth_gbps
+
+
+def measured_numpy_throughput(
+    rows: int = 512, cols: int = 256, rank: int = 16, repeats: int = 3, seed: int = 0
+) -> ThroughputPoint:
+    """Time the actual NumPy PowerSGD kernels on a random matrix.
+
+    The absolute numbers reflect this machine's CPU (not an A100), but they give the
+    benchmark a genuinely measured point to report next to the analytic model.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((rows, cols))
+    compressor = PowerSGDCompressor(rank=rank, min_compression_elements=0)
+
+    # Warm up (initialises the Q factor).
+    payload = compressor.compress(matrix, key="bench")
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        payload = compressor.compress(matrix, key="bench")
+    compress_seconds = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        compressor.decompress(payload)
+    decompress_seconds = (time.perf_counter() - start) / repeats
+
+    bits = matrix.size * 2 * 8.0
+    return ThroughputPoint(
+        rank=rank,
+        compress_gbps=bits / max(compress_seconds, 1e-9) / 1e9,
+        decompress_gbps=bits / max(decompress_seconds, 1e-9) / 1e9,
+    )

@@ -1,0 +1,18 @@
+"""Minimal dense-tensor substrate.
+
+This package provides the numerical primitives the NumPy transformer is built on:
+
+* :class:`repro.tensor.parameter.Parameter` — a named weight container with an
+  accompanying gradient buffer (the unit that data-parallel compression operates on).
+* :mod:`repro.tensor.functional` — numerically stable forward *and* backward
+  implementations of the operations the paper's models need (softmax, GeLU,
+  LayerNorm, cross-entropy pieces).
+* :mod:`repro.tensor.init` — the weight initialisers used by Megatron-style GPT
+  models (scaled normal / output-layer scaling).
+"""
+
+from repro.tensor.parameter import Parameter
+from repro.tensor import functional
+from repro.tensor import init
+
+__all__ = ["Parameter", "functional", "init"]

@@ -1,0 +1,187 @@
+"""Numerically stable functional operations with explicit backward passes.
+
+Each operation comes as a ``*_forward`` / ``*_backward`` pair (or a combined helper
+returning a cache) so that the module layer in :mod:`repro.nn` can implement exact
+manual backpropagation without an autograd engine.  Keeping the math explicit is
+important for this reproduction: the paper's lazy-error-propagation analysis
+(Section 5.1) reasons directly about the activation-gradient tensors that flow
+between pipeline stages, so we need full control over them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Softmax / log-softmax
+# ---------------------------------------------------------------------------
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_backward(grad_output: np.ndarray, softmax_output: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward pass of softmax given upstream gradient and cached output."""
+    inner = np.sum(grad_output * softmax_output, axis=axis, keepdims=True)
+    return softmax_output * (grad_output - inner)
+
+
+# ---------------------------------------------------------------------------
+# GeLU (tanh approximation, as used by GPT-2 / Megatron-LM)
+# ---------------------------------------------------------------------------
+
+_GELU_CONST = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GeLU activation using the tanh approximation (GPT-2 convention)."""
+    return 0.5 * x * (1.0 + np.tanh(_GELU_CONST * (x + 0.044715 * x**3)))
+
+
+def gelu_backward(grad_output: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Derivative of the tanh-approximated GeLU, applied to the upstream gradient."""
+    inner = _GELU_CONST * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _GELU_CONST * (1.0 + 3.0 * 0.044715 * x**2)
+    derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+    return grad_output * derivative
+
+
+# ---------------------------------------------------------------------------
+# LayerNorm
+# ---------------------------------------------------------------------------
+
+
+def layer_norm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, dict]:
+    """LayerNorm over the last dimension.
+
+    Returns the normalised output and a cache for the backward pass.
+    """
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalised = (x - mean) * inv_std
+    output = normalised * gamma + beta
+    cache = {"normalised": normalised, "inv_std": inv_std, "gamma": gamma}
+    return output, cache
+
+
+def layer_norm_backward(grad_output: np.ndarray, cache: dict) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of LayerNorm.
+
+    Returns ``(grad_input, grad_gamma, grad_beta)``.
+    """
+    normalised = cache["normalised"]
+    inv_std = cache["inv_std"]
+    gamma = cache["gamma"]
+
+    hidden = normalised.shape[-1]
+    grad_gamma = np.sum(grad_output * normalised, axis=tuple(range(grad_output.ndim - 1)))
+    grad_beta = np.sum(grad_output, axis=tuple(range(grad_output.ndim - 1)))
+
+    grad_normalised = grad_output * gamma
+    mean_grad = np.mean(grad_normalised, axis=-1, keepdims=True)
+    mean_grad_times_norm = np.mean(grad_normalised * normalised, axis=-1, keepdims=True)
+    grad_input = inv_std * (grad_normalised - mean_grad - normalised * mean_grad_times_norm)
+    # ``hidden`` retained for readability of the standard formula; inv_std already folds 1/H terms
+    # via the mean() calls above.
+    del hidden
+    return grad_input, grad_gamma, grad_beta
+
+
+# ---------------------------------------------------------------------------
+# Dropout (inverted dropout, deterministic given an RNG)
+# ---------------------------------------------------------------------------
+
+
+def dropout_forward(
+    x: np.ndarray, rate: float, rng: np.random.Generator, training: bool = True
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Inverted dropout; returns output and the mask (``None`` when inactive)."""
+    if not training or rate <= 0.0:
+        return x, None
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep_prob = 1.0 - rate
+    mask = (rng.random(x.shape) < keep_prob).astype(x.dtype) / keep_prob
+    return x * mask, mask
+
+
+def dropout_backward(grad_output: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    """Backward pass of inverted dropout."""
+    if mask is None:
+        return grad_output
+    return grad_output * mask
+
+
+# ---------------------------------------------------------------------------
+# Cross entropy over token logits
+# ---------------------------------------------------------------------------
+
+
+def cross_entropy_forward(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(..., vocab)``.
+    targets:
+        Integer array of shape ``(...,)`` with values in ``[0, vocab)``.
+
+    Returns
+    -------
+    (loss, cache):
+        ``loss`` is the mean negative log-likelihood; ``cache`` holds the softmax
+        probabilities needed by :func:`cross_entropy_backward`.
+    """
+    if logits.shape[:-1] != targets.shape:
+        raise ValueError(
+            f"logits batch shape {logits.shape[:-1]} does not match targets shape {targets.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    flat_log_probs = log_probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+    picked = flat_log_probs[np.arange(flat_targets.size), flat_targets]
+    loss = float(-np.mean(picked))
+    cache = np.exp(log_probs)
+    return loss, cache
+
+
+def cross_entropy_backward(probabilities: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of the mean cross entropy with respect to the logits."""
+    grad = probabilities.copy()
+    flat = grad.reshape(-1, grad.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+    flat[np.arange(flat_targets.size), flat_targets] -= 1.0
+    return grad / flat_targets.size
+
+
+# ---------------------------------------------------------------------------
+# Misc small helpers
+# ---------------------------------------------------------------------------
+
+
+def causal_mask(sequence_length: int) -> np.ndarray:
+    """Lower-triangular boolean mask of shape ``(seq, seq)`` (True = attend)."""
+    return np.tril(np.ones((sequence_length, sequence_length), dtype=bool))
+
+
+def masked_fill(scores: np.ndarray, mask: np.ndarray, value: float = -1e9) -> np.ndarray:
+    """Return ``scores`` with positions where ``mask`` is False replaced by ``value``."""
+    return np.where(mask, scores, value)

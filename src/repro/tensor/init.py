@@ -1,0 +1,38 @@
+"""Weight initialisers matching the conventions of Megatron-style GPT models.
+
+Megatron-LM initialises weights from a scaled normal distribution and additionally
+scales the output projections of residual branches by ``1/sqrt(2 * num_layers)`` so
+that residual accumulation stays well conditioned as depth grows.  We reproduce both
+schemes so that the small functional models behave like scaled-down GPTs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normal_init(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02
+) -> np.ndarray:
+    """Standard GPT initialisation: zero-mean normal with configurable std."""
+    return rng.normal(loc=0.0, scale=std, size=shape)
+
+
+def scaled_output_init(
+    shape: tuple[int, ...], rng: np.random.Generator, num_layers: int, std: float = 0.02
+) -> np.ndarray:
+    """Residual-output initialisation, scaled by ``1/sqrt(2 * num_layers)``."""
+    if num_layers <= 0:
+        raise ValueError(f"num_layers must be positive, got {num_layers}")
+    scale = std / np.sqrt(2.0 * num_layers)
+    return rng.normal(loc=0.0, scale=scale, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, LayerNorm beta)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones_init(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (LayerNorm gamma)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,75 @@
+"""Parameter container used by every module in :mod:`repro.nn`.
+
+A :class:`Parameter` bundles a weight array with its gradient accumulator and a
+stable, fully-qualified name.  Names matter in this reproduction because the paper's
+fused embedding synchronisation identifies the shared embedding weight by searching
+for ``word_embeddings`` in the parameter name (Section 8 of the paper); we keep the
+same convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable weight with an attached gradient buffer.
+
+    Parameters
+    ----------
+    data:
+        Initial weight values.  Stored as ``float64`` by default for numerical
+        fidelity of the functional experiments (the scale is small enough that
+        memory is not a concern).
+    name:
+        Fully-qualified parameter name, e.g. ``"stage0.layer1.attention.qkv.weight"``.
+    requires_grad:
+        When ``False`` the parameter is excluded from gradient synchronisation and
+        optimiser updates (used for frozen buffers in some ablations).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = bool(requires_grad)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying weight array."""
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zero in place."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient buffer (micro-batch accumulation)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"'{self.name}' shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def copy_(self, other: "Parameter") -> None:
+        """Copy another parameter's weights into this one (shapes must match)."""
+        if other.data.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy parameter of shape {other.data.shape} into shape {self.data.shape}"
+            )
+        self.data[...] = other.data
+
+    def clone(self) -> "Parameter":
+        """Return a deep copy (weights and gradient) with the same name."""
+        duplicate = Parameter(self.data.copy(), name=self.name, requires_grad=self.requires_grad)
+        duplicate.grad = self.grad.copy()
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.shape})"

@@ -1,0 +1,13 @@
+"""End-to-end functional training: pretraining loop, metrics, and zero-shot evaluation."""
+
+from repro.training.metrics import TrainingHistory, ValidationPoint
+from repro.training.trainer import Pretrainer, PretrainingResult
+from repro.training.evaluation import ZeroShotEvaluator
+
+__all__ = [
+    "TrainingHistory",
+    "ValidationPoint",
+    "Pretrainer",
+    "PretrainingResult",
+    "ZeroShotEvaluator",
+]

@@ -1,0 +1,98 @@
+"""Checkpointing for functional pretraining runs.
+
+Long functional experiments (the "thorough" settings) benefit from being resumable.
+A checkpoint stores, for every data-parallel replica: the weights of every pipeline
+stage, the Adam moments, and the training history, all inside a single compressed
+``.npz`` file plus a small JSON header for the scalar state.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.training.metrics import TrainingHistory, ValidationPoint
+from repro.training.trainer import Pretrainer
+
+#: Format marker stored in every checkpoint so incompatible files fail loudly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _flatten_state(trainer: Pretrainer) -> dict[str, np.ndarray]:
+    """Collect every array of the trainer into a flat name → array mapping."""
+    arrays: dict[str, np.ndarray] = {}
+    for replica_index, engine in enumerate(trainer.engines):
+        for stage_index, stage in enumerate(engine.stages):
+            for name, parameter in stage.named_parameters():
+                arrays[f"replica{replica_index}/stage{stage_index}/param/{name}"] = parameter.data
+        optimizer = trainer.optimizers[replica_index]
+        for slot_index, (exp_avg, exp_avg_sq) in enumerate(
+            zip(optimizer._exp_avg, optimizer._exp_avg_sq)
+        ):
+            arrays[f"replica{replica_index}/adam/{slot_index}/m"] = exp_avg
+            arrays[f"replica{replica_index}/adam/{slot_index}/v"] = exp_avg_sq
+    return arrays
+
+
+def save_checkpoint(trainer: Pretrainer, path: str | pathlib.Path) -> pathlib.Path:
+    """Write the trainer's full state to ``path`` (``.npz``); returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "iteration": trainer._iteration,
+        "optimizer_steps": [optimizer._step_count for optimizer in trainer.optimizers],
+        "config": trainer.optimus_config.describe(),
+        "train_losses": trainer.history.train_losses,
+        "validation_points": [
+            {"iteration": point.iteration, "loss": point.loss}
+            for point in trainer.history.validation_points
+        ],
+    }
+    arrays = _flatten_state(trainer)
+    np.savez_compressed(path, __header__=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8), **arrays)
+    return path
+
+
+def load_checkpoint(trainer: Pretrainer, path: str | pathlib.Path) -> int:
+    """Restore a trainer's state from ``path``; returns the restored iteration.
+
+    The trainer must have been constructed with the same model configuration,
+    pipeline depth, and data-parallel degree as the one that wrote the checkpoint
+    (array names and shapes are checked; mismatches raise).
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["__header__"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {header.get('format_version')!r} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION})"
+            )
+        expected = _flatten_state(trainer)
+        stored_keys = set(archive.files) - {"__header__"}
+        if stored_keys != set(expected):
+            missing = sorted(set(expected) - stored_keys)[:3]
+            unexpected = sorted(stored_keys - set(expected))[:3]
+            raise KeyError(
+                f"checkpoint does not match the trainer (missing={missing}, unexpected={unexpected})"
+            )
+        for key, target in expected.items():
+            stored = archive[key]
+            if stored.shape != target.shape:
+                raise ValueError(f"shape mismatch for {key}: {stored.shape} vs {target.shape}")
+            target[...] = stored
+
+    trainer._iteration = int(header["iteration"])
+    for optimizer, steps in zip(trainer.optimizers, header["optimizer_steps"]):
+        optimizer._step_count = int(steps)
+    history = TrainingHistory()
+    history.train_losses = [float(value) for value in header["train_losses"]]
+    history.validation_points = [
+        ValidationPoint(iteration=int(point["iteration"]), loss=float(point["loss"]))
+        for point in header["validation_points"]
+    ]
+    trainer.history = history
+    return trainer._iteration

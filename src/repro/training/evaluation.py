@@ -1,0 +1,60 @@
+"""Zero-shot evaluation harness (paper Table 3 / Table 4 protocol).
+
+The evaluator takes any "model" exposing a ``token_ids -> logits`` callable (the
+pipeline engine's :meth:`forward_logits`, or a bare :class:`repro.nn.GPTModel`) and
+runs it over a suite of :class:`repro.data.tasks.ZeroShotTask` objects, returning a
+name → accuracy mapping plus convenience aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.tasks import LogitsFn, ZeroShotTask
+
+
+@dataclass
+class ZeroShotReport:
+    """Accuracies of one model over a task suite."""
+
+    accuracies: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.accuracies:
+            raise ValueError("no task accuracies recorded")
+        return float(np.mean(list(self.accuracies.values())))
+
+    def degradation_from(self, baseline: "ZeroShotReport") -> dict[str, float]:
+        """Per-task accuracy drop relative to a baseline report (positive = worse)."""
+        return {
+            name: baseline.accuracies.get(name, float("nan")) - accuracy
+            for name, accuracy in self.accuracies.items()
+        }
+
+
+class ZeroShotEvaluator:
+    """Evaluates one or more models on a fixed task suite."""
+
+    def __init__(self, tasks: Sequence[ZeroShotTask]) -> None:
+        if not tasks:
+            raise ValueError("the evaluator needs at least one task")
+        self.tasks = list(tasks)
+
+    def evaluate(self, logits_fn: LogitsFn) -> ZeroShotReport:
+        """Evaluate a single model."""
+        report = ZeroShotReport()
+        for task in self.tasks:
+            report.accuracies[task.name] = task.evaluate(logits_fn)
+        return report
+
+    def evaluate_many(self, models: dict[str, LogitsFn]) -> dict[str, ZeroShotReport]:
+        """Evaluate several named models (e.g. Baseline / CB / CB+FE / CB+FE+SC)."""
+        return {name: self.evaluate(logits_fn) for name, logits_fn in models.items()}
+
+    def chance_accuracies(self) -> dict[str, float]:
+        """Random-guessing accuracy per task (reference row for reports)."""
+        return {task.name: task.chance_accuracy for task in self.tasks}

@@ -1,0 +1,74 @@
+"""Training metrics: loss/perplexity history of a pretraining run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.loss import perplexity_from_loss
+
+
+@dataclass
+class ValidationPoint:
+    """One validation measurement during training."""
+
+    iteration: int
+    loss: float
+
+    @property
+    def perplexity(self) -> float:
+        return perplexity_from_loss(self.loss)
+
+
+@dataclass
+class TrainingHistory:
+    """Loss curve and validation points of one pretraining run."""
+
+    train_losses: list[float] = field(default_factory=list)
+    validation_points: list[ValidationPoint] = field(default_factory=list)
+
+    def record_train(self, loss: float) -> None:
+        self.train_losses.append(float(loss))
+
+    def record_validation(self, iteration: int, loss: float) -> None:
+        self.validation_points.append(ValidationPoint(iteration=iteration, loss=float(loss)))
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.train_losses)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.train_losses:
+            raise ValueError("no training iterations recorded")
+        return self.train_losses[-1]
+
+    @property
+    def final_validation_loss(self) -> float:
+        if not self.validation_points:
+            raise ValueError("no validation points recorded")
+        return self.validation_points[-1].loss
+
+    @property
+    def final_validation_perplexity(self) -> float:
+        return perplexity_from_loss(self.final_validation_loss)
+
+    def best_validation_perplexity(self) -> float:
+        """Lowest validation perplexity observed during the run."""
+        if not self.validation_points:
+            raise ValueError("no validation points recorded")
+        return min(point.perplexity for point in self.validation_points)
+
+    def perplexity_curve(self) -> tuple[list[int], list[float]]:
+        """(iterations, perplexities) of the validation curve (paper Fig. 9 format)."""
+        iterations = [point.iteration for point in self.validation_points]
+        perplexities = [point.perplexity for point in self.validation_points]
+        return iterations, perplexities
+
+    def smoothed_train_loss(self, window: int = 10) -> float:
+        """Mean training loss of the last ``window`` iterations."""
+        if not self.train_losses:
+            raise ValueError("no training iterations recorded")
+        window = max(1, min(window, len(self.train_losses)))
+        return float(np.mean(self.train_losses[-window:]))

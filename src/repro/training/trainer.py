@@ -1,0 +1,236 @@
+"""Functional pretraining of a GPT model under simulated 3D parallelism.
+
+The :class:`Pretrainer` wires everything together:
+
+* ``data_parallel_degree`` replicas of a pipeline of :class:`repro.nn.gpt_stage.GPTStage`
+  objects (identical initial weights, different data shards);
+* a :class:`repro.parallel.pipeline_engine.PipelineParallelEngine` per replica, whose
+  backward channel carries the compressed-backpropagation hook when CB is enabled;
+* a :class:`repro.parallel.data_parallel.DataParallelGradientSync` with the
+  selective-stage-compression hook when SC is enabled;
+* an :class:`repro.core.fused_embedding.EmbeddingSynchronizer` (fused or baseline);
+* one optimiser per replica (states stay identical because the synchronised
+  gradients are identical).
+
+This is the "functional layer" of the reproduction: the models are small enough to
+train on a CPU, but the parallel structure, the compression algebra, and therefore
+the *quality* effects are the real thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compressed_backprop import CompressedBackpropagation
+from repro.core.config import OptimusCCConfig
+from repro.core.framework import OptimusCC
+from repro.core.fused_embedding import EmbeddingSynchronizer
+from repro.core.selective_stage import SelectiveStageCompression
+from repro.data.dataloader import LanguageModelingDataLoader
+from repro.data.tasks import ZeroShotTask
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.nn.loss import perplexity_from_loss
+from repro.nn.transformer import GPTModelConfig
+from repro.optim import Adam, LRSchedule
+from repro.parallel.collectives import CommunicationLog
+from repro.parallel.data_parallel import DataParallelGradientSync
+from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
+from repro.training.metrics import TrainingHistory
+
+
+@dataclass
+class PretrainingResult:
+    """Outcome of a pretraining run."""
+
+    history: TrainingHistory
+    final_validation_perplexity: float
+    communication_log: CommunicationLog
+    cb_diagnostics: list = field(default_factory=list)
+    zero_shot_accuracy: dict[str, float] = field(default_factory=dict)
+
+
+class Pretrainer:
+    """Trains a GPT model with simulated 3D parallelism and Optimus-CC compression.
+
+    Parameters
+    ----------
+    model_config:
+        Architecture of the (small) GPT model to train.
+    loader:
+        The micro-batch loader; its ``data_parallel_degree`` determines the number
+        of replicas.
+    num_stages:
+        Pipeline depth.
+    optimus_config:
+        Which Optimus-CC techniques to enable.
+    learning_rate, weight_decay:
+        Adam hyper-parameters.
+    lr_schedule:
+        Optional learning-rate schedule applied every iteration.
+    seed:
+        Weight-initialisation seed (shared by all replicas, as in real DDP).
+    collect_cb_diagnostics:
+        Record the Fig. 11 error-independence statistics.
+    """
+
+    def __init__(
+        self,
+        model_config: GPTModelConfig,
+        loader: LanguageModelingDataLoader,
+        num_stages: int = 2,
+        optimus_config: OptimusCCConfig | None = None,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 0.0,
+        lr_schedule: LRSchedule | None = None,
+        seed: int = 0,
+        collect_cb_diagnostics: bool = False,
+    ) -> None:
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        self.model_config = model_config
+        self.loader = loader
+        self.num_stages = int(num_stages)
+        self.optimus_config = optimus_config if optimus_config is not None else OptimusCCConfig.baseline()
+        self.factory = OptimusCC(self.optimus_config)
+        self.lr_schedule = lr_schedule
+        self.seed = int(seed)
+
+        self.log = CommunicationLog()
+        self.data_parallel_degree = loader.data_parallel_degree
+
+        # Build replicas (identical initial weights), one engine + CB hook per replica.
+        self.replicas: list[list] = []
+        self.engines: list[PipelineParallelEngine] = []
+        self.cb_hooks: list[CompressedBackpropagation | None] = []
+        for replica_index in range(self.data_parallel_degree):
+            stages = build_gpt_stages(model_config, self.num_stages, seed=self.seed)
+            cb_hook = self.factory.make_backward_hook(
+                self.num_stages,
+                collect_diagnostics=collect_cb_diagnostics and replica_index == 0,
+            )
+            forward_hook = self.factory.make_forward_hook(self.num_stages)
+            channel = InterStageChannel(
+                log=self.log, backward_hook=cb_hook, forward_hook=forward_hook
+            )
+            self.replicas.append(stages)
+            self.engines.append(PipelineParallelEngine(stages, channel))
+            self.cb_hooks.append(cb_hook)
+
+        self.dp_hook: SelectiveStageCompression | None = self.factory.make_dp_hook(self.num_stages)
+        self.dp_sync = DataParallelGradientSync(
+            self.replicas,
+            log=self.log,
+            compression_hook=self.dp_hook,
+            exclude_embedding=True,
+        )
+        self.embedding_sync: EmbeddingSynchronizer = self.factory.make_embedding_synchronizer(
+            self.replicas, self.log
+        )
+
+        self.optimizers = [
+            Adam(engine.parameters(), lr=learning_rate, weight_decay=weight_decay)
+            for engine in self.engines
+        ]
+        self.history = TrainingHistory()
+        self._iteration = 0
+
+    # ---------------------------------------------------------------- training loop --
+
+    def train_iteration(self) -> float:
+        """Run one full training iteration; returns the mean training loss."""
+        iteration = self._iteration
+        if self.lr_schedule is not None:
+            for optimizer in self.optimizers:
+                self.lr_schedule.apply(optimizer, iteration)
+
+        batches = self.loader.iteration_batches(iteration)
+        losses = []
+        for engine, optimizer, replica_batches in zip(self.engines, self.optimizers, batches):
+            optimizer.zero_grad()
+            result = engine.run_iteration([batch.as_tuple() for batch in replica_batches])
+            losses.append(result.mean_loss)
+
+        self.dp_sync.synchronize()
+        self.embedding_sync.synchronize()
+
+        for optimizer in self.optimizers:
+            optimizer.step()
+
+        mean_loss = float(np.mean(losses))
+        self.history.record_train(mean_loss)
+        self._iteration += 1
+        return mean_loss
+
+    def train(
+        self,
+        num_iterations: int,
+        validation_interval: int | None = None,
+        validation_batches: int = 2,
+    ) -> PretrainingResult:
+        """Run ``num_iterations`` iterations, validating every ``validation_interval``."""
+        if num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        interval = validation_interval if validation_interval is not None else max(1, num_iterations // 5)
+        for _ in range(num_iterations):
+            self.train_iteration()
+            if self._iteration % interval == 0 or self._iteration == num_iterations:
+                loss = self.validation_loss(num_batches=validation_batches)
+                self.history.record_validation(self._iteration, loss)
+        if not self.history.validation_points:
+            self.history.record_validation(self._iteration, self.validation_loss(validation_batches))
+
+        diagnostics = []
+        if self.cb_hooks and self.cb_hooks[0] is not None:
+            diagnostics = list(self.cb_hooks[0].diagnostics)
+        return PretrainingResult(
+            history=self.history,
+            final_validation_perplexity=self.history.final_validation_perplexity,
+            communication_log=self.log,
+            cb_diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------- evaluation --
+
+    def validation_loss(self, num_batches: int = 2) -> float:
+        """Mean validation loss of replica 0 over ``num_batches`` held-out batches."""
+        losses = []
+        for batch_index in range(num_batches):
+            batch = self.loader.validation_batch(batch_index)
+            losses.append(self.engines[0].evaluate_loss(batch.tokens, batch.targets))
+        return float(np.mean(losses))
+
+    def validation_perplexity(self, num_batches: int = 2) -> float:
+        """Validation perplexity (the paper's model-quality metric)."""
+        return perplexity_from_loss(self.validation_loss(num_batches))
+
+    def evaluate_zero_shot(self, tasks: list[ZeroShotTask]) -> dict[str, float]:
+        """Accuracy of the current model on each zero-shot task."""
+        logits_fn = self.engines[0].forward_logits
+        return {task.name: task.evaluate(logits_fn) for task in tasks}
+
+    # ------------------------------------------------------------------ diagnostics --
+
+    def weights_in_sync(self, tolerance: float = 1e-9) -> bool:
+        """Whether all replicas (and both embedding copies) hold identical weights."""
+        reference = self.engines[0].parameters()
+        for engine in self.engines[1:]:
+            for ref_param, other_param in zip(reference, engine.parameters()):
+                if not np.allclose(ref_param.data, other_param.data, atol=tolerance):
+                    return False
+        for replica in self.replicas:
+            copies = replica[0].embedding_parameters()
+            if replica[-1] is not replica[0]:
+                copies = copies + replica[-1].embedding_parameters()
+            for copy in copies[1:]:
+                if not np.allclose(copies[0].data, copy.data, atol=tolerance):
+                    return False
+        return True
+
+    @property
+    def compression_summary(self) -> dict[str, float]:
+        """Aggregate CB compression statistics of replica 0 (empty dict if CB off)."""
+        if self.cb_hooks and self.cb_hooks[0] is not None:
+            return self.cb_hooks[0].compression_summary()
+        return {}

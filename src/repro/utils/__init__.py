@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG helpers, table formatting, and lightweight logging."""
+
+from repro.utils.random import RandomState, seeded_rng, set_global_seed
+from repro.utils.tables import Table, format_float, format_percent
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomState",
+    "seeded_rng",
+    "set_global_seed",
+    "Table",
+    "format_float",
+    "format_percent",
+    "get_logger",
+]

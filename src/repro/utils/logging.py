@@ -1,0 +1,46 @@
+"""Lightweight logging setup shared across the library.
+
+The library does not configure the root logger (that is the application's job); it
+only provides namespaced loggers with a sensible default handler when running the
+bundled examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the library namespace.
+
+    ``get_logger("simulator")`` returns the ``repro.simulator`` logger.  Passing
+    ``None`` returns the library root logger.
+    """
+    if name is None or name == _LIBRARY_LOGGER_NAME:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the library logger (idempotent).
+
+    Used by examples and benchmark drivers so that progress is visible when the
+    scripts are run directly.
+    """
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    already_attached = any(
+        isinstance(handler, logging.StreamHandler) and getattr(handler, "_repro_console", False)
+        for handler in logger.handlers
+    )
+    if not already_attached:
+        handler = logging.StreamHandler(stream=sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        handler._repro_console = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,73 @@
+"""Plain-text table rendering used by the benchmark harness.
+
+Every benchmark reproduces a paper table or figure and prints the corresponding
+rows/series; :class:`Table` renders them in an aligned, monospace-friendly layout
+so the output can be compared side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimals (``nan``-safe)."""
+    if value != value:  # NaN check without importing math
+        return "n/a"
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float, digits: int = 2, signed: bool = True) -> str:
+    """Format a ratio as a percentage string, e.g. ``0.1349 -> '+13.49%'``."""
+    if value != value:
+        return "n/a"
+    sign = "+" if (signed and value >= 0) else ""
+    return f"{sign}{value * 100:.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Example
+    -------
+    >>> table = Table(title="Table 2", columns=["Model", "Speedup"])
+    >>> table.add_row(["GPT-8.3B", "+44.91%"])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; values are converted to ``str``."""
+        row = [str(value) for value in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table '{self.title}' has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as an aligned multi-line string."""
+        headers = [str(column) for column in self.columns]
+        widths = [len(header) for header in headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * max(len(self.title), len(separator))]
+        lines.append(render_line(headers))
+        lines.append(separator)
+        lines.extend(render_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
+from repro.nn.transformer import GPTModelConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> GPTModelConfig:
+    """A GPT configuration small enough for exact-gradient tests."""
+    return GPTModelConfig(
+        vocab_size=32,
+        max_sequence_length=12,
+        num_layers=2,
+        hidden_size=16,
+        num_heads=2,
+    )
+
+
+@pytest.fixture
+def small_config() -> GPTModelConfig:
+    """A slightly larger configuration used by training-behaviour tests."""
+    return GPTModelConfig(
+        vocab_size=64,
+        max_sequence_length=16,
+        num_layers=2,
+        hidden_size=16,
+        num_heads=2,
+    )
+
+
+@pytest.fixture
+def corpus() -> SyntheticCorpus:
+    """A small synthetic corpus shared across data/training tests."""
+    return SyntheticCorpus(SyntheticCorpusConfig(vocab_size=64, seed=99))
+
+
+@pytest.fixture
+def loader(corpus) -> LanguageModelingDataLoader:
+    """A loader producing 2 replicas x 2 micro-batches of short sequences."""
+    return LanguageModelingDataLoader(
+        corpus,
+        sequence_length=12,
+        micro_batch_size=2,
+        num_micro_batches=2,
+        data_parallel_degree=2,
+    )
+
+
+def numerical_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of ``function`` w.r.t. ``array``.
+
+    ``function`` must return a scalar and must not mutate ``array``.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function()
+        flat[index] = original - epsilon
+        minus = function()
+        flat[index] = original
+        flat_grad[index] = (plus - minus) / (2 * epsilon)
+    return grad

@@ -1,0 +1,267 @@
+"""Tests for the gradient/activation compressors and error feedback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ErrorFeedback,
+    FP16Compressor,
+    NoCompression,
+    PowerSGDCompressor,
+    RandomKCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+    compression_error,
+    compression_ratio,
+    cosine_similarity,
+    relative_error,
+)
+from repro.compression.base import UNCOMPRESSED_BYTES_PER_ELEMENT
+from repro.compression.powersgd import matrix_view, orthogonalise
+
+
+def low_rank_matrix(rng, rows=64, cols=32, rank=3, noise=0.0):
+    """A matrix of known low rank plus optional noise."""
+    matrix = rng.normal(size=(rows, rank)) @ rng.normal(size=(rank, cols))
+    if noise:
+        matrix = matrix + noise * rng.normal(size=(rows, cols))
+    return matrix
+
+
+class TestNoCompression:
+    def test_roundtrip_is_exact(self, rng):
+        tensor = rng.normal(size=(5, 7))
+        approx, payload = NoCompression().roundtrip(tensor)
+        assert np.array_equal(approx, tensor)
+        assert payload.compression_ratio == pytest.approx(1.0)
+
+
+class TestOrthogonalise:
+    def test_columns_are_orthonormal(self, rng):
+        matrix = orthogonalise(rng.normal(size=(20, 5)))
+        gram = matrix.T @ matrix
+        assert np.allclose(gram, np.eye(5), atol=1e-8)
+
+    def test_degenerate_column_handled(self):
+        matrix = np.zeros((4, 2))
+        matrix[:, 0] = [1.0, 0, 0, 0]
+        result = orthogonalise(matrix)
+        assert np.all(np.isfinite(result))
+
+    def test_matrix_view_flattens_leading_dims(self, rng):
+        tensor = rng.normal(size=(2, 3, 5))
+        assert matrix_view(tensor).shape == (6, 5)
+        assert matrix_view(rng.normal(size=7)).shape == (7,)
+
+
+class TestPowerSGD:
+    def test_exact_on_low_rank_input(self, rng):
+        matrix = low_rank_matrix(rng, rank=3)
+        compressor = PowerSGDCompressor(rank=3, min_compression_elements=0)
+        # A couple of warm-started iterations converge to the exact subspace.
+        for _ in range(3):
+            approx, payload = compressor.roundtrip(matrix, key="m")
+        assert relative_error(matrix, approx) < 1e-6
+        assert payload.compression_ratio > 5
+
+    def test_payload_size_formula(self, rng):
+        compressor = PowerSGDCompressor(rank=4, min_compression_elements=0)
+        tensor = rng.normal(size=(40, 30))
+        payload = compressor.compress(tensor, key="x")
+        expected_elements = 4 * (40 + 30)
+        assert payload.payload_bytes == expected_elements * UNCOMPRESSED_BYTES_PER_ELEMENT
+        assert compressor.expected_payload_elements((40, 30)) == expected_elements
+
+    def test_small_tensors_pass_through(self, rng):
+        compressor = PowerSGDCompressor(rank=4, min_compression_elements=10_000)
+        tensor = rng.normal(size=(10, 10))
+        approx, payload = compressor.roundtrip(tensor, key="small")
+        assert np.array_equal(approx, tensor)
+        assert payload.metadata["compressed"] is False
+
+    def test_one_dimensional_pass_through(self, rng):
+        compressor = PowerSGDCompressor(rank=4, min_compression_elements=0)
+        tensor = rng.normal(size=100)
+        approx, payload = compressor.roundtrip(tensor, key="bias")
+        assert np.array_equal(approx, tensor)
+
+    def test_query_reuse_improves_accuracy(self, rng):
+        matrix = low_rank_matrix(rng, rank=4, noise=0.01)
+        warm = PowerSGDCompressor(rank=4, reuse_query=True, min_compression_elements=0)
+        cold = PowerSGDCompressor(rank=4, reuse_query=False, min_compression_elements=0)
+        for _ in range(5):
+            warm_approx, _ = warm.roundtrip(matrix, key="k")
+            cold_approx, _ = cold.roundtrip(matrix, key="k")
+        assert relative_error(matrix, warm_approx) <= relative_error(matrix, cold_approx) + 1e-9
+
+    def test_reset_clears_state(self, rng):
+        compressor = PowerSGDCompressor(rank=2, min_compression_elements=0)
+        compressor.compress(rng.normal(size=(20, 10)), key="a")
+        assert compressor.stored_query("a") is not None
+        compressor.reset()
+        assert compressor.stored_query("a") is None
+
+    def test_higher_rank_lower_error(self, rng):
+        matrix = rng.normal(size=(64, 48))
+        errors = []
+        for rank in (1, 4, 16):
+            compressor = PowerSGDCompressor(rank=rank, min_compression_elements=0)
+            approx, _ = compressor.roundtrip(matrix, key="x")
+            errors.append(relative_error(matrix, approx))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            PowerSGDCompressor(rank=0)
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        tensor = np.array([[0.1, -5.0, 0.2, 4.0, 0.0, 0.3]])
+        compressor = TopKCompressor(fraction=2 / 6, min_elements=0)
+        approx, payload = compressor.roundtrip(tensor)
+        assert approx[0, 1] == -5.0 and approx[0, 3] == 4.0
+        assert np.count_nonzero(approx) == 2
+
+    def test_payload_accounts_for_indices(self, rng):
+        compressor = TopKCompressor(fraction=0.1, min_elements=0)
+        payload = compressor.compress(rng.normal(size=1000))
+        assert payload.payload_bytes == 100 * (UNCOMPRESSED_BYTES_PER_ELEMENT + 4)
+
+    def test_full_fraction_is_lossless(self, rng):
+        tensor = rng.normal(size=(8, 8))
+        approx, _ = TopKCompressor(fraction=1.0, min_elements=0).roundtrip(tensor)
+        assert np.allclose(approx, tensor)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(fraction=0.0)
+
+    def test_randomk_is_unbiased_in_expectation(self, rng):
+        tensor = np.ones((40, 40))
+        compressor = RandomKCompressor(fraction=0.25, seed=3, min_elements=0)
+        approximations = [compressor.roundtrip(tensor)[0] for _ in range(30)]
+        mean = np.mean(approximations, axis=0)
+        assert mean.mean() == pytest.approx(1.0, abs=0.15)
+
+
+class TestQuantization:
+    def test_terngrad_values_are_ternary(self, rng):
+        tensor = rng.normal(size=(16, 16))
+        compressor = TernGradCompressor(seed=1)
+        approx, payload = compressor.roundtrip(tensor)
+        scale = payload.data["scale"]
+        assert set(np.unique(np.round(approx / scale, 6))).issubset({-1.0, 0.0, 1.0})
+
+    def test_terngrad_compression_ratio_large(self, rng):
+        payload = TernGradCompressor().compress(rng.normal(size=(64, 64)))
+        assert payload.compression_ratio > 4
+
+    def test_signsgd_preserves_signs(self, rng):
+        tensor = rng.normal(size=(8, 8))
+        approx, _ = SignSGDCompressor().roundtrip(tensor)
+        nonzero = tensor != 0
+        assert np.all(np.sign(approx[nonzero]) == np.sign(tensor[nonzero]))
+
+    def test_fp16_roundtrip_close(self, rng):
+        tensor = rng.normal(size=(16, 16))
+        approx, payload = FP16Compressor().roundtrip(tensor)
+        assert relative_error(tensor, approx) < 1e-3
+        assert payload.compression_ratio == pytest.approx(1.0)
+
+
+class TestErrorFeedback:
+    def test_residual_accumulates_and_corrects(self, rng):
+        """With error feedback, the running sum of delivered tensors tracks the true sum."""
+        compressor = PowerSGDCompressor(rank=1, min_compression_elements=0)
+        feedback = ErrorFeedback(compressor, enabled=True)
+        true_sum = np.zeros((32, 16))
+        delivered_sum = np.zeros((32, 16))
+        for step in range(20):
+            tensor = rng.normal(size=(32, 16))
+            true_sum += tensor
+            approx, _, _ = feedback.compress_with_feedback(tensor, key="g")
+            delivered_sum += approx
+        residual = feedback.residual("g")
+        # sum(delivered) + residual == sum(true) by construction of error feedback.
+        assert np.allclose(delivered_sum + residual, true_sum, atol=1e-8)
+
+    def test_disabled_feedback_keeps_no_state(self, rng):
+        feedback = ErrorFeedback(PowerSGDCompressor(rank=1, min_compression_elements=0), enabled=False)
+        feedback.compress_with_feedback(rng.normal(size=(16, 8)), key="g")
+        assert feedback.residual("g") is None
+        assert feedback.residual_bytes() == 0
+
+    def test_residual_bytes_counts_storage(self, rng):
+        feedback = ErrorFeedback(PowerSGDCompressor(rank=1, min_compression_elements=0))
+        feedback.compress_with_feedback(rng.normal(size=(16, 8)), key="a")
+        feedback.compress_with_feedback(rng.normal(size=(16, 8)), key="b")
+        assert feedback.residual_bytes() == 2 * 16 * 8 * 4
+
+    def test_clear_and_reset(self, rng):
+        feedback = ErrorFeedback(PowerSGDCompressor(rank=1, min_compression_elements=0))
+        feedback.compress_with_feedback(rng.normal(size=(16, 8)), key="a")
+        feedback.clear("a")
+        assert feedback.residual("a") is None
+        feedback.compress_with_feedback(rng.normal(size=(16, 8)), key="b")
+        feedback.reset()
+        assert feedback.residual("b") is None
+
+
+class TestMetrics:
+    def test_cosine_similarity_extremes(self, rng):
+        a = rng.normal(size=100)
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+        assert cosine_similarity(a, np.zeros(100)) == 0.0
+
+    def test_compression_error_zero_for_identity(self, rng):
+        a = rng.normal(size=(4, 4))
+        assert compression_error(a, a) == 0.0
+
+    def test_compression_ratio_reads_payload(self, rng):
+        payload = TopKCompressor(fraction=0.1, min_elements=0).compress(rng.normal(size=1000))
+        assert compression_ratio(payload) == payload.compression_ratio
+
+
+class TestCompressionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(min_value=4, max_value=40),
+        cols=st.integers(min_value=4, max_value=40),
+        rank=st.integers(min_value=1, max_value=8),
+    )
+    def test_powersgd_payload_never_larger_than_original(self, rows, cols, rank):
+        rng = np.random.default_rng(rows * 1000 + cols * 10 + rank)
+        tensor = rng.normal(size=(rows, cols))
+        compressor = PowerSGDCompressor(rank=rank, min_compression_elements=0)
+        payload = compressor.compress(tensor, key="p")
+        assert payload.payload_bytes <= payload.original_bytes
+
+    @settings(max_examples=20, deadline=None)
+    @given(fraction=st.floats(min_value=0.01, max_value=1.0))
+    def test_topk_reconstruction_error_bounded_by_dropped_mass(self, fraction):
+        rng = np.random.default_rng(int(fraction * 1e6))
+        tensor = rng.normal(size=256)
+        approx, _ = TopKCompressor(fraction=fraction, min_elements=0).roundtrip(tensor)
+        assert np.linalg.norm(tensor - approx) <= np.linalg.norm(tensor) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(steps=st.integers(min_value=2, max_value=12))
+    def test_error_feedback_invariant(self, steps):
+        """delivered-so-far + residual == true-so-far holds at every step."""
+        rng = np.random.default_rng(steps)
+        feedback = ErrorFeedback(TopKCompressor(fraction=0.1, min_elements=0))
+        true_sum = np.zeros(128)
+        delivered = np.zeros(128)
+        for _ in range(steps):
+            tensor = rng.normal(size=128)
+            true_sum += tensor
+            approx, _, _ = feedback.compress_with_feedback(tensor, key="k")
+            delivered += approx
+            assert np.allclose(delivered + feedback.residual("k"), true_sum, atol=1e-9)

@@ -1,0 +1,122 @@
+"""Tests for OptimusCCConfig and the OptimusCC facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimusCC, OptimusCCConfig
+from repro.core.compressed_backprop import CompressedBackpropagation
+from repro.core.fused_embedding import EmbeddingSynchronizer
+from repro.core.selective_stage import SelectiveStageCompression
+from repro.models import GPT_2_5B
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.parallel.collectives import CommunicationLog
+from repro.simulator import TrainingJob
+
+
+class TestConfig:
+    def test_baseline_has_nothing_enabled(self):
+        config = OptimusCCConfig.baseline()
+        assert not config.compress_backward
+        assert not config.fuse_embedding
+        assert config.dp_stage_fraction == 0.0
+        assert config.describe() == "Baseline"
+
+    def test_named_configurations_describe_paper_labels(self):
+        assert OptimusCCConfig.cb().describe() == "CB"
+        assert OptimusCCConfig.cb_fe().describe() == "CB+FE"
+        assert OptimusCCConfig.cb_fe_sc().describe() == "CB+FE+SC"
+        assert OptimusCCConfig.naive_dp().describe() == "DP(all)"
+        assert "Non-LEP" in OptimusCCConfig.cb_non_lep().describe()
+        assert "naive" in OptimusCCConfig.naive_cb().describe()
+        assert "TopK" in OptimusCCConfig.optimus_topk().describe()
+
+    def test_paper_default_hyperparameters(self):
+        config = OptimusCCConfig.cb_fe_sc()
+        assert config.cb_rank == 16
+        assert config.dp_rank == 128
+        assert config.dp_stage_fraction == 0.75
+
+    def test_with_returns_modified_copy(self):
+        config = OptimusCCConfig.cb()
+        modified = config.with_(cb_rank=32)
+        assert modified.cb_rank == 32 and config.cb_rank == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OptimusCCConfig(cb_compressor="zip")
+        with pytest.raises(ValueError):
+            OptimusCCConfig(dp_stage_fraction=2.0)
+        with pytest.raises(ValueError):
+            OptimusCCConfig(cb_rank=-1)
+        with pytest.raises(ValueError):
+            OptimusCCConfig(topk_fraction=0.0)
+
+    def test_to_compression_plan_mirrors_flags(self):
+        plan = OptimusCCConfig.cb_fe_sc(cb_rank=8, dp_rank=64, stage_fraction=0.5).to_compression_plan()
+        assert plan.compress_backward and plan.fuse_embedding
+        assert plan.backward_rank == 8 and plan.dp_rank == 64
+        assert plan.dp_compressed_stage_fraction == 0.5
+
+
+class TestFacadeFunctionalHooks:
+    def test_baseline_produces_no_hooks(self):
+        optimus = OptimusCC(OptimusCCConfig.baseline())
+        assert optimus.make_backward_hook(4) is None
+        assert optimus.make_dp_hook(4) is None
+        assert optimus.make_forward_hook(4) is None
+
+    def test_full_config_produces_all_hooks(self):
+        optimus = OptimusCC(OptimusCCConfig.cb_fe_sc())
+        backward = optimus.make_backward_hook(4)
+        dp = optimus.make_dp_hook(4)
+        assert isinstance(backward, CompressedBackpropagation)
+        assert backward.epilogue_only and backward.lazy_error_propagation
+        assert isinstance(dp, SelectiveStageCompression)
+        assert dp.compressed_stages == {0, 1, 2}
+
+    def test_non_lep_flag_propagates(self):
+        backward = OptimusCC(OptimusCCConfig.cb_non_lep()).make_backward_hook(4)
+        assert not backward.lazy_error_propagation
+
+    def test_embedding_synchroniser_respects_fusion_flag(self, tiny_config):
+        replicas = [build_gpt_stages(tiny_config, 2, seed=0) for _ in range(2)]
+        log = CommunicationLog()
+        fused = OptimusCC(OptimusCCConfig.cb_fe()).make_embedding_synchronizer(replicas, log)
+        plain = OptimusCC(OptimusCCConfig.baseline()).make_embedding_synchronizer(replicas, log)
+        assert isinstance(fused, EmbeddingSynchronizer) and fused.fused
+        assert not plain.fused
+
+
+class TestFacadeSimulation:
+    @pytest.fixture(scope="class")
+    def job(self) -> TrainingJob:
+        return TrainingJob(model=GPT_2_5B)
+
+    def test_simulate_and_speedup(self, job):
+        optimus = OptimusCC(OptimusCCConfig.cb_fe_sc())
+        timing = optimus.simulate_iteration(job)
+        assert timing.iteration_time > 0
+        assert optimus.speedup_over_baseline(job) > 0
+        assert OptimusCC(OptimusCCConfig.baseline()).speedup_over_baseline(job) == pytest.approx(0.0)
+
+    def test_training_days_projection(self, job):
+        optimus = OptimusCC(OptimusCCConfig.baseline())
+        days = optimus.training_days(job, 230_000)
+        assert days == pytest.approx(optimus.simulate_iteration(job).days_for(230_000))
+
+    def test_breakdown_shrinks_under_compression(self, job):
+        base = OptimusCC(OptimusCCConfig.baseline()).breakdown(job)
+        optimus = OptimusCC(OptimusCCConfig.cb_fe_sc()).breakdown(job)
+        assert optimus.total < base.total
+
+    def test_build_trainer_returns_wired_pretrainer(self, small_config, loader):
+        from repro.training.trainer import Pretrainer
+
+        trainer = OptimusCC(OptimusCCConfig.cb(rank=4)).build_trainer(
+            small_config, loader, num_stages=2, learning_rate=1e-3
+        )
+        assert isinstance(trainer, Pretrainer)
+        assert trainer.optimus_config.compress_backward
+        loss = trainer.train_iteration()
+        assert loss > 0

@@ -1,0 +1,135 @@
+"""Tests for fused embedding synchronisation (functional path and cost model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fused_embedding import (
+    EmbeddingSynchronizer,
+    baseline_embedding_cost,
+    embedding_sync_improvement,
+    fused_embedding_cost,
+)
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.parallel.collectives import CommunicationLog
+from repro.parallel.pipeline_engine import PipelineParallelEngine
+
+
+def run_replicas(config, rng, num_replicas=2, num_stages=2, seed=0):
+    """Build replicas and run one iteration so that embedding gradients exist."""
+    replicas = [build_gpt_stages(config, num_stages, seed=seed) for _ in range(num_replicas)]
+    for replica_index, replica in enumerate(replicas):
+        rng_local = np.random.default_rng(1000 + replica_index)
+        tokens = rng_local.integers(0, config.vocab_size, size=(2, 8))
+        targets = rng_local.integers(0, config.vocab_size, size=(2, 8))
+        PipelineParallelEngine(replica).run_iteration([(tokens, targets)])
+    return replicas
+
+
+class TestCostModel:
+    def test_equation_15(self):
+        # D = 4: baseline cost factor (3D-2)/D = 2.5.
+        assert baseline_embedding_cost(1.0, 4) == pytest.approx(2.5)
+
+    def test_equation_16(self):
+        # D = 4: fused cost factor (2D-1)/D = 1.75.
+        assert fused_embedding_cost(1.0, 4) == pytest.approx(1.75)
+
+    def test_paper_improvement_value(self):
+        """Section 6: 42.9 % at D=4, approaching 50 % as D grows."""
+        assert embedding_sync_improvement(4) == pytest.approx(0.4286, abs=1e-3)
+        assert embedding_sync_improvement(64) == pytest.approx(0.5, abs=0.02)
+        assert embedding_sync_improvement(64) < 0.5
+
+    def test_improvement_monotonically_increases_with_dp(self):
+        improvements = [embedding_sync_improvement(d) for d in (2, 4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(improvements, improvements[1:]))
+
+    def test_invalid_dp_raises(self):
+        with pytest.raises(ValueError):
+            baseline_embedding_cost(1.0, 0)
+        with pytest.raises(ValueError):
+            fused_embedding_cost(1.0, -1)
+
+    def test_single_replica_baseline_is_just_the_sync(self):
+        assert baseline_embedding_cost(1.0, 1) == pytest.approx(1.0)
+
+
+class TestFunctionalSynchroniser:
+    def test_fused_and_baseline_are_numerically_identical(self, tiny_config, rng):
+        """The fusion must not change the mathematical outcome (Section 6)."""
+        replicas_a = run_replicas(tiny_config, rng)
+        replicas_b = run_replicas(tiny_config, rng)
+
+        EmbeddingSynchronizer(replicas_a, fused=False).synchronize()
+        EmbeddingSynchronizer(replicas_b, fused=True).synchronize()
+
+        grad_a = replicas_a[0][0].token_embedding.weight.grad
+        grad_b = replicas_b[0][0].token_embedding.weight.grad
+        assert np.allclose(grad_a, grad_b, atol=1e-12)
+
+    def test_all_copies_agree_after_sync(self, tiny_config, rng):
+        replicas = run_replicas(tiny_config, rng)
+        synchronizer = EmbeddingSynchronizer(replicas, fused=True)
+        synchronizer.synchronize()
+        assert synchronizer.max_copy_divergence() < 1e-12
+
+    def test_result_is_mean_over_replicas_of_summed_copies(self, tiny_config, rng):
+        replicas = run_replicas(tiny_config, rng)
+        expected = np.mean(
+            [
+                replica[0].token_embedding.weight.grad + replica[-1].output_embedding.weight.grad
+                for replica in replicas
+            ],
+            axis=0,
+        )
+        EmbeddingSynchronizer(replicas, fused=True).synchronize()
+        assert np.allclose(replicas[0][0].token_embedding.weight.grad, expected, atol=1e-12)
+
+    def test_traffic_pattern_differs(self, tiny_config, rng):
+        """Baseline: per-copy DP all-reduce + 2-way sync; fused: one big all-reduce."""
+        replicas = run_replicas(tiny_config, rng)
+        baseline_log = CommunicationLog()
+        EmbeddingSynchronizer(replicas, log=baseline_log, fused=False).synchronize()
+        assert baseline_log.count(category="embedding_dp") == 2
+        assert baseline_log.count(category="embedding_sync") == 2
+
+        replicas = run_replicas(tiny_config, rng)
+        fused_log = CommunicationLog()
+        EmbeddingSynchronizer(replicas, log=fused_log, fused=True).synchronize()
+        assert fused_log.count(category="embedding_dp") == 0
+        assert fused_log.count(category="embedding_sync") == 1
+        assert len(fused_log.records[0].ranks) == 4  # 2 copies x 2 replicas
+
+    def test_fused_wire_cost_is_lower(self, tiny_config, rng):
+        def total_network_bytes(log: CommunicationLog) -> float:
+            """Bytes moved across the whole network (per-rank wire x participant count)."""
+            return sum(record.wire_bytes * len(record.ranks) for record in log.records)
+
+        replicas = run_replicas(tiny_config, rng, num_replicas=2)
+        baseline_log = CommunicationLog()
+        EmbeddingSynchronizer(replicas, log=baseline_log, fused=False).synchronize()
+        replicas = run_replicas(tiny_config, rng, num_replicas=2)
+        fused_log = CommunicationLog()
+        EmbeddingSynchronizer(replicas, log=fused_log, fused=True).synchronize()
+
+        baseline_bytes = total_network_bytes(baseline_log)
+        fused_bytes = total_network_bytes(fused_log)
+        assert fused_bytes < baseline_bytes
+        # The network-wide cost ratio matches the analytic model for D = 2.
+        expected_ratio = fused_embedding_cost(1.0, 2) / baseline_embedding_cost(1.0, 2)
+        assert fused_bytes / baseline_bytes == pytest.approx(expected_ratio, rel=0.05)
+
+    def test_single_stage_pipeline_still_ties_the_copies(self, tiny_config, rng):
+        replicas = run_replicas(tiny_config, rng, num_stages=1)
+        synchronizer = EmbeddingSynchronizer(replicas, fused=False)
+        synchronizer.synchronize()
+        stage = replicas[0][0]
+        assert np.allclose(
+            stage.token_embedding.weight.grad, stage.output_embedding.weight.grad, atol=1e-12
+        )
+
+    def test_empty_replicas_raise(self):
+        with pytest.raises(ValueError):
+            EmbeddingSynchronizer([])

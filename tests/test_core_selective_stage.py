@@ -1,0 +1,151 @@
+"""Tests for selective stage compression (data-parallel PowerSGD with error feedback)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selective_stage import SelectiveStageCompression, select_compressed_stages
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.parallel.collectives import CommunicationLog, SimulatedProcessGroup
+from repro.parallel.data_parallel import DataParallelGradientSync
+from repro.parallel.pipeline_engine import PipelineParallelEngine
+from repro.tensor.parameter import Parameter
+
+
+class TestStageSelection:
+    def test_paper_default(self):
+        """75 % of 4 stages compresses the three earliest stages (Fig. 8)."""
+        assert select_compressed_stages(4, 0.75) == {0, 1, 2}
+
+    def test_boundaries(self):
+        assert select_compressed_stages(4, 0.0) == set()
+        assert select_compressed_stages(4, 1.0) == {0, 1, 2, 3}
+        assert select_compressed_stages(4, 0.25) == {0}
+        assert select_compressed_stages(4, 0.5) == {0, 1}
+
+    def test_earliest_stages_selected_first(self):
+        for fraction in (0.25, 0.5, 0.75):
+            stages = select_compressed_stages(8, fraction)
+            assert stages == set(range(len(stages)))
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            select_compressed_stages(0, 0.5)
+        with pytest.raises(ValueError):
+            select_compressed_stages(4, 1.5)
+
+
+class TestShouldCompress:
+    def test_respects_stage_selection_and_shape(self):
+        hook = SelectiveStageCompression(num_stages=4, stage_fraction=0.5, rank=4,
+                                         min_compression_elements=16)
+        matrix_param = Parameter(np.zeros((8, 8)), name="w")
+        bias_param = Parameter(np.zeros(64), name="b")
+        tiny_param = Parameter(np.zeros((2, 2)), name="t")
+        assert hook.should_compress(0, matrix_param)
+        assert hook.should_compress(1, matrix_param)
+        assert not hook.should_compress(2, matrix_param)  # unselected stage
+        assert not hook.should_compress(0, bias_param)  # 1-D
+        assert not hook.should_compress(0, tiny_param)  # too small
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            SelectiveStageCompression(num_stages=4, rank=0)
+
+
+class TestReduce:
+    def _reduce_once(self, hook, gradients, log=None):
+        log = log if log is not None else CommunicationLog()
+        group = SimulatedProcessGroup(list(range(len(gradients))), log, category="data_parallel")
+        return hook.reduce("w", 0, gradients, group), log
+
+    def test_all_replicas_get_identical_result(self, rng):
+        hook = SelectiveStageCompression(num_stages=4, rank=2)
+        gradients = [rng.normal(size=(32, 16)) for _ in range(4)]
+        results, _ = self._reduce_once(hook, gradients)
+        assert len(results) == 4
+        for result in results[1:]:
+            assert np.array_equal(result, results[0])
+
+    def test_low_rank_input_is_reduced_exactly(self, rng):
+        """When the true mean gradient is low-rank, the reduction recovers it."""
+        base = rng.normal(size=(32, 2)) @ rng.normal(size=(2, 16))
+        gradients = [base.copy() for _ in range(4)]
+        hook = SelectiveStageCompression(num_stages=4, rank=2, error_feedback=False)
+        for _ in range(3):  # a few warm-started rounds converge
+            results, _ = self._reduce_once(hook, gradients)
+        assert np.allclose(results[0], base, atol=1e-6)
+
+    def test_error_feedback_tracks_true_mean_over_iterations(self, rng):
+        """Sum over iterations of the delivered mean approaches the true mean sum."""
+        hook = SelectiveStageCompression(num_stages=4, rank=1, error_feedback=True)
+        true_sum = np.zeros((24, 12))
+        delivered_sum = np.zeros((24, 12))
+        per_replica_true = [np.zeros((24, 12)) for _ in range(2)]
+        for _ in range(15):
+            gradients = [rng.normal(size=(24, 12)) for _ in range(2)]
+            for replica, gradient in enumerate(gradients):
+                per_replica_true[replica] += gradient
+            true_sum += np.mean(gradients, axis=0)
+            results, _ = self._reduce_once(hook, gradients)
+            delivered_sum += results[0]
+        # The residuals of the replicas absorb exactly what was not delivered.
+        residual_mean = np.mean(
+            [hook._states["w"].residuals[replica] for replica in range(2)], axis=0
+        )
+        assert np.allclose(delivered_sum + residual_mean, true_sum, atol=1e-7)
+
+    def test_traffic_is_logged_as_compressed_factors(self, rng):
+        hook = SelectiveStageCompression(num_stages=4, rank=2)
+        gradients = [rng.normal(size=(32, 16)) for _ in range(4)]
+        _, log = self._reduce_once(hook, gradients)
+        assert log.count() == 2  # one all-reduce for P, one for Q
+        assert all(record.compressed for record in log.records)
+        p_bytes = 32 * 2 * 2
+        q_bytes = 16 * 2 * 2
+        assert {record.payload_bytes for record in log.records} == {p_bytes, q_bytes}
+
+    def test_bytes_saved_fraction(self, rng):
+        hook = SelectiveStageCompression(num_stages=4, rank=2)
+        gradients = [rng.normal(size=(64, 64)) for _ in range(4)]
+        self._reduce_once(hook, gradients)
+        assert 0.5 < hook.bytes_saved_fraction() < 1.0
+        hook.reset()
+        assert hook.bytes_saved_fraction() == 0.0
+
+    def test_group_size_mismatch_raises(self, rng):
+        hook = SelectiveStageCompression(num_stages=4, rank=2)
+        log = CommunicationLog()
+        group = SimulatedProcessGroup([0, 1, 2], log, category="data_parallel")
+        with pytest.raises(ValueError):
+            hook.reduce("w", 0, [rng.normal(size=(8, 8))] * 2, group)
+
+
+class TestIntegrationWithDPSync:
+    def test_selected_stage_traffic_is_compressed(self, tiny_config, rng):
+        replicas = [build_gpt_stages(tiny_config, 2, seed=0) for _ in range(2)]
+        for index, replica in enumerate(replicas):
+            local_rng = np.random.default_rng(index)
+            tokens = local_rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+            targets = local_rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+            PipelineParallelEngine(replica).run_iteration([(tokens, targets)])
+
+        log = CommunicationLog()
+        hook = SelectiveStageCompression(
+            num_stages=2, stage_fraction=0.5, rank=2, min_compression_elements=64
+        )
+        DataParallelGradientSync(
+            replicas, log=log, compression_hook=hook, exclude_embedding=True
+        ).synchronize()
+
+        compressed = [record for record in log.records if record.compressed]
+        uncompressed = [record for record in log.records if not record.compressed]
+        assert compressed, "stage 0 weight matrices should go through the compressed path"
+        assert uncompressed, "stage 1 and small parameters stay uncompressed"
+        # After DP sync plus embedding sync all replicas agree on every gradient.
+        from repro.core.fused_embedding import EmbeddingSynchronizer
+
+        EmbeddingSynchronizer(replicas, fused=True).synchronize()
+        sync = DataParallelGradientSync(replicas, exclude_embedding=True)
+        assert sync.max_gradient_divergence() < 1e-9

@@ -1,0 +1,156 @@
+"""Tests for data-parallel gradient synchronisation and tensor-parallel layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.parallel.collectives import CommunicationLog
+from repro.parallel.data_parallel import DataParallelGradientSync, is_embedding_parameter
+from repro.parallel.pipeline_engine import PipelineParallelEngine
+from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+from repro.tensor.parameter import Parameter
+
+
+def build_replicas(config, num_replicas=2, num_stages=2, seed=0):
+    return [build_gpt_stages(config, num_stages, seed=seed) for _ in range(num_replicas)]
+
+
+def run_replica(stages, tokens, targets):
+    PipelineParallelEngine(stages).run_iteration([(tokens, targets)])
+
+
+class TestIsEmbeddingParameter:
+    def test_detects_by_name(self):
+        assert is_embedding_parameter(Parameter(np.zeros(2), name="stage0.word_embeddings"))
+        assert not is_embedding_parameter(Parameter(np.zeros(2), name="stage0.position_embeddings"))
+
+
+class TestDataParallelSync:
+    def test_average_matches_manual_mean(self, tiny_config, rng):
+        replicas = build_replicas(tiny_config)
+        batches = []
+        for _ in range(2):
+            tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+            targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+            batches.append((tokens, targets))
+        for replica, (tokens, targets) in zip(replicas, batches):
+            run_replica(replica, tokens, targets)
+
+        # Snapshot the per-replica gradient of one weight before synchronisation.
+        grads_before = [
+            replica[0].layers[0].attention.qkv.weight.grad.copy() for replica in replicas
+        ]
+        expected = np.mean(grads_before, axis=0)
+
+        sync = DataParallelGradientSync(replicas, exclude_embedding=True)
+        sync.synchronize()
+        for replica in replicas:
+            assert np.allclose(replica[0].layers[0].attention.qkv.weight.grad, expected)
+        assert sync.max_gradient_divergence() < 1e-12
+
+    def test_single_replica_is_noop(self, tiny_config, rng):
+        log = CommunicationLog()
+        replicas = build_replicas(tiny_config, num_replicas=1)
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        run_replica(replicas[0], tokens, targets)
+        DataParallelGradientSync(replicas, log=log).synchronize()
+        assert log.count() == 0
+
+    def test_embedding_excluded_when_requested(self, tiny_config, rng):
+        log = CommunicationLog()
+        replicas = build_replicas(tiny_config)
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        for replica in replicas:
+            run_replica(replica, tokens, targets)
+        DataParallelGradientSync(replicas, log=log, exclude_embedding=True).synchronize()
+        assert log.count(category="embedding_dp") == 0
+        assert log.count(category="data_parallel") > 0
+
+    def test_embedding_included_by_default_category(self, tiny_config, rng):
+        log = CommunicationLog()
+        replicas = build_replicas(tiny_config)
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        for replica in replicas:
+            run_replica(replica, tokens, targets)
+        DataParallelGradientSync(replicas, log=log, exclude_embedding=False).synchronize()
+        assert log.count(category="embedding_dp") > 0
+
+    def test_mismatched_replicas_raise(self, tiny_config):
+        replicas = [build_gpt_stages(tiny_config, 2, seed=0), build_gpt_stages(tiny_config, 1, seed=0)]
+        with pytest.raises(ValueError):
+            DataParallelGradientSync(replicas)
+
+    def test_compression_hook_is_consulted(self, tiny_config, rng):
+        replicas = build_replicas(tiny_config)
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        for replica in replicas:
+            run_replica(replica, tokens, targets)
+
+        class RecordingHook:
+            def __init__(self):
+                self.calls = []
+
+            def should_compress(self, stage_index, parameter):
+                return stage_index == 0 and parameter.data.ndim >= 2
+
+            def reduce(self, key, stage_index, gradients, group):
+                self.calls.append((key, stage_index))
+                reduced = np.mean([np.asarray(g) for g in gradients], axis=0)
+                group.all_reduce(list(gradients), op="mean", payload_bytes=1, compressed=True)
+                return [reduced for _ in gradients]
+
+        hook = RecordingHook()
+        log = CommunicationLog()
+        DataParallelGradientSync(
+            replicas, log=log, compression_hook=hook, exclude_embedding=True
+        ).synchronize()
+        assert hook.calls, "hook should have been used for stage 0"
+        assert all(stage == 0 for _, stage in hook.calls)
+        assert any(record.compressed for record in log.records)
+
+
+class TestTensorParallelLayers:
+    def test_column_parallel_matches_dense(self, rng):
+        weight = rng.normal(size=(6, 8))
+        x = rng.normal(size=(3, 6))
+        layer = ColumnParallelLinear(weight, tensor_parallel_degree=4)
+        assert np.allclose(layer.forward(x), x @ weight)
+
+    def test_column_parallel_shard_outputs(self, rng):
+        weight = rng.normal(size=(6, 8))
+        x = rng.normal(size=(3, 6))
+        partials = ColumnParallelLinear(weight, 2).forward(x, gather_output=False)
+        assert len(partials) == 2 and partials[0].shape == (3, 4)
+
+    def test_row_parallel_matches_dense(self, rng):
+        weight = rng.normal(size=(8, 5))
+        x = rng.normal(size=(3, 8))
+        layer = RowParallelLinear(weight, tensor_parallel_degree=4)
+        assert np.allclose(layer.forward(x), x @ weight)
+
+    def test_column_then_row_matches_two_layer_dense(self, rng):
+        """The Megatron layer pattern: column-parallel then row-parallel, one all-reduce."""
+        log = CommunicationLog()
+        w1 = rng.normal(size=(6, 8))
+        w2 = rng.normal(size=(8, 6))
+        x = rng.normal(size=(4, 6))
+        column = ColumnParallelLinear(w1, 2, log=log)
+        row = RowParallelLinear(w2, 2, log=log)
+        partials = column.forward(x, gather_output=False)
+        output = row.forward(partials)
+        assert np.allclose(output, x @ w1 @ w2)
+        # Only the row-parallel all-reduce communicates; no all-gather was needed.
+        assert log.count(operation="all_reduce") == 1
+        assert log.count(operation="all_gather") == 0
+
+    def test_indivisible_split_raises(self, rng):
+        with pytest.raises(ValueError):
+            ColumnParallelLinear(rng.normal(size=(4, 6)), tensor_parallel_degree=4)
+        with pytest.raises(ValueError):
+            RowParallelLinear(rng.normal(size=(6, 4)), tensor_parallel_degree=4)

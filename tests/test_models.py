@@ -1,0 +1,78 @@
+"""Tests for the paper-scale model catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    FUNCTIONAL_SMALL,
+    FUNCTIONAL_TINY,
+    GPT_2_5B,
+    GPT_8_3B,
+    GPT_9_2B,
+    GPT_175B,
+    PAPER_MODELS,
+    SCALABILITY_MODELS,
+    PaperModelSpec,
+    functional_config,
+)
+
+
+class TestPaperModelSpecs:
+    @pytest.mark.parametrize(
+        "spec,expected_billion,tolerance",
+        [(GPT_2_5B, 2.5, 0.2), (GPT_8_3B, 8.3, 0.3), (GPT_9_2B, 9.2, 0.3), (GPT_175B, 175.0, 6.0)],
+    )
+    def test_parameter_counts_match_paper_names(self, spec, expected_billion, tolerance):
+        assert spec.parameters_billion() == pytest.approx(expected_billion, abs=tolerance)
+
+    def test_paper_table1_architectures(self):
+        assert GPT_2_5B.num_layers == 52 and GPT_2_5B.hidden_size == 1920
+        assert GPT_8_3B.num_layers == 72 and GPT_8_3B.hidden_size == 3072
+        assert GPT_9_2B.num_layers == 80
+
+    def test_ffn_is_4x_hidden(self):
+        assert GPT_8_3B.ffn_size == 4 * GPT_8_3B.hidden_size
+
+    def test_catalogues(self):
+        assert set(PAPER_MODELS) == {"GPT-2.5B", "GPT-8.3B"}
+        assert SCALABILITY_MODELS[0] is GPT_2_5B and SCALABILITY_MODELS[-1] is GPT_175B
+        sizes = [spec.total_parameters() for spec in SCALABILITY_MODELS]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            PaperModelSpec(name="bad", num_layers=0, hidden_size=64, num_heads=2)
+        with pytest.raises(ValueError):
+            PaperModelSpec(name="bad", num_layers=2, hidden_size=63, num_heads=2)
+
+
+class TestPerStageAccounting:
+    def test_stage_parameters_cover_total(self):
+        num_stages = 4
+        total = sum(GPT_8_3B.parameters_per_stage(num_stages, s) for s in range(num_stages))
+        # The per-stage sum counts the word embedding twice (first and last stage
+        # copies), exactly like the real pipeline layout.
+        expected = GPT_8_3B.total_parameters() + GPT_8_3B.word_embedding_parameters()
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_first_and_last_stage_are_heavier(self):
+        middle = GPT_8_3B.parameters_per_stage(4, 1)
+        first = GPT_8_3B.parameters_per_stage(4, 0)
+        last = GPT_8_3B.parameters_per_stage(4, 3)
+        assert first > middle and last > middle
+
+    def test_out_of_range_stage_raises(self):
+        with pytest.raises(ValueError):
+            GPT_8_3B.parameters_per_stage(4, 4)
+
+
+class TestFunctionalConfigs:
+    def test_presets_are_valid(self):
+        assert FUNCTIONAL_TINY.num_layers >= 1
+        assert FUNCTIONAL_SMALL.hidden_size % FUNCTIONAL_SMALL.num_heads == 0
+
+    def test_functional_config_builder(self):
+        config = functional_config(vocab_size=96, num_layers=3, hidden_size=24, num_heads=3)
+        assert config.vocab_size == 96 and config.num_layers == 3
+        assert config.parameter_count() > 0

@@ -1,0 +1,151 @@
+"""Tests for the pipeline-stage slices: partitioning and single-device equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, GPTModel
+from repro.nn.gpt_stage import GPTStage, build_gpt_stages, partition_layers
+from repro.parallel.pipeline_engine import PipelineParallelEngine
+
+
+class TestPartitionLayers:
+    def test_even_split(self):
+        assert partition_layers(8, 4) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_remainder_goes_to_early_stages(self):
+        parts = partition_layers(7, 3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+        assert parts[0] == [0, 1, 2]
+
+    def test_all_layers_covered_exactly_once(self):
+        parts = partition_layers(13, 5)
+        flattened = [layer for part in parts for layer in part]
+        assert flattened == list(range(13))
+
+    def test_too_many_stages_raises(self):
+        with pytest.raises(ValueError):
+            partition_layers(2, 3)
+
+    def test_zero_stages_raises(self):
+        with pytest.raises(ValueError):
+            partition_layers(4, 0)
+
+
+class TestStageConstruction:
+    def test_roles_of_stages(self, tiny_config):
+        stages = build_gpt_stages(tiny_config, 2, seed=0)
+        assert stages[0].is_first and not stages[0].is_last
+        assert stages[-1].is_last and not stages[-1].is_first
+        assert stages[0].token_embedding is not None
+        assert stages[-1].output_embedding is not None
+        assert stages[0].output_embedding is None
+
+    def test_single_stage_owns_both_embedding_copies(self, tiny_config):
+        (stage,) = build_gpt_stages(tiny_config, 1, seed=0)
+        assert stage.is_first and stage.is_last
+        assert len(stage.embedding_parameters()) == 2
+
+    def test_stage_weights_match_reference_model(self, tiny_config):
+        """Stages initialise from the same derived streams as the full model."""
+        model = GPTModel(tiny_config, seed=4)
+        stages = build_gpt_stages(tiny_config, 2, seed=4)
+        assert np.array_equal(
+            stages[0].token_embedding.weight.data, model.token_embedding.weight.data
+        )
+        assert np.array_equal(
+            stages[-1].output_embedding.weight.data, model.token_embedding.weight.data
+        )
+        assert np.array_equal(
+            stages[0].layers[0].attention.qkv.weight.data,
+            model.layers[0].attention.qkv.weight.data,
+        )
+        last_local = stages[-1].layers[-1]
+        assert np.array_equal(
+            last_local.mlp.proj.weight.data, model.layers[-1].mlp.proj.weight.data
+        )
+
+    def test_last_stage_requires_targets(self, tiny_config, rng):
+        stages = build_gpt_stages(tiny_config, 2, seed=0)
+        hidden = rng.normal(size=(1, 4, tiny_config.hidden_size))
+        with pytest.raises(ValueError):
+            stages[-1].forward(hidden, targets=None)
+
+    def test_middle_stage_backward_requires_gradient(self, tiny_config, rng):
+        stages = build_gpt_stages(tiny_config, 2, seed=0)
+        hidden = rng.normal(size=(1, 4, tiny_config.hidden_size))
+        _, cache = stages[0].forward(np.zeros((1, 4), dtype=np.int64))
+        del hidden
+        with pytest.raises(ValueError):
+            # stage 0 is not last, so it needs a downstream gradient... but it is
+            # first, so backward(None) is only invalid for non-first middle stages.
+            build_gpt_stages(tiny_config, 3, seed=0)[1].backward(None, cache)
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("num_stages", [1, 2])
+    def test_loss_and_gradients_match_single_device(self, tiny_config, rng, num_stages):
+        """The staged pipeline must reproduce the reference model bit-for-bit."""
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+
+        model = GPTModel(tiny_config, seed=7)
+        loss_fn = CrossEntropyLoss()
+        logits, cache = model.forward(tokens)
+        reference_loss, loss_cache = loss_fn.forward(logits, targets)
+        model.backward(loss_fn.backward(loss_cache), cache)
+
+        stages = build_gpt_stages(tiny_config, num_stages, seed=7)
+        engine = PipelineParallelEngine(stages)
+        result = engine.run_iteration([(tokens, targets)])
+
+        assert result.mean_loss == pytest.approx(reference_loss, abs=1e-10)
+        # Transformer-layer gradients match exactly.
+        assert np.allclose(
+            stages[0].layers[0].attention.qkv.weight.grad,
+            model.layers[0].attention.qkv.weight.grad,
+            atol=1e-10,
+        )
+        # The tied-embedding gradient equals the sum of the per-copy gradients.
+        copies = stages[0].embedding_parameters()
+        if stages[-1] is not stages[0]:
+            copies = copies + stages[-1].embedding_parameters()
+        summed = np.sum([copy.grad for copy in copies], axis=0)
+        assert np.allclose(summed, model.token_embedding.weight.grad, atol=1e-10)
+
+    def test_micro_batch_split_matches_full_batch(self, tiny_config, rng):
+        """Gradient accumulation over micro-batches equals one big batch."""
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(4, 8))
+        targets = rng.integers(0, tiny_config.vocab_size, size=(4, 8))
+
+        stages_full = build_gpt_stages(tiny_config, 2, seed=9)
+        engine_full = PipelineParallelEngine(stages_full)
+        engine_full.run_iteration([(tokens, targets)])
+
+        stages_micro = build_gpt_stages(tiny_config, 2, seed=9)
+        engine_micro = PipelineParallelEngine(stages_micro)
+        engine_micro.run_iteration(
+            [(tokens[:2], targets[:2]), (tokens[2:], targets[2:])]
+        )
+
+        for full_param, micro_param in zip(engine_full.parameters(), engine_micro.parameters()):
+            assert np.allclose(full_param.grad, micro_param.grad, atol=1e-10)
+
+    def test_forward_logits_matches_reference(self, tiny_config, rng):
+        tokens = rng.integers(0, tiny_config.vocab_size, size=(2, 6))
+        model = GPTModel(tiny_config, seed=3)
+        stages = build_gpt_stages(tiny_config, 2, seed=3)
+        engine = PipelineParallelEngine(stages)
+        reference, _ = model.forward(tokens)
+        assert np.allclose(engine.forward_logits(tokens), reference, atol=1e-10)
+
+
+class TestStageNaming:
+    def test_embedding_copies_carry_word_embeddings_marker(self, tiny_config):
+        stages = build_gpt_stages(tiny_config, 2, seed=0)
+        for stage in (stages[0], stages[-1]):
+            copies = stage.embedding_parameters()
+            assert copies
+            for copy in copies:
+                assert "word_embeddings" in copy.name

@@ -1,0 +1,215 @@
+"""Tests for the basic NumPy modules: Linear, Embedding, LayerNorm, MLP, attention.
+
+Every backward pass is validated against a central-difference numerical gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.mlp import TransformerMLP
+from repro.nn.module import Module, flatten_gradients, unflatten_to_gradients
+
+from tests.conftest import numerical_gradient
+
+
+class TestModuleBase:
+    def test_named_parameters_are_qualified(self, rng):
+        outer = Module()
+        inner = Linear(3, 4, rng)
+        outer.register_module("proj", inner)
+        names = [name for name, _ in outer.named_parameters()]
+        assert "proj.weight" in names and "proj.bias" in names
+
+    def test_state_dict_round_trip(self, rng):
+        layer = Linear(3, 4, rng)
+        state = layer.state_dict()
+        layer.weight.data[...] = 0.0
+        layer.load_state_dict(state)
+        assert not np.all(layer.weight.data == 0.0)
+
+    def test_load_state_dict_rejects_unknown_keys(self, rng):
+        layer = Linear(3, 4, rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})  # missing bias
+
+    def test_flatten_unflatten_gradients(self, rng):
+        layer = Linear(3, 4, rng)
+        layer.weight.grad[...] = 1.0
+        layer.bias.grad[...] = 2.0
+        flat = flatten_gradients(layer.parameters())
+        assert flat.size == 3 * 4 + 4
+        unflatten_to_gradients(flat * 0.5, layer.parameters())
+        assert np.all(layer.weight.grad == 0.5)
+        assert np.all(layer.bias.grad == 1.0)
+
+    def test_train_eval_propagates(self, rng):
+        mlp = TransformerMLP(8, rng)
+        mlp.eval()
+        assert not mlp.fc.training
+        mlp.train()
+        assert mlp.proj.training
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(3, 5, rng)
+        x = rng.normal(size=(2, 4, 3))
+        out, _ = layer.forward(x)
+        assert out.shape == (2, 4, 5)
+        assert np.allclose(out, x @ layer.weight.data + layer.bias.data)
+
+    def test_backward_matches_numerical(self, rng):
+        layer = Linear(3, 4, rng)
+        x = rng.normal(size=(2, 3))
+        weights = rng.normal(size=(2, 4))
+
+        def loss_for_weight():
+            out, _ = layer.forward(x)
+            return float(np.sum(out * weights))
+
+        out, cache = layer.forward(x)
+        grad_input = layer.backward(weights, cache)
+        assert np.allclose(
+            layer.weight.grad, numerical_gradient(loss_for_weight, layer.weight.data), atol=1e-6
+        )
+        assert np.allclose(
+            layer.bias.grad, numerical_gradient(loss_for_weight, layer.bias.data), atol=1e-6
+        )
+        assert np.allclose(grad_input, numerical_gradient(loss_for_weight, x), atol=1e-6)
+
+    def test_no_bias_variant(self, rng):
+        layer = Linear(3, 4, rng, bias=False)
+        assert layer.bias is None
+        out, cache = layer.forward(rng.normal(size=(2, 3)))
+        layer.backward(np.ones((2, 4)), cache)  # must not raise
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self, rng):
+        embedding = Embedding(10, 4, rng)
+        indices = np.array([[1, 3], [0, 9]])
+        out, _ = embedding.forward(indices)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 0], embedding.weight.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        embedding = Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            embedding.forward(np.array([[10]]))
+
+    def test_backward_scatter_adds(self, rng):
+        embedding = Embedding(6, 3, rng)
+        indices = np.array([[1, 1, 2]])
+        out, cache = embedding.forward(indices)
+        grad = np.ones_like(out)
+        embedding.backward(grad, cache)
+        assert np.allclose(embedding.weight.grad[1], 2.0)  # index 1 appears twice
+        assert np.allclose(embedding.weight.grad[2], 1.0)
+        assert np.allclose(embedding.weight.grad[0], 0.0)
+
+    def test_tied_projection_backward_matches_numerical(self, rng):
+        embedding = Embedding(6, 3, rng)
+        hidden = rng.normal(size=(2, 4, 3))
+        weights = rng.normal(size=(2, 4, 6))
+
+        def loss():
+            return float(np.sum(embedding.project_to_vocab(hidden) * weights))
+
+        grad_hidden = embedding.project_to_vocab_backward(weights, hidden)
+        assert np.allclose(
+            embedding.weight.grad, numerical_gradient(loss, embedding.weight.data), atol=1e-6
+        )
+        assert np.allclose(grad_hidden, numerical_gradient(loss, hidden), atol=1e-6)
+
+
+class TestLayerNormModule:
+    def test_backward_matches_numerical(self, rng):
+        layer = LayerNorm(6)
+        layer.gamma.data[...] = rng.normal(size=6)
+        x = rng.normal(size=(3, 6))
+        weights = rng.normal(size=(3, 6))
+
+        def loss():
+            out, _ = layer.forward(x)
+            return float(np.sum(out * weights))
+
+        out, cache = layer.forward(x)
+        grad_input = layer.backward(weights, cache)
+        assert np.allclose(grad_input, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(layer.gamma.grad, numerical_gradient(loss, layer.gamma.data), atol=1e-5)
+        assert np.allclose(layer.beta.grad, numerical_gradient(loss, layer.beta.data), atol=1e-5)
+
+
+class TestTransformerMLP:
+    def test_shapes(self, rng):
+        mlp = TransformerMLP(8, rng)
+        out, _ = mlp.forward(rng.normal(size=(2, 3, 8)))
+        assert out.shape == (2, 3, 8)
+        assert mlp.ffn_size == 32
+
+    def test_backward_matches_numerical(self, rng):
+        mlp = TransformerMLP(4, rng)
+        x = rng.normal(size=(2, 4))
+        weights = rng.normal(size=(2, 4))
+
+        def loss():
+            out, _ = mlp.forward(x)
+            return float(np.sum(out * weights))
+
+        out, cache = mlp.forward(x)
+        grad_input = mlp.backward(weights, cache)
+        assert np.allclose(grad_input, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(
+            mlp.fc.weight.grad, numerical_gradient(loss, mlp.fc.weight.data), atol=1e-5
+        )
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadSelfAttention(8, 2, rng)
+        out, _ = attention.forward(rng.normal(size=(2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_hidden_must_divide_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, rng)
+
+    def test_causality(self, rng):
+        """Changing a later token must not change the output at earlier positions."""
+        attention = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 6, 8))
+        out_a, _ = attention.forward(x)
+        x_modified = x.copy()
+        x_modified[0, 5] += 10.0
+        out_b, _ = attention.forward(x_modified)
+        assert np.allclose(out_a[0, :5], out_b[0, :5])
+        assert not np.allclose(out_a[0, 5], out_b[0, 5])
+
+    def test_backward_matches_numerical(self, rng):
+        attention = MultiHeadSelfAttention(4, 2, rng)
+        x = rng.normal(size=(1, 3, 4))
+        weights = rng.normal(size=(1, 3, 4))
+
+        def loss():
+            out, _ = attention.forward(x)
+            return float(np.sum(out * weights))
+
+        out, cache = attention.forward(x)
+        grad_input = attention.backward(weights, cache)
+        assert np.allclose(grad_input, numerical_gradient(loss, x), atol=1e-5)
+        assert np.allclose(
+            attention.qkv.weight.grad,
+            numerical_gradient(loss, attention.qkv.weight.data),
+            atol=1e-5,
+        )
+        assert np.allclose(
+            attention.proj.weight.grad,
+            numerical_gradient(loss, attention.proj.weight.data),
+            atol=1e-5,
+        )

@@ -1,0 +1,124 @@
+"""Tests for the simulated collectives and traffic accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.collectives import (
+    CommunicationLog,
+    SimulatedProcessGroup,
+    average_arrays,
+    ring_all_reduce_wire_bytes,
+)
+
+
+@pytest.fixture
+def log() -> CommunicationLog:
+    return CommunicationLog()
+
+
+@pytest.fixture
+def group(log) -> SimulatedProcessGroup:
+    return SimulatedProcessGroup([0, 1, 2, 3], log, category="data_parallel")
+
+
+class TestRingCost:
+    def test_formula(self):
+        assert ring_all_reduce_wire_bytes(100.0, 4) == pytest.approx(150.0)
+        assert ring_all_reduce_wire_bytes(100.0, 2) == pytest.approx(100.0)
+
+    def test_single_rank_is_free(self):
+        assert ring_all_reduce_wire_bytes(100.0, 1) == 0.0
+
+
+class TestAllReduce:
+    def test_sum_and_mean(self, group, rng):
+        contributions = [rng.normal(size=(3, 3)) for _ in range(4)]
+        summed = group.all_reduce(contributions, op="sum")
+        assert all(np.allclose(result, np.sum(contributions, axis=0)) for result in summed)
+        averaged = group.all_reduce(contributions, op="mean")
+        assert np.allclose(averaged[0], np.mean(contributions, axis=0))
+
+    def test_wrong_contribution_count_raises(self, group, rng):
+        with pytest.raises(ValueError):
+            group.all_reduce([rng.normal(size=3)] * 3)
+
+    def test_unsupported_op_raises(self, group, rng):
+        with pytest.raises(ValueError):
+            group.all_reduce([rng.normal(size=3)] * 4, op="median")
+
+    def test_traffic_logged_with_ring_factor(self, group, log, rng):
+        contributions = [rng.normal(size=100) for _ in range(4)]
+        group.all_reduce(contributions)
+        record = log.records[-1]
+        assert record.operation == "all_reduce"
+        assert record.payload_bytes == 100 * 2
+        assert record.wire_bytes == pytest.approx(ring_all_reduce_wire_bytes(200, 4))
+
+    def test_compressed_flag_and_custom_payload(self, group, log, rng):
+        group.all_reduce([rng.normal(size=100)] * 4, payload_bytes=12, compressed=True)
+        assert log.records[-1].compressed is True
+        assert log.records[-1].payload_bytes == 12
+
+
+class TestOtherCollectives:
+    def test_all_gather(self, group, log, rng):
+        contributions = [rng.normal(size=4) for _ in range(4)]
+        gathered = group.all_gather(contributions)
+        assert len(gathered) == 4 and len(gathered[0]) == 4
+        assert np.allclose(gathered[2][1], contributions[1])
+        assert log.records[-1].operation == "all_gather"
+
+    def test_reduce_scatter_shards_cover_reduction(self, group, rng):
+        contributions = [rng.normal(size=8) for _ in range(4)]
+        shards = group.reduce_scatter(contributions)
+        reassembled = np.concatenate(shards)
+        assert np.allclose(reassembled, np.sum(contributions, axis=0))
+
+    def test_broadcast(self, group, log, rng):
+        tensor = rng.normal(size=5)
+        results = group.broadcast(tensor, root_rank=2)
+        assert all(np.allclose(result, tensor) for result in results)
+        with pytest.raises(ValueError):
+            group.broadcast(tensor, root_rank=9)
+
+    def test_send_recv(self, group, log, rng):
+        tensor = rng.normal(size=6)
+        received = group.send_recv(tensor, src_rank=1, dst_rank=2)
+        assert np.allclose(received, tensor)
+        assert log.records[-1].operation == "p2p"
+        with pytest.raises(ValueError):
+            group.send_recv(tensor, src_rank=1, dst_rank=99)
+
+
+class TestCommunicationLog:
+    def test_totals_and_filters(self, log, rng):
+        dp_group = SimulatedProcessGroup([0, 1], log, category="data_parallel")
+        emb_group = SimulatedProcessGroup([0, 1], log, category="embedding_sync")
+        dp_group.all_reduce([rng.normal(size=10)] * 2)
+        emb_group.all_reduce([rng.normal(size=10)] * 2)
+        assert log.count() == 2
+        assert log.count(category="data_parallel") == 1
+        assert log.total_wire_bytes("embedding_sync") > 0
+        categories = log.by_category()
+        assert set(categories) == {"data_parallel", "embedding_sync"}
+
+    def test_clear(self, log, rng):
+        SimulatedProcessGroup([0, 1], log, category="x").all_reduce([rng.normal(size=4)] * 2)
+        log.clear()
+        assert log.count() == 0
+
+    def test_empty_group_raises(self, log):
+        with pytest.raises(ValueError):
+            SimulatedProcessGroup([], log, category="x")
+
+
+class TestAverageArrays:
+    def test_mean(self, rng):
+        arrays = [rng.normal(size=(2, 2)) for _ in range(3)]
+        assert np.allclose(average_arrays(arrays), np.mean(arrays, axis=0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_arrays([])

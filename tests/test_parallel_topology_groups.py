@@ -1,0 +1,122 @@
+"""Tests for cluster topology and Megatron-style process grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.process_groups import ParallelLayout, ProcessGrid
+from repro.parallel.topology import PAPER_CLUSTER, ClusterTopology, ethernet_cluster
+
+
+class TestClusterTopology:
+    def test_paper_cluster_dimensions(self):
+        assert PAPER_CLUSTER.num_nodes == 16
+        assert PAPER_CLUSTER.gpus_per_node == 8
+        assert PAPER_CLUSTER.world_size == 128
+
+    def test_device_of_rank(self):
+        device = PAPER_CLUSTER.device_of_rank(13)
+        assert device.node == 1 and device.local_rank == 5
+
+    def test_rank_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.device_of_rank(128)
+
+    def test_same_node_detection(self):
+        assert PAPER_CLUSTER.ranks_on_same_node(0, 7)
+        assert not PAPER_CLUSTER.ranks_on_same_node(7, 8)
+
+    def test_group_link_selection(self):
+        bandwidth, _ = PAPER_CLUSTER.link_for_group([0, 1, 2])
+        assert bandwidth == PAPER_CLUSTER.intra_node_bandwidth_gbps
+        bandwidth, _ = PAPER_CLUSTER.link_for_group([0, 8])
+        assert bandwidth == PAPER_CLUSTER.inter_node_bandwidth_gbps
+
+    def test_ethernet_cluster_is_slower(self):
+        assert ethernet_cluster().inter_node_bandwidth_gbps < PAPER_CLUSTER.inter_node_bandwidth_gbps
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=0)
+
+
+class TestParallelLayout:
+    def test_paper_layout(self):
+        layout = ParallelLayout()
+        assert layout.world_size == 128
+        assert layout.describe() == "TP8/DP4/PP4"
+
+    def test_invalid_degree_raises(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(tensor_parallel=0)
+
+
+class TestProcessGrid:
+    @pytest.fixture
+    def grid(self) -> ProcessGrid:
+        return ProcessGrid(ParallelLayout(), PAPER_CLUSTER)
+
+    def test_rank_round_trip(self, grid):
+        for dp in range(4):
+            for pp in range(4):
+                for tp in range(8):
+                    rank = grid.rank_of(dp, pp, tp)
+                    coords = grid.coordinates_of(rank)
+                    assert (coords.data_parallel, coords.pipeline_stage, coords.tensor_parallel) == (
+                        dp,
+                        pp,
+                        tp,
+                    )
+
+    def test_every_rank_appears_once_per_dimension(self, grid):
+        for groups in (
+            grid.tensor_parallel_groups(),
+            grid.pipeline_parallel_groups(),
+            grid.data_parallel_groups(),
+        ):
+            all_ranks = sorted(rank for group in groups for rank in group)
+            assert all_ranks == list(range(128))
+
+    def test_group_counts_and_sizes(self, grid):
+        assert len(grid.tensor_parallel_groups()) == 16 and all(
+            len(g) == 8 for g in grid.tensor_parallel_groups()
+        )
+        assert len(grid.pipeline_parallel_groups()) == 32 and all(
+            len(g) == 4 for g in grid.pipeline_parallel_groups()
+        )
+        assert len(grid.data_parallel_groups()) == 32 and all(
+            len(g) == 4 for g in grid.data_parallel_groups()
+        )
+
+    def test_tensor_groups_stay_inside_nodes(self, grid):
+        """The Megatron placement invariant the paper relies on (NVLink for TP)."""
+        assert grid.tensor_groups_are_intra_node()
+
+    def test_data_parallel_groups_cross_nodes(self, grid):
+        assert all(grid.group_spans_nodes(group) for group in grid.data_parallel_groups())
+
+    def test_embedding_groups_connect_first_and_last_stage(self, grid):
+        groups = grid.embedding_groups()
+        assert len(groups) == 32
+        for group in groups:
+            coords = [grid.coordinates_of(rank) for rank in group]
+            assert {c.pipeline_stage for c in coords} == {0, 3}
+
+    def test_fused_embedding_groups_have_2d_ranks(self, grid):
+        groups = grid.fused_embedding_groups()
+        assert len(groups) == 8
+        assert all(len(group) == 2 * 4 for group in groups)
+
+    def test_single_stage_embedding_group_degenerates(self):
+        grid = ProcessGrid(ParallelLayout(tensor_parallel=2, pipeline_parallel=1, data_parallel=2))
+        assert all(len(group) == 1 for group in grid.embedding_groups())
+
+    def test_layout_too_large_for_topology_raises(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(ParallelLayout(), ClusterTopology(num_nodes=2, gpus_per_node=8))
+
+    def test_out_of_range_coordinates_raise(self, grid):
+        with pytest.raises(ValueError):
+            grid.rank_of(4, 0, 0)
+        with pytest.raises(ValueError):
+            grid.coordinates_of(128)

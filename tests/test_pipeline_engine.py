@@ -1,0 +1,142 @@
+"""Tests for the functional pipeline engine and the inter-stage channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.parallel.collectives import CommunicationLog
+from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
+
+
+def make_engine(config, num_stages=2, seed=0, backward_hook=None, log=None):
+    stages = build_gpt_stages(config, num_stages, seed=seed)
+    channel = InterStageChannel(log=log, backward_hook=backward_hook)
+    return PipelineParallelEngine(stages, channel)
+
+
+def make_batch(config, rng, batch=2, seq=8):
+    tokens = rng.integers(0, config.vocab_size, size=(batch, seq))
+    targets = rng.integers(0, config.vocab_size, size=(batch, seq))
+    return tokens, targets
+
+
+class TestEngineBasics:
+    def test_requires_at_least_one_micro_batch(self, tiny_config):
+        engine = make_engine(tiny_config)
+        with pytest.raises(ValueError):
+            engine.run_iteration([])
+
+    def test_stage_order_validated(self, tiny_config):
+        stages = build_gpt_stages(tiny_config, 2, seed=0)
+        with pytest.raises(ValueError):
+            PipelineParallelEngine(list(reversed(stages)))
+
+    def test_parameters_cover_all_stages(self, tiny_config):
+        engine = make_engine(tiny_config, num_stages=2)
+        stage_param_count = sum(
+            len(stage.parameters()) for stage in build_gpt_stages(tiny_config, 2, seed=0)
+        )
+        assert len(engine.parameters()) == stage_param_count
+
+    def test_zero_grad_clears_everything(self, tiny_config, rng):
+        engine = make_engine(tiny_config)
+        tokens, targets = make_batch(tiny_config, rng)
+        engine.run_iteration([(tokens, targets)])
+        assert any(np.any(p.grad != 0) for p in engine.parameters())
+        engine.zero_grad()
+        assert all(np.all(p.grad == 0) for p in engine.parameters())
+
+    def test_evaluate_loss_does_not_touch_gradients(self, tiny_config, rng):
+        engine = make_engine(tiny_config)
+        tokens, targets = make_batch(tiny_config, rng)
+        loss = engine.evaluate_loss(tokens, targets)
+        assert loss > 0
+        assert all(np.all(p.grad == 0) for p in engine.parameters())
+
+
+class TestTrafficAccounting:
+    def test_forward_and_backward_bytes_counted(self, tiny_config, rng):
+        log = CommunicationLog()
+        engine = make_engine(tiny_config, num_stages=2, log=log)
+        tokens, targets = make_batch(tiny_config, rng, batch=2, seq=8)
+        result = engine.run_iteration([(tokens, targets), (tokens, targets)])
+        # 2 micro-batches x 1 boundary x (batch*seq*hidden) elements x 2 bytes.
+        expected = 2 * 1 * 2 * 8 * tiny_config.hidden_size * 2
+        assert result.forward_bytes == expected
+        assert result.backward_bytes == expected
+        assert log.count(category="inter_stage_forward") == 2
+        assert log.count(category="inter_stage_backward") == 2
+
+    def test_single_stage_has_no_interstage_traffic(self, tiny_config, rng):
+        log = CommunicationLog()
+        engine = make_engine(tiny_config, num_stages=1, log=log)
+        tokens, targets = make_batch(tiny_config, rng)
+        result = engine.run_iteration([(tokens, targets)])
+        assert result.forward_bytes == 0
+        assert result.backward_bytes == 0
+        assert log.count() == 0
+
+
+class TestBackwardHook:
+    def test_hook_sees_every_backward_transfer(self, rng):
+        from repro.nn.transformer import GPTModelConfig
+
+        config = GPTModelConfig(
+            vocab_size=32, max_sequence_length=12, num_layers=3, hidden_size=16, num_heads=2
+        )
+        calls = []
+
+        def hook(grad, boundary, micro_batch, num_micro_batches):
+            calls.append((boundary, micro_batch, num_micro_batches))
+            return grad, int(grad.size * 2), False
+
+        engine = make_engine(config, num_stages=3, backward_hook=hook)
+        tokens, targets = make_batch(config, rng)
+        engine.run_iteration([(tokens, targets), (tokens, targets)])
+        # 2 boundaries x 2 micro-batches.
+        assert len(calls) == 4
+        assert {call[0] for call in calls} == {0, 1}
+        assert all(call[2] == 2 for call in calls)
+
+    def test_hook_payload_bytes_reflected_in_log(self, tiny_config, rng):
+        log = CommunicationLog()
+
+        def hook(grad, boundary, micro_batch, num_micro_batches):
+            return grad, 42, True
+
+        engine = make_engine(tiny_config, num_stages=2, backward_hook=hook, log=log)
+        tokens, targets = make_batch(tiny_config, rng)
+        engine.run_iteration([(tokens, targets)])
+        backward_records = [r for r in log.records if r.category == "inter_stage_backward"]
+        assert all(record.payload_bytes == 42 and record.compressed for record in backward_records)
+
+    def test_identity_hook_preserves_gradients(self, tiny_config, rng):
+        """A pass-through hook must not change the training math."""
+        tokens, targets = make_batch(tiny_config, rng)
+
+        reference = make_engine(tiny_config, num_stages=2, seed=5)
+        reference.run_iteration([(tokens, targets)])
+
+        def identity_hook(grad, boundary, micro_batch, num_micro_batches):
+            return grad, int(grad.size * 2), False
+
+        hooked = make_engine(tiny_config, num_stages=2, seed=5, backward_hook=identity_hook)
+        hooked.run_iteration([(tokens, targets)])
+
+        for ref_param, hook_param in zip(reference.parameters(), hooked.parameters()):
+            assert np.allclose(ref_param.grad, hook_param.grad, atol=1e-12)
+
+    def test_lossy_hook_changes_gradients_of_early_stages_only_at_boundary(self, tiny_config, rng):
+        """Zeroing the boundary gradient must zero the upstream stage's gradients."""
+
+        def zero_hook(grad, boundary, micro_batch, num_micro_batches):
+            return np.zeros_like(grad), 0, True
+
+        engine = make_engine(tiny_config, num_stages=2, backward_hook=zero_hook)
+        tokens, targets = make_batch(tiny_config, rng)
+        engine.run_iteration([(tokens, targets)])
+        stage0, stage1 = engine.stages
+        assert all(np.allclose(p.grad, 0) for p in stage0.layers[0].parameters())
+        assert any(np.any(p.grad != 0) for p in stage1.parameters())

@@ -1,0 +1,178 @@
+"""Tests for the pipeline schedules and the epilogue analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.pipeline_schedule import (
+    ScheduleKind,
+    build_1f1b_schedule,
+    build_gpipe_schedule,
+    build_interleaved_1f1b_schedule,
+    build_schedule,
+    count_in_flight_micro_batches,
+    epilogue_micro_batches,
+    warmup_micro_batches,
+)
+
+
+def op_counts(ops):
+    forwards = [(op.micro_batch, op.chunk) for op in ops if op.kind == "forward"]
+    backwards = [(op.micro_batch, op.chunk) for op in ops if op.kind == "backward"]
+    return forwards, backwards
+
+
+class TestGPipe:
+    def test_all_forwards_before_backwards(self):
+        schedule = build_gpipe_schedule(3, 5)
+        for ops in schedule:
+            kinds = [op.kind for op in ops]
+            assert kinds == ["forward"] * 5 + ["backward"] * 5
+
+
+class Test1F1B:
+    @pytest.mark.parametrize("num_stages,num_micro", [(1, 4), (2, 4), (4, 8), (4, 16), (3, 7)])
+    def test_each_micro_batch_forward_and_backward_once(self, num_stages, num_micro):
+        schedule = build_1f1b_schedule(num_stages, num_micro)
+        for ops in schedule:
+            forwards, backwards = op_counts(ops)
+            assert sorted(forwards) == [(mb, 0) for mb in range(num_micro)]
+            assert sorted(backwards) == [(mb, 0) for mb in range(num_micro)]
+
+    def test_backward_never_precedes_forward_of_same_micro_batch(self):
+        schedule = build_1f1b_schedule(4, 8)
+        for ops in schedule:
+            seen_forward = set()
+            for op in ops:
+                if op.kind == "forward":
+                    seen_forward.add(op.micro_batch)
+                else:
+                    assert op.micro_batch in seen_forward
+
+    def test_warmup_counts(self):
+        assert warmup_micro_batches(0, 4, 16) == 3
+        assert warmup_micro_batches(3, 4, 16) == 0
+        assert warmup_micro_batches(0, 4, 2) == 2  # capped by micro-batch count
+
+    def test_in_flight_bound(self):
+        """1F1B keeps at most (num_stages - stage) activations alive."""
+        schedule = build_1f1b_schedule(4, 16)
+        for stage, ops in enumerate(schedule):
+            outstanding = 0
+            peak = 0
+            for op in ops:
+                if op.kind == "forward":
+                    outstanding += 1
+                else:
+                    outstanding -= 1
+                peak = max(peak, outstanding)
+            assert peak == count_in_flight_micro_batches(stage, 4, 16)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            build_1f1b_schedule(0, 4)
+        with pytest.raises(ValueError):
+            build_1f1b_schedule(2, 0)
+
+
+class TestInterleaved:
+    def test_requires_divisible_micro_batches(self):
+        with pytest.raises(ValueError):
+            build_interleaved_1f1b_schedule(4, 6, num_chunks=2)
+
+    def test_single_chunk_falls_back_to_1f1b(self):
+        assert build_interleaved_1f1b_schedule(4, 8, num_chunks=1) == build_1f1b_schedule(4, 8)
+
+    @pytest.mark.parametrize("num_stages,num_micro,chunks", [(2, 4, 2), (4, 8, 2), (4, 8, 3)])
+    def test_each_unit_appears_once(self, num_stages, num_micro, chunks):
+        schedule = build_interleaved_1f1b_schedule(num_stages, num_micro, chunks)
+        expected = sorted((mb, chunk) for mb in range(num_micro) for chunk in range(chunks))
+        for ops in schedule:
+            forwards, backwards = op_counts(ops)
+            assert sorted(forwards) == expected
+            assert sorted(backwards) == expected
+
+    def test_backward_chunk_order_is_reversed(self):
+        """Backward units start from the last model chunk (deepest layers first)."""
+        schedule = build_interleaved_1f1b_schedule(4, 8, 2)
+        for ops in schedule:
+            first_backward = next(op for op in ops if op.kind == "backward")
+            assert first_backward.chunk == 1
+
+
+class TestDispatch:
+    def test_build_schedule_dispatch(self):
+        assert build_schedule(ScheduleKind.GPIPE, 2, 4) == build_gpipe_schedule(2, 4)
+        assert build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 4) == build_1f1b_schedule(2, 4)
+        assert build_schedule(ScheduleKind.INTERLEAVED_1F1B, 2, 4, 2) == build_interleaved_1f1b_schedule(2, 4, 2)
+
+
+class TestEpilogue:
+    def test_paper_example(self):
+        """p=4, m=8: the first stage's epilogue is the last 3 micro-batches (Fig. 6)."""
+        assert epilogue_micro_batches(0, 4, 8) == {5, 6, 7}
+        assert epilogue_micro_batches(1, 4, 8) == {6, 7}
+        assert epilogue_micro_batches(2, 4, 8) == {7}
+        assert epilogue_micro_batches(3, 4, 8) == set()
+
+    def test_matches_schedule_cooldown(self):
+        """The analytic epilogue is the cool-down tail of the schedule.
+
+        The op list places the backward paired with the final forward right after
+        it, so the "after the last forward" set may contain one extra micro-batch
+        (whose transfer can still be hidden by that last forward); the analytic set
+        must be exactly the remaining, fully exposed tail.
+        """
+        num_stages, num_micro = 4, 16
+        schedule = build_1f1b_schedule(num_stages, num_micro)
+        for stage, ops in enumerate(schedule):
+            last_forward = max(i for i, op in enumerate(ops) if op.kind == "forward")
+            cooldown = {op.micro_batch for op in ops[last_forward + 1 :] if op.kind == "backward"}
+            analytic = epilogue_micro_batches(stage, num_stages, num_micro)
+            assert analytic.issubset(cooldown)
+            assert len(cooldown) - len(analytic) <= 1
+            if analytic:
+                assert max(cooldown) == max(analytic) == num_micro - 1
+
+    def test_out_of_range_stage_raises(self):
+        with pytest.raises(ValueError):
+            epilogue_micro_batches(4, 4, 8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_stages=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=0, max_value=24),
+        stage=st.integers(min_value=0, max_value=7),
+    )
+    def test_epilogue_size_property(self, num_stages, extra, stage):
+        """|epilogue(stage)| == min(num_stages - 1 - stage, m) for every valid stage."""
+        num_micro = num_stages + extra
+        stage = stage % num_stages
+        epilogue = epilogue_micro_batches(stage, num_stages, num_micro)
+        assert len(epilogue) == min(num_stages - 1 - stage, num_micro)
+        assert all(mb >= num_micro - (num_stages - 1 - stage) for mb in epilogue)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_stages=st.integers(min_value=1, max_value=6),
+        num_micro=st.integers(min_value=1, max_value=24),
+    )
+    def test_1f1b_total_op_count(self, num_stages, num_micro):
+        schedule = build_1f1b_schedule(num_stages, num_micro)
+        assert len(schedule) == num_stages
+        assert all(len(ops) == 2 * num_micro for ops in schedule)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_stages=st.integers(min_value=2, max_value=5),
+        groups=st.integers(min_value=1, max_value=4),
+        chunks=st.integers(min_value=2, max_value=3),
+    )
+    def test_interleaved_total_op_count(self, num_stages, groups, chunks):
+        num_micro = num_stages * groups
+        schedule = build_interleaved_1f1b_schedule(num_stages, num_micro, chunks)
+        assert all(len(ops) == 2 * num_micro * chunks for ops in schedule)

@@ -1,0 +1,222 @@
+"""Tests for the event-driven timing simulator, breakdown, memory, and throughput models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import GPT_2_5B, GPT_8_3B, GPT_175B
+from repro.parallel.process_groups import ParallelLayout
+from repro.simulator import (
+    CompressionPlan,
+    CompressionThroughputModel,
+    MemoryModel,
+    PipelineTimingSimulator,
+    TrainingJob,
+    compute_breakdown,
+    measured_numpy_throughput,
+)
+from repro.simulator.executor import ComponentToggles, simulate_plan
+
+
+@pytest.fixture(scope="module")
+def job() -> TrainingJob:
+    return TrainingJob(model=GPT_2_5B)
+
+
+@pytest.fixture(scope="module")
+def baseline(job):
+    return PipelineTimingSimulator(job, CompressionPlan.baseline()).run()
+
+
+class TestCompressionPlan:
+    def test_named_constructors(self):
+        assert CompressionPlan.baseline().describe() == "Baseline"
+        assert CompressionPlan.cb().describe() == "CB"
+        assert CompressionPlan.cb_fe().describe() == "CB+FE"
+        assert "SC" in CompressionPlan.cb_fe_sc().describe()
+        assert "DP(all)" in CompressionPlan.naive_dp().describe()
+        assert "naive" in CompressionPlan.naive_cb().describe()
+
+    def test_compressed_stage_selection(self):
+        assert CompressionPlan.cb_fe_sc(stage_fraction=0.75).compressed_dp_stages(4) == {0, 1, 2}
+        assert CompressionPlan.naive_dp().compressed_dp_stages(4) == {0, 1, 2, 3}
+        assert CompressionPlan.baseline().compressed_dp_stages(4) == set()
+
+    def test_invalid_plan_raises(self):
+        with pytest.raises(ValueError):
+            CompressionPlan(dp_compressed_stage_fraction=1.5)
+        with pytest.raises(ValueError):
+            CompressionPlan(backward_rank=0)
+
+
+class TestTimingSimulator:
+    def test_iteration_time_positive_and_consistent(self, job, baseline):
+        assert baseline.iteration_time > 0
+        assert baseline.days_for(230_000) == pytest.approx(
+            baseline.iteration_time * 230_000 / 86400
+        )
+        assert len(baseline.stage_finish) == job.num_stages
+
+    def test_deterministic(self, job, baseline):
+        again = PipelineTimingSimulator(job, CompressionPlan.baseline()).run()
+        assert again.iteration_time == pytest.approx(baseline.iteration_time)
+
+    def test_every_technique_speeds_up_the_baseline(self, job, baseline):
+        for plan in (
+            CompressionPlan.cb(),
+            CompressionPlan.cb_fe(),
+            CompressionPlan.cb_fe_sc(),
+        ):
+            timing = PipelineTimingSimulator(job, plan).run()
+            assert timing.iteration_time < baseline.iteration_time
+
+    def test_paper_ordering_cb_lt_cbfe_lt_cbfesc(self, job, baseline):
+        """Table 2 ordering: each added technique increases the speedup."""
+        cb = simulate_plan(job, CompressionPlan.cb()).speedup_over(baseline)
+        cb_fe = simulate_plan(job, CompressionPlan.cb_fe()).speedup_over(baseline)
+        full = simulate_plan(job, CompressionPlan.cb_fe_sc()).speedup_over(baseline)
+        assert 0 < cb < cb_fe < full
+
+    def test_compression_reduces_wire_bytes(self, job, baseline):
+        compressed = simulate_plan(job, CompressionPlan.cb_fe_sc())
+        assert compressed.interstage_wire_bytes < baseline.interstage_wire_bytes
+        assert compressed.dp_wire_bytes < baseline.dp_wire_bytes
+        assert compressed.embedding_wire_bytes < baseline.embedding_wire_bytes
+
+    def test_compression_overhead_reported(self, job):
+        assert simulate_plan(job, CompressionPlan.cb_fe_sc()).compression_overhead > 0
+        assert simulate_plan(job, CompressionPlan.baseline()).compression_overhead == 0
+
+    def test_naive_cb_compresses_more_transfers_than_epilogue_only(self, job):
+        naive = simulate_plan(job, CompressionPlan.naive_cb())
+        epilogue = simulate_plan(job, CompressionPlan.cb())
+        assert naive.interstage_wire_bytes < epilogue.interstage_wire_bytes
+
+    def test_plain_1f1b_schedule_supported(self):
+        job = TrainingJob(model=GPT_2_5B, num_model_chunks=1)
+        timing = PipelineTimingSimulator(job).run()
+        assert timing.iteration_time > 0
+
+    def test_single_stage_pipeline(self):
+        layout = ParallelLayout(tensor_parallel=8, pipeline_parallel=1, data_parallel=4)
+        job = TrainingJob(model=GPT_2_5B, layout=layout, num_model_chunks=1)
+        timing = PipelineTimingSimulator(job).run()
+        assert timing.iteration_time > 0
+        assert timing.interstage_wire_bytes == 0
+
+    def test_toggles_remove_component_costs(self, job, baseline):
+        no_dp = PipelineTimingSimulator(job, toggles=ComponentToggles(data_parallel=0.0)).run()
+        assert no_dp.iteration_time < baseline.iteration_time
+        no_comm = PipelineTimingSimulator(
+            job,
+            toggles=ComponentToggles(interstage=0.0, data_parallel=0.0, embedding=0.0),
+        ).run()
+        assert no_comm.iteration_time < no_dp.iteration_time
+
+    def test_bigger_model_takes_longer(self):
+        small = PipelineTimingSimulator(TrainingJob(model=GPT_2_5B)).run()
+        large = PipelineTimingSimulator(TrainingJob(model=GPT_8_3B)).run()
+        assert large.iteration_time > small.iteration_time
+
+    def test_speedup_over_convention(self, baseline):
+        assert baseline.speedup_over(baseline) == pytest.approx(0.0)
+
+
+class TestConfigurationSensitivity:
+    """Fig. 14 trends: CB gains grow with pipeline depth, SC gains shrink."""
+
+    @staticmethod
+    def _speedup(layout, plan, reference_plan=CompressionPlan.baseline()):
+        from repro.models import GPT_9_2B
+
+        job = TrainingJob(model=GPT_9_2B, layout=layout)
+        reference = PipelineTimingSimulator(job, reference_plan).run()
+        timing = PipelineTimingSimulator(job, plan).run()
+        return reference.iteration_time / timing.iteration_time - 1
+
+    def test_cb_benefit_grows_with_pipeline_depth(self):
+        shallow = ParallelLayout(tensor_parallel=8, pipeline_parallel=4, data_parallel=4)
+        deep = ParallelLayout(tensor_parallel=2, pipeline_parallel=16, data_parallel=4)
+        assert self._speedup(deep, CompressionPlan.cb()) > self._speedup(shallow, CompressionPlan.cb())
+
+    def test_all_configurations_see_speedup(self):
+        for tp, pp in ((8, 4), (4, 8), (2, 16)):
+            layout = ParallelLayout(tensor_parallel=tp, pipeline_parallel=pp, data_parallel=4)
+            assert self._speedup(layout, CompressionPlan.cb_fe_sc()) > 0
+
+
+class TestBreakdown:
+    def test_components_are_nonnegative_and_reasonable(self, job):
+        breakdown = compute_breakdown(job)
+        values = breakdown.as_dict()
+        assert all(value >= 0 for value in values.values())
+        assert breakdown.total > 0
+        assert 0 < breakdown.communication_fraction() < 1
+
+    def test_optimus_reduces_communication_components(self, job):
+        base = compute_breakdown(job, CompressionPlan.baseline())
+        optimus = compute_breakdown(job, CompressionPlan.cb_fe_sc())
+        base_comm = base.interstage_comm + base.data_parallel_comm + base.embedding_comm
+        optimus_comm = (
+            optimus.interstage_comm + optimus.data_parallel_comm + optimus.embedding_comm
+        )
+        assert optimus_comm < base_comm
+        assert optimus.total < base.total
+
+    def test_fe_reduces_embedding_component(self, job):
+        base = compute_breakdown(job, CompressionPlan.baseline())
+        fe = compute_breakdown(job, CompressionPlan.cb_fe())
+        assert fe.embedding_comm < base.embedding_comm
+
+
+class TestMemoryModel:
+    def test_baseline_report_components(self, job):
+        report = MemoryModel(job, CompressionPlan.baseline()).peak_report()
+        assert report.parameters_and_optimizer > 0
+        assert report.activations > 0
+        assert report.compression_buffers == 0
+        assert report.lazy_error_buffers == 0
+        assert report.total_gb > 1
+
+    def test_compression_adds_buffers(self, job):
+        baseline = MemoryModel(job, CompressionPlan.baseline()).peak_report()
+        compressed = MemoryModel(job, CompressionPlan.cb_fe_sc()).peak_report()
+        assert compressed.total > baseline.total
+        overhead = compressed.overhead_over(baseline)
+        assert 0 < overhead < 0.25  # paper Fig. 12: ~5-10 % for the low-rank buffers
+
+    def test_lazy_error_adds_small_overhead(self, job):
+        model = MemoryModel(job, CompressionPlan.cb())
+        with_lep = model.peak_report(lazy_error_propagation=True)
+        without_lep = model.peak_report(lazy_error_propagation=False)
+        extra = with_lep.overhead_over(without_lep)
+        assert 0 <= extra < 0.05  # paper Fig. 12: ~1 %
+
+    def test_first_stage_holds_most_activations(self, job):
+        model = MemoryModel(job)
+        first = model.stage_report(0)
+        last = model.stage_report(job.num_stages - 1)
+        assert first.activations > last.activations
+
+
+class TestThroughputModel:
+    def test_throughput_above_interconnect(self):
+        model = CompressionThroughputModel(TrainingJob(model=GPT_8_3B))
+        point = model.sweep([16])[0]
+        assert point.compress_gbps > model.interconnect_gbps()
+        assert point.decompress_gbps > point.compress_gbps
+
+    def test_throughput_decreases_with_rank(self):
+        """Paper Fig. 15: higher rank -> slower compression (orthogonalisation cost)."""
+        model = CompressionThroughputModel(TrainingJob(model=GPT_8_3B))
+        points = {p.rank: p.compress_gbps for p in model.sweep([4, 16, 64, 256])}
+        assert points[4] > points[16] > points[64] > points[256]
+
+    def test_larger_model_higher_throughput(self):
+        small = CompressionThroughputModel(TrainingJob(model=GPT_8_3B))
+        large = CompressionThroughputModel(TrainingJob(model=GPT_175B))
+        assert large.compress_throughput_gbps(16) > small.compress_throughput_gbps(16)
+
+    def test_measured_numpy_throughput_runs(self):
+        point = measured_numpy_throughput(rows=128, cols=64, rank=4, repeats=1)
+        assert point.compress_gbps > 0 and point.decompress_gbps > 0

@@ -1,0 +1,190 @@
+"""Tests for repro.tensor.functional: forward values and backward correctness.
+
+Backward implementations are verified against central-difference numerical
+gradients, since the whole functional fidelity layer rests on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import functional as F
+
+from tests.conftest import numerical_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(4, 7))
+        probs = F.softmax(logits)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(F.softmax(logits), F.softmax(logits + 1000.0))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(F.log_softmax(logits), np.log(F.softmax(logits)), atol=1e-12)
+
+    def test_softmax_backward_matches_numerical(self, rng):
+        logits = rng.normal(size=(2, 6))
+        weights = rng.normal(size=(2, 6))  # arbitrary downstream projection
+
+        def scalar_loss():
+            return float(np.sum(F.softmax(logits) * weights))
+
+        numerical = numerical_gradient(scalar_loss, logits)
+        analytic = F.softmax_backward(weights, F.softmax(logits))
+        assert np.allclose(analytic, numerical, atol=1e-6)
+
+    def test_extreme_logits_do_not_overflow(self):
+        logits = np.array([[1e4, -1e4, 0.0]])
+        probs = F.softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestGelu:
+    def test_zero_maps_to_zero(self):
+        assert F.gelu(np.zeros(3)) == pytest.approx(0.0)
+
+    def test_large_positive_is_identity_like(self):
+        x = np.array([10.0])
+        assert F.gelu(x)[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_backward_matches_numerical(self, rng):
+        x = rng.normal(size=(5, 3))
+        weights = rng.normal(size=(5, 3))
+
+        def scalar_loss():
+            return float(np.sum(F.gelu(x) * weights))
+
+        numerical = numerical_gradient(scalar_loss, x)
+        analytic = F.gelu_backward(weights, x)
+        assert np.allclose(analytic, numerical, atol=1e-6)
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self, rng):
+        x = rng.normal(size=(4, 8)) * 3 + 1
+        gamma = np.ones(8)
+        beta = np.zeros(8)
+        out, _ = F.layer_norm_forward(x, gamma, beta)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_backward_matches_numerical(self, rng):
+        x = rng.normal(size=(3, 6))
+        gamma = rng.normal(size=6)
+        beta = rng.normal(size=6)
+        weights = rng.normal(size=(3, 6))
+
+        def scalar_loss():
+            out, _ = F.layer_norm_forward(x, gamma, beta)
+            return float(np.sum(out * weights))
+
+        out, cache = F.layer_norm_forward(x, gamma, beta)
+        grad_x, grad_gamma, grad_beta = F.layer_norm_backward(weights, cache)
+        assert np.allclose(grad_x, numerical_gradient(scalar_loss, x), atol=1e-5)
+        assert np.allclose(grad_gamma, numerical_gradient(scalar_loss, gamma), atol=1e-5)
+        assert np.allclose(grad_beta, numerical_gradient(scalar_loss, beta), atol=1e-5)
+
+
+class TestDropout:
+    def test_disabled_in_eval_mode(self, rng):
+        x = rng.normal(size=(4, 4))
+        out, mask = F.dropout_forward(x, 0.5, rng, training=False)
+        assert mask is None
+        assert np.array_equal(out, x)
+
+    def test_zero_rate_is_identity(self, rng):
+        x = rng.normal(size=(4, 4))
+        out, mask = F.dropout_forward(x, 0.0, rng, training=True)
+        assert mask is None
+        assert np.array_equal(out, x)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout_forward(np.ones(3), 1.5, rng)
+
+    def test_expected_scale_preserved(self, rng):
+        x = np.ones((200, 200))
+        out, _ = F.dropout_forward(x, 0.3, rng, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_applies_mask(self, rng):
+        x = np.ones((8, 8))
+        out, mask = F.dropout_forward(x, 0.5, rng, training=True)
+        grad = F.dropout_backward(np.ones_like(x), mask)
+        assert np.array_equal(grad, mask)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_vocab(self):
+        logits = np.zeros((2, 3, 8))
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss, _ = F.cross_entropy_forward(logits, targets)
+        assert loss == pytest.approx(np.log(8))
+
+    def test_perfect_prediction_gives_small_loss(self):
+        logits = np.full((1, 2, 4), -100.0)
+        targets = np.array([[1, 3]])
+        logits[0, 0, 1] = 100.0
+        logits[0, 1, 3] = 100.0
+        loss, _ = F.cross_entropy_forward(logits, targets)
+        assert loss < 1e-6
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy_forward(np.zeros((2, 3, 4)), np.zeros((2, 4), dtype=np.int64))
+
+    def test_backward_matches_numerical(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+
+        def scalar_loss():
+            loss, _ = F.cross_entropy_forward(logits, targets)
+            return loss
+
+        _, probabilities = F.cross_entropy_forward(logits, targets)
+        analytic = F.cross_entropy_backward(probabilities, targets)
+        assert np.allclose(analytic, numerical_gradient(scalar_loss, logits), atol=1e-6)
+
+
+class TestMasks:
+    def test_causal_mask_is_lower_triangular(self):
+        mask = F.causal_mask(4)
+        assert mask[2, 1] and mask[2, 2]
+        assert not mask[1, 2]
+
+    def test_masked_fill_replaces_disallowed(self):
+        scores = np.ones((3, 3))
+        filled = F.masked_fill(scores, F.causal_mask(3))
+        assert filled[0, 2] == -1e9
+        assert filled[2, 0] == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=9))
+    def test_softmax_always_a_distribution(self, rows, cols):
+        rng = np.random.default_rng(rows * 100 + cols)
+        logits = rng.normal(size=(rows, cols)) * 10
+        probs = F.softmax(logits)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_layer_norm_gradient_sums_to_zero(self, hidden):
+        rng = np.random.default_rng(hidden)
+        x = rng.normal(size=(3, hidden))
+        out, cache = F.layer_norm_forward(x, np.ones(hidden), np.zeros(hidden))
+        grad_x, _, _ = F.layer_norm_backward(np.ones_like(out), cache)
+        # LayerNorm output is invariant to a constant input shift, so the gradient
+        # must be orthogonal to the all-ones direction.
+        assert np.allclose(grad_x.sum(axis=-1), 0.0, atol=1e-8)

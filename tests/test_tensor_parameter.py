@@ -1,0 +1,65 @@
+"""Tests for the Parameter container and initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import init
+from repro.tensor.parameter import Parameter
+
+
+class TestParameter:
+    def test_grad_starts_at_zero(self):
+        parameter = Parameter(np.ones((2, 3)), name="w")
+        assert parameter.shape == (2, 3)
+        assert parameter.size == 6
+        assert np.all(parameter.grad == 0)
+
+    def test_accumulate_and_zero_grad(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        parameter.accumulate_grad(np.ones((2, 2)))
+        parameter.accumulate_grad(np.ones((2, 2)))
+        assert np.all(parameter.grad == 2.0)
+        parameter.zero_grad()
+        assert np.all(parameter.grad == 0.0)
+
+    def test_accumulate_shape_mismatch_raises(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            parameter.accumulate_grad(np.ones((3, 2)))
+
+    def test_copy_and_clone(self):
+        a = Parameter(np.arange(4.0).reshape(2, 2), name="a")
+        b = Parameter(np.zeros((2, 2)), name="b")
+        b.copy_(a)
+        assert np.array_equal(a.data, b.data)
+        clone = a.clone()
+        clone.data += 1
+        assert not np.array_equal(clone.data, a.data)
+
+    def test_copy_shape_mismatch_raises(self):
+        a = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            a.copy_(Parameter(np.zeros((3, 3))))
+
+
+class TestInitialisers:
+    def test_normal_init_statistics(self):
+        rng = np.random.default_rng(0)
+        weights = init.normal_init((200, 200), rng, std=0.02)
+        assert abs(weights.mean()) < 1e-3
+        assert weights.std() == pytest.approx(0.02, rel=0.05)
+
+    def test_scaled_output_init_is_smaller(self):
+        rng = np.random.default_rng(0)
+        scaled = init.scaled_output_init((200, 200), rng, num_layers=8, std=0.02)
+        assert scaled.std() == pytest.approx(0.02 / np.sqrt(16), rel=0.1)
+
+    def test_scaled_output_init_requires_positive_layers(self):
+        with pytest.raises(ValueError):
+            init.scaled_output_init((2, 2), np.random.default_rng(0), num_layers=0)
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros_init((3,)) == 0)
+        assert np.all(init.ones_init((3,)) == 1)

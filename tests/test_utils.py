@@ -1,0 +1,100 @@
+"""Tests for repro.utils (random streams, tables, logging)."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import RandomState, Table, format_float, format_percent, get_logger, seeded_rng
+from repro.utils.logging import enable_console_logging
+from repro.utils.random import derive_seed, global_rng, set_global_seed
+
+
+class TestRandomState:
+    def test_same_seed_same_stream(self):
+        a = RandomState(7).rng.normal(size=8)
+        b = RandomState(7).rng.normal(size=8)
+        assert np.allclose(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = RandomState(7).rng.normal(size=8)
+        b = RandomState(8).rng.normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_child_streams_are_deterministic(self):
+        state = RandomState(3)
+        a = state.child("layer", 0).normal(size=4)
+        b = RandomState(3).child("layer", 0).normal(size=4)
+        assert np.allclose(a, b)
+
+    def test_child_streams_are_independent(self):
+        state = RandomState(3)
+        a = state.child("layer", 0).normal(size=4)
+        b = state.child("layer", 1).normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_child_state_round_trip(self):
+        nested = RandomState(5).child_state("dp", 2)
+        again = RandomState(5).child_state("dp", 2)
+        assert np.allclose(nested.rng.normal(size=3), again.rng.normal(size=3))
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+
+
+class TestGlobalSeed:
+    def test_set_global_seed_resets_stream(self):
+        set_global_seed(42)
+        first = global_rng().normal(size=4)
+        set_global_seed(42)
+        second = global_rng().normal(size=4)
+        assert np.allclose(first, second)
+
+    def test_seeded_rng_uses_explicit_seed(self):
+        assert np.allclose(seeded_rng(9).normal(size=4), seeded_rng(9).normal(size=4))
+
+
+class TestTable:
+    def test_render_contains_title_and_rows(self):
+        table = Table(title="Table 2", columns=["Model", "Speedup"])
+        table.add_row(["GPT-8.3B", "+44.91%"])
+        rendered = table.render()
+        assert "Table 2" in rendered
+        assert "GPT-8.3B" in rendered
+        assert "+44.91%" in rendered
+
+    def test_row_length_mismatch_raises(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_alignment_pads_cells(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(["xxxxxxxx", "1"])
+        table.add_row(["y", "2"])
+        lines = table.render().splitlines()
+        data_lines = lines[-2:]
+        assert len(data_lines[0]) == len(data_lines[1])
+
+    def test_format_float_handles_nan(self):
+        assert format_float(float("nan")) == "n/a"
+        assert format_float(1.23456, digits=2) == "1.23"
+
+    def test_format_percent(self):
+        assert format_percent(0.4491) == "+44.91%"
+        assert format_percent(-0.05, signed=True).startswith("-")
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("simulator").name == "repro.simulator"
+        assert get_logger().name == "repro"
+
+    def test_enable_console_logging_idempotent(self):
+        logger = enable_console_logging(logging.INFO)
+        handlers_before = len(logger.handlers)
+        enable_console_logging(logging.INFO)
+        assert len(logger.handlers) == handlers_before
