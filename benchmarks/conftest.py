@@ -15,6 +15,15 @@ import pytest
 from repro.experiments.settings import FunctionalSettings, fast_functional_settings
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCHMARKS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every benchmark module ``slow`` + ``benchmark`` (fast tier deselects them)."""
+    for item in items:
+        if BENCHMARKS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+            item.add_marker(pytest.mark.benchmark)
 
 
 @pytest.fixture(scope="session")

@@ -22,3 +22,11 @@ def test_fig12_memory(benchmark, record):
         assert baseline.report.total < cb.report.total < lep.report.total
         # Peak memory stays within the A100's capacity for both models.
         assert lep.report.total_gb < 40.0
+
+    # The unified engine's measured residuals back the analytic LEP story: lazy
+    # error propagation is what holds residual memory, Non-LEP holds none, and
+    # adding DP error feedback (CB+FE+SC) holds the most.
+    assert result.engine_residual_bytes("Baseline") == 0
+    assert result.engine_residual_bytes("CB (Non-LEP)") == 0
+    assert result.engine_residual_bytes("CB (LEP)") > 0
+    assert result.engine_residual_bytes("CB+FE+SC") > result.engine_residual_bytes("CB (LEP)")

@@ -29,3 +29,14 @@ def test_fig15_throughput(benchmark, record):
     # The measured NumPy kernel point exists and is positive (CPU-scale numbers).
     assert result.measured_cpu_point is not None
     assert result.measured_cpu_point.compress_gbps > 0
+
+    # Per-axis traffic measured through the unified 3D engine: the full stack
+    # compresses both the pipeline (PP) and data-parallel (DP) boundaries.
+    baseline = result.engine_sample("Baseline")
+    full = result.engine_sample("CB+FE+SC")
+    assert baseline.axis_compressed_fraction["pipeline_backward"] == 0.0
+    assert full.axis_compressed_fraction["pipeline_backward"] > 0.0
+    assert full.axis_wire_bytes["pipeline_backward"] < baseline.axis_wire_bytes["pipeline_backward"]
+    assert full.data_parallel_wire_bytes < baseline.data_parallel_wire_bytes
+    assert full.dp_bytes_saved_fraction > 0.0
+    assert full.axis_wire_bytes["embedding"] < baseline.axis_wire_bytes["embedding"]

@@ -5,6 +5,9 @@ Subcommands
 ``simulate``
     Simulate one training iteration of a paper-scale model under a named
     Optimus-CC configuration and print iteration time, projected days, and speedup.
+``train``
+    Run a short functional training probe through the unified 3D-parallel engine
+    (pipeline x data x tensor) and print the loss plus measured per-axis traffic.
 ``breakdown``
     Print the CPI-stack execution-time breakdown for a model/configuration pair.
 ``autotune``
@@ -137,6 +140,42 @@ def command_simulate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def command_train(arguments: argparse.Namespace) -> int:
+    from repro.experiments.engine_traffic import measure_engine_traffic, render_traffic_samples
+
+    config = _resolve_config(arguments.config)
+    # The functional proxy is tiny; rescale the paper ranks so the compression is
+    # actually lossy (matching the quality experiments' convention).
+    config = config.with_(cb_rank=min(config.cb_rank, 2), dp_rank=min(config.dp_rank, 2))
+    if arguments.iterations <= 0:
+        raise SystemExit("--iterations must be positive")
+    try:
+        sample = measure_engine_traffic(
+            arguments.config,
+            config,
+            num_stages=arguments.stages,
+            data_parallel_degree=arguments.data_parallel,
+            tensor_parallel_degree=arguments.tensor_parallel,
+            iterations=arguments.iterations,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    print(
+        f"Trained {arguments.iterations} iterations through the unified 3D engine "
+        f"(PP{arguments.stages} x DP{arguments.data_parallel} x TP{arguments.tensor_parallel}); "
+        f"final training loss {sample.final_loss:.4f}."
+    )
+    print(render_traffic_samples([sample], "Measured per-axis wire traffic"))
+    boundary = ", ".join(
+        f"{b}<->{b + 1}: {wire / 1024:.1f} KB"
+        for b, wire in sorted(sample.pipeline_boundary_wire_bytes.items())
+    )
+    if boundary:
+        print(f"Backward pipeline-boundary traffic: {boundary}")
+    print(f"Error-feedback residual memory: {sample.residual_memory_bytes} bytes")
+    return 0
+
+
 def command_breakdown(arguments: argparse.Namespace) -> int:
     model = _resolve_model(arguments.model)
     config = _resolve_config(arguments.config)
@@ -208,6 +247,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--config", default="all", help="configuration name or 'all'")
     simulate.add_argument("--iterations", type=int, default=230_000)
     simulate.set_defaults(handler=command_simulate)
+
+    train = subparsers.add_parser(
+        "train", help="run a functional training probe through the unified 3D engine"
+    )
+    train.add_argument("--config", default="cb_fe_sc", help="configuration name")
+    train.add_argument("--stages", type=int, default=4, help="pipeline depth")
+    train.add_argument("--data-parallel", type=int, default=2, help="DP replicas")
+    train.add_argument("--tensor-parallel", type=int, default=1, help="TP shards")
+    train.add_argument("--iterations", type=int, default=4)
+    train.set_defaults(handler=command_train)
 
     breakdown = subparsers.add_parser("breakdown", help="CPI-stack execution-time breakdown")
     breakdown.add_argument("--model", default="GPT-2.5B")

@@ -18,6 +18,8 @@ uncompressed exactly as in the reference implementation.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.compression.base import (
@@ -26,6 +28,15 @@ from repro.compression.base import (
     Compressor,
 )
 from repro.utils.random import seeded_rng
+
+
+def stable_key_hash(key: str) -> int:
+    """Process-independent hash of a tensor key (Python's ``hash`` is salted).
+
+    Used to derive per-tensor RNG seeds so that compressed runs are bit-identical
+    across interpreter invocations.
+    """
+    return zlib.crc32(key.encode("utf-8"))
 
 
 def orthogonalise(matrix: np.ndarray, eps: float = 1e-8) -> np.ndarray:
@@ -102,7 +113,7 @@ class PowerSGDCompressor(Compressor):
     # -- internal helpers ------------------------------------------------------
 
     def _initial_query(self, num_cols: int, rank: int, key: str) -> np.ndarray:
-        rng = seeded_rng(self.seed + (hash(key) % (2**31)))
+        rng = seeded_rng(self.seed + stable_key_hash(key))
         return rng.standard_normal((num_cols, rank))
 
     def _effective_rank(self, rows: int, cols: int) -> int:

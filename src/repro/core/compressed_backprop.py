@@ -220,6 +220,36 @@ class CompressedBackpropagation:
             "bytes_saved_fraction": 1.0 - actual / original if original else 0.0,
         }
 
+    def summary_by_boundary(self) -> dict[int, dict[str, float]]:
+        """Per-pipeline-boundary compression statistics.
+
+        The unified 3D-parallel engine uses this to report which inter-stage
+        boundaries actually carried compressed traffic (epilogue-only compression
+        makes the split non-uniform across boundaries).
+        """
+        summaries: dict[int, dict[str, float]] = {}
+        for event in self.events:
+            entry = summaries.setdefault(
+                event.boundary,
+                {
+                    "transfers": 0,
+                    "compressed_transfers": 0,
+                    "original_bytes": 0,
+                    "payload_bytes": 0,
+                },
+            )
+            entry["transfers"] += 1
+            entry["compressed_transfers"] += 1 if event.compressed else 0
+            entry["original_bytes"] += event.original_bytes
+            entry["payload_bytes"] += event.payload_bytes
+        for entry in summaries.values():
+            entry["bytes_saved_fraction"] = (
+                1.0 - entry["payload_bytes"] / entry["original_bytes"]
+                if entry["original_bytes"]
+                else 0.0
+            )
+        return summaries
+
     def reset(self) -> None:
         """Clear residuals, warm-started factors, and recorded events."""
         self.feedback.reset()

@@ -11,6 +11,98 @@ from dataclasses import dataclass, replace
 
 from repro.simulator.executor import CompressionPlan
 
+#: Codecs the engine-level data-parallel all-reduce understands.
+ENGINE_DP_CODECS = ("none", "powersgd", "qsgd", "topk")
+
+
+@dataclass(frozen=True)
+class EngineCompressionConfig:
+    """Engine-level compression block for :class:`repro.parallel.engine.ThreeDParallelEngine`.
+
+    This describes how the unified 3D-parallel engine treats the *data-parallel
+    boundary*: which codec compresses the gradient all-reduce, at what
+    aggressiveness, whether classic error feedback carries the residual across
+    iterations, and which pipeline stages are selected (selective stage
+    compression).  The pipeline boundary keeps its own knobs on
+    :class:`OptimusCCConfig` (compressed backpropagation); tensor parallelism is
+    never compressed (its all-reduces stay on intra-node links) but the engine
+    accounts for its traffic when ``tensor_parallel_degree > 1``.
+
+    Attributes
+    ----------
+    dp_codec:
+        ``"none"`` (exact all-reduce), ``"powersgd"`` (distributed low-rank factor
+        all-reduce, the paper's choice), ``"qsgd"`` (stochastic quantisation), or
+        ``"topk"`` (sparsification).
+    dp_rank:
+        PowerSGD rank when ``dp_codec == "powersgd"``.
+    dp_qsgd_bits:
+        Quantisation bits when ``dp_codec == "qsgd"``.
+    dp_topk_fraction:
+        Kept fraction when ``dp_codec == "topk"``.
+    dp_error_feedback:
+        Keep per-replica, per-parameter residuals across iterations.
+    dp_stage_fraction:
+        Fraction of pipeline stages (earliest first) whose DP traffic is
+        compressed; 1.0 compresses every stage.
+    min_compression_elements:
+        Parameters smaller than this stay uncompressed even on selected stages.
+    tensor_parallel_degree:
+        Tensor-parallel shards per stage (1 disables TP traffic accounting).
+    """
+
+    dp_codec: str = "none"
+    dp_rank: int = 128
+    dp_qsgd_bits: int = 4
+    dp_topk_fraction: float = 0.01
+    dp_error_feedback: bool = True
+    dp_stage_fraction: float = 1.0
+    min_compression_elements: int = 1024
+    tensor_parallel_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dp_codec not in ENGINE_DP_CODECS:
+            raise ValueError(
+                f"dp_codec must be one of {ENGINE_DP_CODECS}, got {self.dp_codec!r}"
+            )
+        if self.dp_rank <= 0:
+            raise ValueError("dp_rank must be positive")
+        if not 1 <= self.dp_qsgd_bits <= 8:
+            raise ValueError("dp_qsgd_bits must be in [1, 8]")
+        if not 0.0 < self.dp_topk_fraction <= 1.0:
+            raise ValueError("dp_topk_fraction must be in (0, 1]")
+        if not 0.0 <= self.dp_stage_fraction <= 1.0:
+            raise ValueError("dp_stage_fraction must be in [0, 1]")
+        if self.tensor_parallel_degree <= 0:
+            raise ValueError("tensor_parallel_degree must be positive")
+
+    @property
+    def compresses_dp(self) -> bool:
+        """Whether any data-parallel gradient traffic is actually compressed."""
+        return self.dp_codec != "none" and self.dp_stage_fraction > 0.0
+
+    @classmethod
+    def uncompressed(cls, tensor_parallel_degree: int = 1) -> "EngineCompressionConfig":
+        """Exact all-reduce on every stage (the gradient-parity anchor)."""
+        return cls(dp_codec="none", tensor_parallel_degree=tensor_parallel_degree)
+
+    def with_(self, **kwargs) -> "EngineCompressionConfig":
+        """Return a modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short label such as ``"powersgd(r=4)@75%"`` for reports."""
+        if not self.compresses_dp:
+            return "exact"
+        if self.dp_codec == "powersgd":
+            knob = f"r={self.dp_rank}"
+        elif self.dp_codec == "qsgd":
+            knob = f"b={self.dp_qsgd_bits}"
+        else:
+            knob = f"k={self.dp_topk_fraction:g}"
+        feedback = "+ef" if self.dp_error_feedback else ""
+        return f"{self.dp_codec}({knob}){feedback}@{self.dp_stage_fraction:.0%}"
+
 
 @dataclass(frozen=True)
 class OptimusCCConfig:
@@ -134,6 +226,25 @@ class OptimusCCConfig:
     def with_(self, **kwargs) -> "OptimusCCConfig":
         """Return a modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
+
+    def engine_config(self, tensor_parallel_degree: int = 1) -> EngineCompressionConfig:
+        """Engine-level compression block implied by this configuration.
+
+        The paper's selective stage compression maps to a PowerSGD codec over the
+        selected stage fraction; ``dp_stage_fraction == 0`` maps to the exact
+        all-reduce.  The unified engine accepts an explicit
+        :class:`EngineCompressionConfig` too, for codecs the paper compares against
+        (QSGD, top-k).
+        """
+        if self.dp_stage_fraction <= 0.0:
+            return EngineCompressionConfig.uncompressed(tensor_parallel_degree)
+        return EngineCompressionConfig(
+            dp_codec="powersgd",
+            dp_rank=self.dp_rank,
+            dp_error_feedback=self.dp_error_feedback,
+            dp_stage_fraction=self.dp_stage_fraction,
+            tensor_parallel_degree=tensor_parallel_degree,
+        )
 
     def to_compression_plan(self) -> CompressionPlan:
         """Translate the config into the performance simulator's plan."""

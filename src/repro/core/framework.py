@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.compressed_backprop import CompressedBackpropagation
-from repro.core.config import OptimusCCConfig
+from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.fused_embedding import EmbeddingSynchronizer
 from repro.core.selective_stage import SelectiveStageCompression
 from repro.parallel.collectives import CommunicationLog
@@ -84,6 +84,38 @@ class OptimusCC:
     ) -> EmbeddingSynchronizer:
         """Embedding synchroniser (fused when the config enables FE)."""
         return EmbeddingSynchronizer(replicas, log=log, fused=self.config.fuse_embedding)
+
+    def engine_config(self, tensor_parallel_degree: int = 1) -> EngineCompressionConfig:
+        """DP-boundary compression block for the unified 3D-parallel engine."""
+        return self.config.engine_config(tensor_parallel_degree)
+
+    def build_engine(
+        self,
+        model_config,
+        num_stages: int,
+        data_parallel_degree: int,
+        engine_config: EngineCompressionConfig | None = None,
+        log: CommunicationLog | None = None,
+        seed: int = 0,
+        collect_cb_diagnostics: bool = False,
+    ):
+        """Construct a :class:`repro.parallel.engine.ThreeDParallelEngine`.
+
+        Imported lazily because the engine package itself reaches back into
+        :mod:`repro.core` for the hook implementations.
+        """
+        from repro.parallel.engine import ThreeDParallelEngine
+
+        return ThreeDParallelEngine(
+            model_config,
+            num_stages=num_stages,
+            data_parallel_degree=data_parallel_degree,
+            optimus_config=self.config,
+            engine_config=engine_config,
+            log=log,
+            seed=seed,
+            collect_cb_diagnostics=collect_cb_diagnostics,
+        )
 
     def build_trainer(self, *args, **kwargs):
         """Construct a :class:`repro.training.trainer.Pretrainer` with this config.

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.compression.powersgd import matrix_view, orthogonalise
+from repro.compression.powersgd import matrix_view, orthogonalise, stable_key_hash
 from repro.parallel.collectives import SimulatedProcessGroup
 from repro.tensor.parameter import Parameter
 from repro.utils.random import seeded_rng
@@ -136,7 +136,7 @@ class SelectiveStageCompression:
         rank = max(1, min(self.rank, rows, cols))
 
         if state.query is None or state.query.shape != (cols, rank):
-            rng = seeded_rng(self.seed + (hash(key) % (2**31)))
+            rng = seeded_rng(self.seed + stable_key_hash(key))
             state.query = rng.standard_normal((cols, rank))
 
         # Step 1: local P = M @ Q, all-reduced (mean) across replicas.
@@ -177,6 +177,14 @@ class SelectiveStageCompression:
         if self.total_original_bytes == 0:
             return 0.0
         return 1.0 - self.total_payload_bytes / self.total_original_bytes
+
+    def residual_memory_bytes(self) -> int:
+        """Memory held by the error-feedback residuals (fp32 accounting, all replicas)."""
+        total = 0
+        for state in self._states.values():
+            if state.residuals:
+                total += sum(residual.size * 4 for residual in state.residuals.values())
+        return total
 
     def reset(self) -> None:
         """Drop residuals, warm-started factors, and counters."""

@@ -14,6 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import OptimusCCConfig
+from repro.experiments.engine_traffic import (
+    EngineTrafficSample,
+    measure_engine_traffic,
+    render_traffic_samples,
+)
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, PaperModelSpec
 from repro.simulator.breakdown import ExecutionBreakdown, compute_breakdown
@@ -42,6 +47,9 @@ class Fig10Result:
     """Breakdowns for every (model, configuration) pair."""
 
     rows: list[BreakdownRow] = field(default_factory=list)
+    #: Measured per-axis traffic of the ablation stack through the unified engine
+    #: (functional cross-check of the simulator's communication components).
+    engine_samples: list[EngineTrafficSample] = field(default_factory=list)
 
     def row(self, model: str, label: str) -> BreakdownRow:
         for row in self.rows:
@@ -111,7 +119,13 @@ class Fig10Result:
                 f"CB+FE+SC removes {self.communication_reduction(model):.0%} of total exposed "
                 "communication."
             )
-        return table.render() + "\n" + "\n".join(notes)
+        rendered = table.render() + "\n" + "\n".join(notes)
+        if self.engine_samples:
+            rendered += "\n" + render_traffic_samples(
+                self.engine_samples,
+                "Unified-engine measured traffic for the same ablation (functional proxy)",
+            )
+        return rendered
 
 
 #: The Fig. 10 configurations, in the paper's order.
@@ -123,7 +137,9 @@ ABLATION_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
 }
 
 
-def run_fig10(models: list[PaperModelSpec] | None = None) -> Fig10Result:
+def run_fig10(
+    models: list[PaperModelSpec] | None = None, include_engine_traffic: bool = True
+) -> Fig10Result:
     """Reproduce Fig. 10 for the given models (default: GPT-8.3B and GPT-2.5B)."""
     models = models if models is not None else [GPT_8_3B, GPT_2_5B]
     result = Fig10Result()
@@ -137,4 +153,8 @@ def run_fig10(models: list[PaperModelSpec] | None = None) -> Fig10Result:
                     breakdown=compute_breakdown(job, config.to_compression_plan()),
                 )
             )
+    if include_engine_traffic:
+        for label, config in ABLATION_CONFIGURATIONS.items():
+            functional = config.with_(cb_rank=2, dp_rank=2)
+            result.engine_samples.append(measure_engine_traffic(label, functional))
     return result

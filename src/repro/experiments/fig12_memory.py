@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import OptimusCCConfig
+from repro.experiments.engine_traffic import EngineTrafficSample, measure_engine_traffic
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, PaperModelSpec
 from repro.simulator.executor import CompressionPlan
@@ -31,6 +33,10 @@ class MemoryRow:
 @dataclass
 class Fig12Result:
     rows: list[MemoryRow] = field(default_factory=list)
+    #: Residual memory actually held by the unified engine's error-feedback state
+    #: (CB lazy-error residuals + DP residuals) on the functional proxy, as a
+    #: sanity check of the analytic model's LEP-overhead story.
+    engine_residual_samples: list[EngineTrafficSample] = field(default_factory=list)
 
     def row(self, model: str, label: str) -> MemoryRow:
         for row in self.rows:
@@ -43,6 +49,13 @@ class Fig12Result:
         with_lep = self.row(model, "CB (LEP)").report.total
         without = self.row(model, "CB (Non-LEP)").report.total
         return with_lep / without - 1.0
+
+    def engine_residual_bytes(self, label: str) -> int:
+        """Measured residual bytes of one functional engine configuration."""
+        for sample in self.engine_residual_samples:
+            if sample.label == label:
+                return sample.residual_memory_bytes
+        raise KeyError(f"no engine residual sample labelled {label!r}")
 
     def render(self) -> str:
         table = Table(
@@ -64,13 +77,36 @@ class Fig12Result:
                     f"{row.overhead_over_baseline:+.2%}",
                 ]
             )
-        return table.render()
+        rendered = table.render()
+        if self.engine_residual_samples:
+            lines = [
+                f"  {sample.label}: {sample.residual_memory_bytes} bytes of error-feedback residuals"
+                for sample in self.engine_residual_samples
+            ]
+            rendered += (
+                "\nMeasured on the unified engine (functional proxy):\n" + "\n".join(lines)
+            )
+        return rendered
 
 
-def run_fig12(models: list[PaperModelSpec] | None = None) -> Fig12Result:
+def run_fig12(
+    models: list[PaperModelSpec] | None = None, include_engine_residuals: bool = True
+) -> Fig12Result:
     """Reproduce Fig. 12: baseline vs CB without LEP vs CB with LEP."""
     models = models if models is not None else [GPT_2_5B, GPT_8_3B]
     result = Fig12Result()
+    if include_engine_residuals:
+        result.engine_residual_samples = [
+            measure_engine_traffic("Baseline", OptimusCCConfig.baseline()),
+            measure_engine_traffic(
+                "CB (Non-LEP)",
+                OptimusCCConfig.cb_non_lep(rank=2),
+            ),
+            measure_engine_traffic("CB (LEP)", OptimusCCConfig.cb(rank=2)),
+            measure_engine_traffic(
+                "CB+FE+SC", OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2)
+            ),
+        ]
     for model in models:
         job = paper_job(model)
         baseline_report = MemoryModel(job, CompressionPlan.baseline()).peak_report()

@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import OptimusCCConfig
+from repro.experiments.engine_traffic import (
+    EngineTrafficSample,
+    measure_engine_traffic,
+    render_traffic_samples,
+)
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_8_3B, GPT_175B, PaperModelSpec
 from repro.simulator.throughput import (
@@ -29,12 +35,21 @@ class Fig15Result:
     interconnect_gbps: float
     sweeps: dict[str, list[ThroughputPoint]] = field(default_factory=dict)
     measured_cpu_point: ThroughputPoint | None = None
+    #: Per-axis (PP vs DP) compressed-traffic numbers measured through the unified
+    #: 3D-parallel engine — the functional counterpart of the throughput model.
+    engine_samples: list[EngineTrafficSample] = field(default_factory=list)
 
     def points(self, model_name: str) -> list[ThroughputPoint]:
         return self.sweeps[model_name]
 
     def min_compress_gbps(self, model_name: str) -> float:
         return min(point.compress_gbps for point in self.points(model_name))
+
+    def engine_sample(self, label: str) -> EngineTrafficSample:
+        for sample in self.engine_samples:
+            if sample.label == label:
+                return sample
+        raise KeyError(f"no engine traffic sample labelled {label!r}")
 
     def render(self) -> str:
         table = Table(
@@ -60,6 +75,13 @@ class Fig15Result:
                 f"decompress {self.measured_cpu_point.decompress_gbps:.2f} Gb/s "
                 f"at rank {self.measured_cpu_point.rank}."
             )
+        if self.engine_samples:
+            lines.append(
+                render_traffic_samples(
+                    self.engine_samples,
+                    "Per-axis wire traffic measured through the unified 3D engine",
+                )
+            )
         return "\n".join(lines)
 
 
@@ -71,6 +93,7 @@ def run_fig15(
     models: list[PaperModelSpec] | None = None,
     ranks: tuple[int, ...] = FIG15_RANKS,
     include_measured_point: bool = True,
+    include_engine_traffic: bool = True,
 ) -> Fig15Result:
     """Reproduce Fig. 15 for the given models (default: GPT-8.3B and GPT-175B)."""
     models = models if models is not None else [GPT_8_3B, GPT_175B]
@@ -82,8 +105,17 @@ def run_fig15(
         sweeps[model.name] = throughput_model.sweep(list(ranks))
         interconnect = throughput_model.interconnect_gbps()
     measured = measured_numpy_throughput(rows=1024, cols=256, rank=16, repeats=2) if include_measured_point else None
+    engine_samples: list[EngineTrafficSample] = []
+    if include_engine_traffic:
+        engine_samples = [
+            measure_engine_traffic("Baseline", OptimusCCConfig.baseline()),
+            measure_engine_traffic(
+                "CB+FE+SC", OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2)
+            ),
+        ]
     return Fig15Result(
         interconnect_gbps=float(interconnect),
         sweeps=sweeps,
         measured_cpu_point=measured,
+        engine_samples=engine_samples,
     )

@@ -13,6 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import OptimusCCConfig
+from repro.experiments.engine_traffic import (
+    EngineTrafficSample,
+    measure_engine_traffic,
+    render_traffic_samples,
+)
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, GPT_39B, GPT_175B, PaperModelSpec
 from repro.parallel.process_groups import ParallelLayout
@@ -36,6 +41,10 @@ class ScalabilityPoint:
 @dataclass
 class Fig16Result:
     points: list[ScalabilityPoint] = field(default_factory=list)
+    #: Per-axis (PP vs DP) compressed-traffic numbers of the full stack versus the
+    #: baseline, measured through the unified 3D-parallel engine as the pipeline
+    #: deepens (the functional counterpart of the scalability sweep).
+    engine_samples: list[EngineTrafficSample] = field(default_factory=list)
 
     def full_stack_speedups(self) -> list[float]:
         """CB+FE+SC speedup per model, ordered smallest to largest model."""
@@ -58,7 +67,13 @@ class Fig16Result:
                     f"{point.speedups['CB+FE+SC']:+.2%}",
                 ]
             )
-        return table.render()
+        rendered = table.render()
+        if self.engine_samples:
+            rendered += "\n" + render_traffic_samples(
+                self.engine_samples,
+                "Unified-engine per-axis traffic as the pipeline deepens (functional proxy)",
+            )
+        return rendered
 
 
 #: (model, pipeline depth) pairs: TP stays 8, DP stays 4, PP grows with the model.
@@ -76,9 +91,35 @@ FIG16_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
 }
 
 
-def run_fig16(models: tuple[tuple[PaperModelSpec, int], ...] = FIG16_MODELS) -> Fig16Result:
+#: Pipeline depths of the functional engine-traffic probe (proxy for the sweep's
+#: growing PP dimension; DP and TP stay at the probe defaults).
+FIG16_PROBE_DEPTHS = (2, 4)
+
+
+def run_fig16(
+    models: tuple[tuple[PaperModelSpec, int], ...] = FIG16_MODELS,
+    include_engine_traffic: bool = True,
+) -> Fig16Result:
     """Reproduce Fig. 16 across the model-size sweep."""
     result = Fig16Result()
+    if include_engine_traffic:
+        for depth in FIG16_PROBE_DEPTHS:
+            result.engine_samples.append(
+                measure_engine_traffic(
+                    f"Baseline PP{depth}",
+                    OptimusCCConfig.baseline(),
+                    num_stages=depth,
+                    tensor_parallel_degree=2,
+                )
+            )
+            result.engine_samples.append(
+                measure_engine_traffic(
+                    f"CB+FE+SC PP{depth}",
+                    OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2),
+                    num_stages=depth,
+                    tensor_parallel_degree=2,
+                )
+            )
     for model, pipeline_depth in models:
         layout = ParallelLayout(tensor_parallel=8, pipeline_parallel=pipeline_depth, data_parallel=4)
         topology = ClusterTopology(num_nodes=layout.world_size // 8, gpus_per_node=8)

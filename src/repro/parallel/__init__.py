@@ -24,6 +24,11 @@ from repro.parallel.pipeline_schedule import (
 from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
 from repro.parallel.data_parallel import DataParallelGradientSync
 from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+from repro.parallel.engine import (
+    CompressedGradientAllReduce,
+    EngineIterationResult,
+    ThreeDParallelEngine,
+)
 
 __all__ = [
     "ClusterTopology",
@@ -44,4 +49,7 @@ __all__ = [
     "DataParallelGradientSync",
     "ColumnParallelLinear",
     "RowParallelLinear",
+    "ThreeDParallelEngine",
+    "CompressedGradientAllReduce",
+    "EngineIterationResult",
 ]

@@ -77,12 +77,53 @@ class CommunicationLog:
             totals[record.category] = totals.get(record.category, 0.0) + record.wire_bytes
         return totals
 
+    def by_boundary(self, category: str) -> dict[int, float]:
+        """Wire bytes of one p2p category grouped by pipeline boundary.
+
+        The boundary index is the smaller of the two ranks of the transfer (the
+        convention of :class:`repro.parallel.pipeline_engine.InterStageChannel`:
+        boundary ``b`` sits between stages ``b`` and ``b + 1``).
+        """
+        totals: dict[int, float] = {}
+        for record in self.records:
+            if record.category != category or len(record.ranks) < 2:
+                continue
+            boundary = min(record.ranks)
+            totals[boundary] = totals.get(boundary, 0.0) + record.wire_bytes
+        return totals
+
 
 def ring_all_reduce_wire_bytes(payload_bytes: float, num_ranks: int) -> float:
     """Per-rank bytes moved by a ring all-reduce: ``2 V (R-1) / R``."""
     if num_ranks <= 1:
         return 0.0
     return 2.0 * payload_bytes * (num_ranks - 1) / num_ranks
+
+
+def record_ring_all_reduce(
+    log: CommunicationLog,
+    payload_bytes: int,
+    num_ranks: int,
+    category: str,
+    description: str = "",
+) -> None:
+    """Log a ring all-reduce without materialising per-rank contributions.
+
+    Used where the collective's *result* is already exact by construction and only
+    the traffic needs accounting — e.g. the tensor-parallel all-reduces of the
+    unified engine, whose functional stages compute the dense (unsharded) result.
+    """
+    log.add(
+        TrafficRecord(
+            operation="all_reduce",
+            category=category,
+            payload_bytes=int(payload_bytes),
+            wire_bytes=ring_all_reduce_wire_bytes(payload_bytes, num_ranks),
+            ranks=tuple(range(num_ranks)),
+            compressed=False,
+            description=description,
+        )
+    )
 
 
 class SimulatedProcessGroup:

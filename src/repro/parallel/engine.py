@@ -1,0 +1,565 @@
+"""Unified 3D-parallel execution engine.
+
+This module composes the three parallelism axes that the repo previously only
+exercised in isolation into **one** training iteration:
+
+* ``data_parallel_degree`` replicas, each running the existing functional
+  :class:`~repro.parallel.pipeline_engine.PipelineParallelEngine` over its shard of
+  micro-batches (pipeline parallelism, with compressed backpropagation hooks on the
+  backward inter-stage channel);
+* a **compressed data-parallel all-reduce** at the DP boundary — PowerSGD (the
+  paper's distributed factor all-reduce), QSGD, or top-k, each with per-parameter
+  error-feedback state, reusing :mod:`repro.compression`;
+* the fused (or baseline) embedding synchronisation from
+  :mod:`repro.core.fused_embedding`;
+* tensor-parallel shards: the functional stages compute the dense result (the
+  Megatron column/row split is numerically exact, which
+  :meth:`ThreeDParallelEngine.verify_tensor_parallel` checks against
+  :mod:`repro.parallel.tensor_parallel`), while the intra-node all-reduce traffic is
+  accounted through :mod:`repro.parallel.collectives`.
+
+Everything is routed through one :class:`~repro.parallel.collectives.CommunicationLog`
+so per-axis and per-boundary traffic can be reported exactly — the numbers behind
+the breakdown/throughput figures.
+
+Correctness anchor: with compression disabled everywhere the engine reproduces the
+single-device reference model's gradients bit-for-bit (``tests/test_parallel_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.compression import ErrorFeedback, QSGDCompressor, TopKCompressor
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.nn.transformer import GPTModelConfig
+from repro.parallel.collectives import (
+    CommunicationLog,
+    SimulatedProcessGroup,
+    record_ring_all_reduce,
+)
+from repro.parallel.data_parallel import DataParallelGradientSync
+from repro.parallel.pipeline_engine import (
+    WIRE_BYTES_PER_ELEMENT,
+    InterStageChannel,
+    PipelineParallelEngine,
+)
+from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+from repro.tensor.parameter import Parameter
+
+if TYPE_CHECKING:  # imported lazily at runtime — repro.core reaches back into here
+    from repro.core.config import EngineCompressionConfig, OptimusCCConfig
+    from repro.core.fused_embedding import EmbeddingSynchronizer
+    from repro.core.selective_stage import SelectiveStageCompression
+
+#: Megatron transformer layer: two all-reduces per layer per direction (attention
+#: output projection and MLP down-projection are row-parallel).
+TP_ALL_REDUCES_PER_LAYER_PER_DIRECTION = 2
+
+
+@dataclass
+class StageTraffic:
+    """Cumulative data-parallel traffic of one pipeline stage."""
+
+    all_reduces: int = 0
+    compressed_all_reduces: int = 0
+    original_bytes: int = 0
+    payload_bytes: int = 0
+
+    @property
+    def bytes_saved_fraction(self) -> float:
+        if self.original_bytes == 0:
+            return 0.0
+        return 1.0 - self.payload_bytes / self.original_bytes
+
+
+class CompressedGradientAllReduce:
+    """DP-boundary all-reduce with pluggable compression codecs.
+
+    Implements the :class:`repro.parallel.data_parallel.DataParallelCompressionHook`
+    protocol.  *Every* parameter is routed through :meth:`reduce` — including the
+    uncompressed ones — so per-stage traffic accounting is uniform; the codec is
+    applied only to the selected stages' 2-D parameters.
+
+    Codecs
+    ------
+    ``"none"``
+        Exact mean all-reduce — numerically identical to the plain
+        :class:`~repro.parallel.data_parallel.DataParallelGradientSync` path, the
+        gradient-parity anchor.
+    ``"powersgd"``
+        The paper's distributed protocol: residual-corrected gradients are
+        factorised, the P and Q factors are all-reduced (the only traffic), every
+        replica reconstructs the same approximation and keeps its own residual
+        (delegated to :class:`~repro.core.selective_stage.SelectiveStageCompression`).
+    ``"qsgd"`` / ``"topk"``
+        Each replica compresses its residual-corrected gradient, the payloads are
+        all-gathered, every replica decompresses all of them and averages —
+        identical results on every replica, classic per-replica error feedback.
+    """
+
+    def __init__(
+        self, config: EngineCompressionConfig, num_stages: int, seed: int = 0
+    ) -> None:
+        from repro.core.selective_stage import (  # lazy: repro.core reaches back into here
+            SelectiveStageCompression,
+            select_compressed_stages,
+        )
+
+        self.config = config
+        self.num_stages = int(num_stages)
+        self.compressed_stages: set[int] = (
+            select_compressed_stages(num_stages, config.dp_stage_fraction)
+            if config.compresses_dp
+            else set()
+        )
+        self.powersgd: SelectiveStageCompression | None = None
+        self.feedback: ErrorFeedback | None = None
+        if config.dp_codec == "powersgd":
+            self.powersgd = SelectiveStageCompression(
+                num_stages=num_stages,
+                stage_fraction=config.dp_stage_fraction,
+                rank=config.dp_rank,
+                error_feedback=config.dp_error_feedback,
+                min_compression_elements=config.min_compression_elements,
+                seed=seed,
+            )
+        elif config.dp_codec == "qsgd":
+            self.feedback = ErrorFeedback(
+                QSGDCompressor(bits=config.dp_qsgd_bits, seed=seed),
+                enabled=config.dp_error_feedback,
+            )
+        elif config.dp_codec == "topk":
+            self.feedback = ErrorFeedback(
+                TopKCompressor(
+                    fraction=config.dp_topk_fraction,
+                    min_elements=config.min_compression_elements,
+                ),
+                enabled=config.dp_error_feedback,
+            )
+        self.stage_traffic: dict[int, StageTraffic] = {}
+
+    # -- DataParallelCompressionHook protocol --------------------------------------
+
+    def should_compress(self, stage_index: int, parameter: Parameter) -> bool:
+        """Route every parameter through :meth:`reduce` for uniform accounting."""
+        del stage_index, parameter
+        return True
+
+    def _codec_applies(self, stage_index: int, gradient: np.ndarray) -> bool:
+        if stage_index not in self.compressed_stages:
+            return False
+        if gradient.ndim < 2:
+            return False
+        return gradient.size >= self.config.min_compression_elements
+
+    def reduce(
+        self,
+        key: str,
+        stage_index: int,
+        gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> list[np.ndarray]:
+        """Synchronise one parameter's gradients across the data-parallel group."""
+        num_replicas = len(gradients)
+        reference = np.asarray(gradients[0])
+        original_bytes = int(reference.size * WIRE_BYTES_PER_ELEMENT)
+        traffic = self.stage_traffic.setdefault(stage_index, StageTraffic())
+        traffic.all_reduces += 1
+        traffic.original_bytes += original_bytes * num_replicas
+
+        if not self._codec_applies(stage_index, reference):
+            traffic.payload_bytes += original_bytes * num_replicas
+            return group.all_reduce(gradients, op="mean", description=key)
+
+        traffic.compressed_all_reduces += 1
+        if self.powersgd is not None:
+            payload_before = self.powersgd.total_payload_bytes
+            synced = self.powersgd.reduce(key, stage_index, gradients, group)
+            traffic.payload_bytes += self.powersgd.total_payload_bytes - payload_before
+            return synced
+
+        assert self.feedback is not None  # codec is qsgd or topk
+        approximations: list[np.ndarray] = []
+        payload_total = 0
+        for replica, gradient in enumerate(gradients):
+            approximation, payload, _ = self.feedback.compress_with_feedback(
+                np.asarray(gradient, dtype=np.float64), f"{key}:replica{replica}"
+            )
+            approximations.append(approximation)
+            payload_total += payload.payload_bytes
+        gathered = group.all_gather(
+            approximations,
+            payload_bytes=payload_total // num_replicas,
+            compressed=True,
+            description=key,
+        )
+        synced = np.mean(np.stack(gathered[0]), axis=0)
+        traffic.payload_bytes += payload_total
+        return [synced.copy() for _ in range(num_replicas)]
+
+    # -- reporting -------------------------------------------------------------------
+
+    def bytes_saved_fraction(self) -> float:
+        """Fraction of DP bytes removed from the wire across all stages so far."""
+        original = sum(t.original_bytes for t in self.stage_traffic.values())
+        payload = sum(t.payload_bytes for t in self.stage_traffic.values())
+        if original == 0:
+            return 0.0
+        return 1.0 - payload / original
+
+    def residual_memory_bytes(self) -> int:
+        """Memory held by the per-parameter error-feedback residuals."""
+        if self.powersgd is not None:
+            return self.powersgd.residual_memory_bytes()
+        if self.feedback is not None:
+            return self.feedback.residual_bytes()
+        return 0
+
+    def reset(self) -> None:
+        """Drop residuals, warm-started factors, and traffic counters."""
+        if self.powersgd is not None:
+            self.powersgd.reset()
+        if self.feedback is not None:
+            self.feedback.reset()
+        self.stage_traffic.clear()
+
+
+#: Axis names of the per-iteration traffic report.
+TRAFFIC_AXES = (
+    "pipeline_forward",
+    "pipeline_backward",
+    "data_parallel",
+    "embedding",
+    "tensor_parallel",
+)
+
+#: Log-category → axis mapping.
+_CATEGORY_TO_AXIS = {
+    "inter_stage_forward": "pipeline_forward",
+    "inter_stage_backward": "pipeline_backward",
+    "data_parallel": "data_parallel",
+    "embedding_dp": "embedding",
+    "embedding_sync": "embedding",
+    "tensor_parallel": "tensor_parallel",
+}
+
+
+@dataclass
+class EngineIterationResult:
+    """Outcome of one unified-engine iteration (before the optimiser step)."""
+
+    mean_loss: float
+    num_micro_batches: int
+    #: Wire bytes moved on each axis during this iteration.
+    axis_wire_bytes: dict[str, float] = field(default_factory=dict)
+    #: Fraction of each axis's records flagged compressed during this iteration.
+    axis_compressed_fraction: dict[str, float] = field(default_factory=dict)
+    #: Backward inter-stage wire bytes per pipeline boundary.
+    pipeline_boundary_wire_bytes: dict[int, float] = field(default_factory=dict)
+    #: Per-stage DP traffic of *this iteration* (stage → StageTraffic delta).
+    dp_stage_traffic: dict[int, StageTraffic] = field(default_factory=dict)
+
+    @property
+    def total_wire_bytes(self) -> float:
+        return sum(self.axis_wire_bytes.values())
+
+
+def _axis_report(records) -> tuple[dict[str, float], dict[str, float], dict[int, float]]:
+    """Per-axis wire bytes + compressed fractions + per-boundary backward bytes."""
+    wire = {axis: 0.0 for axis in TRAFFIC_AXES}
+    counts = {axis: 0 for axis in TRAFFIC_AXES}
+    compressed = {axis: 0 for axis in TRAFFIC_AXES}
+    for record in records:
+        axis = _CATEGORY_TO_AXIS.get(record.category)
+        if axis is None:
+            continue
+        wire[axis] += record.wire_bytes
+        counts[axis] += 1
+        compressed[axis] += 1 if record.compressed else 0
+    fractions = {
+        axis: (compressed[axis] / counts[axis] if counts[axis] else 0.0)
+        for axis in TRAFFIC_AXES
+    }
+    boundaries = CommunicationLog(records=list(records)).by_boundary("inter_stage_backward")
+    return wire, fractions, boundaries
+
+
+class ThreeDParallelEngine:
+    """One training iteration across pipeline × data × tensor parallelism.
+
+    Parameters
+    ----------
+    model_config:
+        Architecture of the GPT model (replicated on every DP replica, split into
+        ``num_stages`` pipeline stages).
+    num_stages:
+        Pipeline depth.
+    data_parallel_degree:
+        Number of pipeline replicas.
+    optimus_config:
+        Which Optimus-CC techniques are active on the pipeline/embedding
+        boundaries (compressed backpropagation, fused embedding sync).
+    engine_config:
+        The DP-boundary compression block; defaults to
+        ``optimus_config.engine_config()`` (the paper's selective PowerSGD when SC
+        is on, the exact all-reduce otherwise).
+    log:
+        Shared communication log; one is created when omitted.
+    seed:
+        Weight-initialisation seed (shared by all replicas, as in real DDP).
+    collect_cb_diagnostics:
+        Record the Fig. 11 error-independence statistics on replica 0.
+    """
+
+    def __init__(
+        self,
+        model_config: GPTModelConfig,
+        num_stages: int,
+        data_parallel_degree: int,
+        optimus_config: OptimusCCConfig | None = None,
+        engine_config: EngineCompressionConfig | None = None,
+        log: CommunicationLog | None = None,
+        seed: int = 0,
+        collect_cb_diagnostics: bool = False,
+    ) -> None:
+        # Lazy: repro.core reaches back into this module for the hook wiring.
+        from repro.core.config import OptimusCCConfig
+        from repro.core.framework import OptimusCC
+
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        if data_parallel_degree <= 0:
+            raise ValueError("data_parallel_degree must be positive")
+        self.model_config = model_config
+        self.num_stages = int(num_stages)
+        self.data_parallel_degree = int(data_parallel_degree)
+        self.optimus_config = (
+            optimus_config if optimus_config is not None else OptimusCCConfig.baseline()
+        )
+        self.engine_config = (
+            engine_config
+            if engine_config is not None
+            else self.optimus_config.engine_config()
+        )
+        self.tensor_parallel_degree = self.engine_config.tensor_parallel_degree
+        if model_config.hidden_size % self.tensor_parallel_degree != 0:
+            raise ValueError(
+                f"hidden size {model_config.hidden_size} not divisible by tensor-parallel "
+                f"degree {self.tensor_parallel_degree}"
+            )
+        self.log = log if log is not None else CommunicationLog()
+        self.seed = int(seed)
+
+        factory = OptimusCC(self.optimus_config)
+        self.replicas: list[list] = []
+        self.pipeline_engines: list[PipelineParallelEngine] = []
+        self.cb_hooks = []
+        for replica_index in range(self.data_parallel_degree):
+            stages = build_gpt_stages(model_config, self.num_stages, seed=self.seed)
+            cb_hook = factory.make_backward_hook(
+                self.num_stages,
+                collect_diagnostics=collect_cb_diagnostics and replica_index == 0,
+            )
+            forward_hook = factory.make_forward_hook(self.num_stages)
+            channel = InterStageChannel(
+                log=self.log, backward_hook=cb_hook, forward_hook=forward_hook
+            )
+            self.replicas.append(stages)
+            self.pipeline_engines.append(PipelineParallelEngine(stages, channel))
+            self.cb_hooks.append(cb_hook)
+
+        # The codec's random factors are seeded by the *config* seed (the knob
+        # OptimusCCConfig documents), independent of the weight-init seed —
+        # matching the CB hook, which the factory seeds the same way.
+        self.dp_reduce = CompressedGradientAllReduce(
+            self.engine_config, self.num_stages, seed=self.optimus_config.seed
+        )
+        self.dp_sync = DataParallelGradientSync(
+            self.replicas,
+            log=self.log,
+            compression_hook=self.dp_reduce,
+            exclude_embedding=True,
+        )
+        self.embedding_sync: EmbeddingSynchronizer = factory.make_embedding_synchronizer(
+            self.replicas, self.log
+        )
+        if self.tensor_parallel_degree > 1:
+            self.verify_tensor_parallel()
+
+    # -- parameters -------------------------------------------------------------------
+
+    def parameters(self, replica: int = 0):
+        """Parameters of one replica (stable order: stage 0 first)."""
+        return self.pipeline_engines[replica].parameters()
+
+    def zero_grad(self) -> None:
+        """Zero gradients on every replica."""
+        for engine in self.pipeline_engines:
+            engine.zero_grad()
+
+    # -- tensor parallelism -----------------------------------------------------------
+
+    def verify_tensor_parallel(self, atol: float = 1e-10) -> None:
+        """Check the Megatron column/row split against the dense computation.
+
+        The functional stages compute dense matmuls; this verifies — on a real
+        weight of this model — that splitting it across ``tp`` ranks with a
+        column-parallel layer feeding a row-parallel layer reproduces the dense
+        result, which is what justifies charging only traffic (not error) to the
+        tensor-parallel axis.
+        """
+        layer = self.replicas[0][0].layers[0]
+        up_weight = layer.mlp.fc.weight.data
+        down_weight = layer.mlp.proj.weight.data
+        rng = np.random.default_rng(self.seed)
+        x = rng.standard_normal((3, up_weight.shape[0]))
+        scratch = CommunicationLog()
+        column = ColumnParallelLinear(up_weight, self.tensor_parallel_degree, log=scratch)
+        row = RowParallelLinear(down_weight, self.tensor_parallel_degree, log=scratch)
+        sharded = row.forward(column.forward(x, gather_output=False))
+        dense = (x @ up_weight) @ down_weight
+        if not np.allclose(sharded, dense, atol=atol):
+            raise RuntimeError(
+                "tensor-parallel split diverged from the dense computation"
+            )
+
+    def _log_tensor_parallel_traffic(self, micro_batch_shapes: list[tuple[int, int]]) -> None:
+        """Account the intra-node TP all-reduces of one iteration.
+
+        Two all-reduces per transformer layer per direction (forward and backward)
+        per micro-batch per replica, each carrying the full ``(batch, seq, hidden)``
+        activation.  The functional stages already compute the exact (dense) result,
+        so only traffic is recorded.
+        """
+        if self.tensor_parallel_degree <= 1:
+            return
+        num_layers = self.model_config.num_layers
+        for batch, seq in micro_batch_shapes:
+            payload = batch * seq * self.model_config.hidden_size * WIRE_BYTES_PER_ELEMENT
+            for direction in ("fwd", "bwd"):
+                for _ in range(num_layers * TP_ALL_REDUCES_PER_LAYER_PER_DIRECTION):
+                    record_ring_all_reduce(
+                        self.log,
+                        payload,
+                        self.tensor_parallel_degree,
+                        category="tensor_parallel",
+                        description=f"tp all-reduce ({direction})",
+                    )
+
+    # -- training ----------------------------------------------------------------------
+
+    def run_iteration(self, per_replica_micro_batches: Sequence[Sequence]) -> EngineIterationResult:
+        """Run one full 3D-parallel iteration (forward+backward+gradient sync).
+
+        ``per_replica_micro_batches[d]`` is replica ``d``'s list of micro-batches,
+        either ``(tokens, targets)`` tuples or
+        :class:`repro.data.dataloader.MicroBatch` objects.  Gradients are left in
+        the stage parameters (synchronised across replicas); the optimiser step is
+        the caller's.
+        """
+        if len(per_replica_micro_batches) != self.data_parallel_degree:
+            raise ValueError(
+                f"expected micro-batches for {self.data_parallel_degree} replicas, "
+                f"got {len(per_replica_micro_batches)}"
+            )
+        normalised: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [
+                batch.as_tuple() if hasattr(batch, "as_tuple") else tuple(batch)
+                for batch in replica_batches
+            ]
+            for replica_batches in per_replica_micro_batches
+        ]
+        record_mark = len(self.log.records)
+        dp_traffic_before = {
+            stage: StageTraffic(
+                traffic.all_reduces,
+                traffic.compressed_all_reduces,
+                traffic.original_bytes,
+                traffic.payload_bytes,
+            )
+            for stage, traffic in self.dp_reduce.stage_traffic.items()
+        }
+
+        losses = []
+        shapes: list[tuple[int, int]] = []
+        for engine, replica_batches in zip(self.pipeline_engines, normalised):
+            result = engine.run_iteration(replica_batches)
+            losses.append(result.mean_loss)
+            shapes.extend(
+                (int(tokens.shape[0]), int(tokens.shape[1])) for tokens, _ in replica_batches
+            )
+
+        self._log_tensor_parallel_traffic(shapes)
+        self.dp_sync.synchronize()
+        self.embedding_sync.synchronize()
+
+        wire, fractions, boundaries = _axis_report(self.log.records[record_mark:])
+        dp_stage_traffic = {}
+        for stage, traffic in self.dp_reduce.stage_traffic.items():
+            before = dp_traffic_before.get(stage, StageTraffic())
+            dp_stage_traffic[stage] = StageTraffic(
+                all_reduces=traffic.all_reduces - before.all_reduces,
+                compressed_all_reduces=traffic.compressed_all_reduces
+                - before.compressed_all_reduces,
+                original_bytes=traffic.original_bytes - before.original_bytes,
+                payload_bytes=traffic.payload_bytes - before.payload_bytes,
+            )
+        return EngineIterationResult(
+            mean_loss=float(np.mean(losses)),
+            num_micro_batches=len(normalised[0]),
+            axis_wire_bytes=wire,
+            axis_compressed_fraction=fractions,
+            pipeline_boundary_wire_bytes=boundaries,
+            dp_stage_traffic=dp_stage_traffic,
+        )
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate_loss(self, token_ids: np.ndarray, targets: np.ndarray) -> float:
+        """Loss of a batch on replica 0 (no gradients touched)."""
+        return self.pipeline_engines[0].evaluate_loss(token_ids, targets)
+
+    def forward_logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Inference pass on replica 0 returning logits."""
+        return self.pipeline_engines[0].forward_logits(token_ids)
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def weights_in_sync(self, tolerance: float = 1e-9) -> bool:
+        """Whether all replicas (and the tied embedding copies) hold identical weights."""
+        reference = self.pipeline_engines[0].parameters()
+        for engine in self.pipeline_engines[1:]:
+            for ref_param, other_param in zip(reference, engine.parameters()):
+                if not np.allclose(ref_param.data, other_param.data, atol=tolerance):
+                    return False
+        for replica in self.replicas:
+            copies = replica[0].embedding_parameters()
+            if replica[-1] is not replica[0]:
+                copies = copies + replica[-1].embedding_parameters()
+            for copy in copies[1:]:
+                if not np.allclose(copies[0].data, copy.data, atol=tolerance):
+                    return False
+        return True
+
+    def residual_memory_bytes(self) -> int:
+        """Total error-feedback memory: CB lazy-error residuals + DP residuals."""
+        total = self.dp_reduce.residual_memory_bytes()
+        for hook in self.cb_hooks:
+            if hook is not None:
+                total += hook.residual_memory_bytes()
+        return total
+
+    def traffic_summary(self) -> dict[str, float]:
+        """Cumulative per-axis wire bytes over the engine's lifetime."""
+        wire, _, _ = _axis_report(self.log.records)
+        return wire
+
+    def pipeline_backward_summary(self) -> dict[int, dict[str, float]]:
+        """Per-boundary compressed-backpropagation statistics of replica 0."""
+        if self.cb_hooks and self.cb_hooks[0] is not None:
+            return self.cb_hooks[0].summary_by_boundary()
+        return {}

@@ -197,6 +197,21 @@ class CostModel:
             return self.p2p_time(self.interstage_message_bytes())
         return self.p2p_time(self.compressed_activation_bytes(compressed_rank))
 
+    def tensor_parallel_wire_bytes(self, stage: int) -> float:
+        """Intra-node (NVLink) bytes of one stage's TP all-reduces per iteration.
+
+        Two all-reduces per transformer layer per direction (forward and backward)
+        per micro-batch, each carrying the full activation.  The paper folds the
+        *time* of these into the compute terms (they ride NVLink); the volume is
+        still reported so the unified engine's per-axis accounting has a simulator
+        counterpart.
+        """
+        if self.layout.tensor_parallel <= 1:
+            return 0.0
+        per_transfer = self.activation_elements() * self.constants.activation_wire_bytes
+        transfers = 4 * self.layers_on_stage(stage) * self.job.num_micro_batches
+        return transfers * ring_all_reduce_wire_bytes(per_transfer, self.layout.tensor_parallel)
+
     # ------------------------------------------------------------ data parallel --
 
     def stage_weight_matrices(self, stage: int) -> list[tuple[int, int]]:

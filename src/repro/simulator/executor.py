@@ -153,6 +153,7 @@ class IterationTiming:
     interstage_wire_bytes: float
     dp_wire_bytes: float
     embedding_wire_bytes: float
+    tp_wire_bytes: float = 0.0
 
     def days_for(self, num_iterations: int) -> float:
         """Wall-clock days for ``num_iterations`` iterations at this rate."""
@@ -161,6 +162,20 @@ class IterationTiming:
     def speedup_over(self, baseline: "IterationTiming") -> float:
         """Relative speedup versus a baseline timing (paper's convention: old/new - 1)."""
         return baseline.iteration_time / self.iteration_time - 1.0
+
+    def wire_bytes_by_axis(self) -> dict[str, float]:
+        """Per-axis wire bytes, matching the unified engine's traffic axes.
+
+        Keys mirror :data:`repro.parallel.engine.TRAFFIC_AXES` (the simulator does
+        not split the pipeline axis by direction: forward and backward transfers
+        are both counted under ``"pipeline"``).
+        """
+        return {
+            "pipeline": self.interstage_wire_bytes,
+            "data_parallel": self.dp_wire_bytes,
+            "embedding": self.embedding_wire_bytes,
+            "tensor_parallel": self.tp_wire_bytes,
+        }
 
 
 class PipelineTimingSimulator:
@@ -415,6 +430,10 @@ class PipelineTimingSimulator:
             backward_times[s] * chunks * num_micro for s in range(num_stages)
         ) / num_stages
 
+        tp_wire_total = sum(
+            self.cost.tensor_parallel_wire_bytes(stage) for stage in range(num_stages)
+        )
+
         return IterationTiming(
             iteration_time=iteration_time,
             stage_backward_finish=stage_backward_finish,
@@ -427,6 +446,7 @@ class PipelineTimingSimulator:
             interstage_wire_bytes=interstage_wire_total,
             dp_wire_bytes=dp_wire_total,
             embedding_wire_bytes=embedding_wire,
+            tp_wire_bytes=tp_wire_total,
         )
 
 

@@ -1,16 +1,21 @@
 """Functional pretraining of a GPT model under simulated 3D parallelism.
 
-The :class:`Pretrainer` wires everything together:
+The :class:`Pretrainer` is a thin training loop around the unified
+:class:`repro.parallel.engine.ThreeDParallelEngine`, which owns the parallel
+structure:
 
 * ``data_parallel_degree`` replicas of a pipeline of :class:`repro.nn.gpt_stage.GPTStage`
-  objects (identical initial weights, different data shards);
-* a :class:`repro.parallel.pipeline_engine.PipelineParallelEngine` per replica, whose
-  backward channel carries the compressed-backpropagation hook when CB is enabled;
-* a :class:`repro.parallel.data_parallel.DataParallelGradientSync` with the
-  selective-stage-compression hook when SC is enabled;
-* an :class:`repro.core.fused_embedding.EmbeddingSynchronizer` (fused or baseline);
-* one optimiser per replica (states stay identical because the synchronised
-  gradients are identical).
+  objects (identical initial weights, different data shards), each run by a
+  :class:`repro.parallel.pipeline_engine.PipelineParallelEngine` whose backward
+  channel carries the compressed-backpropagation hook when CB is enabled;
+* the DP-boundary compressed all-reduce
+  (:class:`repro.parallel.engine.CompressedGradientAllReduce`, PowerSGD by default
+  when selective stage compression is on);
+* an :class:`repro.core.fused_embedding.EmbeddingSynchronizer` (fused or baseline).
+
+The trainer adds what a training loop needs on top: one optimiser per replica
+(states stay identical because the synchronised gradients are identical), the
+learning-rate schedule, validation, and history recording.
 
 This is the "functional layer" of the reproduction: the models are small enough to
 train on a CPU, but the parallel structure, the compression algebra, and therefore
@@ -23,20 +28,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.compressed_backprop import CompressedBackpropagation
-from repro.core.config import OptimusCCConfig
+from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
-from repro.core.fused_embedding import EmbeddingSynchronizer
-from repro.core.selective_stage import SelectiveStageCompression
 from repro.data.dataloader import LanguageModelingDataLoader
 from repro.data.tasks import ZeroShotTask
-from repro.nn.gpt_stage import build_gpt_stages
 from repro.nn.loss import perplexity_from_loss
 from repro.nn.transformer import GPTModelConfig
 from repro.optim import Adam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
-from repro.parallel.data_parallel import DataParallelGradientSync
-from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
+from repro.parallel.engine import EngineIterationResult, ThreeDParallelEngine
 from repro.training.metrics import TrainingHistory
 
 
@@ -65,6 +65,9 @@ class Pretrainer:
         Pipeline depth.
     optimus_config:
         Which Optimus-CC techniques to enable.
+    engine_config:
+        Optional explicit DP-boundary compression block (codec/rank/error
+        feedback/TP degree); defaults to the one implied by ``optimus_config``.
     learning_rate, weight_decay:
         Adam hyper-parameters.
     lr_schedule:
@@ -81,6 +84,7 @@ class Pretrainer:
         loader: LanguageModelingDataLoader,
         num_stages: int = 2,
         optimus_config: OptimusCCConfig | None = None,
+        engine_config: EngineCompressionConfig | None = None,
         learning_rate: float = 1e-3,
         weight_decay: float = 0.0,
         lr_schedule: LRSchedule | None = None,
@@ -96,44 +100,31 @@ class Pretrainer:
         self.factory = OptimusCC(self.optimus_config)
         self.lr_schedule = lr_schedule
         self.seed = int(seed)
-
-        self.log = CommunicationLog()
         self.data_parallel_degree = loader.data_parallel_degree
 
-        # Build replicas (identical initial weights), one engine + CB hook per replica.
-        self.replicas: list[list] = []
-        self.engines: list[PipelineParallelEngine] = []
-        self.cb_hooks: list[CompressedBackpropagation | None] = []
-        for replica_index in range(self.data_parallel_degree):
-            stages = build_gpt_stages(model_config, self.num_stages, seed=self.seed)
-            cb_hook = self.factory.make_backward_hook(
-                self.num_stages,
-                collect_diagnostics=collect_cb_diagnostics and replica_index == 0,
-            )
-            forward_hook = self.factory.make_forward_hook(self.num_stages)
-            channel = InterStageChannel(
-                log=self.log, backward_hook=cb_hook, forward_hook=forward_hook
-            )
-            self.replicas.append(stages)
-            self.engines.append(PipelineParallelEngine(stages, channel))
-            self.cb_hooks.append(cb_hook)
-
-        self.dp_hook: SelectiveStageCompression | None = self.factory.make_dp_hook(self.num_stages)
-        self.dp_sync = DataParallelGradientSync(
-            self.replicas,
-            log=self.log,
-            compression_hook=self.dp_hook,
-            exclude_embedding=True,
+        self.engine = self.factory.build_engine(
+            model_config,
+            num_stages=self.num_stages,
+            data_parallel_degree=self.data_parallel_degree,
+            engine_config=engine_config,
+            seed=self.seed,
+            collect_cb_diagnostics=collect_cb_diagnostics,
         )
-        self.embedding_sync: EmbeddingSynchronizer = self.factory.make_embedding_synchronizer(
-            self.replicas, self.log
-        )
+        # Aliases kept for the pre-engine API (tests and experiments use these).
+        self.log = self.engine.log
+        self.replicas = self.engine.replicas
+        self.engines = self.engine.pipeline_engines
+        self.cb_hooks = self.engine.cb_hooks
+        self.dp_sync = self.engine.dp_sync
+        self.dp_hook = self.engine.dp_reduce.powersgd
+        self.embedding_sync = self.engine.embedding_sync
 
         self.optimizers = [
             Adam(engine.parameters(), lr=learning_rate, weight_decay=weight_decay)
             for engine in self.engines
         ]
         self.history = TrainingHistory()
+        self.last_iteration_result: EngineIterationResult | None = None
         self._iteration = 0
 
     # ---------------------------------------------------------------- training loop --
@@ -145,23 +136,18 @@ class Pretrainer:
             for optimizer in self.optimizers:
                 self.lr_schedule.apply(optimizer, iteration)
 
-        batches = self.loader.iteration_batches(iteration)
-        losses = []
-        for engine, optimizer, replica_batches in zip(self.engines, self.optimizers, batches):
+        for optimizer in self.optimizers:
             optimizer.zero_grad()
-            result = engine.run_iteration([batch.as_tuple() for batch in replica_batches])
-            losses.append(result.mean_loss)
-
-        self.dp_sync.synchronize()
-        self.embedding_sync.synchronize()
+        batches = self.loader.iteration_batches(iteration)
+        result = self.engine.run_iteration(batches)
+        self.last_iteration_result = result
 
         for optimizer in self.optimizers:
             optimizer.step()
 
-        mean_loss = float(np.mean(losses))
-        self.history.record_train(mean_loss)
+        self.history.record_train(result.mean_loss)
         self._iteration += 1
-        return mean_loss
+        return result.mean_loss
 
     def train(
         self,
@@ -198,7 +184,7 @@ class Pretrainer:
         losses = []
         for batch_index in range(num_batches):
             batch = self.loader.validation_batch(batch_index)
-            losses.append(self.engines[0].evaluate_loss(batch.tokens, batch.targets))
+            losses.append(self.engine.evaluate_loss(batch.tokens, batch.targets))
         return float(np.mean(losses))
 
     def validation_perplexity(self, num_batches: int = 2) -> float:
@@ -207,26 +193,14 @@ class Pretrainer:
 
     def evaluate_zero_shot(self, tasks: list[ZeroShotTask]) -> dict[str, float]:
         """Accuracy of the current model on each zero-shot task."""
-        logits_fn = self.engines[0].forward_logits
+        logits_fn = self.engine.forward_logits
         return {task.name: task.evaluate(logits_fn) for task in tasks}
 
     # ------------------------------------------------------------------ diagnostics --
 
     def weights_in_sync(self, tolerance: float = 1e-9) -> bool:
         """Whether all replicas (and both embedding copies) hold identical weights."""
-        reference = self.engines[0].parameters()
-        for engine in self.engines[1:]:
-            for ref_param, other_param in zip(reference, engine.parameters()):
-                if not np.allclose(ref_param.data, other_param.data, atol=tolerance):
-                    return False
-        for replica in self.replicas:
-            copies = replica[0].embedding_parameters()
-            if replica[-1] is not replica[0]:
-                copies = copies + replica[-1].embedding_parameters()
-            for copy in copies[1:]:
-                if not np.allclose(copies[0].data, copy.data, atol=tolerance):
-                    return False
-        return True
+        return self.engine.weights_in_sync(tolerance)
 
     @property
     def compression_summary(self) -> dict[str, float]:

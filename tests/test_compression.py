@@ -8,10 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import (
+    AdaCompCompressor,
     ErrorFeedback,
     FP16Compressor,
     NoCompression,
     PowerSGDCompressor,
+    QSGDCompressor,
     RandomKCompressor,
     SignSGDCompressor,
     TernGradCompressor,
@@ -265,3 +267,123 @@ class TestCompressionProperties:
             approx, _, _ = feedback.compress_with_feedback(tensor, key="k")
             delivered += approx
             assert np.allclose(delivered + feedback.residual("k"), true_sum, atol=1e-9)
+
+
+# ----------------------------------------------------------------------------------
+# Round-trip properties shared by every codec
+# ----------------------------------------------------------------------------------
+
+#: Every codec in :mod:`repro.compression`, with its analytic payload-byte formula
+#: for a dense tensor of ``size`` elements (``None`` = data-dependent payload).
+def _codec_catalogue():
+    bytes_per = UNCOMPRESSED_BYTES_PER_ELEMENT
+    index_bytes = 4
+
+    def topk_bytes(size):
+        kept = max(1, min(size, int(round(0.1 * size))))
+        return kept * (bytes_per + index_bytes)
+
+    return {
+        "none": (lambda: NoCompression(), lambda size: size * bytes_per),
+        "powersgd": (
+            lambda: PowerSGDCompressor(rank=2, min_compression_elements=0),
+            None,  # shape-dependent; checked against expected_payload_elements below
+        ),
+        "topk": (lambda: TopKCompressor(fraction=0.1, min_elements=0), topk_bytes),
+        "randomk": (
+            lambda: RandomKCompressor(fraction=0.1, seed=1, min_elements=0),
+            topk_bytes,
+        ),
+        "qsgd": (
+            lambda: QSGDCompressor(bits=4, seed=2),
+            lambda size: int(np.ceil(size * 5 / 8)) + 4,
+        ),
+        "terngrad": (
+            lambda: TernGradCompressor(seed=3),
+            lambda size: int(np.ceil(size / 4)) + 4,
+        ),
+        "signsgd": (
+            lambda: SignSGDCompressor(),
+            lambda size: int(np.ceil(size / 8)) + 4,
+        ),
+        "fp16": (lambda: FP16Compressor(), lambda size: size * bytes_per),
+        "adacomp": (lambda: AdaCompCompressor(min_elements=0), None),
+    }
+
+
+CODEC_NAMES = sorted(_codec_catalogue())
+
+
+class TestAllCodecRoundTrips:
+    """Round-trip and payload-accounting properties every codec must satisfy."""
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    @settings(max_examples=10, deadline=None)
+    @given(rows=st.integers(min_value=4, max_value=24), cols=st.integers(min_value=4, max_value=24))
+    def test_roundtrip_shape_and_payload_accounting(self, codec_name, rows, cols):
+        """Decompression restores the shape; payload bytes match the analytic
+        estimate that :mod:`repro.compression.metrics` builds its ratios from."""
+        build, payload_formula = _codec_catalogue()[codec_name]
+        codec = build()
+        rng = np.random.default_rng(rows * 100 + cols)
+        tensor = rng.normal(size=(rows, cols))
+        approx, payload = codec.roundtrip(tensor, key="t")
+
+        assert approx.shape == tensor.shape
+        assert np.all(np.isfinite(approx))
+        assert payload.original_bytes == tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT
+        assert compression_ratio(payload) == payload.original_bytes / payload.payload_bytes
+
+        if codec_name == "powersgd":
+            expected = codec.expected_payload_elements(tensor.shape) * UNCOMPRESSED_BYTES_PER_ELEMENT
+            assert payload.payload_bytes == expected
+        elif codec_name == "adacomp":
+            kept = payload.metadata["kept"]
+            assert payload.payload_bytes == max(kept * (UNCOMPRESSED_BYTES_PER_ELEMENT + 4), 1)
+        else:
+            assert payload.payload_bytes == payload_formula(tensor.size)
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    def test_residual_shrinks_under_error_feedback(self, codec_name, rng):
+        """Feeding the residual back makes the *time-averaged* delivery converge:
+        after a few steps, the mean delivered tensor is closer to the true tensor
+        than any single lossy round-trip was."""
+        build, _ = _codec_catalogue()[codec_name]
+        codec = build()
+        feedback = ErrorFeedback(codec, enabled=True)
+        tensor = rng.normal(size=(16, 12))
+
+        first_approx, _, first_residual = feedback.compress_with_feedback(tensor, key="g")
+        first_error = np.linalg.norm(tensor - first_approx)
+        delivered = first_approx.copy()
+        steps = 8
+        for _ in range(steps - 1):
+            approx, _, _ = feedback.compress_with_feedback(tensor, key="g")
+            delivered += approx
+        mean_error = np.linalg.norm(delivered / steps - tensor)
+
+        if codec_name == "randomk":
+            # Random-k rescales the kept values by 1/fraction to be unbiased, which
+            # makes it a non-contraction: error feedback around it diverges.  That
+            # is why it is used as an unbiased estimator, never inside EF — the
+            # test documents the divergence instead of the shrinkage.
+            assert mean_error > first_error
+        elif first_error < 1e-9:  # lossless codecs (none, fp16-at-this-scale)
+            assert mean_error < 1e-6
+        else:
+            assert mean_error < first_error
+        # The invariant behind the convergence: delivered + residual == steps * tensor.
+        assert np.allclose(
+            delivered + feedback.residual("g"), steps * tensor, atol=1e-8
+        )
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    def test_reset_is_idempotent_and_clears_state(self, codec_name, rng):
+        build, _ = _codec_catalogue()[codec_name]
+        codec = build()
+        codec.roundtrip(rng.normal(size=(8, 8)), key="s")
+        codec.reset()
+        codec.reset()
+        approx, payload = codec.roundtrip(rng.normal(size=(8, 8)), key="s")
+        assert approx.shape == (8, 8)
+        assert payload.payload_bytes > 0

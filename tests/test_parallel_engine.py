@@ -1,0 +1,358 @@
+"""Tests for the unified 3D-parallel execution engine.
+
+Covers the three guarantees the engine makes:
+
+* **gradient parity** — with compression disabled the engine reproduces the
+  single-device reference model's gradients (bit-for-bit for one replica, where
+  even the floating-point accumulation order is identical);
+* **error-feedback convergence** — every DP codec's residual stays bounded and the
+  accumulated delivered gradient tracks the accumulated true gradient;
+* **traffic accounting** — per-axis and per-boundary wire bytes are exact, for the
+  pipeline (PP) boundaries, the data-parallel (DP) boundary, the embedding
+  synchronisation, and the tensor-parallel axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineCompressionConfig, OptimusCCConfig
+from repro.nn import CrossEntropyLoss, GPTModel
+from repro.parallel.collectives import CommunicationLog, ring_all_reduce_wire_bytes
+from repro.parallel.engine import (
+    TP_ALL_REDUCES_PER_LAYER_PER_DIRECTION,
+    CompressedGradientAllReduce,
+    ThreeDParallelEngine,
+)
+from repro.parallel.pipeline_engine import WIRE_BYTES_PER_ELEMENT
+
+
+def make_engine(config, optimus=None, engine_config=None, num_stages=2, dp=2, seed=0, **kwargs):
+    return ThreeDParallelEngine(
+        config,
+        num_stages=num_stages,
+        data_parallel_degree=dp,
+        optimus_config=optimus if optimus is not None else OptimusCCConfig.baseline(),
+        engine_config=engine_config,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def make_batches(config, rng, replicas=2, micro_batches=2, batch=2, seq=8):
+    return [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(batch, seq)),
+                rng.integers(0, config.vocab_size, size=(batch, seq)),
+            )
+            for _ in range(micro_batches)
+        ]
+        for _ in range(replicas)
+    ]
+
+
+def reference_gradients(config, all_micro_batches, seed):
+    """Single-device reference: same data, mean-over-mini-batch loss scaling."""
+    model = GPTModel(config, seed=seed)
+    loss_fn = CrossEntropyLoss()
+    scale = 1.0 / len(all_micro_batches)
+    losses = []
+    for tokens, targets in all_micro_batches:
+        logits, cache = model.forward(tokens)
+        loss, loss_cache = loss_fn.forward(logits, targets)
+        losses.append(float(loss))
+        model.backward(loss_fn.backward(loss_cache) * scale, cache)
+    return model, float(np.mean(losses))
+
+
+def assert_matches_reference(engine, model, atol):
+    """Compare replica 0's gradients against the reference, layer by layer."""
+    stages = engine.replicas[0]
+    for stage in stages:
+        for local_index, global_index in enumerate(stage.layer_indices):
+            for stage_param, ref_param in zip(
+                stage.layers[local_index].parameters(),
+                model.layers[global_index].parameters(),
+            ):
+                if atol == 0.0:
+                    assert np.array_equal(stage_param.grad, ref_param.grad), stage_param.name
+                else:
+                    assert np.allclose(stage_param.grad, ref_param.grad, atol=atol), stage_param.name
+    # The synchronised word-embedding copy equals the reference's tied gradient
+    # (summation order differs between the tied and split accumulation, so this
+    # comparison is never required to be bit-exact).
+    embedding = stages[0].embedding_parameters()[0]
+    assert np.allclose(embedding.grad, model.token_embedding.weight.grad, atol=max(atol, 1e-13))
+    assert np.allclose(
+        stages[0].position_embedding.weight.grad,
+        model.position_embedding.weight.grad,
+        atol=max(atol, 1e-13),
+    )
+
+
+class TestGradientParity:
+    @pytest.mark.parametrize("num_stages", [1, 2])
+    def test_single_replica_matches_reference_bit_for_bit(self, tiny_config, rng, num_stages):
+        """DP=1: the engine's accumulation order equals the reference's, so the
+        transformer-layer gradients are bit-for-bit identical."""
+        engine = make_engine(tiny_config, num_stages=num_stages, dp=1, seed=11)
+        batches = make_batches(tiny_config, rng, replicas=1, micro_batches=2)
+        result = engine.run_iteration(batches)
+        model, reference_loss = reference_gradients(tiny_config, batches[0], seed=11)
+        assert result.mean_loss == pytest.approx(reference_loss, abs=1e-12)
+        assert_matches_reference(engine, model, atol=0.0)
+
+    def test_data_parallel_engine_matches_reference(self, tiny_config, rng):
+        """DP=2: the mean-over-replicas all-reduce reproduces the reference run
+        over all shards (only float summation order differs)."""
+        engine = make_engine(tiny_config, num_stages=2, dp=2, seed=3)
+        batches = make_batches(tiny_config, rng, replicas=2, micro_batches=2)
+        result = engine.run_iteration(batches)
+        merged = [mb for replica in batches for mb in replica]
+        model, reference_loss = reference_gradients(tiny_config, merged, seed=3)
+        assert result.mean_loss == pytest.approx(reference_loss, abs=1e-12)
+        assert_matches_reference(engine, model, atol=1e-13)
+        # All replicas hold identical gradients after the exact all-reduce.
+        assert engine.dp_sync.max_gradient_divergence() == 0.0
+
+    def test_parity_holds_for_every_uncompressed_codec_path(self, tiny_config, rng):
+        """The 'none' codec routes through the same all-reduce as the raw sync."""
+        engine = make_engine(
+            tiny_config,
+            engine_config=EngineCompressionConfig.uncompressed(),
+            num_stages=2,
+            dp=2,
+            seed=9,
+        )
+        batches = make_batches(tiny_config, rng)
+        engine.run_iteration(batches)
+        model, _ = reference_gradients(tiny_config, [mb for r in batches for mb in r], seed=9)
+        assert_matches_reference(engine, model, atol=1e-13)
+
+    def test_tensor_parallel_split_is_verified_and_logged(self, tiny_config, rng):
+        engine = make_engine(
+            tiny_config,
+            engine_config=EngineCompressionConfig.uncompressed(tensor_parallel_degree=2),
+            num_stages=2,
+            dp=1,
+            seed=2,
+        )
+        batches = make_batches(tiny_config, rng, replicas=1, micro_batches=2)
+        result = engine.run_iteration(batches)
+        # TP traffic is accounted but never alters the numerics.
+        model, _ = reference_gradients(tiny_config, batches[0], seed=2)
+        assert_matches_reference(engine, model, atol=0.0)
+        assert result.axis_wire_bytes["tensor_parallel"] > 0
+
+    def test_indivisible_tensor_parallel_degree_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            make_engine(
+                tiny_config,
+                engine_config=EngineCompressionConfig.uncompressed(tensor_parallel_degree=3),
+            )
+
+
+class TestErrorFeedbackConvergence:
+    @pytest.mark.parametrize("codec", ["powersgd", "qsgd", "topk"])
+    def test_accumulated_delivery_tracks_accumulated_gradient(self, codec, rng):
+        """Classic EF guarantee: sum(delivered) = sum(sent) - final residual, so
+        the delivery error never accumulates beyond one step's residual."""
+        config = EngineCompressionConfig(
+            dp_codec=codec,
+            dp_rank=2,
+            dp_topk_fraction=0.1,
+            dp_stage_fraction=1.0,
+            min_compression_elements=16,
+        )
+        reducer = CompressedGradientAllReduce(config, num_stages=1, seed=0)
+        log = CommunicationLog()
+        from repro.parallel.collectives import SimulatedProcessGroup
+
+        group = SimulatedProcessGroup([0, 1], log, category="data_parallel")
+        gradient = rng.normal(size=(16, 8))
+        steps = 90
+        sent = np.zeros_like(gradient)
+        delivered = np.zeros_like(gradient)
+        errors = []
+        for _ in range(steps):
+            contributions = [gradient.copy(), gradient.copy()]
+            synced = reducer.reduce("w", 0, contributions, group)
+            sent += gradient
+            delivered += synced[0]
+            errors.append(float(np.linalg.norm(sent - delivered)))
+        # The tracking error saturates: the residual stays within a bounded band
+        # (a small multiple of one gradient) instead of growing with the step
+        # count, and its late plateau is no higher than its mid-run plateau.
+        gradient_norm = float(np.linalg.norm(gradient))
+        assert max(errors) < 6.0 * gradient_norm
+        mid_plateau = float(np.mean(errors[steps // 3 : 2 * steps // 3]))
+        late_plateau = float(np.mean(errors[-steps // 3 :]))
+        assert late_plateau < 1.3 * mid_plateau + 0.1 * gradient_norm
+        # And the mean delivered gradient converges to the true gradient
+        # (the residual amortises over the step count).
+        mean_delivered = delivered / steps
+        assert np.linalg.norm(mean_delivered - gradient) < 0.15 * gradient_norm
+
+    @pytest.mark.parametrize("codec", ["qsgd", "topk"])
+    def test_alternative_codecs_train_and_stay_in_sync(self, small_config, loader, codec):
+        """QSGD/top-k DP compression trains end-to-end with replicas in lockstep."""
+        from repro.training.trainer import Pretrainer
+
+        engine_config = EngineCompressionConfig(
+            dp_codec=codec,
+            dp_qsgd_bits=6,
+            dp_topk_fraction=0.2,
+            dp_stage_fraction=1.0,
+            min_compression_elements=64,
+        )
+        trainer = Pretrainer(
+            small_config,
+            loader,
+            num_stages=2,
+            engine_config=engine_config,
+            learning_rate=2e-3,
+            seed=1,
+        )
+        losses = [trainer.train_iteration() for _ in range(6)]
+        assert trainer.weights_in_sync()
+        assert min(losses) < losses[0]
+        assert trainer.engine.dp_reduce.bytes_saved_fraction() > 0.2
+
+    def test_disabling_error_feedback_drops_residual_state(self, rng):
+        config = EngineCompressionConfig(
+            dp_codec="topk",
+            dp_topk_fraction=0.1,
+            dp_error_feedback=False,
+            dp_stage_fraction=1.0,
+            min_compression_elements=16,
+        )
+        reducer = CompressedGradientAllReduce(config, num_stages=1, seed=0)
+        log = CommunicationLog()
+        from repro.parallel.collectives import SimulatedProcessGroup
+
+        group = SimulatedProcessGroup([0, 1], log, category="data_parallel")
+        reducer.reduce("w", 0, [rng.normal(size=(16, 8))] * 2, group)
+        assert reducer.residual_memory_bytes() == 0
+
+
+class TestTrafficAccounting:
+    def test_pipeline_boundary_traffic_is_per_boundary_exact(self, tiny_config, rng):
+        engine = make_engine(tiny_config, num_stages=2, dp=1, seed=0)
+        batches = make_batches(tiny_config, rng, replicas=1, micro_batches=3, batch=2, seq=8)
+        result = engine.run_iteration(batches)
+        # One boundary; 3 backward transfers of (2, 8, hidden) fp16 activations.
+        expected = 3 * 2 * 8 * tiny_config.hidden_size * WIRE_BYTES_PER_ELEMENT
+        assert result.pipeline_boundary_wire_bytes == {0: float(expected)}
+        assert result.axis_wire_bytes["pipeline_backward"] == float(expected)
+        assert result.axis_wire_bytes["pipeline_forward"] == float(expected)
+
+    def test_compressed_backprop_shrinks_only_epilogue_boundaries(self, small_config, rng):
+        baseline = make_engine(small_config, num_stages=2, dp=1, seed=0)
+        compressed = make_engine(
+            small_config, optimus=OptimusCCConfig.cb(rank=2), num_stages=2, dp=1, seed=0
+        )
+        batches = make_batches(small_config, rng, replicas=1, micro_batches=4)
+        base = baseline.run_iteration(batches)
+        comp = compressed.run_iteration(batches)
+        assert (
+            comp.axis_wire_bytes["pipeline_backward"]
+            < base.axis_wire_bytes["pipeline_backward"]
+        )
+        # Per-boundary CB statistics come from the hook, keyed by boundary index.
+        summary = compressed.pipeline_backward_summary()
+        assert set(summary) == {0}
+        assert 0 < summary[0]["compressed_transfers"] <= summary[0]["transfers"]
+        assert summary[0]["bytes_saved_fraction"] > 0
+
+    def test_dp_traffic_accounted_per_stage_with_selective_compression(
+        self, small_config, rng
+    ):
+        engine = make_engine(
+            small_config,
+            optimus=OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2, stage_fraction=0.5),
+            num_stages=2,
+            dp=2,
+            seed=0,
+        )
+        batches = make_batches(small_config, rng)
+        result = engine.run_iteration(batches)
+        traffic = result.dp_stage_traffic
+        assert set(traffic) == {0, 1}
+        # Stage 0 is selected: its large parameters go compressed.
+        assert traffic[0].compressed_all_reduces > 0
+        assert traffic[0].payload_bytes < traffic[0].original_bytes
+        # Stage 1 is not selected: every byte goes uncompressed.
+        assert traffic[1].compressed_all_reduces == 0
+        assert traffic[1].payload_bytes == traffic[1].original_bytes
+        assert engine.dp_reduce.bytes_saved_fraction() > 0
+
+    def test_uncompressed_dp_payload_matches_parameter_sizes(self, tiny_config, rng):
+        engine = make_engine(tiny_config, num_stages=2, dp=2, seed=0)
+        batches = make_batches(tiny_config, rng)
+        result = engine.run_iteration(batches)
+        for stage_index in (0, 1):
+            stage = engine.replicas[0][stage_index]
+            expected = sum(
+                parameter.size * WIRE_BYTES_PER_ELEMENT
+                for parameter in stage.parameters()
+                if parameter.requires_grad and "word_embeddings" not in (parameter.name or "")
+            ) * engine.data_parallel_degree
+            traffic = result.dp_stage_traffic[stage_index]
+            assert traffic.payload_bytes == expected
+            assert traffic.original_bytes == expected
+
+    def test_tensor_parallel_traffic_matches_analytic_volume(self, tiny_config, rng):
+        tp = 2
+        engine = make_engine(
+            tiny_config,
+            engine_config=EngineCompressionConfig.uncompressed(tensor_parallel_degree=tp),
+            num_stages=2,
+            dp=2,
+            seed=0,
+        )
+        micro_batches, batch, seq = 2, 2, 8
+        batches = make_batches(
+            tiny_config, rng, replicas=2, micro_batches=micro_batches, batch=batch, seq=seq
+        )
+        result = engine.run_iteration(batches)
+        payload = batch * seq * tiny_config.hidden_size * WIRE_BYTES_PER_ELEMENT
+        transfers = (
+            2  # replicas
+            * micro_batches
+            * 2  # directions
+            * tiny_config.num_layers
+            * TP_ALL_REDUCES_PER_LAYER_PER_DIRECTION
+        )
+        expected = transfers * ring_all_reduce_wire_bytes(payload, tp)
+        assert result.axis_wire_bytes["tensor_parallel"] == pytest.approx(expected)
+
+    def test_fused_embedding_moves_fewer_bytes_than_baseline(self, small_config, rng):
+        batches = make_batches(small_config, rng)
+        plain = make_engine(small_config, optimus=OptimusCCConfig.baseline(), seed=0)
+        fused = make_engine(small_config, optimus=OptimusCCConfig.cb_fe(rank=2), seed=0)
+        plain_result = plain.run_iteration(batches)
+        fused_result = fused.run_iteration(batches)
+        assert (
+            fused_result.axis_wire_bytes["embedding"]
+            < plain_result.axis_wire_bytes["embedding"]
+        )
+
+    def test_iteration_result_is_a_delta_not_cumulative(self, tiny_config, rng):
+        engine = make_engine(tiny_config, num_stages=2, dp=2, seed=0)
+        batches = make_batches(tiny_config, rng)
+        first = engine.run_iteration(batches)
+        engine.zero_grad()
+        second = engine.run_iteration(batches)
+        for axis, value in first.axis_wire_bytes.items():
+            assert second.axis_wire_bytes[axis] == pytest.approx(value)
+        # The engine-lifetime summary, by contrast, accumulates.
+        assert engine.traffic_summary()["data_parallel"] == pytest.approx(
+            2 * first.axis_wire_bytes["data_parallel"]
+        )
+
+    def test_replica_count_validated(self, tiny_config, rng):
+        engine = make_engine(tiny_config, num_stages=2, dp=2)
+        with pytest.raises(ValueError):
+            engine.run_iteration(make_batches(tiny_config, rng, replicas=1))
