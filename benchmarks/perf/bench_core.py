@@ -1,0 +1,227 @@
+"""Microbenchmarks of the flat-arena execution core.
+
+Three hot paths are measured, each against the implementation it replaced:
+
+* **optimizer step** — :class:`repro.optim.FusedAdam` over a flat
+  :class:`~repro.parallel.arena.ParameterArena` versus the per-parameter
+  :class:`repro.optim.Adam` loop (same update, bit-for-bit — asserted here);
+* **engine iteration** — one :class:`~repro.parallel.engine.ThreeDParallelEngine`
+  iteration with the bucketed, cool-down-overlapped DP all-reduce versus the
+  serial per-parameter epilogue (identical weights — asserted here);
+* **codec round-trip** — compress + decompress throughput of the PowerSGD / QSGD /
+  top-k gradient codecs on a stage-sized matrix.
+
+Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
+trajectory is tracked from PR 2 onward; the perf smoke test
+(``benchmarks/perf/test_perf_core.py``) runs the same harness with fewer repeats
+and asserts the headline claim (>= 2x on the optimizer step).
+
+Run directly with ``PYTHONPATH=src python benchmarks/perf/bench_core.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.compression import PowerSGDCompressor, QSGDCompressor, TopKCompressor
+from repro.core.config import EngineCompressionConfig
+from repro.models.gpt_configs import functional_config
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.optim import Adam, FusedAdam
+from repro.parallel.arena import ParameterArena
+from repro.parallel.engine import ThreeDParallelEngine
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent / "results" / "BENCH_core.json"
+
+#: A deep, narrow GPT proxy — hundreds of small parameters, the regime where
+#: per-parameter Python dispatch dominates, which is exactly what the arena
+#: removes (the functional experiments all train proxies of this shape).
+BENCH_MODEL = dict(
+    vocab_size=128, sequence_length=32, num_layers=24, hidden_size=16, num_heads=2
+)
+
+
+def _time_calls(fn, repeats: int, inner: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``inner`` calls to ``fn``, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def bench_optimizer_step(repeats: int = 5, steps_per_repeat: int = 10) -> dict:
+    """Fused arena Adam vs. the per-parameter loop on identical models."""
+    config = functional_config(**BENCH_MODEL)
+    baseline_params = []
+    for stage in build_gpt_stages(config, num_stages=1, seed=7):
+        baseline_params.extend(stage.parameters())
+    fused_params = []
+    for stage in build_gpt_stages(config, num_stages=1, seed=7):
+        fused_params.extend(stage.parameters())
+    arena = ParameterArena(fused_params)
+
+    rng = np.random.default_rng(0)
+    for baseline_param, fused_param in zip(baseline_params, fused_params):
+        grad = rng.standard_normal(baseline_param.shape)
+        baseline_param.grad[...] = grad
+        fused_param.grad[...] = grad
+
+    per_parameter = Adam(baseline_params, lr=1e-3, weight_decay=0.01)
+    fused = FusedAdam(arena, lr=1e-3, weight_decay=0.01)
+
+    def run_per_parameter():
+        for _ in range(steps_per_repeat):
+            per_parameter.step()
+
+    def run_fused():
+        for _ in range(steps_per_repeat):
+            fused.step()
+
+    per_parameter_s = _time_calls(run_per_parameter, repeats) / steps_per_repeat
+    fused_s = _time_calls(run_fused, repeats) / steps_per_repeat
+
+    # Identical step counts were executed on both sides; the updates must agree
+    # bit-for-bit (the fused path is the same elementwise arithmetic).
+    for baseline_param, fused_param in zip(baseline_params, fused_params):
+        assert np.array_equal(baseline_param.data, fused_param.data), baseline_param.name
+
+    return {
+        "per_parameter_ms": per_parameter_s * 1e3,
+        "fused_ms": fused_s * 1e3,
+        "speedup": per_parameter_s / fused_s,
+        "num_parameters": len(baseline_params),
+        "num_elements": int(arena.num_elements),
+    }
+
+
+def bench_engine_iteration(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """Bucketed + overlapped DP all-reduce vs. the serial per-parameter epilogue."""
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=8, hidden_size=16, num_heads=2
+    )
+    rng = np.random.default_rng(1)
+    batches = [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+            )
+        ]
+        for _ in range(2)
+    ]
+
+    def build(overlap: bool) -> ThreeDParallelEngine:
+        return ThreeDParallelEngine(
+            config,
+            num_stages=2,
+            data_parallel_degree=2,
+            engine_config=EngineCompressionConfig.uncompressed().with_(dp_overlap=overlap),
+            seed=3,
+        )
+
+    serial = build(overlap=False)
+    overlapped = build(overlap=True)
+
+    def run(engine):
+        def _run():
+            for _ in range(iterations_per_repeat):
+                engine.zero_grad()
+                engine.run_iteration(batches)
+
+        return _run
+
+    serial_s = _time_calls(run(serial), repeats) / iterations_per_repeat
+    overlapped_s = _time_calls(run(overlapped), repeats) / iterations_per_repeat
+
+    # Same data, same seed, compression off: the two DP paths must leave
+    # bit-identical gradients behind.
+    for serial_param, overlapped_param in zip(serial.parameters(), overlapped.parameters()):
+        assert np.array_equal(serial_param.grad, overlapped_param.grad), serial_param.name
+
+    return {
+        "serial_ms": serial_s * 1e3,
+        "overlapped_ms": overlapped_s * 1e3,
+        "speedup": serial_s / overlapped_s,
+        "layout": "PP2 x DP2",
+    }
+
+
+def bench_codec_roundtrip(repeats: int = 5, rows: int = 256, cols: int = 512) -> dict:
+    """Compress + decompress throughput of the DP gradient codecs."""
+    rng = np.random.default_rng(2)
+    gradient = rng.standard_normal((rows, cols))
+    raw_mb = gradient.nbytes / 1e6
+    codecs = {
+        "powersgd": PowerSGDCompressor(rank=4, seed=0),
+        "qsgd": QSGDCompressor(bits=4, seed=0),
+        "topk": TopKCompressor(fraction=0.01),
+    }
+    results = {}
+    for name, codec in codecs.items():
+        def roundtrip():
+            payload = codec.compress(gradient, key="bench")
+            codec.decompress(payload)
+
+        seconds = _time_calls(roundtrip, repeats)
+        results[name] = {
+            "roundtrip_ms": seconds * 1e3,
+            "mb_per_s": raw_mb / seconds,
+        }
+    results["matrix"] = f"{rows}x{cols} float64"
+    return results
+
+
+def run_all(
+    optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
+) -> dict:
+    """Run every microbenchmark and return the BENCH_core.json payload."""
+    return {
+        "benchmark": "BENCH_core",
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "optimizer_step": bench_optimizer_step(repeats=optimizer_repeats),
+        "engine_iteration": bench_engine_iteration(repeats=engine_repeats),
+        "codec_roundtrip": bench_codec_roundtrip(repeats=codec_repeats),
+    }
+
+
+def write_results(results: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def main() -> int:
+    results = run_all()
+    path = write_results(results)
+    optimizer = results["optimizer_step"]
+    iteration = results["engine_iteration"]
+    print(
+        f"optimizer step: {optimizer['per_parameter_ms']:.2f} ms per-parameter -> "
+        f"{optimizer['fused_ms']:.2f} ms fused ({optimizer['speedup']:.1f}x, "
+        f"{optimizer['num_parameters']} parameters)"
+    )
+    print(
+        f"engine iteration: {iteration['serial_ms']:.1f} ms serial -> "
+        f"{iteration['overlapped_ms']:.1f} ms overlapped ({iteration['speedup']:.2f}x)"
+    )
+    for codec in ("powersgd", "qsgd", "topk"):
+        entry = results["codec_roundtrip"][codec]
+        print(f"codec {codec}: {entry['roundtrip_ms']:.2f} ms round-trip ({entry['mb_per_s']:.0f} MB/s)")
+    print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Perf smoke benchmark: runs the BENCH_core harness and asserts its headline claims.
+
+Lives in the ``benchmarks/`` tree so the shared conftest auto-marks it
+``slow``/``benchmark`` and CI runs it in the non-blocking benchmark job, which
+uploads the emitted ``benchmarks/results/BENCH_core.json`` as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_core import RESULTS_PATH, run_all, write_results
+
+
+def test_bench_core_smoke():
+    results = run_all(optimizer_repeats=3, engine_repeats=3, codec_repeats=3)
+    path = write_results(results)
+
+    # Headline claim of the flat-arena core: the fused optimizer step is at least
+    # 2x the per-parameter loop (measured ~4-5x on CI-class CPUs).
+    assert results["optimizer_step"]["speedup"] >= 2.0, results["optimizer_step"]
+
+    # The bucketed, overlap-ordered DP path must never cost more than the serial
+    # epilogue (measured ~1.3-1.4x faster; the bound is loose for CI noise).
+    assert results["engine_iteration"]["speedup"] >= 0.9, results["engine_iteration"]
+
+    # Codec round-trips complete and report sane throughput.
+    for codec in ("powersgd", "qsgd", "topk"):
+        entry = results["codec_roundtrip"][codec]
+        assert entry["roundtrip_ms"] > 0.0
+        assert entry["mb_per_s"] > 0.0
+
+    # The artifact is valid JSON on disk where CI picks it up.
+    assert path == RESULTS_PATH
+    reloaded = json.loads(path.read_text(encoding="utf-8"))
+    assert reloaded["benchmark"] == "BENCH_core"

@@ -149,10 +149,38 @@ def command_train(arguments: argparse.Namespace) -> int:
     config = config.with_(cb_rank=min(config.cb_rank, 2), dp_rank=min(config.dp_rank, 2))
     if arguments.iterations <= 0:
         raise SystemExit("--iterations must be positive")
+
+    # DP-boundary overrides: start from the configuration's implied DP compression
+    # block (PowerSGD when SC is on, exact otherwise) and override exactly the
+    # knobs the user passed — each flag works with or without --dp-codec.
+    engine_config = config.engine_config(arguments.tensor_parallel)
+    overrides: dict = {}
+    if arguments.dp_codec is not None:
+        overrides["dp_codec"] = arguments.dp_codec
+        if arguments.dp_rank is None and arguments.dp_codec == "powersgd":
+            # Proxy-scale convention: rescale the paper rank so compression is lossy.
+            overrides["dp_rank"] = min(engine_config.dp_rank, 2)
+    if arguments.dp_rank is not None:
+        overrides["dp_rank"] = arguments.dp_rank
+    if arguments.dp_qsgd_bits is not None:
+        overrides["dp_qsgd_bits"] = arguments.dp_qsgd_bits
+    if arguments.dp_topk_fraction is not None:
+        overrides["dp_topk_fraction"] = arguments.dp_topk_fraction
+    if arguments.dp_stage_fraction is not None:
+        overrides["dp_stage_fraction"] = arguments.dp_stage_fraction
+    if arguments.dp_min_elements is not None:
+        overrides["min_compression_elements"] = arguments.dp_min_elements
+    engine_config = engine_config.with_(
+        dp_overlap=not arguments.serial_dp,
+        dp_bucket_bytes=arguments.dp_bucket_kb * 1024,
+        **overrides,
+    )
     try:
         sample = measure_engine_traffic(
-            arguments.config,
+            arguments.config if not overrides
+            else f"{arguments.config}/{engine_config.describe()}",
             config,
+            engine_config=engine_config,
             num_stages=arguments.stages,
             data_parallel_degree=arguments.data_parallel,
             tensor_parallel_degree=arguments.tensor_parallel,
@@ -172,6 +200,13 @@ def command_train(arguments: argparse.Namespace) -> int:
     )
     if boundary:
         print(f"Backward pipeline-boundary traffic: {boundary}")
+    if sample.data_parallel_wire_bytes > 0:
+        mode = "serial epilogue" if arguments.serial_dp else "bucketed, cool-down overlapped"
+        print(
+            f"DP all-reduce ({mode}): {sample.dp_overlapped_fraction:.0%} of "
+            f"{sample.data_parallel_wire_bytes / 1024:.1f} KB issued inside the "
+            f"pipeline cool-down (exposed: {sample.dp_exposed_wire_bytes / 1024:.1f} KB)"
+        )
     print(f"Error-feedback residual memory: {sample.residual_memory_bytes} bytes")
     return 0
 
@@ -256,6 +291,30 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--data-parallel", type=int, default=2, help="DP replicas")
     train.add_argument("--tensor-parallel", type=int, default=1, help="TP shards")
     train.add_argument("--iterations", type=int, default=4)
+    from repro.core.config import ENGINE_DP_CODECS
+
+    train.add_argument(
+        "--dp-codec",
+        choices=ENGINE_DP_CODECS,
+        default=None,
+        help="override the DP all-reduce codec (default: the one --config implies)",
+    )
+    train.add_argument("--dp-rank", type=int, default=None,
+                       help="PowerSGD rank for --dp-codec powersgd (proxy-scaled default: 2)")
+    train.add_argument("--dp-qsgd-bits", type=int, default=None,
+                       help="quantisation bits for --dp-codec qsgd (default: 4)")
+    train.add_argument("--dp-topk-fraction", type=float, default=None,
+                       help="kept fraction for --dp-codec topk (default: 0.01)")
+    train.add_argument("--dp-stage-fraction", type=float, default=None,
+                       help="fraction of stages (earliest first) the codec applies to "
+                            "(default: the one --config implies)")
+    train.add_argument("--dp-min-elements", type=int, default=None,
+                       help="parameters smaller than this stay uncompressed (default: 1024)")
+    train.add_argument("--dp-bucket-kb", type=int, default=64,
+                       help="target gradient-bucket size (KiB of wire payload)")
+    train.add_argument("--serial-dp", action="store_true",
+                       help="serial per-parameter DP epilogue instead of the "
+                            "bucketed all-reduce overlapped with the cool-down")
     train.set_defaults(handler=command_train)
 
     breakdown = subparsers.add_parser("breakdown", help="CPI-stack execution-time breakdown")

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.simulator.executor import CompressionPlan
+from repro.simulator.executor import DP_CODECS, CompressionPlan
 
-#: Codecs the engine-level data-parallel all-reduce understands.
-ENGINE_DP_CODECS = ("none", "powersgd", "qsgd", "topk")
+#: Codecs the engine-level data-parallel all-reduce understands — the same
+#: vocabulary the simulator's :class:`~repro.simulator.executor.CompressionPlan`
+#: carries, so simulated and engine-measured traffic describe compression alike.
+ENGINE_DP_CODECS = DP_CODECS
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,14 @@ class EngineCompressionConfig:
         Parameters smaller than this stay uncompressed even on selected stages.
     tensor_parallel_degree:
         Tensor-parallel shards per stage (1 disables TP traffic accounting).
+    dp_overlap:
+        Issue the DP all-reduces bucket-by-bucket in backward-completion order
+        (last stage first), modelling the paper's overlap of DP traffic with the
+        pipeline cool-down.  ``False`` selects the serial per-parameter epilogue
+        (bit-for-bit identical weights; only message granularity, issue order,
+        and the overlapped/exposed accounting differ).
+    dp_bucket_bytes:
+        Target wire-payload size of one gradient bucket on the overlapped path.
     """
 
     dp_codec: str = "none"
@@ -59,6 +69,8 @@ class EngineCompressionConfig:
     dp_stage_fraction: float = 1.0
     min_compression_elements: int = 1024
     tensor_parallel_degree: int = 1
+    dp_overlap: bool = True
+    dp_bucket_bytes: int = 1 << 16
 
     def __post_init__(self) -> None:
         if self.dp_codec not in ENGINE_DP_CODECS:
@@ -75,6 +87,8 @@ class EngineCompressionConfig:
             raise ValueError("dp_stage_fraction must be in [0, 1]")
         if self.tensor_parallel_degree <= 0:
             raise ValueError("tensor_parallel_degree must be positive")
+        if self.dp_bucket_bytes <= 0:
+            raise ValueError("dp_bucket_bytes must be positive")
 
     @property
     def compresses_dp(self) -> bool:

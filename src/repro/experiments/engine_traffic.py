@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
 from repro.models.gpt_configs import functional_config
-from repro.optim import Adam
+from repro.optim import FusedAdam
 from repro.parallel.engine import ThreeDParallelEngine
 from repro.utils.tables import Table, format_float
 
@@ -43,6 +43,10 @@ class EngineTrafficSample:
     pipeline_boundary_wire_bytes: dict[int, float] = field(default_factory=dict)
     #: DP payload bytes saved by the codec (0.0 when uncompressed).
     dp_bytes_saved_fraction: float = 0.0
+    #: DP wire bytes issued inside the pipeline cool-down (overlapped) vs after the
+    #: pipeline drained (exposed), summed over the probe's iterations.
+    dp_overlapped_wire_bytes: float = 0.0
+    dp_exposed_wire_bytes: float = 0.0
     #: Error-feedback residual memory held at the end of the probe.
     residual_memory_bytes: int = 0
     final_loss: float = 0.0
@@ -57,6 +61,14 @@ class EngineTrafficSample:
     @property
     def data_parallel_wire_bytes(self) -> float:
         return self.axis_wire_bytes.get("data_parallel", 0.0)
+
+    @property
+    def dp_overlapped_fraction(self) -> float:
+        """Fraction of DP wire bytes hidden inside the pipeline cool-down."""
+        total = self.dp_overlapped_wire_bytes + self.dp_exposed_wire_bytes
+        if total <= 0:
+            return 0.0
+        return self.dp_overlapped_wire_bytes / total
 
 
 def measure_engine_traffic(
@@ -92,11 +104,13 @@ def measure_engine_traffic(
         engine_config=engine_config,
         seed=seed,
     )
-    optimizers = [Adam(e.parameters(), lr=1e-3) for e in engine.pipeline_engines]
+    optimizers = [FusedAdam(arena, lr=1e-3) for arena in engine.arenas]
 
     axis_totals: dict[str, float] = {}
     compressed: dict[str, float] = {}
     boundaries: dict[int, float] = {}
+    dp_overlapped = 0.0
+    dp_exposed = 0.0
     last_loss = 0.0
     for iteration in range(iterations):
         for optimizer in optimizers:
@@ -110,6 +124,8 @@ def measure_engine_traffic(
             compressed[axis] = result.axis_compressed_fraction[axis]
         for boundary, value in result.pipeline_boundary_wire_bytes.items():
             boundaries[boundary] = boundaries.get(boundary, 0.0) + value
+        dp_overlapped += result.dp_overlapped_wire_bytes
+        dp_exposed += result.dp_exposed_wire_bytes
 
     return EngineTrafficSample(
         label=label,
@@ -121,6 +137,8 @@ def measure_engine_traffic(
         axis_compressed_fraction=compressed,
         pipeline_boundary_wire_bytes=boundaries,
         dp_bytes_saved_fraction=engine.dp_reduce.bytes_saved_fraction(),
+        dp_overlapped_wire_bytes=dp_overlapped,
+        dp_exposed_wire_bytes=dp_exposed,
         residual_memory_bytes=engine.residual_memory_bytes(),
         final_loss=last_loss,
     )
@@ -140,6 +158,7 @@ def render_traffic_samples(samples: list[EngineTrafficSample], title: str) -> st
             "TP KB",
             "PP bwd compressed",
             "DP saved",
+            "DP overlapped",
         ],
     )
     for sample in samples:
@@ -154,6 +173,7 @@ def render_traffic_samples(samples: list[EngineTrafficSample], title: str) -> st
                 format_float(sample.axis_wire_bytes.get("tensor_parallel", 0.0) / 1024, 1),
                 f"{sample.axis_compressed_fraction.get('pipeline_backward', 0.0):.0%}",
                 f"{sample.dp_bytes_saved_fraction:.0%}",
+                f"{sample.dp_overlapped_fraction:.0%}",
             ]
         )
     return table.render()

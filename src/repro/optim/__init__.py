@@ -2,6 +2,7 @@
 
 from repro.optim.sgd import SGD
 from repro.optim.adam import Adam, AdamW
+from repro.optim.fused_adam import FusedAdam
 from repro.optim.lr_scheduler import (
     ConstantSchedule,
     CosineWithWarmup,
@@ -13,6 +14,7 @@ __all__ = [
     "SGD",
     "Adam",
     "AdamW",
+    "FusedAdam",
     "LRSchedule",
     "ConstantSchedule",
     "CosineWithWarmup",

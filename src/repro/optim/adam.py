@@ -3,6 +3,11 @@
 The paper pretrains GPT with Adam (via Megatron-LM); the functional experiments here
 use the same optimiser family so that the interaction between compression error and
 the adaptive moments is exercised.
+
+The per-parameter update runs entirely in-place over two reusable scratch buffers
+(no fresh temporaries per parameter per step); the arena-backed
+:class:`repro.optim.FusedAdam` goes further and fuses the whole model into
+whole-buffer ops.  Both produce bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -39,22 +44,27 @@ class Adam:
         self._step_count = 0
         self._exp_avg = [np.zeros_like(parameter.data) for parameter in self.parameters]
         self._exp_avg_sq = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        scratch_size = max((parameter.size for parameter in self.parameters), default=0)
+        self._scratch = np.empty(scratch_size, dtype=np.float64)
+        self._scratch2 = np.empty(scratch_size, dtype=np.float64)
 
     def zero_grad(self) -> None:
         """Zero every managed parameter gradient."""
         for parameter in self.parameters:
             parameter.zero_grad()
 
-    def _regularised_grad(self, parameter: Parameter) -> np.ndarray:
+    def _regularised_grad(self, parameter: Parameter, out: np.ndarray) -> np.ndarray:
         if self.weight_decay:
-            return parameter.grad + self.weight_decay * parameter.data
+            np.multiply(parameter.data, self.weight_decay, out=out)
+            out += parameter.grad  # grad + wd * data (addition commutes bitwise)
+            return out
         return parameter.grad
 
-    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+    def _apply_decoupled_decay(self, parameter: Parameter, scratch: np.ndarray) -> None:
         """Hook for AdamW-style decoupled decay (no-op for plain Adam)."""
 
     def step(self) -> None:
-        """Apply one Adam update."""
+        """Apply one Adam update (in-place, no per-parameter temporaries)."""
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1**self._step_count
         bias_correction2 = 1.0 - self.beta2**self._step_count
@@ -63,25 +73,35 @@ class Adam:
         ):
             if not parameter.requires_grad:
                 continue
-            grad = self._regularised_grad(parameter)
+            tmp = self._scratch[: parameter.size].reshape(parameter.shape)
+            tmp2 = self._scratch2[: parameter.size].reshape(parameter.shape)
+            grad = self._regularised_grad(parameter, tmp)
             exp_avg *= self.beta1
-            exp_avg += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=tmp2)
+            exp_avg += tmp2
             exp_avg_sq *= self.beta2
-            exp_avg_sq += (1.0 - self.beta2) * grad * grad
+            np.multiply(grad, 1.0 - self.beta2, out=tmp2)
+            tmp2 *= grad
+            exp_avg_sq += tmp2
 
-            corrected_avg = exp_avg / bias_correction1
-            corrected_sq = exp_avg_sq / bias_correction2
-            self._apply_decoupled_decay(parameter)
-            parameter.data -= self.lr * corrected_avg / (np.sqrt(corrected_sq) + self.eps)
+            np.divide(exp_avg_sq, bias_correction2, out=tmp)  # grad scratch is free now
+            np.sqrt(tmp, out=tmp)
+            tmp += self.eps
+            np.divide(exp_avg, bias_correction1, out=tmp2)
+            tmp2 *= self.lr
+            tmp2 /= tmp
+            self._apply_decoupled_decay(parameter, tmp)
+            parameter.data -= tmp2
 
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
 
-    def _regularised_grad(self, parameter: Parameter) -> np.ndarray:
+    def _regularised_grad(self, parameter: Parameter, out: np.ndarray) -> np.ndarray:
         # Decoupled decay: the gradient is not modified.
         return parameter.grad
 
-    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+    def _apply_decoupled_decay(self, parameter: Parameter, scratch: np.ndarray) -> None:
         if self.weight_decay:
-            parameter.data -= self.lr * self.weight_decay * parameter.data
+            np.multiply(parameter.data, self.lr * self.weight_decay, out=scratch)
+            parameter.data -= scratch

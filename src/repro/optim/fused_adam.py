@@ -1,0 +1,128 @@
+"""Fused Adam over a flat parameter arena.
+
+Where :class:`repro.optim.Adam` loops over every parameter and pays the NumPy
+dispatch overhead thousands of times per step, :class:`FusedAdam` keeps its Adam
+moments in two flat arrays aligned with a
+:class:`repro.parallel.arena.ParameterArena` and applies the whole update as a
+handful of in-place vectorised ops over the trainable prefix of the arena.  Every
+operation is elementwise with the same evaluation order as the per-parameter
+optimiser, so the two produce bit-for-bit identical weights (asserted in
+``tests/test_arena.py``) — only the constant factors change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.arena import ParameterArena
+
+
+class FusedAdam:
+    """Adam/AdamW whose state and update live in flat arena-aligned buffers.
+
+    Parameters
+    ----------
+    arena:
+        The parameter arena to optimise (its trainable prefix is updated).
+    lr, betas, eps, weight_decay:
+        Standard Adam hyper-parameters.  ``weight_decay`` is L2 regularisation
+        added to the gradient (matching :class:`repro.optim.Adam`) unless
+        ``decoupled_weight_decay`` selects the AdamW rule.
+    decoupled_weight_decay:
+        Apply the decay directly to the weights (AdamW, matching
+        :class:`repro.optim.AdamW`) instead of through the gradient.
+    """
+
+    def __init__(
+        self,
+        arena: ParameterArena,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled_weight_decay: bool = False,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.arena = arena
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.decoupled_weight_decay = bool(decoupled_weight_decay)
+        self._step_count = 0
+        size = arena.num_trainable_elements
+        self._exp_avg_flat = np.zeros(size, dtype=arena.data.dtype)
+        self._exp_avg_sq_flat = np.zeros(size, dtype=arena.data.dtype)
+        self._scratch = np.empty(size, dtype=arena.data.dtype)
+        self._scratch2 = np.empty(size, dtype=arena.data.dtype)
+
+    # -- per-parameter compatibility views ------------------------------------------
+
+    @property
+    def parameters(self):
+        """The trainable parameters, in arena (= update) order."""
+        return [p for p in self.arena.parameters if p.requires_grad]
+
+    def _moment_views(self, flat: np.ndarray) -> list[np.ndarray]:
+        views = []
+        for parameter in self.parameters:
+            start, stop = self.arena.span(parameter)
+            views.append(flat[start:stop].reshape(parameter.shape))
+        return views
+
+    @property
+    def _exp_avg(self) -> list[np.ndarray]:
+        """Per-parameter views of the first moment (checkpoint compatibility)."""
+        return self._moment_views(self._exp_avg_flat)
+
+    @property
+    def _exp_avg_sq(self) -> list[np.ndarray]:
+        """Per-parameter views of the second moment (checkpoint compatibility)."""
+        return self._moment_views(self._exp_avg_sq_flat)
+
+    # -- optimisation ----------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Zero every gradient with one buffer-wide write."""
+        self.arena.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update to the whole trainable prefix in-place."""
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        data = self.arena.trainable_data
+        grad = self.arena.trainable_grad
+        exp_avg = self._exp_avg_flat
+        exp_avg_sq = self._exp_avg_sq_flat
+        tmp = self._scratch
+        tmp2 = self._scratch2
+
+        if self.weight_decay and not self.decoupled_weight_decay:
+            np.multiply(data, self.weight_decay, out=tmp)
+            tmp += grad  # grad + wd * data (addition commutes bitwise)
+            grad = tmp
+
+        exp_avg *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=tmp2)
+        exp_avg += tmp2
+        exp_avg_sq *= self.beta2
+        np.multiply(grad, 1.0 - self.beta2, out=tmp2)
+        tmp2 *= grad
+        exp_avg_sq += tmp2
+
+        np.divide(exp_avg_sq, bias_correction2, out=tmp)  # grad scratch is free now
+        np.sqrt(tmp, out=tmp)
+        tmp += self.eps
+        np.divide(exp_avg, bias_correction1, out=tmp2)
+        tmp2 *= self.lr
+        tmp2 /= tmp
+        if self.weight_decay and self.decoupled_weight_decay:
+            np.multiply(data, self.lr * self.weight_decay, out=tmp)
+            data -= tmp
+        data -= tmp2

@@ -1,0 +1,175 @@
+"""Flat-arena parameter storage and size-targeted gradient buckets.
+
+The functional engines previously kept every :class:`~repro.tensor.parameter.Parameter`
+in its own pair of NumPy arrays, so whole-model operations (``zero_grad``, the Adam
+update, the data-parallel all-reduce) degenerated into thousands of small-array
+calls whose Python/ufunc dispatch overhead dominated the actual arithmetic.  A
+:class:`ParameterArena` adopts a replica's parameters into two contiguous buffers —
+one for weights, one for gradients — and rebinds each parameter's ``data``/``grad``
+to *views* into those buffers.  Every existing in-place access keeps working, while
+whole-model operations become a handful of vectorised ops over one flat array
+(:class:`repro.optim.FusedAdam` builds its Adam moments the same way).
+
+On top of the arena, :func:`build_gradient_buckets` splits the data-parallel
+boundary into size-targeted buckets of *arena-contiguous* parameters, the unit at
+which the engine issues its (optionally overlapped) DP all-reduces — the same
+flat-bucket strategy PyTorch DDP and PowerSGD-style bucketed error-feedback
+all-reduce use, applied here to model the paper's overlap of DP traffic with the
+pipeline cool-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.parallel.collectives import WIRE_BYTES_PER_ELEMENT
+from repro.tensor.parameter import Parameter
+
+
+class ParameterArena:
+    """Contiguous weight/gradient storage for a set of parameters.
+
+    Parameters are adopted in the given order, except that trainable parameters are
+    packed first so the trainable region is one contiguous prefix (``trainable_data``
+    / ``trainable_grad``) that a fused optimiser can update in whole-buffer ops.
+    Adoption preserves current values bit-for-bit and rebinds ``parameter.data`` and
+    ``parameter.grad`` to views into the arena; all in-place accesses (``grad[...] =``,
+    ``data -= ...``) therefore read and write arena memory from then on.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], dtype=np.float64) -> None:
+        given = list(parameters)
+        if len({id(parameter) for parameter in given}) != len(given):
+            raise ValueError("cannot place the same parameter in an arena twice")
+        ordered = [p for p in given if p.requires_grad] + [
+            p for p in given if not p.requires_grad
+        ]
+        self.parameters: list[Parameter] = ordered
+        self.num_trainable_elements = sum(p.size for p in ordered if p.requires_grad)
+        total = sum(p.size for p in ordered)
+        self.data = np.empty(total, dtype=dtype)
+        self.grad = np.zeros(total, dtype=dtype)
+        self._spans: dict[int, tuple[int, int]] = {}
+        offset = 0
+        for parameter in ordered:
+            stop = offset + parameter.size
+            data_view = self.data[offset:stop].reshape(parameter.shape)
+            data_view[...] = parameter.data
+            parameter.data = data_view
+            grad_view = self.grad[offset:stop].reshape(parameter.shape)
+            grad_view[...] = parameter.grad
+            parameter.grad = grad_view
+            self._spans[id(parameter)] = (offset, stop)
+            offset = stop
+
+    @property
+    def num_elements(self) -> int:
+        """Total scalar elements stored in the arena."""
+        return int(self.data.size)
+
+    @property
+    def trainable_data(self) -> np.ndarray:
+        """Flat view of every trainable parameter's weights."""
+        return self.data[: self.num_trainable_elements]
+
+    @property
+    def trainable_grad(self) -> np.ndarray:
+        """Flat view of every trainable parameter's gradients."""
+        return self.grad[: self.num_trainable_elements]
+
+    def span(self, parameter: Parameter) -> tuple[int, int]:
+        """``(start, stop)`` element offsets of ``parameter`` within the arena."""
+        try:
+            return self._spans[id(parameter)]
+        except KeyError:
+            raise KeyError(
+                f"parameter {parameter.name!r} is not stored in this arena"
+            ) from None
+
+    def zero_grad(self) -> None:
+        """Zero every gradient in one buffer-wide write."""
+        self.grad[...] = 0.0
+
+
+@dataclass(frozen=True)
+class GradientBucket:
+    """One contiguous arena span of parameters all-reduced as a single flat message."""
+
+    stage_index: int
+    index: int
+    start: int
+    stop: int
+    parameter_names: tuple[str, ...]
+
+    @property
+    def num_elements(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def wire_bytes(self) -> int:
+        """Payload bytes of one replica's bucket on the wire (fp16 convention)."""
+        return self.num_elements * WIRE_BYTES_PER_ELEMENT
+
+
+def build_gradient_buckets(
+    arena: ParameterArena,
+    stage_parameters: Sequence[Sequence[Parameter]],
+    bucket_bytes: int,
+    skip: Callable[[int, Parameter], bool] | None = None,
+) -> list[GradientBucket]:
+    """Split the DP-synchronised parameters into size-targeted contiguous buckets.
+
+    ``stage_parameters[s]`` lists stage ``s``'s parameters in arena order.  A bucket
+    never crosses a stage boundary (stages finish backward at different times, and
+    the bucket is the unit issued at that moment), never contains a skipped
+    parameter (frozen, embedding-synchronised, or codec-routed ones), and is closed
+    once adding the next parameter would exceed ``bucket_bytes`` of wire payload —
+    except that a single oversized parameter still forms its own bucket.  Bucket
+    spans are arena-contiguous so each replica's bucket gradient is one zero-copy
+    flat view.
+    """
+    if bucket_bytes <= 0:
+        raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+    buckets: list[GradientBucket] = []
+    for stage_index, parameters in enumerate(stage_parameters):
+        run: list[Parameter] = []
+        run_start = run_stop = 0
+        stage_bucket_count = 0
+
+        def close_run() -> None:
+            nonlocal run, run_start, run_stop, stage_bucket_count
+            if run:
+                buckets.append(
+                    GradientBucket(
+                        stage_index=stage_index,
+                        index=stage_bucket_count,
+                        start=run_start,
+                        stop=run_stop,
+                        parameter_names=tuple(p.name for p in run),
+                    )
+                )
+                stage_bucket_count += 1
+            run = []
+
+        for parameter in parameters:
+            if not parameter.requires_grad or (
+                skip is not None and skip(stage_index, parameter)
+            ):
+                close_run()
+                continue
+            start, stop = arena.span(parameter)
+            contiguous = bool(run) and start == run_stop
+            would_overflow = (
+                bool(run)
+                and (stop - run_start) * WIRE_BYTES_PER_ELEMENT > bucket_bytes
+            )
+            if not run or not contiguous or would_overflow:
+                close_run()
+                run_start = start
+            run.append(parameter)
+            run_stop = stop
+        close_run()
+    return buckets

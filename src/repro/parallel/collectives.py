@@ -19,6 +19,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+#: Wire bytes per element for uncompressed activations/gradients (fp16 convention).
+#: The single source of truth — the pipeline channel, the arena's bucket sizing,
+#: and the engine's DP accounting all derive from this constant.
+WIRE_BYTES_PER_ELEMENT = 2
+
 
 @dataclass
 class TrafficRecord:
@@ -31,6 +36,9 @@ class TrafficRecord:
     ranks: tuple[int, ...]
     compressed: bool = False
     description: str = ""
+    #: Whether the operation was issued inside a compute window that hides it (the
+    #: engine marks DP all-reduces fired during the pipeline cool-down this way).
+    overlapped: bool = False
 
 
 @dataclass
@@ -60,6 +68,18 @@ class CommunicationLog:
             for record in self.records
             if category is None or record.category == category
         )
+
+    def overlapped_wire_bytes(self, category: str | None = None) -> float:
+        """Wire bytes of records flagged as overlapped with compute."""
+        return sum(
+            record.wire_bytes
+            for record in self.records
+            if record.overlapped and (category is None or record.category == category)
+        )
+
+    def exposed_wire_bytes(self, category: str | None = None) -> float:
+        """Wire bytes of records *not* hidden under compute."""
+        return self.total_wire_bytes(category) - self.overlapped_wire_bytes(category)
 
     def count(self, category: str | None = None, operation: str | None = None) -> int:
         """Number of records matching the filters."""
@@ -140,6 +160,7 @@ class SimulatedProcessGroup:
         log: CommunicationLog,
         category: str,
         spans_nodes: bool = True,
+        overlapped: bool = False,
     ) -> None:
         if len(ranks) == 0:
             raise ValueError("a process group needs at least one rank")
@@ -147,6 +168,9 @@ class SimulatedProcessGroup:
         self.log = log
         self.category = category
         self.spans_nodes = bool(spans_nodes)
+        #: Stamped on every record this group logs: the collective was issued
+        #: inside a compute window that hides it (e.g. the pipeline cool-down).
+        self.overlapped = bool(overlapped)
 
     @property
     def size(self) -> int:
@@ -188,6 +212,7 @@ class SimulatedProcessGroup:
                 ranks=self.ranks,
                 compressed=compressed,
                 description=description,
+                overlapped=self.overlapped,
             )
         )
         return [reduced.copy() for _ in range(self.size)]
@@ -217,6 +242,7 @@ class SimulatedProcessGroup:
                 ranks=self.ranks,
                 compressed=compressed,
                 description=description,
+                overlapped=self.overlapped,
             )
         )
         return [list(gathered) for _ in range(self.size)]
@@ -246,6 +272,7 @@ class SimulatedProcessGroup:
                 ranks=self.ranks,
                 compressed=False,
                 description=description,
+                overlapped=self.overlapped,
             )
         )
         return [shard.copy() for shard in shards]
@@ -272,6 +299,7 @@ class SimulatedProcessGroup:
                 ranks=self.ranks,
                 compressed=False,
                 description=description,
+                overlapped=self.overlapped,
             )
         )
         return [tensor.copy() for _ in range(self.size)]
@@ -303,6 +331,7 @@ class SimulatedProcessGroup:
                 ranks=(src_rank, dst_rank),
                 compressed=compressed,
                 description=description,
+                overlapped=self.overlapped,
             )
         )
         return tensor.copy()

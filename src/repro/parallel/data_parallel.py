@@ -16,6 +16,7 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from repro.nn.gpt_stage import GPTStage
+from repro.parallel.arena import GradientBucket, ParameterArena, build_gradient_buckets
 from repro.parallel.collectives import CommunicationLog, SimulatedProcessGroup
 from repro.tensor.parameter import Parameter
 
@@ -174,3 +175,149 @@ class DataParallelGradientSync:
                     diff = np.max(np.abs(parameter_lists[d][position].grad - reference))
                     worst = max(worst, float(diff))
         return worst
+
+
+class BucketedCompressionHook(Protocol):
+    """What :class:`BucketedDataParallelSync` needs from the codec/accounting hook."""
+
+    def codec_applies(self, stage_index: int, gradient: np.ndarray) -> bool:
+        """Whether this stage/parameter pair is routed through the codec."""
+        ...
+
+    def reduce(
+        self,
+        key: str,
+        stage_index: int,
+        gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> list[np.ndarray]:
+        """Codec-compressed per-parameter all-reduce (with traffic accounting)."""
+        ...
+
+    def reduce_bucket(
+        self,
+        bucket: GradientBucket,
+        gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> list[np.ndarray]:
+        """Exact flat all-reduce of one bucket (with traffic accounting)."""
+        ...
+
+
+class BucketedDataParallelSync:
+    """Bucketed DP gradient sync issued in backward-completion order.
+
+    In a 1F1B pipeline the *last* stage drains its backward work first and the
+    first stage last, so the DP all-reduces of later stages can be fired while
+    earlier stages are still computing — the paper's overlap of DP traffic with
+    the pipeline cool-down.  This synchroniser walks the stages in that completion
+    order (stage ``S-1`` down to ``0``); every stage's gradients leave either as
+    size-targeted flat *buckets* carved out of the replicas'
+    :class:`~repro.parallel.arena.ParameterArena` (one zero-copy all-reduce per
+    bucket instead of one per parameter) or — for the parameters selective stage
+    compression selects — through the per-parameter codec hook, exactly as on the
+    serial path.  All traffic fired before stage 0's turn is flagged
+    ``overlapped`` in the :class:`~repro.parallel.collectives.CommunicationLog`;
+    stage 0's own all-reduce completes after the pipeline has fully drained and is
+    therefore *exposed* (which is precisely why selective stage compression
+    targets the earliest stages).
+
+    The numerical result is bit-for-bit identical to
+    :class:`DataParallelGradientSync` with the same hook: bucketing only changes
+    message granularity, and the elementwise mean is layout-independent.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Sequence[GPTStage]],
+        arenas: Sequence[ParameterArena],
+        hook: BucketedCompressionHook,
+        log: CommunicationLog | None = None,
+        bucket_bytes: int = 1 << 16,
+        exclude_embedding: bool = True,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one data-parallel replica")
+        if len(arenas) != len(replicas):
+            raise ValueError("need exactly one parameter arena per replica")
+        self.replicas = [list(replica) for replica in replicas]
+        self.arenas = list(arenas)
+        self.hook = hook
+        self.log = log if log is not None else CommunicationLog()
+        self.exclude_embedding = bool(exclude_embedding)
+
+        def skip(stage_index: int, parameter: Parameter) -> bool:
+            if self.exclude_embedding and is_embedding_parameter(parameter):
+                return True
+            return hook.codec_applies(stage_index, parameter.grad)
+
+        stage_parameters = [list(stage.parameters()) for stage in self.replicas[0]]
+        self.buckets: list[GradientBucket] = build_gradient_buckets(
+            self.arenas[0], stage_parameters, bucket_bytes, skip=skip
+        )
+        self._buckets_by_stage: dict[int, list[GradientBucket]] = {}
+        for bucket in self.buckets:
+            self._buckets_by_stage.setdefault(bucket.stage_index, []).append(bucket)
+        # Per-stage codec-routed parameters, resolved to the per-replica Parameter
+        # objects once here (the stage structure is fixed) so the per-iteration
+        # hot path never re-walks the module trees.  Entries are
+        # ``(position, [replica0_param, replica1_param, ...])``; the position keys
+        # the codec's error-feedback state identically to the serial path.
+        self.codec_parameters: dict[int, list[tuple[int, list[Parameter]]]] = {}
+        for stage_index, parameters in enumerate(stage_parameters):
+            positions = [
+                position
+                for position, parameter in enumerate(parameters)
+                if parameter.requires_grad
+                and not (self.exclude_embedding and is_embedding_parameter(parameter))
+                and hook.codec_applies(stage_index, parameter.grad)
+            ]
+            if not positions:
+                continue
+            replica_lists = [list(replica[stage_index].parameters()) for replica in self.replicas]
+            self.codec_parameters[stage_index] = [
+                (position, [replica_list[position] for replica_list in replica_lists])
+                for position in positions
+            ]
+
+    @property
+    def data_parallel_degree(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.replicas[0])
+
+    def _group(self, overlapped: bool) -> SimulatedProcessGroup:
+        return SimulatedProcessGroup(
+            list(range(self.data_parallel_degree)),
+            self.log,
+            category="data_parallel",
+            spans_nodes=True,
+            overlapped=overlapped,
+        )
+
+    def synchronize(self) -> None:
+        """Fire every stage's bucket/codec all-reduces in completion order."""
+        if self.data_parallel_degree == 1:
+            return
+        for stage_index in range(self.num_stages - 1, -1, -1):
+            # Everything issued before the first stage's backward has drained can
+            # hide inside the cool-down; stage 0's own traffic cannot.
+            overlapped = stage_index > 0
+            group = self._group(overlapped)
+            for bucket in self._buckets_by_stage.get(stage_index, []):
+                flats = [arena.grad[bucket.start : bucket.stop] for arena in self.arenas]
+                synced = self.hook.reduce_bucket(bucket, flats, group)
+                for flat, new_grad in zip(flats, synced):
+                    flat[...] = new_grad
+            for position, parameters in self.codec_parameters.get(stage_index, []):
+                reference = parameters[0]
+                synced = self.hook.reduce(
+                    reference.name or f"stage{stage_index}.param{position}",
+                    stage_index,
+                    [parameter.grad for parameter in parameters],
+                    group,
+                )
+                for parameter, new_grad in zip(parameters, synced):
+                    parameter.grad[...] = new_grad

@@ -18,6 +18,17 @@ exercised in isolation into **one** training iteration:
   :mod:`repro.parallel.tensor_parallel`), while the intra-node all-reduce traffic is
   accounted through :mod:`repro.parallel.collectives`.
 
+Execution core (PR 2): every replica's parameters and gradients live in one flat
+:class:`~repro.parallel.arena.ParameterArena` (contiguous buffers with per-parameter
+views), so ``zero_grad`` is a single write and :class:`repro.optim.FusedAdam` updates
+the whole replica in a handful of vectorised ops.  By default the DP boundary is
+synchronised by a :class:`~repro.parallel.data_parallel.BucketedDataParallelSync`:
+size-targeted flat gradient buckets fired in backward-completion order (last stage
+first), modelling the paper's overlap of DP traffic with the pipeline cool-down —
+with per-bucket overlapped/exposed accounting.  ``dp_overlap=False`` selects the
+serial per-parameter epilogue, which is bit-for-bit weight-parity with the
+overlapped path.
+
 Everything is routed through one :class:`~repro.parallel.collectives.CommunicationLog`
 so per-axis and per-boundary traffic can be reported exactly — the numbers behind
 the breakdown/throughput figures.
@@ -36,12 +47,16 @@ import numpy as np
 from repro.compression import ErrorFeedback, QSGDCompressor, TopKCompressor
 from repro.nn.gpt_stage import build_gpt_stages
 from repro.nn.transformer import GPTModelConfig
+from repro.parallel.arena import GradientBucket, ParameterArena
 from repro.parallel.collectives import (
     CommunicationLog,
     SimulatedProcessGroup,
     record_ring_all_reduce,
 )
-from repro.parallel.data_parallel import DataParallelGradientSync
+from repro.parallel.data_parallel import (
+    BucketedDataParallelSync,
+    DataParallelGradientSync,
+)
 from repro.parallel.pipeline_engine import (
     WIRE_BYTES_PER_ELEMENT,
     InterStageChannel,
@@ -68,12 +83,34 @@ class StageTraffic:
     compressed_all_reduces: int = 0
     original_bytes: int = 0
     payload_bytes: int = 0
+    #: How many of ``all_reduces`` were flat bucket messages (overlapped path).
+    bucket_all_reduces: int = 0
 
     @property
     def bytes_saved_fraction(self) -> float:
         if self.original_bytes == 0:
             return 0.0
         return 1.0 - self.payload_bytes / self.original_bytes
+
+    def copy(self) -> "StageTraffic":
+        return StageTraffic(
+            self.all_reduces,
+            self.compressed_all_reduces,
+            self.original_bytes,
+            self.payload_bytes,
+            self.bucket_all_reduces,
+        )
+
+    def delta_since(self, before: "StageTraffic") -> "StageTraffic":
+        """Traffic accumulated since the ``before`` snapshot."""
+        return StageTraffic(
+            all_reduces=self.all_reduces - before.all_reduces,
+            compressed_all_reduces=self.compressed_all_reduces
+            - before.compressed_all_reduces,
+            original_bytes=self.original_bytes - before.original_bytes,
+            payload_bytes=self.payload_bytes - before.payload_bytes,
+            bucket_all_reduces=self.bucket_all_reduces - before.bucket_all_reduces,
+        )
 
 
 class CompressedGradientAllReduce:
@@ -149,12 +186,21 @@ class CompressedGradientAllReduce:
         del stage_index, parameter
         return True
 
-    def _codec_applies(self, stage_index: int, gradient: np.ndarray) -> bool:
+    def codec_applies(self, stage_index: int, gradient: np.ndarray) -> bool:
+        """Whether this stage/parameter pair is routed through the codec.
+
+        The bucketed sync uses this to keep codec-compressed parameters out of the
+        flat buckets (the codecs need the 2-D matrix structure and per-parameter
+        error-feedback keys).
+        """
         if stage_index not in self.compressed_stages:
             return False
         if gradient.ndim < 2:
             return False
         return gradient.size >= self.config.min_compression_elements
+
+    # Backwards-compatible internal alias.
+    _codec_applies = codec_applies
 
     def reduce(
         self,
@@ -171,7 +217,7 @@ class CompressedGradientAllReduce:
         traffic.all_reduces += 1
         traffic.original_bytes += original_bytes * num_replicas
 
-        if not self._codec_applies(stage_index, reference):
+        if not self.codec_applies(stage_index, reference):
             traffic.payload_bytes += original_bytes * num_replicas
             return group.all_reduce(gradients, op="mean", description=key)
 
@@ -200,6 +246,34 @@ class CompressedGradientAllReduce:
         synced = np.mean(np.stack(gathered[0]), axis=0)
         traffic.payload_bytes += payload_total
         return [synced.copy() for _ in range(num_replicas)]
+
+    def reduce_bucket(
+        self,
+        bucket: GradientBucket,
+        gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> list[np.ndarray]:
+        """Exact mean all-reduce of one flat gradient bucket (with accounting).
+
+        Buckets carry only uncompressed parameters (the bucketed sync routes
+        codec-selected ones through :meth:`reduce`), so the payload always equals
+        the original volume; the win is message granularity, not bytes.
+        """
+        num_replicas = len(gradients)
+        original_bytes = int(gradients[0].size * WIRE_BYTES_PER_ELEMENT)
+        traffic = self.stage_traffic.setdefault(bucket.stage_index, StageTraffic())
+        traffic.all_reduces += 1
+        traffic.bucket_all_reduces += 1
+        traffic.original_bytes += original_bytes * num_replicas
+        traffic.payload_bytes += original_bytes * num_replicas
+        return group.all_reduce(
+            gradients,
+            op="mean",
+            description=(
+                f"stage{bucket.stage_index} bucket{bucket.index} "
+                f"({len(bucket.parameter_names)} params)"
+            ),
+        )
 
     # -- reporting -------------------------------------------------------------------
 
@@ -262,10 +336,22 @@ class EngineIterationResult:
     pipeline_boundary_wire_bytes: dict[int, float] = field(default_factory=dict)
     #: Per-stage DP traffic of *this iteration* (stage → StageTraffic delta).
     dp_stage_traffic: dict[int, StageTraffic] = field(default_factory=dict)
+    #: Split of the DP axis by whether the all-reduce was issued inside the
+    #: pipeline cool-down (overlapped) or after the pipeline drained (exposed).
+    dp_exposed_wire_bytes: float = 0.0
+    dp_overlapped_wire_bytes: float = 0.0
 
     @property
     def total_wire_bytes(self) -> float:
         return sum(self.axis_wire_bytes.values())
+
+    @property
+    def dp_overlapped_fraction(self) -> float:
+        """Fraction of this iteration's DP wire bytes hidden in the cool-down."""
+        total = self.dp_exposed_wire_bytes + self.dp_overlapped_wire_bytes
+        if total <= 0:
+            return 0.0
+        return self.dp_overlapped_wire_bytes / total
 
 
 def _axis_report(records) -> tuple[dict[str, float], dict[str, float], dict[int, float]]:
@@ -372,6 +458,13 @@ class ThreeDParallelEngine:
             self.pipeline_engines.append(PipelineParallelEngine(stages, channel))
             self.cb_hooks.append(cb_hook)
 
+        # Flat-arena storage: every replica's weights and gradients live in two
+        # contiguous buffers (per-parameter views), so zero_grad and the fused
+        # optimiser are whole-buffer ops and DP buckets are zero-copy flat spans.
+        self.arenas: list[ParameterArena] = [
+            ParameterArena(engine.parameters()) for engine in self.pipeline_engines
+        ]
+
         # The codec's random factors are seeded by the *config* seed (the knob
         # OptimusCCConfig documents), independent of the weight-init seed —
         # matching the CB hook, which the factory seeds the same way.
@@ -384,6 +477,16 @@ class ThreeDParallelEngine:
             compression_hook=self.dp_reduce,
             exclude_embedding=True,
         )
+        self.bucketed_sync: BucketedDataParallelSync | None = None
+        if self.engine_config.dp_overlap and self.data_parallel_degree > 1:
+            self.bucketed_sync = BucketedDataParallelSync(
+                self.replicas,
+                self.arenas,
+                hook=self.dp_reduce,
+                log=self.log,
+                bucket_bytes=self.engine_config.dp_bucket_bytes,
+                exclude_embedding=True,
+            )
         self.embedding_sync: EmbeddingSynchronizer = factory.make_embedding_synchronizer(
             self.replicas, self.log
         )
@@ -397,9 +500,9 @@ class ThreeDParallelEngine:
         return self.pipeline_engines[replica].parameters()
 
     def zero_grad(self) -> None:
-        """Zero gradients on every replica."""
-        for engine in self.pipeline_engines:
-            engine.zero_grad()
+        """Zero gradients on every replica (one flat write per arena)."""
+        for arena in self.arenas:
+            arena.zero_grad()
 
     # -- tensor parallelism -----------------------------------------------------------
 
@@ -475,12 +578,7 @@ class ThreeDParallelEngine:
         ]
         record_mark = len(self.log.records)
         dp_traffic_before = {
-            stage: StageTraffic(
-                traffic.all_reduces,
-                traffic.compressed_all_reduces,
-                traffic.original_bytes,
-                traffic.payload_bytes,
-            )
+            stage: traffic.copy()
             for stage, traffic in self.dp_reduce.stage_traffic.items()
         }
 
@@ -494,20 +592,23 @@ class ThreeDParallelEngine:
             )
 
         self._log_tensor_parallel_traffic(shapes)
-        self.dp_sync.synchronize()
+        if self.bucketed_sync is not None:
+            # Overlapped path: bucket all-reduces fired in backward-completion
+            # order (last stage first), hidden under the pipeline cool-down.
+            self.bucketed_sync.synchronize()
+        else:
+            # Serial epilogue: per-parameter all-reduces after the pipeline drains.
+            self.dp_sync.synchronize()
         self.embedding_sync.synchronize()
 
-        wire, fractions, boundaries = _axis_report(self.log.records[record_mark:])
-        dp_stage_traffic = {}
-        for stage, traffic in self.dp_reduce.stage_traffic.items():
-            before = dp_traffic_before.get(stage, StageTraffic())
-            dp_stage_traffic[stage] = StageTraffic(
-                all_reduces=traffic.all_reduces - before.all_reduces,
-                compressed_all_reduces=traffic.compressed_all_reduces
-                - before.compressed_all_reduces,
-                original_bytes=traffic.original_bytes - before.original_bytes,
-                payload_bytes=traffic.payload_bytes - before.payload_bytes,
-            )
+        iteration_records = self.log.records[record_mark:]
+        wire, fractions, boundaries = _axis_report(iteration_records)
+        iteration_log = CommunicationLog(records=list(iteration_records))
+        dp_overlapped = iteration_log.overlapped_wire_bytes("data_parallel")
+        dp_stage_traffic = {
+            stage: traffic.delta_since(dp_traffic_before.get(stage, StageTraffic()))
+            for stage, traffic in self.dp_reduce.stage_traffic.items()
+        }
         return EngineIterationResult(
             mean_loss=float(np.mean(losses)),
             num_micro_batches=len(normalised[0]),
@@ -515,6 +616,8 @@ class ThreeDParallelEngine:
             axis_compressed_fraction=fractions,
             pipeline_boundary_wire_bytes=boundaries,
             dp_stage_traffic=dp_stage_traffic,
+            dp_exposed_wire_bytes=wire.get("data_parallel", 0.0) - dp_overlapped,
+            dp_overlapped_wire_bytes=dp_overlapped,
         )
 
     # -- evaluation --------------------------------------------------------------------

@@ -25,7 +25,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn.gpt_stage import GPTStage, StageCache
-from repro.parallel.collectives import CommunicationLog, TrafficRecord
+from repro.parallel.collectives import (
+    WIRE_BYTES_PER_ELEMENT,
+    CommunicationLog,
+    TrafficRecord,
+)
 
 #: Hook applied to every backward inter-stage transfer.
 #:
@@ -40,10 +44,6 @@ BackwardCommHook = Callable[
 ForwardCommHook = Callable[
     [np.ndarray, int, int, int], tuple[np.ndarray, int, bool]
 ]
-
-#: Wire bytes per element for uncompressed activations/gradients (fp16 convention).
-WIRE_BYTES_PER_ELEMENT = 2
-
 
 @dataclass
 class IterationResult:

@@ -251,14 +251,49 @@ class CostModel:
         # NIC; the shards together cover the full stage, hence the full volume.
         return ring_all_reduce_wire_bytes(total_bytes, self.layout.data_parallel)
 
-    def dp_compressed_gradient_bytes(self, stage: int, rank: int) -> float:
-        """Per-node-NIC bytes of the stage's DP all-reduce under PowerSGD rank ``rank``."""
-        elements = 0
+    def dp_compressed_gradient_bytes(
+        self,
+        stage: int,
+        rank: int,
+        codec: str = "powersgd",
+        qsgd_bits: int = 4,
+        topk_fraction: float = 0.01,
+    ) -> float:
+        """Per-node-NIC bytes of the stage's DP all-reduce under the given codec.
+
+        The codec vocabulary matches the engine's
+        (:data:`repro.simulator.executor.DP_CODECS`):
+
+        * ``"powersgd"`` — each ``rows x cols`` matrix shrinks to its rank-``r``
+          ``P``/``Q`` factors, ``r (rows + cols)`` elements;
+        * ``"qsgd"`` — every element shrinks from 16 wire bits to ``qsgd_bits``
+          (plus a per-matrix norm, negligible at these sizes);
+        * ``"topk"`` — the kept fraction of elements travels as (value, index)
+          pairs, 16 + 32 bits each;
+        * ``"none"`` — no compression (the exact volume).
+
+        1-D parameters (biases, LayerNorms, the position embedding) pass through
+        uncompressed in every codec, matching the engine's
+        ``min_compression_elements``/2-D-only routing.
+        """
+        matrix_elements = 0.0
         for rows, cols in self.stage_weight_matrices(stage):
-            effective = max(1, min(rank, rows, cols))
-            low_rank = effective * (rows + cols)
-            elements += min(low_rank, rows * cols)
-        elements += self.stage_small_parameters(stage)  # uncompressed pass-through
+            full = rows * cols
+            if codec == "powersgd":
+                effective = max(1, min(rank, rows, cols))
+                matrix_elements += min(effective * (rows + cols), full)
+            elif codec == "qsgd":
+                wire_bits = 8.0 * self.constants.gradient_wire_bytes
+                matrix_elements += full * min(1.0, qsgd_bits / wire_bits)
+            elif codec == "topk":
+                wire_bits = 8.0 * self.constants.gradient_wire_bytes
+                pair_bits = wire_bits + 32.0  # value + int32 index
+                matrix_elements += min(full * topk_fraction * pair_bits / wire_bits, full)
+            elif codec == "none":
+                matrix_elements += full
+            else:
+                raise ValueError(f"unknown dp codec {codec!r}")
+        elements = matrix_elements + self.stage_small_parameters(stage)  # pass-through
         if stage == 0:
             elements += self.job.seq_length * self.model.hidden_size
         total_bytes = elements * self.constants.gradient_wire_bytes * self._nic_contention
@@ -350,15 +385,28 @@ class CostModel:
             rows, cols, rank
         )
 
-    def dp_compression_overhead(self, stage: int, rank: int) -> float:
+    def dp_compression_overhead(self, stage: int, rank: int, codec: str = "powersgd") -> float:
         """Compress + decompress overhead for a stage's DP gradients (per iteration).
 
         Each TP rank compresses its shard of every weight matrix; the shards are
         ``1/tp`` of the full matrices, so we charge the full-matrix cost divided by
-        the TP degree.
+        the TP degree.  PowerSGD pays two GEMMs plus the orthogonalisation; QSGD
+        and top-k are elementwise kernels (a few passes over the gradient), far
+        cheaper per byte but with the same fixed launch overheads.
         """
+        if codec == "none":
+            return 0.0
         total = 0.0
         for rows, cols in self.stage_weight_matrices(stage):
-            total += self.powersgd_compress_time(rows, cols, rank)
-            total += self.powersgd_decompress_time(rows, cols, rank)
+            if codec == "powersgd":
+                total += self.powersgd_compress_time(rows, cols, rank)
+                total += self.powersgd_decompress_time(rows, cols, rank)
+            else:  # qsgd / topk: elementwise quantise/select + scatter back
+                gemm_rate = (
+                    self.cluster.gpu.peak_fp16_flops
+                    * self.constants.compression_gemm_efficiency
+                )
+                passes = 4.0  # norm/threshold scan, encode, decode, accumulate
+                total += 2.0 * self.constants.kernel_fixed_overhead_s
+                total += passes * rows * cols / gemm_rate
         return total / self.layout.tensor_parallel

@@ -25,6 +25,12 @@ from repro.parallel.pipeline_schedule import (
 )
 from repro.simulator.cost_model import CostModel, TrainingJob
 
+#: Data-parallel gradient codecs — one vocabulary shared by the simulator's
+#: :class:`CompressionPlan` and the engine's
+#: :class:`repro.core.config.EngineCompressionConfig`, so simulated and
+#: engine-measured traffic describe compression the same way.
+DP_CODECS = ("none", "powersgd", "qsgd", "topk")
+
 
 @dataclass(frozen=True)
 class ComponentToggles:
@@ -59,6 +65,14 @@ class CompressionPlan:
         stage ("naive DP").
     dp_rank:
         PowerSGD rank for data-parallel gradient compression (paper default: 128).
+    dp_codec:
+        Codec applied to the selected stages' DP gradients — same vocabulary as the
+        engine (:data:`DP_CODECS`): ``"powersgd"`` (paper default), ``"qsgd"``,
+        ``"topk"``, or ``"none"`` (exact all-reduce even on selected stages).
+    dp_qsgd_bits:
+        Quantisation bits when ``dp_codec == "qsgd"``.
+    dp_topk_fraction:
+        Kept fraction when ``dp_codec == "topk"``.
     fuse_embedding:
         Enable fused embedding synchronisation (FE).
     """
@@ -69,6 +83,9 @@ class CompressionPlan:
     compress_forward: bool = False
     dp_compressed_stage_fraction: float = 0.0
     dp_rank: int = 128
+    dp_codec: str = "powersgd"
+    dp_qsgd_bits: int = 4
+    dp_topk_fraction: float = 0.01
     fuse_embedding: bool = False
 
     def __post_init__(self) -> None:
@@ -76,6 +93,12 @@ class CompressionPlan:
             raise ValueError("dp_compressed_stage_fraction must be in [0, 1]")
         if self.backward_rank <= 0 or self.dp_rank <= 0:
             raise ValueError("compression ranks must be positive")
+        if self.dp_codec not in DP_CODECS:
+            raise ValueError(f"dp_codec must be one of {DP_CODECS}, got {self.dp_codec!r}")
+        if not 1 <= self.dp_qsgd_bits <= 8:
+            raise ValueError("dp_qsgd_bits must be in [1, 8]")
+        if not 0.0 < self.dp_topk_fraction <= 1.0:
+            raise ValueError("dp_topk_fraction must be in (0, 1]")
 
     # -- named configurations used across the benchmarks -------------------------
 
@@ -117,8 +140,32 @@ class CompressionPlan:
         """Naive compressed backpropagation on every transfer (no epilogue-only)."""
         return cls(compress_backward=True, backward_rank=rank, backward_epilogue_only=False)
 
+    @classmethod
+    def from_engine_config(cls, engine_config, **overrides) -> "CompressionPlan":
+        """Translate an engine DP-compression block into a simulator plan.
+
+        Maps the DP-boundary fields of
+        :class:`repro.core.config.EngineCompressionConfig` (codec, rank, bits,
+        kept fraction, selected stage fraction) onto the plan so a simulated run
+        describes its DP traffic with the same vocabulary the engine measures it
+        in.  Pipeline-boundary fields (CB, FE) default to off and can be supplied
+        through ``overrides``.
+        """
+        return cls(
+            dp_compressed_stage_fraction=(
+                engine_config.dp_stage_fraction if engine_config.dp_codec != "none" else 0.0
+            ),
+            dp_rank=engine_config.dp_rank,
+            dp_codec=engine_config.dp_codec,
+            dp_qsgd_bits=engine_config.dp_qsgd_bits,
+            dp_topk_fraction=engine_config.dp_topk_fraction,
+            **overrides,
+        )
+
     def compressed_dp_stages(self, num_stages: int) -> set[int]:
         """Stages whose DP traffic is compressed (earliest first, per Fig. 8)."""
+        if self.dp_codec == "none":
+            return set()
         count = int(round(self.dp_compressed_stage_fraction * num_stages))
         count = min(count, num_stages)
         return set(range(count))
@@ -130,11 +177,12 @@ class CompressionPlan:
             parts.append("CB" if self.backward_epilogue_only else "CB(naive)")
         if self.fuse_embedding:
             parts.append("FE")
-        if self.dp_compressed_stage_fraction > 0:
+        if self.dp_compressed_stage_fraction > 0 and self.dp_codec != "none":
+            codec = "" if self.dp_codec == "powersgd" else f"[{self.dp_codec}]"
             if self.dp_compressed_stage_fraction >= 1.0:
-                parts.append("DP(all)")
+                parts.append(f"DP(all){codec}")
             else:
-                parts.append(f"SC({self.dp_compressed_stage_fraction:.0%})")
+                parts.append(f"SC({self.dp_compressed_stage_fraction:.0%}){codec}")
         return "+".join(parts) if parts else "Baseline"
 
 
@@ -154,6 +202,19 @@ class IterationTiming:
     dp_wire_bytes: float
     embedding_wire_bytes: float
     tp_wire_bytes: float = 0.0
+    #: Split of ``dp_wire_bytes`` by whether the stage's all-reduce fits inside the
+    #: pipeline cool-down window (time between the stage's own backward finish and
+    #: the moment the whole pipeline has drained).  Late stages finish backward
+    #: early, so their DP traffic is overlapped; stage 0's is exposed.
+    dp_exposed_wire_bytes: float = 0.0
+    dp_overlapped_wire_bytes: float = 0.0
+
+    @property
+    def dp_overlapped_fraction(self) -> float:
+        """Fraction of DP wire bytes hidden inside the pipeline cool-down."""
+        if self.dp_wire_bytes <= 0:
+            return 0.0
+        return self.dp_overlapped_wire_bytes / self.dp_wire_bytes
 
     def days_for(self, num_iterations: int) -> float:
         """Wall-clock days for ``num_iterations`` iterations at this rate."""
@@ -346,13 +407,22 @@ class PipelineTimingSimulator:
         # ---------------- data-parallel gradient all-reduce -----------------------
         compressed_stages = plan.compressed_dp_stages(num_stages)
         dp_times = []
+        dp_wires = []
         dp_wire_total = 0.0
         stage_finish = []
         for stage in range(num_stages):
             if stage in compressed_stages and self.job.layout.data_parallel > 1:
-                dp_time = self.cost.dp_time(stage, compressed_rank=plan.dp_rank)
-                dp_overhead = self.cost.dp_compression_overhead(stage, plan.dp_rank)
-                dp_wire = self.cost.dp_compressed_gradient_bytes(stage, plan.dp_rank)
+                dp_wire = self.cost.dp_compressed_gradient_bytes(
+                    stage,
+                    plan.dp_rank,
+                    codec=plan.dp_codec,
+                    qsgd_bits=plan.dp_qsgd_bits,
+                    topk_fraction=plan.dp_topk_fraction,
+                )
+                dp_time = self.cost.collective_time(dp_wire)
+                dp_overhead = self.cost.dp_compression_overhead(
+                    stage, plan.dp_rank, codec=plan.dp_codec
+                )
             else:
                 dp_time = self.cost.dp_time(stage)
                 dp_overhead = 0.0
@@ -365,8 +435,26 @@ class PipelineTimingSimulator:
             dp_wire = dp_wire * self.toggles.data_parallel
             compression_overhead_total += dp_overhead
             dp_times.append(dp_time + dp_overhead)
+            dp_wires.append(dp_wire)
             dp_wire_total += dp_wire
             stage_finish.append(stage_backward_finish[stage] + dp_time + dp_overhead)
+
+        # The cool-down window of stage s: the time between its own backward finish
+        # and the pipeline fully draining.  DP traffic fitting in that window is
+        # overlapped (hidden); the remainder — all of stage 0's, since it drains
+        # last — is exposed.  This is the schedule property selective stage
+        # compression exploits by compressing the earliest stages.
+        backward_end = max(stage_backward_finish) if stage_backward_finish else 0.0
+        dp_exposed_wire = 0.0
+        dp_overlapped_wire = 0.0
+        for stage in range(num_stages):
+            window = max(0.0, backward_end - stage_backward_finish[stage])
+            if dp_times[stage] > 0.0:
+                hidden_fraction = min(1.0, window / dp_times[stage])
+            else:
+                hidden_fraction = 0.0
+            dp_overlapped_wire += dp_wires[stage] * hidden_fraction
+            dp_exposed_wire += dp_wires[stage] * (1.0 - hidden_fraction)
 
         # ---------------- embedding synchronisation -------------------------------
         # Baseline (Fig. 4a): each stage's NIC serialises DP all-reduce, then the
@@ -447,6 +535,8 @@ class PipelineTimingSimulator:
             dp_wire_bytes=dp_wire_total,
             embedding_wire_bytes=embedding_wire,
             tp_wire_bytes=tp_wire_total,
+            dp_exposed_wire_bytes=dp_exposed_wire,
+            dp_overlapped_wire_bytes=dp_overlapped_wire,
         )
 
 

@@ -34,7 +34,7 @@ from repro.data.dataloader import LanguageModelingDataLoader
 from repro.data.tasks import ZeroShotTask
 from repro.nn.loss import perplexity_from_loss
 from repro.nn.transformer import GPTModelConfig
-from repro.optim import Adam, LRSchedule
+from repro.optim import FusedAdam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
 from repro.parallel.engine import EngineIterationResult, ThreeDParallelEngine
 from repro.training.metrics import TrainingHistory
@@ -119,9 +119,12 @@ class Pretrainer:
         self.dp_hook = self.engine.dp_reduce.powersgd
         self.embedding_sync = self.engine.embedding_sync
 
+        # One fused optimiser per replica over its flat parameter arena: the Adam
+        # update is a handful of whole-buffer ops instead of per-parameter loops,
+        # bit-for-bit identical to the per-parameter Adam it replaces.
         self.optimizers = [
-            Adam(engine.parameters(), lr=learning_rate, weight_decay=weight_decay)
-            for engine in self.engines
+            FusedAdam(arena, lr=learning_rate, weight_decay=weight_decay)
+            for arena in self.engine.arenas
         ]
         self.history = TrainingHistory()
         self.last_iteration_result: EngineIterationResult | None = None

@@ -104,6 +104,20 @@ class TestCommunicationLog:
         categories = log.by_category()
         assert set(categories) == {"data_parallel", "embedding_sync"}
 
+    def test_overlapped_and_exposed_split(self, log, rng):
+        """A group's ``overlapped`` flag is stamped on its records, and the log
+        partitions wire bytes exactly between overlapped and exposed."""
+        hidden = SimulatedProcessGroup([0, 1], log, category="data_parallel", overlapped=True)
+        exposed = SimulatedProcessGroup([0, 1], log, category="data_parallel")
+        hidden.all_reduce([rng.normal(size=10)] * 2)
+        exposed.all_reduce([rng.normal(size=10)] * 2)
+        assert all(record.overlapped == (record is log.records[0]) for record in log.records)
+        assert log.overlapped_wire_bytes("data_parallel") > 0
+        assert log.overlapped_wire_bytes("data_parallel") + log.exposed_wire_bytes(
+            "data_parallel"
+        ) == pytest.approx(log.total_wire_bytes("data_parallel"))
+        assert log.overlapped_wire_bytes("embedding_sync") == 0.0
+
     def test_clear(self, log, rng):
         SimulatedProcessGroup([0, 1], log, category="x").all_reduce([rng.normal(size=4)] * 2)
         log.clear()

@@ -356,3 +356,155 @@ class TestTrafficAccounting:
         engine = make_engine(tiny_config, num_stages=2, dp=2)
         with pytest.raises(ValueError):
             engine.run_iteration(make_batches(tiny_config, rng, replicas=1))
+
+
+class TestOverlappedDataParallel:
+    """The bucketed DP all-reduce overlapped with the pipeline cool-down."""
+
+    @staticmethod
+    def _train(engine, batches, iterations=3):
+        from repro.optim import FusedAdam
+
+        optimizers = [FusedAdam(arena, lr=2e-3) for arena in engine.arenas]
+        results = []
+        for _ in range(iterations):
+            for optimizer in optimizers:
+                optimizer.zero_grad()
+            results.append(engine.run_iteration(batches))
+            for optimizer in optimizers:
+                optimizer.step()
+        return results
+
+    def test_overlapped_path_is_weight_parity_with_serial_epilogue(self, small_config, rng):
+        """Compression off: the bucketed overlapped path and the serial
+        per-parameter epilogue produce bit-for-bit identical weights."""
+        batches = make_batches(small_config, rng)
+        overlapped = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(
+                dp_overlap=True, dp_bucket_bytes=2048
+            ),
+            seed=5,
+        )
+        serial = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(dp_overlap=False),
+            seed=5,
+        )
+        self._train(overlapped, batches)
+        self._train(serial, batches)
+        for over_param, serial_param in zip(overlapped.parameters(), serial.parameters()):
+            assert np.array_equal(over_param.data, serial_param.data), over_param.name
+            assert np.array_equal(over_param.grad, serial_param.grad), over_param.name
+
+    def test_overlapped_path_is_weight_parity_under_powersgd(self, small_config, rng):
+        """With the codec on, the codec-selected parameters take the identical
+        per-parameter route in both modes, so parity still holds exactly."""
+        batches = make_batches(small_config, rng)
+        engine_config = EngineCompressionConfig(
+            dp_codec="powersgd",
+            dp_rank=2,
+            dp_stage_fraction=0.5,
+            min_compression_elements=64,
+        )
+        overlapped = make_engine(
+            small_config, engine_config=engine_config.with_(dp_overlap=True), seed=4
+        )
+        serial = make_engine(
+            small_config, engine_config=engine_config.with_(dp_overlap=False), seed=4
+        )
+        self._train(overlapped, batches)
+        self._train(serial, batches)
+        for over_param, serial_param in zip(overlapped.parameters(), serial.parameters()):
+            assert np.array_equal(over_param.data, serial_param.data), over_param.name
+
+    def test_bucket_bytes_sum_to_per_parameter_bytes(self, small_config, rng):
+        """Accounting property: per-stage bucketed payload/original bytes equal the
+        serial path's per-parameter accounting exactly."""
+        batches = make_batches(small_config, rng)
+        overlapped = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(
+                dp_overlap=True, dp_bucket_bytes=1024
+            ),
+            seed=0,
+        )
+        serial = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(dp_overlap=False),
+            seed=0,
+        )
+        over_result = overlapped.run_iteration(batches)
+        serial_result = serial.run_iteration(batches)
+        assert set(over_result.dp_stage_traffic) == set(serial_result.dp_stage_traffic)
+        for stage in over_result.dp_stage_traffic:
+            over_traffic = over_result.dp_stage_traffic[stage]
+            serial_traffic = serial_result.dp_stage_traffic[stage]
+            assert over_traffic.payload_bytes == serial_traffic.payload_bytes
+            assert over_traffic.original_bytes == serial_traffic.original_bytes
+            # Bucketing coalesces messages: strictly fewer all-reduces, all flat.
+            assert over_traffic.bucket_all_reduces > 0
+            assert over_traffic.all_reduces < serial_traffic.all_reduces
+            assert serial_traffic.bucket_all_reduces == 0
+        # The axis totals agree too (same wire bytes, different granularity).
+        assert over_result.axis_wire_bytes["data_parallel"] == pytest.approx(
+            serial_result.axis_wire_bytes["data_parallel"]
+        )
+
+    def test_overlap_accounting_flags_cooldown_traffic(self, small_config, rng):
+        """Late stages' buckets are issued inside the cool-down (overlapped);
+        stage 0 drains last, so its traffic is exposed."""
+        batches = make_batches(small_config, rng)
+        engine = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed(),
+            num_stages=2,
+            seed=0,
+        )
+        result = engine.run_iteration(batches)
+        dp_records = [r for r in engine.log.records if r.category == "data_parallel"]
+        assert dp_records
+        for record in dp_records:
+            stage_zero = record.description.startswith("stage0")
+            assert record.overlapped == (not stage_zero), record.description
+        assert result.dp_overlapped_wire_bytes > 0
+        assert result.dp_exposed_wire_bytes > 0
+        assert result.dp_exposed_wire_bytes + result.dp_overlapped_wire_bytes == (
+            pytest.approx(result.axis_wire_bytes["data_parallel"])
+        )
+        assert 0.0 < result.dp_overlapped_fraction < 1.0
+
+    def test_serial_epilogue_reports_everything_exposed(self, small_config, rng):
+        batches = make_batches(small_config, rng)
+        engine = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(dp_overlap=False),
+            seed=0,
+        )
+        result = engine.run_iteration(batches)
+        assert result.dp_overlapped_wire_bytes == 0.0
+        assert result.dp_exposed_wire_bytes == pytest.approx(
+            result.axis_wire_bytes["data_parallel"]
+        )
+
+    def test_bucket_size_knob_controls_message_count(self, small_config, rng):
+        """Smaller bucket targets produce more (but equally sized in total) messages."""
+        batches = make_batches(small_config, rng)
+
+        def dp_message_count(bucket_bytes):
+            engine = make_engine(
+                small_config,
+                engine_config=EngineCompressionConfig.uncompressed().with_(
+                    dp_bucket_bytes=bucket_bytes
+                ),
+                seed=0,
+            )
+            result = engine.run_iteration(batches)
+            messages = sum(t.all_reduces for t in result.dp_stage_traffic.values())
+            payload = sum(t.payload_bytes for t in result.dp_stage_traffic.values())
+            return messages, payload
+
+        small_messages, small_payload = dp_message_count(512)
+        large_messages, large_payload = dp_message_count(1 << 20)
+        assert small_messages > large_messages
+        assert small_payload == large_payload

@@ -49,6 +49,82 @@ class TestCompressionPlan:
             CompressionPlan(backward_rank=0)
 
 
+class TestPlanCodecs:
+    """The plan carries a DP codec with the engine's vocabulary."""
+
+    def test_codec_vocabulary_is_shared_with_the_engine(self):
+        from repro.core.config import ENGINE_DP_CODECS
+        from repro.simulator.executor import DP_CODECS
+
+        assert DP_CODECS == ENGINE_DP_CODECS
+
+    def test_from_engine_config_round_trips_the_dp_block(self):
+        from repro.core.config import EngineCompressionConfig
+
+        engine_config = EngineCompressionConfig(
+            dp_codec="qsgd", dp_qsgd_bits=6, dp_stage_fraction=0.5
+        )
+        plan = CompressionPlan.from_engine_config(engine_config, fuse_embedding=True)
+        assert plan.dp_codec == "qsgd"
+        assert plan.dp_qsgd_bits == 6
+        assert plan.dp_compressed_stage_fraction == 0.5
+        assert plan.fuse_embedding
+        # A "none" codec maps to no compressed stages at all.
+        none_plan = CompressionPlan.from_engine_config(
+            EngineCompressionConfig.uncompressed()
+        )
+        assert none_plan.compressed_dp_stages(4) == set()
+
+    def test_invalid_codec_fields_raise(self):
+        with pytest.raises(ValueError):
+            CompressionPlan(dp_codec="zip")
+        with pytest.raises(ValueError):
+            CompressionPlan(dp_qsgd_bits=0)
+        with pytest.raises(ValueError):
+            CompressionPlan(dp_topk_fraction=0.0)
+
+    @pytest.mark.parametrize("codec", ["powersgd", "qsgd", "topk"])
+    def test_every_codec_reduces_dp_wire_bytes(self, job, baseline, codec):
+        plan = CompressionPlan(
+            dp_compressed_stage_fraction=1.0,
+            dp_codec=codec,
+            dp_rank=4,
+            dp_qsgd_bits=4,
+            dp_topk_fraction=0.01,
+        )
+        timing = PipelineTimingSimulator(job, plan).run()
+        assert timing.dp_wire_bytes < baseline.dp_wire_bytes
+
+    def test_codec_shows_in_description(self):
+        plan = CompressionPlan(dp_compressed_stage_fraction=1.0, dp_codec="topk")
+        assert "topk" in plan.describe()
+
+
+class TestDpOverlapAccounting:
+    """Exposed/overlapped split of the DP all-reduce across the cool-down."""
+
+    def test_split_partitions_the_dp_wire_bytes(self, baseline):
+        total = baseline.dp_exposed_wire_bytes + baseline.dp_overlapped_wire_bytes
+        assert total == pytest.approx(baseline.dp_wire_bytes)
+        assert 0.0 < baseline.dp_overlapped_fraction < 1.0
+
+    def test_stage_zero_is_always_exposed(self, baseline):
+        # Stage 0 drains last: its all-reduce can never hide, so some bytes stay
+        # exposed even though late stages overlap theirs.
+        assert baseline.dp_exposed_wire_bytes > 0
+
+    def test_deeper_pipelines_hide_more(self):
+        shallow_job = TrainingJob(
+            model=GPT_2_5B, layout=ParallelLayout(pipeline_parallel=2)
+        )
+        deep_job = TrainingJob(
+            model=GPT_2_5B, layout=ParallelLayout(pipeline_parallel=8)
+        )
+        shallow = PipelineTimingSimulator(shallow_job).run()
+        deep = PipelineTimingSimulator(deep_job).run()
+        assert deep.dp_overlapped_fraction > shallow.dp_overlapped_fraction
+
+
 class TestTimingSimulator:
     def test_iteration_time_positive_and_consistent(self, job, baseline):
         assert baseline.iteration_time > 0
