@@ -24,7 +24,17 @@ directory for the scripts that regenerate every table and figure of the paper.
 """
 
 from repro.core import OptimusCC, OptimusCCConfig
+from repro.plan import Boundary, CompressionSpec, ParallelPlan, Schedule, Topology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["OptimusCC", "OptimusCCConfig", "__version__"]
+__all__ = [
+    "OptimusCC",
+    "OptimusCCConfig",
+    "ParallelPlan",
+    "Boundary",
+    "CompressionSpec",
+    "Schedule",
+    "Topology",
+    "__version__",
+]

@@ -8,6 +8,12 @@ Subcommands
 ``train``
     Run a short functional training probe through the unified 3D-parallel engine
     (pipeline x data x tensor) and print the loss plus measured per-axis traffic.
+    The probe is configured by a declarative :class:`repro.plan.ParallelPlan` —
+    from ``--plan file.json``, ``--preset name``, or (legacy) ``--config name`` —
+    with the ``--dp-*`` flags layered on top as overrides.
+``plan``
+    Inspect declarative parallel plans: ``show`` a preset or file, ``validate``
+    plan files, ``diff`` two plans knob by knob.
 ``breakdown``
     Print the CPI-stack execution-time breakdown for a model/configuration pair.
 ``autotune``
@@ -16,22 +22,27 @@ Subcommands
 ``reproduce``
     Run one of the paper's tables/figures (fast functional settings) and print it.
 ``list``
-    List the available models, configurations, and reproducible artefacts.
+    List the available models, configurations, plan presets, and artefacts.
 
 Example
 -------
 ``python -m repro simulate --model GPT-8.3B --config cb_fe_sc --iterations 230000``
+``python -m repro train --preset cb_fe_sc``
+``python -m repro plan diff cb_fe examples/plans/cb_fe_sc.json``
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Callable, Sequence
 
 from repro.core.autotune import SelectiveCompressionAutoTuner
-from repro.core.config import OptimusCCConfig
+from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
+from repro.plan import PLAN_PRESETS, Boundary, ParallelPlan
 from repro.models.gpt_configs import (
     GPT_2_5B,
     GPT_8_3B,
@@ -77,6 +88,28 @@ def _resolve_config(name: str) -> OptimusCCConfig:
             f"unknown configuration {name!r}; available: {', '.join(sorted(CONFIG_CATALOGUE))}"
         )
     return CONFIG_CATALOGUE[name]()
+
+
+def _load_plan_file(path: str) -> ParallelPlan:
+    """Load and validate one plan JSON file, mapping failures to SystemExit."""
+    try:
+        return ParallelPlan.load(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read plan file {path!r}: {error}") from error
+    except (ValueError, TypeError, json.JSONDecodeError) as error:
+        raise SystemExit(f"invalid plan file {path!r}: {error}") from error
+
+
+def _resolve_plan(token: str) -> ParallelPlan:
+    """Resolve a preset name or a JSON file path into a validated plan."""
+    if token in PLAN_PRESETS:
+        return ParallelPlan.preset(token)
+    if pathlib.Path(token).exists():
+        return _load_plan_file(token)
+    raise SystemExit(
+        f"{token!r} is neither a plan preset ({', '.join(sorted(PLAN_PRESETS))}) "
+        "nor an existing plan file"
+    )
 
 
 def _artefact_catalogue() -> dict[str, Callable[[], object]]:
@@ -140,57 +173,102 @@ def command_simulate(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
+    """Resolve the ``train`` arguments into one declarative plan.
+
+    Resolution order: ``--plan file.json`` (taken verbatim) or ``--preset name``
+    / legacy ``--config name`` (proxy-scaled: the paper ranks are lossless on
+    the tiny probe, so they are capped at 2).  Topology flags and the ``--dp-*``
+    flags are then layered onto the plan as overrides, so every flag works with
+    any base plan.
+    """
+    if arguments.plan is not None and arguments.preset is not None:
+        raise SystemExit("--plan and --preset are mutually exclusive")
+    if arguments.config is not None and (
+        arguments.plan is not None or arguments.preset is not None
+    ):
+        raise SystemExit("--config cannot be combined with --plan/--preset")
+    if arguments.plan is not None:
+        plan = _load_plan_file(arguments.plan)
+    elif arguments.preset is not None:
+        if arguments.preset not in PLAN_PRESETS:
+            raise SystemExit(
+                f"unknown plan preset {arguments.preset!r}; "
+                f"available: {', '.join(sorted(PLAN_PRESETS))}"
+            )
+        plan = ParallelPlan.preset(arguments.preset).proxy_scaled()
+    else:
+        plan = _resolve_config(arguments.config or "cb_fe_sc").as_plan().proxy_scaled()
+
+    topology_overrides = {
+        key: value
+        for key, value in (
+            ("pp", arguments.stages),
+            ("dp", arguments.data_parallel),
+            ("tp", arguments.tensor_parallel),
+        )
+        if value is not None
+    }
+    if topology_overrides:
+        try:
+            plan = plan.with_topology(**topology_overrides)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+
+    dp_overrides: dict = {}
+    if arguments.dp_codec is not None:
+        dp_overrides["codec"] = arguments.dp_codec
+        if (
+            arguments.dp_rank is None
+            and arguments.dp_codec == "powersgd"
+            and arguments.plan is None
+        ):
+            # Proxy-scale convention: rescale the paper rank so compression is
+            # lossy.  A --plan file is taken verbatim — its rank stands unless
+            # --dp-rank overrides it explicitly.
+            dp_overrides["rank"] = min(plan.spec(Boundary.DP).rank, 2)
+    if arguments.dp_rank is not None:
+        dp_overrides["rank"] = arguments.dp_rank
+    if arguments.dp_qsgd_bits is not None:
+        dp_overrides["bits"] = arguments.dp_qsgd_bits
+    if arguments.dp_topk_fraction is not None:
+        dp_overrides["fraction"] = arguments.dp_topk_fraction
+    if arguments.dp_stage_fraction is not None:
+        dp_overrides["stage_fraction"] = arguments.dp_stage_fraction
+    if arguments.dp_min_elements is not None:
+        dp_overrides["min_elements"] = arguments.dp_min_elements
+    if arguments.dp_bucket_kb is not None:
+        dp_overrides["bucket_bytes"] = arguments.dp_bucket_kb * 1024
+    if dp_overrides:
+        try:
+            plan = plan.with_boundary(Boundary.DP, **dp_overrides)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+    if arguments.serial_dp and arguments.overlap_dp:
+        raise SystemExit("--serial-dp and --overlap-dp are mutually exclusive")
+    if arguments.serial_dp:
+        plan = plan.with_schedule(kind="serial")
+    elif arguments.overlap_dp:
+        plan = plan.with_schedule(kind="1f1b")
+    return plan
+
+
 def command_train(arguments: argparse.Namespace) -> int:
     from repro.experiments.engine_traffic import measure_engine_traffic, render_traffic_samples
 
-    config = _resolve_config(arguments.config)
-    # The functional proxy is tiny; rescale the paper ranks so the compression is
-    # actually lossy (matching the quality experiments' convention).
-    config = config.with_(cb_rank=min(config.cb_rank, 2), dp_rank=min(config.dp_rank, 2))
     if arguments.iterations <= 0:
         raise SystemExit("--iterations must be positive")
-
-    # DP-boundary overrides: start from the configuration's implied DP compression
-    # block (PowerSGD when SC is on, exact otherwise) and override exactly the
-    # knobs the user passed — each flag works with or without --dp-codec.
-    engine_config = config.engine_config(arguments.tensor_parallel)
-    overrides: dict = {}
-    if arguments.dp_codec is not None:
-        overrides["dp_codec"] = arguments.dp_codec
-        if arguments.dp_rank is None and arguments.dp_codec == "powersgd":
-            # Proxy-scale convention: rescale the paper rank so compression is lossy.
-            overrides["dp_rank"] = min(engine_config.dp_rank, 2)
-    if arguments.dp_rank is not None:
-        overrides["dp_rank"] = arguments.dp_rank
-    if arguments.dp_qsgd_bits is not None:
-        overrides["dp_qsgd_bits"] = arguments.dp_qsgd_bits
-    if arguments.dp_topk_fraction is not None:
-        overrides["dp_topk_fraction"] = arguments.dp_topk_fraction
-    if arguments.dp_stage_fraction is not None:
-        overrides["dp_stage_fraction"] = arguments.dp_stage_fraction
-    if arguments.dp_min_elements is not None:
-        overrides["min_compression_elements"] = arguments.dp_min_elements
-    engine_config = engine_config.with_(
-        dp_overlap=not arguments.serial_dp,
-        dp_bucket_bytes=arguments.dp_bucket_kb * 1024,
-        **overrides,
-    )
+    plan = build_train_plan(arguments)
     try:
         sample = measure_engine_traffic(
-            arguments.config if not overrides
-            else f"{arguments.config}/{engine_config.describe()}",
-            config,
-            engine_config=engine_config,
-            num_stages=arguments.stages,
-            data_parallel_degree=arguments.data_parallel,
-            tensor_parallel_degree=arguments.tensor_parallel,
-            iterations=arguments.iterations,
+            plan.describe(), plan=plan, iterations=arguments.iterations
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
+    topology = plan.topology
     print(
         f"Trained {arguments.iterations} iterations through the unified 3D engine "
-        f"(PP{arguments.stages} x DP{arguments.data_parallel} x TP{arguments.tensor_parallel}); "
+        f"(PP{topology.pp} x DP{topology.dp} x TP{topology.tp}); "
         f"final training loss {sample.final_loss:.4f}."
     )
     print(render_traffic_samples([sample], "Measured per-axis wire traffic"))
@@ -201,13 +279,56 @@ def command_train(arguments: argparse.Namespace) -> int:
     if boundary:
         print(f"Backward pipeline-boundary traffic: {boundary}")
     if sample.data_parallel_wire_bytes > 0:
-        mode = "serial epilogue" if arguments.serial_dp else "bucketed, cool-down overlapped"
+        mode = (
+            "bucketed, cool-down overlapped"
+            if plan.schedule.dp_overlap
+            else "serial epilogue"
+        )
         print(
             f"DP all-reduce ({mode}): {sample.dp_overlapped_fraction:.0%} of "
             f"{sample.data_parallel_wire_bytes / 1024:.1f} KB issued inside the "
             f"pipeline cool-down (exposed: {sample.dp_exposed_wire_bytes / 1024:.1f} KB)"
         )
     print(f"Error-feedback residual memory: {sample.residual_memory_bytes} bytes")
+    return 0
+
+
+def command_plan_show(arguments: argparse.Namespace) -> int:
+    plan = _resolve_plan(arguments.plan)
+    print(plan.describe())
+    print(plan.to_json(), end="")
+    return 0
+
+
+def command_plan_validate(arguments: argparse.Namespace) -> int:
+    failures = 0
+    for token in arguments.plans:
+        try:
+            plan = ParallelPlan.load(token)
+        except (OSError, ValueError, TypeError, json.JSONDecodeError) as error:
+            failures += 1
+            print(f"FAIL {token}: {error}")
+        else:
+            print(f"OK   {token}: {plan.describe()}")
+    if failures:
+        raise SystemExit(f"{failures} invalid plan file(s)")
+    return 0
+
+
+def command_plan_diff(arguments: argparse.Namespace) -> int:
+    plan_a = _resolve_plan(arguments.a)
+    plan_b = _resolve_plan(arguments.b)
+    delta = plan_a.diff(plan_b)
+    if not delta:
+        print("plans are identical")
+        return 0
+    table = Table(
+        title=f"plan diff: {arguments.a} vs {arguments.b}",
+        columns=["Field", arguments.a, arguments.b],
+    )
+    for dotted, (mine, theirs) in delta.items():
+        table.add_row([dotted, repr(mine), repr(theirs)])
+    print(table.render())
     return 0
 
 
@@ -260,6 +381,9 @@ def command_list(arguments: argparse.Namespace) -> int:
     print("Configurations:")
     for name in CONFIG_CATALOGUE:
         print(f"  {name}")
+    print("Plan presets (train --preset / plan show):")
+    for name in sorted(PLAN_PRESETS):
+        print(f"  {name:<12s} {ParallelPlan.preset(name).describe()}")
     print("Artefacts (reproduce):")
     for name in _artefact_catalogue():
         print(f"  {name}")
@@ -286,10 +410,21 @@ def build_parser() -> argparse.ArgumentParser:
     train = subparsers.add_parser(
         "train", help="run a functional training probe through the unified 3D engine"
     )
-    train.add_argument("--config", default="cb_fe_sc", help="configuration name")
-    train.add_argument("--stages", type=int, default=4, help="pipeline depth")
-    train.add_argument("--data-parallel", type=int, default=2, help="DP replicas")
-    train.add_argument("--tensor-parallel", type=int, default=1, help="TP shards")
+    train.add_argument("--config", default=None,
+                       help="legacy configuration name (default: cb_fe_sc; "
+                            "cannot be combined with --plan/--preset)")
+    train.add_argument("--plan", default=None, metavar="FILE",
+                       help="declarative ParallelPlan JSON file (taken verbatim; "
+                            "--dp-* flags still override)")
+    train.add_argument("--preset", default=None,
+                       help=f"named plan preset ({', '.join(sorted(PLAN_PRESETS))}); "
+                            "PowerSGD ranks are proxy-scaled for the tiny probe model")
+    train.add_argument("--stages", type=int, default=None,
+                       help="pipeline depth (default: the plan's topology.pp)")
+    train.add_argument("--data-parallel", type=int, default=None,
+                       help="DP replicas (default: the plan's topology.dp)")
+    train.add_argument("--tensor-parallel", type=int, default=None,
+                       help="TP shards (default: the plan's topology.tp)")
     train.add_argument("--iterations", type=int, default=4)
     from repro.core.config import ENGINE_DP_CODECS
 
@@ -297,7 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dp-codec",
         choices=ENGINE_DP_CODECS,
         default=None,
-        help="override the DP all-reduce codec (default: the one --config implies)",
+        help="override the DP all-reduce codec (default: the plan's)",
     )
     train.add_argument("--dp-rank", type=int, default=None,
                        help="PowerSGD rank for --dp-codec powersgd (proxy-scaled default: 2)")
@@ -307,15 +442,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kept fraction for --dp-codec topk (default: 0.01)")
     train.add_argument("--dp-stage-fraction", type=float, default=None,
                        help="fraction of stages (earliest first) the codec applies to "
-                            "(default: the one --config implies)")
+                            "(default: the plan's)")
     train.add_argument("--dp-min-elements", type=int, default=None,
                        help="parameters smaller than this stay uncompressed (default: 1024)")
-    train.add_argument("--dp-bucket-kb", type=int, default=64,
-                       help="target gradient-bucket size (KiB of wire payload)")
+    # The default is the dataclass's, by construction: an omitted flag keeps the
+    # plan's bucket_bytes, which EngineCompressionConfig/CompressionSpec seed.
+    train.add_argument("--dp-bucket-kb", type=int, default=None,
+                       help="target gradient-bucket size (KiB of wire payload; "
+                            f"default: {EngineCompressionConfig.dp_bucket_bytes // 1024} "
+                            "via the plan's DP boundary spec)")
     train.add_argument("--serial-dp", action="store_true",
                        help="serial per-parameter DP epilogue instead of the "
                             "bucketed all-reduce overlapped with the cool-down")
+    train.add_argument("--overlap-dp", action="store_true",
+                       help="force the overlapped (1f1b) DP schedule, e.g. over a "
+                            "plan file whose schedule is serial")
     train.set_defaults(handler=command_train)
+
+    plan = subparsers.add_parser(
+        "plan", help="inspect, validate, and diff declarative parallel plans"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    plan_show = plan_sub.add_parser("show", help="print a plan's label and JSON")
+    plan_show.add_argument("plan", help="preset name or plan JSON file")
+    plan_show.set_defaults(handler=command_plan_show)
+    plan_validate = plan_sub.add_parser("validate", help="validate plan JSON files")
+    plan_validate.add_argument("plans", nargs="+", help="plan JSON files")
+    plan_validate.set_defaults(handler=command_plan_validate)
+    plan_diff = plan_sub.add_parser("diff", help="diff two plans knob by knob")
+    plan_diff.add_argument("a", help="preset name or plan JSON file")
+    plan_diff.add_argument("b", help="preset name or plan JSON file")
+    plan_diff.set_defaults(handler=command_plan_diff)
 
     breakdown = subparsers.add_parser("breakdown", help="CPI-stack execution-time breakdown")
     breakdown.add_argument("--model", default="GPT-2.5B")

@@ -3,12 +3,19 @@
 One :class:`OptimusCCConfig` drives both fidelity layers: the functional training
 engine (quality measurements) and the performance simulator (speed measurements),
 so every experiment toggles exactly the same flags in both.
+
+Both configuration types here are now *derived views* of the declarative
+:class:`repro.plan.ParallelPlan` (``as_plan()``/``from_plan()`` on each): the
+plan is the single source of truth for what runs where and what gets compressed
+on which boundary, and these dataclasses carry exactly the slice each consumer
+needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.plan import Boundary, CompressionSpec, ParallelPlan, Schedule, Topology
 from repro.simulator.executor import DP_CODECS, CompressionPlan
 
 #: Codecs the engine-level data-parallel all-reduce understands — the same
@@ -20,6 +27,14 @@ ENGINE_DP_CODECS = DP_CODECS
 @dataclass(frozen=True)
 class EngineCompressionConfig:
     """Engine-level compression block for :class:`repro.parallel.engine.ThreeDParallelEngine`.
+
+    .. deprecated::
+        This is now a thin shim over the declarative
+        :class:`repro.plan.ParallelPlan` — the canonical way to configure the
+        engine is ``ThreeDParallelEngine(plan=...)``, and this block is what
+        :meth:`repro.plan.ParallelPlan.engine_config` derives from the plan's
+        DP boundary spec + schedule.  It is kept so existing construction
+        spellings keep working; :meth:`as_plan`/:meth:`from_plan` convert.
 
     This describes how the unified 3D-parallel engine treats the *data-parallel
     boundary*: which codec compresses the gradient all-reduce, at what
@@ -104,18 +119,67 @@ class EngineCompressionConfig:
         """Return a modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
 
+    # -- plan conversions ----------------------------------------------------------
+
+    @classmethod
+    def from_plan(cls, plan: ParallelPlan) -> "EngineCompressionConfig":
+        """The engine block a :class:`~repro.plan.ParallelPlan` implies."""
+        return plan.engine_config()
+
+    def as_plan(
+        self,
+        num_stages: int = 4,
+        data_parallel_degree: int = 2,
+        micro_batches: int = 4,
+    ) -> ParallelPlan:
+        """Lift this DP-only block into a full plan (PP/embedding uncompressed).
+
+        The engine block does not know the pipeline shape, so the topology must
+        be supplied; the DP boundary spec, the tensor-parallel degree, and the
+        overlap schedule carry over exactly
+        (``EngineCompressionConfig.from_plan(cfg.as_plan(...)) == cfg``).
+        """
+        return ParallelPlan(
+            topology=Topology(
+                dp=data_parallel_degree,
+                pp=num_stages,
+                tp=self.tensor_parallel_degree,
+                micro_batches=micro_batches,
+            ),
+            schedule=Schedule(kind="1f1b" if self.dp_overlap else "serial"),
+            compression={
+                Boundary.DP: CompressionSpec(
+                    codec=self.dp_codec,
+                    rank=self.dp_rank,
+                    bits=self.dp_qsgd_bits,
+                    fraction=self.dp_topk_fraction,
+                    error_feedback=self.dp_error_feedback,
+                    stage_fraction=self.dp_stage_fraction,
+                    min_elements=self.min_compression_elements,
+                    bucket_bytes=self.dp_bucket_bytes,
+                )
+            },
+        )
+
     def describe(self) -> str:
-        """Short label such as ``"powersgd(r=4)@75%"`` for reports."""
+        """Short label such as ``"powersgd(r=4)@75%|overlap/64KiB"`` for reports.
+
+        The DP-sync mode is part of the label: ``overlap/<bucket>`` for the
+        bucketed all-reduce overlapped with the pipeline cool-down, ``serial``
+        for the per-parameter epilogue — two runs that differ only in overlap
+        or bucket size no longer read identically.
+        """
+        sync = f"overlap/{self.dp_bucket_bytes // 1024}KiB" if self.dp_overlap else "serial"
         if not self.compresses_dp:
-            return "exact"
-        if self.dp_codec == "powersgd":
-            knob = f"r={self.dp_rank}"
-        elif self.dp_codec == "qsgd":
-            knob = f"b={self.dp_qsgd_bits}"
-        else:
-            knob = f"k={self.dp_topk_fraction:g}"
+            return f"exact|{sync}"
+        knob = CompressionSpec(
+            codec=self.dp_codec,
+            rank=self.dp_rank,
+            bits=self.dp_qsgd_bits,
+            fraction=self.dp_topk_fraction,
+        ).knob_label()
         feedback = "+ef" if self.dp_error_feedback else ""
-        return f"{self.dp_codec}({knob}){feedback}@{self.dp_stage_fraction:.0%}"
+        return f"{self.dp_codec}({knob}){feedback}@{self.dp_stage_fraction:.0%}|{sync}"
 
 
 @dataclass(frozen=True)
@@ -241,36 +305,98 @@ class OptimusCCConfig:
         """Return a modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
 
+    def as_plan(
+        self, topology: Topology | None = None, schedule: Schedule | None = None
+    ) -> ParallelPlan:
+        """Lift this configuration into a declarative :class:`~repro.plan.ParallelPlan`.
+
+        This is the one knob translation in the codebase: every other view
+        (:meth:`engine_config`, :meth:`to_compression_plan`) is derived from the
+        plan it returns, so the engine, the simulator, and the experiment
+        drivers provably describe the same boundaries.
+
+        The paper's selective stage compression maps to a PowerSGD codec on the
+        DP boundary over the selected stage fraction; ``dp_stage_fraction == 0``
+        leaves the DP boundary uncompressed.  ``seed`` stays on the config (a
+        plan is a pure run description; seeding is an execution concern).
+        """
+        compression = {
+            Boundary.PP: CompressionSpec(
+                codec=self.cb_compressor if self.compress_backward else "none",
+                rank=self.cb_rank,
+                fraction=self.topk_fraction,
+                error_feedback=self.lazy_error_propagation,
+                epilogue_only=self.epilogue_only,
+                compress_forward=self.compress_forward,
+            ),
+            Boundary.EMBEDDING: CompressionSpec(
+                codec="fused" if self.fuse_embedding else "none"
+            ),
+            Boundary.DP: CompressionSpec(
+                codec="powersgd" if self.dp_stage_fraction > 0.0 else "none",
+                rank=self.dp_rank,
+                error_feedback=self.dp_error_feedback,
+                stage_fraction=(
+                    self.dp_stage_fraction if self.dp_stage_fraction > 0.0 else 1.0
+                ),
+            ),
+        }
+        return ParallelPlan(
+            topology=topology if topology is not None else Topology(),
+            schedule=schedule if schedule is not None else Schedule(),
+            compression=compression,
+        )
+
+    @classmethod
+    def from_plan(cls, plan: ParallelPlan, seed: int = 0) -> "OptimusCCConfig":
+        """The technique flags a :class:`~repro.plan.ParallelPlan` implies.
+
+        Dormant knobs of an uncompressed boundary (e.g. ``cb_compressor`` while
+        CB is off) take their defaults rather than round-tripping — a plan only
+        records what a run would actually do.
+
+        ``dp_stage_fraction`` here can only express the paper's selective
+        *PowerSGD* compression; a qsgd/topk DP codec maps to ``0.0`` (no claim)
+        rather than masquerading as PowerSGD — such plans carry their DP codec
+        through :meth:`~repro.plan.ParallelPlan.engine_config`, which the
+        engine prefers over this config for the DP boundary.
+        """
+        pp = plan.spec(Boundary.PP)
+        dp = plan.spec(Boundary.DP)
+        embedding = plan.spec(Boundary.EMBEDDING)
+        dp_is_powersgd = dp.codec == "powersgd"
+        return cls(
+            compress_backward=pp.compresses,
+            cb_rank=pp.rank,
+            cb_compressor=pp.codec if pp.compresses else "powersgd",
+            lazy_error_propagation=pp.error_feedback,
+            epilogue_only=pp.epilogue_only,
+            compress_forward=pp.compress_forward,
+            fuse_embedding=embedding.codec == "fused",
+            dp_stage_fraction=dp.stage_fraction if dp_is_powersgd else 0.0,
+            dp_rank=dp.rank,
+            dp_error_feedback=dp.error_feedback,
+            topk_fraction=pp.fraction,
+            seed=seed,
+        )
+
     def engine_config(self, tensor_parallel_degree: int = 1) -> EngineCompressionConfig:
         """Engine-level compression block implied by this configuration.
 
-        The paper's selective stage compression maps to a PowerSGD codec over the
-        selected stage fraction; ``dp_stage_fraction == 0`` maps to the exact
-        all-reduce.  The unified engine accepts an explicit
-        :class:`EngineCompressionConfig` too, for codecs the paper compares against
-        (QSGD, top-k).
+        Derived through :meth:`as_plan`, so the engine sees exactly what the
+        simulator's :meth:`to_compression_plan` sees.  The unified engine
+        accepts an explicit :class:`EngineCompressionConfig` too, for codecs the
+        paper compares against (QSGD, top-k).
         """
+        plan = self.as_plan(topology=Topology(tp=tensor_parallel_degree))
         if self.dp_stage_fraction <= 0.0:
             return EngineCompressionConfig.uncompressed(tensor_parallel_degree)
-        return EngineCompressionConfig(
-            dp_codec="powersgd",
-            dp_rank=self.dp_rank,
-            dp_error_feedback=self.dp_error_feedback,
-            dp_stage_fraction=self.dp_stage_fraction,
-            tensor_parallel_degree=tensor_parallel_degree,
-        )
+        return plan.engine_config()
 
     def to_compression_plan(self) -> CompressionPlan:
-        """Translate the config into the performance simulator's plan."""
-        return CompressionPlan(
-            compress_backward=self.compress_backward,
-            backward_rank=self.cb_rank,
-            backward_epilogue_only=self.epilogue_only,
-            compress_forward=self.compress_forward,
-            dp_compressed_stage_fraction=self.dp_stage_fraction,
-            dp_rank=self.dp_rank,
-            fuse_embedding=self.fuse_embedding,
-        )
+        """Translate the config into the performance simulator's plan (via the
+        declarative :class:`~repro.plan.ParallelPlan`)."""
+        return CompressionPlan.from_plan(self.as_plan())
 
     def describe(self) -> str:
         """Paper-style label: Baseline / CB / CB+FE / CB+FE+SC / ..."""

@@ -23,6 +23,7 @@ from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCor
 from repro.models.gpt_configs import functional_config
 from repro.optim import FusedAdam
 from repro.parallel.engine import ThreeDParallelEngine
+from repro.plan import ParallelPlan
 from repro.utils.tables import Table, format_float
 
 
@@ -73,16 +74,52 @@ class EngineTrafficSample:
 
 def measure_engine_traffic(
     label: str,
-    config: OptimusCCConfig,
+    config: OptimusCCConfig | None = None,
     engine_config: EngineCompressionConfig | None = None,
-    num_stages: int = 4,
-    data_parallel_degree: int = 2,
-    tensor_parallel_degree: int = 1,
+    num_stages: int | None = None,
+    data_parallel_degree: int | None = None,
+    tensor_parallel_degree: int | None = None,
     iterations: int = 2,
-    num_micro_batches: int = 4,
+    num_micro_batches: int | None = None,
     seed: int = 0,
+    plan: ParallelPlan | None = None,
 ) -> EngineTrafficSample:
-    """Train a tiny proxy through the unified engine and report its traffic."""
+    """Train a tiny proxy through the unified engine and report its traffic.
+
+    The probe is configured either by a declarative
+    :class:`~repro.plan.ParallelPlan` (``plan=...`` — the topology, schedule,
+    and every boundary's compression come from the plan) or by the legacy
+    ``config``/``engine_config`` pair.  As with the engine itself, explicit
+    topology arguments override what the plan implies; omitted ones default to
+    the plan's topology (or PP4 x DP2 x TP1 with 4 micro-batches without one).
+    """
+    if plan is None and config is None:
+        raise ValueError("pass either plan= or a config")
+    if plan is not None:
+        # Fold explicit topology arguments back into the plan so everything the
+        # engine derives from it (incl. the TP degree in its engine config)
+        # sees the overridden topology.
+        overrides = {
+            key: value
+            for key, value in (
+                ("pp", num_stages),
+                ("dp", data_parallel_degree),
+                ("tp", tensor_parallel_degree),
+                ("micro_batches", num_micro_batches),
+            )
+            if value is not None
+        }
+        if overrides:
+            plan = plan.with_topology(**overrides)
+        num_stages = plan.topology.pp
+        data_parallel_degree = plan.topology.dp
+        tensor_parallel_degree = plan.topology.tp
+        num_micro_batches = plan.topology.micro_batches
+    else:
+        num_stages = 4 if num_stages is None else num_stages
+        data_parallel_degree = 2 if data_parallel_degree is None else data_parallel_degree
+        tensor_parallel_degree = 1 if tensor_parallel_degree is None else tensor_parallel_degree
+        num_micro_batches = 4 if num_micro_batches is None else num_micro_batches
     model = functional_config(
         vocab_size=64, sequence_length=16, num_layers=num_stages, hidden_size=16, num_heads=2
     )
@@ -94,7 +131,7 @@ def measure_engine_traffic(
         num_micro_batches=num_micro_batches,
         data_parallel_degree=data_parallel_degree,
     )
-    if engine_config is None:
+    if plan is None and engine_config is None:
         engine_config = config.engine_config(tensor_parallel_degree)
     engine = ThreeDParallelEngine(
         model,
@@ -103,6 +140,7 @@ def measure_engine_traffic(
         optimus_config=config,
         engine_config=engine_config,
         seed=seed,
+        plan=plan,
     )
     optimizers = [FusedAdam(arena, lr=1e-3) for arena in engine.arenas]
 

@@ -21,6 +21,7 @@ from repro.experiments.engine_traffic import (
 )
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, PaperModelSpec
+from repro.plan import ParallelPlan
 from repro.simulator.breakdown import ExecutionBreakdown, compute_breakdown
 from repro.simulator.executor import PipelineTimingSimulator
 from repro.utils.tables import Table, format_float
@@ -140,12 +141,18 @@ class Fig10Result:
         return rendered
 
 
-#: The Fig. 10 configurations, in the paper's order.
+#: The Fig. 10 ablation stack, in the paper's order — declarative plans; the
+#: simulator rows and the functional engine probe both derive from these.
+ABLATION_PLANS: dict[str, ParallelPlan] = {
+    "Baseline": ParallelPlan.baseline(),
+    "CB": ParallelPlan.cb(),
+    "CB+FE": ParallelPlan.cb_fe(),
+    "CB+FE+SC": ParallelPlan.cb_fe_sc(),
+}
+
+#: Backwards-compatible view of the ablation as OptimusCCConfig objects.
 ABLATION_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
-    "Baseline": OptimusCCConfig.baseline(),
-    "CB": OptimusCCConfig.cb(),
-    "CB+FE": OptimusCCConfig.cb_fe(),
-    "CB+FE+SC": OptimusCCConfig.cb_fe_sc(),
+    label: plan.optimus_config() for label, plan in ABLATION_PLANS.items()
 }
 
 
@@ -159,16 +166,17 @@ def run_fig10(
         job = paper_job(model)
         baseline_timing = PipelineTimingSimulator(job).run()
         result.baseline_dp_overlap[model.name] = baseline_timing.dp_overlapped_fraction
-        for label, config in ABLATION_CONFIGURATIONS.items():
+        for label, plan in ABLATION_PLANS.items():
             result.rows.append(
                 BreakdownRow(
                     model=model.name,
                     label=label,
-                    breakdown=compute_breakdown(job, config.to_compression_plan()),
+                    breakdown=compute_breakdown(job, plan.compression_plan()),
                 )
             )
     if include_engine_traffic:
-        for label, config in ABLATION_CONFIGURATIONS.items():
-            functional = config.with_(cb_rank=2, dp_rank=2)
-            result.engine_samples.append(measure_engine_traffic(label, functional))
+        for label, plan in ABLATION_PLANS.items():
+            result.engine_samples.append(
+                measure_engine_traffic(label, plan=plan.proxy_scaled())
+            )
     return result

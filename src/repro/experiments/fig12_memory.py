@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.config import OptimusCCConfig
 from repro.experiments.engine_traffic import EngineTrafficSample, measure_engine_traffic
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, PaperModelSpec
-from repro.simulator.executor import CompressionPlan
+from repro.plan import ParallelPlan
 from repro.simulator.memory_model import MemoryModel, MemoryReport
 from repro.utils.tables import Table, format_float
 
@@ -96,21 +95,22 @@ def run_fig12(
     models = models if models is not None else [GPT_2_5B, GPT_8_3B]
     result = Fig12Result()
     if include_engine_residuals:
+        residual_plans = {
+            "Baseline": ParallelPlan.baseline(),
+            "CB (Non-LEP)": ParallelPlan.cb_non_lep(),
+            "CB (LEP)": ParallelPlan.cb(),
+            "CB+FE+SC": ParallelPlan.cb_fe_sc(),
+        }
         result.engine_residual_samples = [
-            measure_engine_traffic("Baseline", OptimusCCConfig.baseline()),
-            measure_engine_traffic(
-                "CB (Non-LEP)",
-                OptimusCCConfig.cb_non_lep(rank=2),
-            ),
-            measure_engine_traffic("CB (LEP)", OptimusCCConfig.cb(rank=2)),
-            measure_engine_traffic(
-                "CB+FE+SC", OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2)
-            ),
+            measure_engine_traffic(label, plan=plan.proxy_scaled())
+            for label, plan in residual_plans.items()
         ]
     for model in models:
         job = paper_job(model)
-        baseline_report = MemoryModel(job, CompressionPlan.baseline()).peak_report()
-        cb_model = MemoryModel(job, CompressionPlan.cb())
+        baseline_report = MemoryModel(
+            job, ParallelPlan.baseline().compression_plan()
+        ).peak_report()
+        cb_model = MemoryModel(job, ParallelPlan.cb().compression_plan())
         variants = [
             ("Baseline", baseline_report),
             ("CB (Non-LEP)", cb_model.peak_report(lazy_error_propagation=False)),

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.config import OptimusCCConfig
 from repro.experiments.engine_traffic import (
     EngineTrafficSample,
     measure_engine_traffic,
@@ -20,6 +19,7 @@ from repro.experiments.engine_traffic import (
 )
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_8_3B, GPT_175B, PaperModelSpec
+from repro.plan import ParallelPlan
 from repro.simulator.throughput import (
     CompressionThroughputModel,
     ThroughputPoint,
@@ -108,9 +108,9 @@ def run_fig15(
     engine_samples: list[EngineTrafficSample] = []
     if include_engine_traffic:
         engine_samples = [
-            measure_engine_traffic("Baseline", OptimusCCConfig.baseline()),
+            measure_engine_traffic("Baseline", plan=ParallelPlan.baseline()),
             measure_engine_traffic(
-                "CB+FE+SC", OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2)
+                "CB+FE+SC", plan=ParallelPlan.cb_fe_sc().proxy_scaled()
             ),
         ]
     return Fig15Result(

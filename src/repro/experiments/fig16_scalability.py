@@ -20,8 +20,8 @@ from repro.experiments.engine_traffic import (
 )
 from repro.experiments.settings import paper_job
 from repro.models.gpt_configs import GPT_2_5B, GPT_8_3B, GPT_39B, GPT_175B, PaperModelSpec
-from repro.parallel.process_groups import ParallelLayout
 from repro.parallel.topology import ClusterTopology
+from repro.plan import ParallelPlan, Topology
 from repro.simulator.executor import PipelineTimingSimulator
 from repro.simulator.hardware import ClusterSpec
 from repro.utils.tables import Table, format_float
@@ -97,10 +97,17 @@ FIG16_MODELS: tuple[tuple[PaperModelSpec, int], ...] = (
     (GPT_175B, 16),
 )
 
+#: The sweep's technique stacks as declarative plans; the per-model topology is
+#: attached with ``with_topology`` inside the sweep.
+FIG16_PLANS: dict[str, ParallelPlan] = {
+    "CB": ParallelPlan.cb(),
+    "CB+FE": ParallelPlan.cb_fe(),
+    "CB+FE+SC": ParallelPlan.cb_fe_sc(),
+}
+
+#: Backwards-compatible view of the stacks as OptimusCCConfig objects.
 FIG16_CONFIGURATIONS: dict[str, OptimusCCConfig] = {
-    "CB": OptimusCCConfig.cb(),
-    "CB+FE": OptimusCCConfig.cb_fe(),
-    "CB+FE+SC": OptimusCCConfig.cb_fe_sc(),
+    label: plan.optimus_config() for label, plan in FIG16_PLANS.items()
 }
 
 
@@ -120,21 +127,20 @@ def run_fig16(
             result.engine_samples.append(
                 measure_engine_traffic(
                     f"Baseline PP{depth}",
-                    OptimusCCConfig.baseline(),
-                    num_stages=depth,
-                    tensor_parallel_degree=2,
+                    plan=ParallelPlan.baseline().with_topology(pp=depth, tp=2),
                 )
             )
             result.engine_samples.append(
                 measure_engine_traffic(
                     f"CB+FE+SC PP{depth}",
-                    OptimusCCConfig.cb_fe_sc(cb_rank=2, dp_rank=2),
-                    num_stages=depth,
-                    tensor_parallel_degree=2,
+                    plan=ParallelPlan.cb_fe_sc()
+                    .proxy_scaled()
+                    .with_topology(pp=depth, tp=2),
                 )
             )
     for model, pipeline_depth in models:
-        layout = ParallelLayout(tensor_parallel=8, pipeline_parallel=pipeline_depth, data_parallel=4)
+        sweep_topology = Topology(dp=4, pp=pipeline_depth, tp=8)
+        layout = sweep_topology.layout()
         topology = ClusterTopology(num_nodes=layout.world_size // 8, gpus_per_node=8)
         cluster = ClusterSpec(topology=topology)
         job = paper_job(model, layout=layout, cluster=cluster)
@@ -146,8 +152,10 @@ def run_fig16(
             baseline_iteration_time=baseline.iteration_time,
             dp_overlapped_fraction=baseline.dp_overlapped_fraction,
         )
-        for label, config in FIG16_CONFIGURATIONS.items():
-            timing = PipelineTimingSimulator(job, config.to_compression_plan()).run()
+        # The timing simulator takes its topology from ``job`` (built from
+        # ``sweep_topology`` above); the plan contributes the compression specs.
+        for label, plan in FIG16_PLANS.items():
+            timing = PipelineTimingSimulator(job, plan.compression_plan()).run()
             point.speedups[label] = timing.speedup_over(baseline)
         result.points.append(point)
     return result

@@ -69,6 +69,7 @@ if TYPE_CHECKING:  # imported lazily at runtime — repro.core reaches back into
     from repro.core.config import EngineCompressionConfig, OptimusCCConfig
     from repro.core.fused_embedding import EmbeddingSynchronizer
     from repro.core.selective_stage import SelectiveStageCompression
+    from repro.plan import ParallelPlan
 
 #: Megatron transformer layer: two all-reduces per layer per direction (attention
 #: output projection and MLP down-projection are row-parallel).
@@ -377,49 +378,87 @@ def _axis_report(records) -> tuple[dict[str, float], dict[str, float], dict[int,
 class ThreeDParallelEngine:
     """One training iteration across pipeline × data × tensor parallelism.
 
+    The canonical way to configure the engine is a declarative
+    :class:`repro.plan.ParallelPlan`::
+
+        engine = ThreeDParallelEngine(model_config, plan=ParallelPlan.preset("cb_fe_sc"))
+
+    The plan supplies the topology (pipeline depth, DP replicas, TP degree),
+    the schedule (overlapped vs. serial DP all-reduce), and every boundary's
+    compression spec.  The legacy ``num_stages``/``data_parallel_degree``/
+    ``optimus_config``/``engine_config`` spelling is kept and produces an
+    identical engine (each explicit argument overrides what the plan implies).
+
     Parameters
     ----------
     model_config:
         Architecture of the GPT model (replicated on every DP replica, split into
         ``num_stages`` pipeline stages).
     num_stages:
-        Pipeline depth.
+        Pipeline depth (defaults to ``plan.topology.pp`` when a plan is given).
     data_parallel_degree:
-        Number of pipeline replicas.
+        Number of pipeline replicas (defaults to ``plan.topology.dp``).
     optimus_config:
         Which Optimus-CC techniques are active on the pipeline/embedding
-        boundaries (compressed backpropagation, fused embedding sync).
+        boundaries (compressed backpropagation, fused embedding sync); defaults
+        to ``plan.optimus_config()`` when a plan is given.
     engine_config:
-        The DP-boundary compression block; defaults to
-        ``optimus_config.engine_config()`` (the paper's selective PowerSGD when SC
-        is on, the exact all-reduce otherwise).
+        The DP-boundary compression block; defaults to ``plan.engine_config()``
+        when a plan is given, else ``optimus_config.engine_config()`` (the
+        paper's selective PowerSGD when SC is on, the exact all-reduce
+        otherwise).
     log:
         Shared communication log; one is created when omitted.
     seed:
         Weight-initialisation seed (shared by all replicas, as in real DDP).
     collect_cb_diagnostics:
         Record the Fig. 11 error-independence statistics on replica 0.
+    plan:
+        The declarative run description everything above is derived from.
     """
 
     def __init__(
         self,
         model_config: GPTModelConfig,
-        num_stages: int,
-        data_parallel_degree: int,
+        num_stages: int | None = None,
+        data_parallel_degree: int | None = None,
         optimus_config: OptimusCCConfig | None = None,
         engine_config: EngineCompressionConfig | None = None,
         log: CommunicationLog | None = None,
         seed: int = 0,
         collect_cb_diagnostics: bool = False,
+        plan: "ParallelPlan | None" = None,
     ) -> None:
         # Lazy: repro.core reaches back into this module for the hook wiring.
         from repro.core.config import OptimusCCConfig
         from repro.core.framework import OptimusCC
 
+        if plan is not None:
+            num_stages = plan.topology.pp if num_stages is None else num_stages
+            if data_parallel_degree is None:
+                data_parallel_degree = plan.topology.dp
+            if optimus_config is None:
+                optimus_config = plan.optimus_config()
+            if engine_config is None:
+                engine_config = plan.engine_config()
+            # Fold explicit overrides back into the stored plan so that
+            # ``self.plan`` always describes the run that actually executes.
+            folded = {
+                "pp": num_stages,
+                "dp": data_parallel_degree,
+                "tp": engine_config.tensor_parallel_degree,
+            }
+            if any(getattr(plan.topology, key) != value for key, value in folded.items()):
+                plan = plan.with_topology(**folded)
+        if num_stages is None or data_parallel_degree is None:
+            raise ValueError(
+                "pass either plan= or explicit num_stages/data_parallel_degree"
+            )
         if num_stages <= 0:
             raise ValueError("num_stages must be positive")
         if data_parallel_degree <= 0:
             raise ValueError("data_parallel_degree must be positive")
+        self.plan = plan
         self.model_config = model_config
         self.num_stages = int(num_stages)
         self.data_parallel_degree = int(data_parallel_degree)

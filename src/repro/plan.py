@@ -1,0 +1,659 @@
+"""One declarative description of a 3D-parallel run: the :class:`ParallelPlan`.
+
+The paper's central idea is *3D-parallelism-aware* communication compression:
+each communication boundary — the data-parallel gradient all-reduce, the
+pipeline-parallel inter-stage backward channel, and the embedding
+synchronisation — gets its own codec and policy.  Before this module existed,
+that policy was smeared across four uncoordinated surfaces
+(:class:`repro.core.config.OptimusCCConfig` for the PP/embedding knobs,
+:class:`repro.core.config.EngineCompressionConfig` for the DP knobs, the
+simulator's :class:`repro.simulator.executor.CompressionPlan`, and a pile of
+hand-wired CLI flags), with every experiment driver doing its own translation.
+
+A :class:`ParallelPlan` is the single, frozen, validated object all of those
+are now derived *from*:
+
+* ``Topology(dp, pp, tp, micro_batches)`` — what runs where;
+* ``Schedule(kind, num_model_chunks)`` — how the pipeline iterates and whether
+  the DP all-reduce overlaps the cool-down (``"1f1b"``) or runs as the serial
+  per-parameter epilogue (``"serial"``);
+* a boundary-keyed compression map ``{Boundary.DP | Boundary.PP |
+  Boundary.EMBEDDING: CompressionSpec(...)}`` — what gets compressed on which
+  link, with which codec, at what aggressiveness.
+
+Plans round-trip through dicts/JSON (:meth:`ParallelPlan.to_dict` /
+:meth:`ParallelPlan.from_dict` / :meth:`ParallelPlan.to_json`), ship as named
+presets mirroring the paper's nomenclature (:meth:`ParallelPlan.preset`), and
+print one canonical label everywhere a report names a configuration
+(:meth:`ParallelPlan.describe`).  The consumers —
+:class:`~repro.parallel.engine.ThreeDParallelEngine`, the timing simulator, the
+CLI, and the experiment drivers — each expose a ``from_plan``/``plan=`` entry
+point so engine-measured and simulated traffic are provably derived from the
+same object.
+
+This module is deliberately import-light (stdlib only at module level); the
+conversions into the engine/simulator config types import lazily, so
+``repro.plan`` sits below every consumer in the import graph.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+if TYPE_CHECKING:  # conversions only — the runtime imports are lazy
+    from repro.core.config import EngineCompressionConfig, OptimusCCConfig
+    from repro.parallel.process_groups import ParallelLayout
+    from repro.simulator.executor import CompressionPlan
+
+
+class Boundary(str, Enum):
+    """The three communication boundaries of 3D-parallel training.
+
+    * ``DP`` — the data-parallel gradient all-reduce across pipeline replicas;
+    * ``PP`` — the pipeline-parallel inter-stage backward channel (compressed
+      backpropagation lives here);
+    * ``EMBEDDING`` — the tied word-embedding synchronisation between the first
+      and last pipeline stages (and across DP replicas).
+    """
+
+    DP = "dp"
+    PP = "pp"
+    EMBEDDING = "embedding"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gradient codecs of the data-parallel all-reduce (the engine's vocabulary).
+DP_CODECS = ("none", "powersgd", "qsgd", "topk")
+
+#: Activation-gradient codecs of the inter-stage backward channel.
+PP_CODECS = ("none", "powersgd", "topk")
+
+#: Embedding-synchronisation modes: the baseline two-step sync, or the paper's
+#: single fused ``2D``-way all-reduce (FE).  Fusion is not lossy compression,
+#: but it is this boundary's traffic policy, so it lives in the same map.
+EMBEDDING_CODECS = ("none", "fused")
+
+#: Codecs each boundary accepts.
+BOUNDARY_CODECS: dict[Boundary, tuple[str, ...]] = {
+    Boundary.DP: DP_CODECS,
+    Boundary.PP: PP_CODECS,
+    Boundary.EMBEDDING: EMBEDDING_CODECS,
+}
+
+#: Pipeline schedule kinds: ``"1f1b"`` fires the bucketed DP all-reduce in
+#: backward-completion order so it overlaps the pipeline cool-down; ``"serial"``
+#: runs the per-parameter DP epilogue after the pipeline drains (bit-for-bit
+#: identical weights; only message granularity and overlap accounting differ).
+SCHEDULE_KINDS = ("1f1b", "serial")
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Codec and policy of one communication boundary.
+
+    The knobs are a union across boundaries; each boundary reads the subset
+    that applies to it (the mapping is documented per field).  Unused knobs are
+    inert but kept in the spec so sweeps can toggle the codec without losing
+    their settings.
+
+    Attributes
+    ----------
+    codec:
+        ``"none"`` everywhere; plus ``"powersgd"``/``"qsgd"``/``"topk"`` at the
+        DP boundary, ``"powersgd"``/``"topk"`` at the PP boundary, and
+        ``"fused"`` at the embedding boundary (fused embedding synchronisation).
+    rank:
+        PowerSGD rank (paper defaults: 128 at DP, 16 at PP).
+    bits:
+        Quantisation bits when ``codec == "qsgd"`` (DP only).
+    fraction:
+        Kept fraction when ``codec == "topk"``.
+    error_feedback:
+        DP: classic per-replica error feedback across iterations.
+        PP: lazy error propagation — the residual rides to the next micro-batch
+        within the iteration (Section 5.1).
+    stage_fraction:
+        DP: fraction of pipeline stages (earliest first) whose gradients the
+        codec touches — selective stage compression (paper default 0.75).
+        Ignored elsewhere.
+    min_elements:
+        DP: parameters smaller than this stay uncompressed even on selected
+        stages.
+    bucket_bytes:
+        DP: target wire-payload size of one flat gradient bucket on the
+        overlapped (``"1f1b"``) path.
+    epilogue_only:
+        PP: compress only the epilogue (critical-path) transfers (Section 5.2);
+        ``False`` is the naive-CB ablation.
+    compress_forward:
+        PP: also compress forward activations (diverges; kept only so the
+        motivational comparison is expressible).
+    """
+
+    codec: str = "none"
+    rank: int = 128
+    bits: int = 4
+    fraction: float = 0.01
+    error_feedback: bool = True
+    stage_fraction: float = 1.0
+    min_elements: int = 1024
+    bucket_bytes: int = 1 << 16
+    epilogue_only: bool = True
+    compress_forward: bool = False
+
+    def __post_init__(self) -> None:
+        all_codecs = {codec for codecs in BOUNDARY_CODECS.values() for codec in codecs}
+        if self.codec not in all_codecs:
+            raise ValueError(f"codec must be one of {sorted(all_codecs)}, got {self.codec!r}")
+        if self.rank <= 0:
+            raise ValueError("rank must be positive")
+        if not 1 <= self.bits <= 8:
+            raise ValueError("bits must be in [1, 8]")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not 0.0 <= self.stage_fraction <= 1.0:
+            raise ValueError("stage_fraction must be in [0, 1]")
+        if self.min_elements < 0:
+            raise ValueError("min_elements must be non-negative")
+        if self.bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
+
+    @property
+    def compresses(self) -> bool:
+        """Whether this boundary's traffic is touched at all (``"fused"`` counts)."""
+        return self.codec != "none"
+
+    def with_(self, **kwargs: Any) -> "CompressionSpec":
+        """Return a modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def knob_label(self) -> str:
+        """The codec's one active knob, e.g. ``"r=128"`` / ``"b=4"`` / ``"k=0.01"``."""
+        if self.codec == "powersgd":
+            return f"r={self.rank}"
+        if self.codec == "qsgd":
+            return f"b={self.bits}"
+        if self.codec == "topk":
+            return f"k={self.fraction:g}"
+        return ""
+
+
+#: Per-boundary default specs (they differ only in the paper-default rank).
+BOUNDARY_DEFAULTS: dict[Boundary, CompressionSpec] = {
+    Boundary.DP: CompressionSpec(rank=128),
+    Boundary.PP: CompressionSpec(rank=16),
+    Boundary.EMBEDDING: CompressionSpec(rank=16),
+}
+
+
+def default_spec(boundary: Boundary) -> CompressionSpec:
+    """The uncompressed default spec of ``boundary``."""
+    return BOUNDARY_DEFAULTS[Boundary(boundary)]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Degrees of the three parallelism axes plus the micro-batch count.
+
+    ``micro_batches`` is per data-parallel replica per iteration — together with
+    ``pp`` it determines the pipeline schedule's shape (and therefore how much
+    cool-down there is for the DP all-reduce to hide in).
+    """
+
+    dp: int = 2
+    pp: int = 4
+    tp: int = 1
+    micro_batches: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("dp", "pp", "tp", "micro_batches"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.pp * self.tp
+
+    def with_(self, **kwargs: Any) -> "Topology":
+        return replace(self, **kwargs)
+
+    def layout(self) -> "ParallelLayout":
+        """The simulator-side :class:`~repro.parallel.process_groups.ParallelLayout`."""
+        from repro.parallel.process_groups import ParallelLayout
+
+        return ParallelLayout(
+            tensor_parallel=self.tp, pipeline_parallel=self.pp, data_parallel=self.dp
+        )
+
+    def describe(self) -> str:
+        return f"PP{self.pp}xDP{self.dp}xTP{self.tp}/mb{self.micro_batches}"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """How one iteration is scheduled.
+
+    Attributes
+    ----------
+    kind:
+        ``"1f1b"`` — one-forward-one-backward pipelining with the bucketed DP
+        all-reduce fired in backward-completion order (last stage first), i.e.
+        DP traffic overlapped with the pipeline cool-down.
+        ``"serial"`` — the same 1F1B pipeline but with the serial per-parameter
+        DP epilogue after the pipeline drains (the overlap-off ablation;
+        bit-for-bit identical weights).
+    num_model_chunks:
+        Megatron interleaved-1F1B model chunks per stage for the timing
+        simulator; 1 selects the plain schedule.  Delivered through
+        :meth:`ParallelPlan.training_job` — :class:`CompressionPlan` carries
+        only codec policy, and the job owns the schedule shape.  (The
+        functional engine always computes the plain schedule — chunking
+        changes timing, not numerics.)
+    """
+
+    kind: str = "1f1b"
+    num_model_chunks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            raise ValueError(f"kind must be one of {SCHEDULE_KINDS}, got {self.kind!r}")
+        if self.num_model_chunks <= 0:
+            raise ValueError("num_model_chunks must be positive")
+
+    @property
+    def dp_overlap(self) -> bool:
+        """Whether the DP all-reduce overlaps the pipeline cool-down."""
+        return self.kind == "1f1b"
+
+    def with_(self, **kwargs: Any) -> "Schedule":
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        chunks = f"x{self.num_model_chunks}" if self.num_model_chunks > 1 else ""
+        return f"{self.kind}{chunks}"
+
+
+def _spec_from_dict(boundary: Boundary, payload: Mapping[str, Any]) -> CompressionSpec:
+    """Build one boundary's spec from a (possibly partial) dict."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"compression[{boundary.value!r}] must be a mapping, got {payload!r}")
+    known = {f.name for f in fields(CompressionSpec)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown CompressionSpec field(s) {sorted(unknown)} for boundary {boundary.value!r}; "
+            f"known fields: {sorted(known)}"
+        )
+    return replace(default_spec(boundary), **dict(payload))
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """Topology × schedule × boundary-keyed compression: one run, declared once.
+
+    The compression map accepts :class:`Boundary` keys or their string values;
+    missing boundaries default to uncompressed.  Construction validates every
+    knob (including per-boundary codec vocabularies), so a ``ParallelPlan``
+    that exists is a ``ParallelPlan`` that can run.
+    """
+
+    topology: Topology = field(default_factory=Topology)
+    schedule: Schedule = field(default_factory=Schedule)
+    compression: Mapping[Boundary, CompressionSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalised: dict[Boundary, CompressionSpec] = {}
+        for key, spec in dict(self.compression).items():
+            try:
+                boundary = Boundary(key)
+            except ValueError:
+                raise ValueError(
+                    f"unknown boundary {key!r}; expected one of "
+                    f"{[b.value for b in Boundary]}"
+                ) from None
+            if isinstance(spec, Mapping):
+                spec = _spec_from_dict(boundary, spec)
+            if not isinstance(spec, CompressionSpec):
+                raise ValueError(
+                    f"compression[{boundary.value!r}] must be a CompressionSpec, got {spec!r}"
+                )
+            if spec.codec not in BOUNDARY_CODECS[boundary]:
+                raise ValueError(
+                    f"codec {spec.codec!r} is not valid at the {boundary.value!r} boundary; "
+                    f"allowed: {BOUNDARY_CODECS[boundary]}"
+                )
+            normalised[boundary] = spec
+        for boundary in Boundary:
+            normalised.setdefault(boundary, default_spec(boundary))
+        # Stable key order so to_dict/describe/diff/__hash__ are deterministic.
+        object.__setattr__(
+            self, "compression", {b: normalised[b] for b in Boundary}
+        )
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the dict field;
+        # the normalised map has a stable key order, so its items are a sound
+        # hashable identity (plans are value objects usable in sets/dict keys).
+        return hash((self.topology, self.schedule, tuple(self.compression.items())))
+
+    # -- accessors --------------------------------------------------------------------
+
+    def spec(self, boundary: Boundary | str) -> CompressionSpec:
+        """The compression spec of one boundary (always present)."""
+        return self.compression[Boundary(boundary)]
+
+    @property
+    def compresses_anything(self) -> bool:
+        return any(spec.compresses for spec in self.compression.values())
+
+    # -- sweep helpers ----------------------------------------------------------------
+
+    def with_boundary(self, boundary: Boundary | str, **changes: Any) -> "ParallelPlan":
+        """A copy with some knobs of one boundary's spec replaced."""
+        boundary = Boundary(boundary)
+        compression = dict(self.compression)
+        compression[boundary] = compression[boundary].with_(**changes)
+        return replace(self, compression=compression)
+
+    def with_topology(self, **changes: Any) -> "ParallelPlan":
+        """A copy with some topology degrees replaced."""
+        return replace(self, topology=self.topology.with_(**changes))
+
+    def with_schedule(self, **changes: Any) -> "ParallelPlan":
+        """A copy with some schedule knobs replaced."""
+        return replace(self, schedule=self.schedule.with_(**changes))
+
+    def proxy_scaled(self, max_rank: int = 2) -> "ParallelPlan":
+        """Rescale the PowerSGD ranks for a tiny functional probe model.
+
+        The paper's ranks (16 for PP, 128 for DP) are lossless on the probe
+        models the functional experiments train, so the CLI and the drivers cap
+        them (conventionally at 2) to keep the compression actually lossy.
+        """
+        plan = self
+        for boundary in (Boundary.PP, Boundary.DP):
+            spec = plan.spec(boundary)
+            if spec.rank > max_rank:
+                plan = plan.with_boundary(boundary, rank=max_rank)
+        return plan
+
+    # -- serialisation ----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
+        return {
+            "topology": asdict(self.topology),
+            "schedule": asdict(self.schedule),
+            "compression": {
+                boundary.value: asdict(spec) for boundary, spec in self.compression.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParallelPlan":
+        """Build a validated plan from a dict (inverse of :meth:`to_dict`).
+
+        Partial dicts are fine: missing sections and missing spec fields take
+        their defaults, unknown keys raise.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"plan payload must be a mapping, got {payload!r}")
+        unknown = set(payload) - {"topology", "schedule", "compression"}
+        if unknown:
+            raise ValueError(
+                f"unknown plan section(s) {sorted(unknown)}; "
+                "expected topology / schedule / compression"
+            )
+
+        def build(section: str, target, known: set[str]):
+            data = payload.get(section, {})
+            if not isinstance(data, Mapping):
+                raise ValueError(f"{section} must be a mapping, got {data!r}")
+            bad = set(data) - known
+            if bad:
+                raise ValueError(f"unknown {section} field(s) {sorted(bad)}")
+            return target(**data)
+
+        topology = build("topology", Topology, {f.name for f in fields(Topology)})
+        schedule = build("schedule", Schedule, {f.name for f in fields(Schedule)})
+        compression = payload.get("compression", {})
+        if not isinstance(compression, Mapping):
+            raise ValueError(f"compression must be a mapping, got {compression!r}")
+        return cls(topology=topology, schedule=schedule, compression=dict(compression))
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ParallelPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the plan to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ParallelPlan":
+        """Read and validate a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- diff -------------------------------------------------------------------------
+
+    def diff(self, other: "ParallelPlan") -> dict[str, tuple[Any, Any]]:
+        """Flat ``{dotted.field: (mine, theirs)}`` map of every differing knob."""
+
+        def flatten(payload: Mapping[str, Any], prefix: str = "") -> dict[str, Any]:
+            flat: dict[str, Any] = {}
+            for key, value in payload.items():
+                dotted = f"{prefix}{key}"
+                if isinstance(value, Mapping):
+                    flat.update(flatten(value, f"{dotted}."))
+                else:
+                    flat[dotted] = value
+            return flat
+
+        mine, theirs = flatten(self.to_dict()), flatten(other.to_dict())
+        return {
+            key: (mine.get(key), theirs.get(key))
+            for key in sorted(set(mine) | set(theirs))
+            if mine.get(key) != theirs.get(key)
+        }
+
+    # -- the one configuration label --------------------------------------------------
+
+    def stack_label(self) -> str:
+        """Paper-style technique-stack label: Baseline / CB / CB+FE / CB+FE+SC / ..."""
+        pp, dp, emb = self.spec(Boundary.PP), self.spec(Boundary.DP), self.spec(Boundary.EMBEDDING)
+        parts = []
+        if pp.compresses:
+            label = "CB"
+            if not pp.error_feedback:
+                label += "(Non-LEP)"
+            if not pp.epilogue_only:
+                label += "(naive)"
+            if pp.codec == "topk":
+                label += "(TopK)"
+            parts.append(label)
+        if emb.codec == "fused":
+            parts.append("FE")
+        if dp.compresses:
+            parts.append("DP(all)" if dp.stage_fraction >= 1.0 else "SC")
+        return "+".join(parts) if parts else "Baseline"
+
+    def describe(self) -> str:
+        """The single label reports print for this configuration.
+
+        Folds in what the old per-surface labels dropped: the DP codec detail,
+        whether the DP all-reduce is overlapped with the cool-down (and at what
+        bucket size) or serial, and the topology.  Example::
+
+            CB+FE+SC[powersgd(r=128)+ef@75%] 1f1b(overlap/64KiB) PP4xDP2xTP1/mb4
+        """
+        dp = self.spec(Boundary.DP)
+        label = self.stack_label()
+        if dp.compresses:
+            feedback = "+ef" if dp.error_feedback else ""
+            label += f"[{dp.codec}({dp.knob_label()}){feedback}@{dp.stage_fraction:.0%}]"
+        if self.schedule.dp_overlap:
+            schedule = f"{self.schedule.describe()}(overlap/{dp.bucket_bytes // 1024}KiB)"
+        else:
+            chunks = self.schedule.num_model_chunks
+            schedule = "serial-dp" + (f"x{chunks}" if chunks > 1 else "")
+        return f"{label} {schedule} {self.topology.describe()}"
+
+    # -- named presets ----------------------------------------------------------------
+
+    @classmethod
+    def baseline(cls, topology: Topology | None = None) -> "ParallelPlan":
+        """Megatron-LM without any communication compression."""
+        return cls(topology=topology or Topology())
+
+    @classmethod
+    def cb(cls, topology: Topology | None = None, rank: int = 16) -> "ParallelPlan":
+        """Compressed backpropagation (epilogue-only, with LEP)."""
+        return cls(
+            topology=topology or Topology(),
+            compression={Boundary.PP: CompressionSpec(codec="powersgd", rank=rank)},
+        )
+
+    @classmethod
+    def cb_non_lep(cls, topology: Topology | None = None, rank: int = 16) -> "ParallelPlan":
+        """CB without lazy error propagation (Table 4's 'CB (Non-LEP)')."""
+        return cls.cb(topology, rank).with_boundary(Boundary.PP, error_feedback=False)
+
+    @classmethod
+    def naive_cb(cls, topology: Topology | None = None, rank: int = 16) -> "ParallelPlan":
+        """CB on every backward transfer, no epilogue-only restriction."""
+        return cls.cb(topology, rank).with_boundary(Boundary.PP, epilogue_only=False)
+
+    @classmethod
+    def cb_fe(cls, topology: Topology | None = None, rank: int = 16) -> "ParallelPlan":
+        """CB + fused embedding synchronisation."""
+        plan = cls.cb(topology, rank)
+        return plan.with_boundary(Boundary.EMBEDDING, codec="fused")
+
+    @classmethod
+    def cb_fe_sc(
+        cls,
+        topology: Topology | None = None,
+        cb_rank: int = 16,
+        dp_rank: int = 128,
+        stage_fraction: float = 0.75,
+    ) -> "ParallelPlan":
+        """Full Optimus-CC: CB + FE + selective stage compression."""
+        plan = cls.cb_fe(topology, cb_rank)
+        return plan.with_boundary(
+            Boundary.DP, codec="powersgd", rank=dp_rank, stage_fraction=stage_fraction
+        )
+
+    @classmethod
+    def naive_dp(cls, topology: Topology | None = None, dp_rank: int = 128) -> "ParallelPlan":
+        """Naive data-parallel compression of every stage (Fig. 3 'naive DP')."""
+        return cls(
+            topology=topology or Topology(),
+            compression={
+                Boundary.DP: CompressionSpec(codec="powersgd", rank=dp_rank, stage_fraction=1.0)
+            },
+        )
+
+    @classmethod
+    def optimus_topk(cls, topology: Topology | None = None, fraction: float = 0.01) -> "ParallelPlan":
+        """Optimus-CC with top-k instead of low-rank CB (Fig. 3 'Opt-CC (TopK)')."""
+        plan = cls(
+            topology=topology or Topology(),
+            compression={
+                Boundary.PP: CompressionSpec(codec="topk", rank=16, fraction=fraction),
+                Boundary.EMBEDDING: CompressionSpec(codec="fused"),
+                Boundary.DP: CompressionSpec(codec="powersgd", rank=128, stage_fraction=0.75),
+            },
+        )
+        return plan
+
+    @classmethod
+    def preset(cls, name: str, topology: Topology | None = None) -> "ParallelPlan":
+        """Build a named preset (the registry is :data:`PLAN_PRESETS`)."""
+        if name not in PLAN_PRESETS:
+            raise ValueError(
+                f"unknown plan preset {name!r}; available: {', '.join(sorted(PLAN_PRESETS))}"
+            )
+        return PLAN_PRESETS[name](topology)
+
+    # -- conversions into the consumer layers ------------------------------------------
+
+    def engine_config(self) -> "EngineCompressionConfig":
+        """The unified engine's DP-boundary compression block, derived from this plan."""
+        from repro.core.config import EngineCompressionConfig
+
+        dp = self.spec(Boundary.DP)
+        return EngineCompressionConfig(
+            dp_codec=dp.codec,
+            dp_rank=dp.rank,
+            dp_qsgd_bits=dp.bits,
+            dp_topk_fraction=dp.fraction,
+            dp_error_feedback=dp.error_feedback,
+            dp_stage_fraction=dp.stage_fraction,
+            min_compression_elements=dp.min_elements,
+            tensor_parallel_degree=self.topology.tp,
+            dp_overlap=self.schedule.dp_overlap,
+            dp_bucket_bytes=dp.bucket_bytes,
+        )
+
+    def optimus_config(self, seed: int = 0) -> "OptimusCCConfig":
+        """The PP/embedding/DP technique flags, derived from this plan."""
+        from repro.core.config import OptimusCCConfig
+
+        return OptimusCCConfig.from_plan(self, seed=seed)
+
+    def compression_plan(self) -> "CompressionPlan":
+        """The timing simulator's view of this plan."""
+        from repro.simulator.executor import CompressionPlan
+
+        return CompressionPlan.from_plan(self)
+
+    def layout(self) -> "ParallelLayout":
+        """The simulator-side parallel layout of this plan's topology."""
+        return self.topology.layout()
+
+    def training_job(self, model, cluster=None, micro_batch_size: int = 8):
+        """A simulator :class:`~repro.simulator.cost_model.TrainingJob` for this plan.
+
+        The layout comes from the topology, the interleaved chunk count from the
+        schedule, and the global batch size is derived so each replica runs
+        exactly ``topology.micro_batches`` micro-batches per iteration — the
+        full delivery path for every schedule/topology knob a plan declares.
+        """
+        from repro.simulator.cost_model import TrainingJob
+
+        kwargs = dict(
+            model=model,
+            layout=self.layout(),
+            micro_batch_size=micro_batch_size,
+            global_batch_size=(
+                micro_batch_size * self.topology.micro_batches * self.topology.dp
+            ),
+            num_model_chunks=self.schedule.num_model_chunks,
+        )
+        if cluster is not None:
+            kwargs["cluster"] = cluster
+        return TrainingJob(**kwargs)
+
+
+#: Named presets (the paper's nomenclature) addressable from the CLI and tests.
+PLAN_PRESETS: dict[str, Callable[[Topology | None], ParallelPlan]] = {
+    "baseline": ParallelPlan.baseline,
+    "cb": ParallelPlan.cb,
+    "cb_non_lep": ParallelPlan.cb_non_lep,
+    "naive_cb": ParallelPlan.naive_cb,
+    "cb_fe": ParallelPlan.cb_fe,
+    "cb_fe_sc": ParallelPlan.cb_fe_sc,
+    "naive_dp": ParallelPlan.naive_dp,
+    "optimus_topk": ParallelPlan.optimus_topk,
+}

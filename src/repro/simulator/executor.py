@@ -23,13 +23,9 @@ from repro.parallel.pipeline_schedule import (
     build_1f1b_schedule,
     build_interleaved_1f1b_schedule,
 )
+from repro.plan import Boundary, ParallelPlan
+from repro.plan import DP_CODECS as DP_CODECS  # single shared codec vocabulary
 from repro.simulator.cost_model import CostModel, TrainingJob
-
-#: Data-parallel gradient codecs — one vocabulary shared by the simulator's
-#: :class:`CompressionPlan` and the engine's
-#: :class:`repro.core.config.EngineCompressionConfig`, so simulated and
-#: engine-measured traffic describe compression the same way.
-DP_CODECS = ("none", "powersgd", "qsgd", "topk")
 
 
 @dataclass(frozen=True)
@@ -160,6 +156,33 @@ class CompressionPlan:
             dp_qsgd_bits=engine_config.dp_qsgd_bits,
             dp_topk_fraction=engine_config.dp_topk_fraction,
             **overrides,
+        )
+
+    @classmethod
+    def from_plan(cls, plan: ParallelPlan) -> "CompressionPlan":
+        """Derive the simulator's view from a declarative :class:`~repro.plan.ParallelPlan`.
+
+        This is the simulator half of the single-source-of-truth contract: the
+        unified engine derives its DP block from the same plan
+        (:meth:`repro.plan.ParallelPlan.engine_config`), so engine-measured and
+        simulated traffic provably describe the same codec, rank, bits, and
+        kept/stage fractions per boundary (asserted by the cross-layer parity
+        test in ``tests/test_plan.py``).
+        """
+        pp = plan.spec(Boundary.PP)
+        dp = plan.spec(Boundary.DP)
+        embedding = plan.spec(Boundary.EMBEDDING)
+        return cls(
+            compress_backward=pp.compresses,
+            backward_rank=pp.rank,
+            backward_epilogue_only=pp.epilogue_only,
+            compress_forward=pp.compress_forward,
+            dp_compressed_stage_fraction=dp.stage_fraction if dp.compresses else 0.0,
+            dp_rank=dp.rank,
+            dp_codec=dp.codec if dp.compresses else "powersgd",
+            dp_qsgd_bits=dp.bits,
+            dp_topk_fraction=dp.fraction,
+            fuse_embedding=embedding.codec == "fused",
         )
 
     def compressed_dp_stages(self, num_stages: int) -> set[int]:

@@ -37,6 +37,7 @@ from repro.nn.transformer import GPTModelConfig
 from repro.optim import FusedAdam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
 from repro.parallel.engine import EngineIterationResult, ThreeDParallelEngine
+from repro.plan import ParallelPlan
 from repro.training.metrics import TrainingHistory
 
 
@@ -76,13 +77,18 @@ class Pretrainer:
         Weight-initialisation seed (shared by all replicas, as in real DDP).
     collect_cb_diagnostics:
         Record the Fig. 11 error-independence statistics.
+    plan:
+        Declarative :class:`repro.plan.ParallelPlan`; when given it supplies the
+        pipeline depth and both configuration blocks (explicit arguments still
+        override).  The loader's ``data_parallel_degree`` and
+        ``num_micro_batches`` must match the plan's topology.
     """
 
     def __init__(
         self,
         model_config: GPTModelConfig,
         loader: LanguageModelingDataLoader,
-        num_stages: int = 2,
+        num_stages: int | None = None,
         optimus_config: OptimusCCConfig | None = None,
         engine_config: EngineCompressionConfig | None = None,
         learning_rate: float = 1e-3,
@@ -90,9 +96,32 @@ class Pretrainer:
         lr_schedule: LRSchedule | None = None,
         seed: int = 0,
         collect_cb_diagnostics: bool = False,
+        plan: ParallelPlan | None = None,
     ) -> None:
+        if plan is not None:
+            num_stages = plan.topology.pp if num_stages is None else num_stages
+            if num_stages != plan.topology.pp:
+                # Keep the stored plan describing the run that actually executes.
+                plan = plan.with_topology(pp=num_stages)
+            if loader.data_parallel_degree != plan.topology.dp:
+                raise ValueError(
+                    f"loader data_parallel_degree {loader.data_parallel_degree} does not "
+                    f"match plan topology dp={plan.topology.dp}"
+                )
+            if loader.num_micro_batches != plan.topology.micro_batches:
+                raise ValueError(
+                    f"loader num_micro_batches {loader.num_micro_batches} does not "
+                    f"match plan topology micro_batches={plan.topology.micro_batches}"
+                )
+            if optimus_config is None:
+                optimus_config = plan.optimus_config()
+            if engine_config is None:
+                engine_config = plan.engine_config()
+        if num_stages is None:
+            num_stages = 2
         if num_stages <= 0:
             raise ValueError("num_stages must be positive")
+        self.plan = plan
         self.model_config = model_config
         self.loader = loader
         self.num_stages = int(num_stages)

@@ -1,0 +1,600 @@
+"""Tests for the declarative ParallelPlan API and its consumer wiring.
+
+Covers the four contracts the plan redesign introduces:
+
+* **round-trip** — ``from_dict(to_dict(p)) == p`` (hypothesis property) and
+  invalid boundary/codec/knob combinations raise at construction;
+* **shim equivalence** — every legacy ``EngineCompressionConfig`` spelling and
+  its plan-path equivalent produce bit-identical weights and an identical
+  communication-log stream through the engine;
+* **cross-layer parity** — ``CompressionPlan.from_plan`` (simulator) and
+  ``plan.engine_config()`` (engine) agree on codec/rank/bits/fraction and the
+  selected stage set per boundary, and the PowerSGD byte models agree exactly;
+* **CLI** — ``repro train --preset``, ``--plan file.json``, and the ``repro
+  plan show/validate/diff`` subcommands.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.compression import PowerSGDCompressor
+from repro.compression.base import UNCOMPRESSED_BYTES_PER_ELEMENT
+from repro.core.config import EngineCompressionConfig, OptimusCCConfig
+from repro.core.selective_stage import select_compressed_stages
+from repro.models.gpt_configs import functional_config
+from repro.parallel.engine import ThreeDParallelEngine
+from repro.plan import (
+    BOUNDARY_CODECS,
+    PLAN_PRESETS,
+    Boundary,
+    CompressionSpec,
+    ParallelPlan,
+    Schedule,
+    Topology,
+)
+from repro.simulator.cost_model import CostModel, TrainingJob
+from repro.simulator.executor import CompressionPlan
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples" / "plans"
+
+
+# ---------------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------------
+
+
+def spec_strategy(boundary: Boundary) -> st.SearchStrategy[CompressionSpec]:
+    return st.builds(
+        CompressionSpec,
+        codec=st.sampled_from(BOUNDARY_CODECS[boundary]),
+        rank=st.integers(min_value=1, max_value=256),
+        bits=st.integers(min_value=1, max_value=8),
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+        error_feedback=st.booleans(),
+        stage_fraction=st.floats(min_value=0.0, max_value=1.0),
+        min_elements=st.integers(min_value=0, max_value=4096),
+        bucket_bytes=st.integers(min_value=1, max_value=1 << 20),
+        epilogue_only=st.booleans(),
+        compress_forward=st.booleans(),
+    )
+
+
+plan_strategy = st.builds(
+    ParallelPlan,
+    topology=st.builds(
+        Topology,
+        dp=st.integers(min_value=1, max_value=8),
+        pp=st.integers(min_value=1, max_value=8),
+        tp=st.integers(min_value=1, max_value=8),
+        micro_batches=st.integers(min_value=1, max_value=16),
+    ),
+    schedule=st.builds(
+        Schedule,
+        kind=st.sampled_from(("1f1b", "serial")),
+        num_model_chunks=st.integers(min_value=1, max_value=4),
+    ),
+    compression=st.fixed_dictionaries(
+        {
+            Boundary.DP: spec_strategy(Boundary.DP),
+            Boundary.PP: spec_strategy(Boundary.PP),
+            Boundary.EMBEDDING: spec_strategy(Boundary.EMBEDDING),
+        }
+    ),
+)
+
+
+# ---------------------------------------------------------------------------------
+# Round-trip and validation
+# ---------------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plan_strategy)
+    def test_dict_round_trip(self, plan):
+        assert ParallelPlan.from_dict(plan.to_dict()) == plan
+
+    @settings(max_examples=30, deadline=None)
+    @given(plan=plan_strategy)
+    def test_json_round_trip(self, plan):
+        assert ParallelPlan.from_json(plan.to_json()) == plan
+
+    @settings(max_examples=30, deadline=None)
+    @given(plan=plan_strategy)
+    def test_json_is_plain_data(self, plan):
+        payload = json.loads(plan.to_json())
+        assert set(payload) == {"topology", "schedule", "compression"}
+        assert set(payload["compression"]) == {"dp", "pp", "embedding"}
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = ParallelPlan.preset("cb_fe_sc")
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert ParallelPlan.load(path) == plan
+
+    def test_string_boundary_keys_accepted(self):
+        plan = ParallelPlan(compression={"dp": CompressionSpec(codec="qsgd", bits=2)})
+        assert plan.spec(Boundary.DP).codec == "qsgd"
+
+    def test_partial_dicts_take_defaults(self):
+        plan = ParallelPlan.from_dict(
+            {"compression": {"pp": {"codec": "powersgd", "rank": 8}}}
+        )
+        assert plan.spec(Boundary.PP).rank == 8
+        assert plan.spec(Boundary.PP).epilogue_only  # default
+        assert plan.spec(Boundary.DP).codec == "none"
+        assert plan.topology == Topology()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "boundary, codec",
+        [
+            (Boundary.PP, "qsgd"),
+            (Boundary.PP, "fused"),
+            (Boundary.DP, "fused"),
+            (Boundary.EMBEDDING, "powersgd"),
+            (Boundary.EMBEDDING, "topk"),
+        ],
+    )
+    def test_codec_not_valid_at_boundary(self, boundary, codec):
+        with pytest.raises(ValueError, match="not valid at"):
+            ParallelPlan(compression={boundary: CompressionSpec(codec=codec)})
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(codec="zip")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"bits": 0},
+            {"bits": 9},
+            {"fraction": 0.0},
+            {"fraction": 1.5},
+            {"stage_fraction": -0.1},
+            {"stage_fraction": 1.5},
+            {"min_elements": -1},
+            {"bucket_bytes": 0},
+        ],
+    )
+    def test_bad_spec_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CompressionSpec(**kwargs)
+
+    def test_unknown_boundary_key(self):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            ParallelPlan(compression={"tensor": CompressionSpec()})
+
+    def test_unknown_spec_field(self):
+        with pytest.raises(ValueError, match="unknown CompressionSpec field"):
+            ParallelPlan.from_dict({"compression": {"dp": {"codec": "none", "ranks": 4}}})
+
+    def test_unknown_section(self):
+        with pytest.raises(ValueError, match="unknown plan section"):
+            ParallelPlan.from_dict({"topo": {}})
+
+    def test_bad_topology(self):
+        with pytest.raises(ValueError):
+            Topology(dp=0)
+        with pytest.raises(ValueError):
+            ParallelPlan.from_dict({"topology": {"dp": 2, "nodes": 4}})
+
+    def test_bad_schedule_kind(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            Schedule(kind="gpipe")
+
+
+class TestPlanHelpers:
+    def test_presets_cover_the_paper_nomenclature(self):
+        assert set(PLAN_PRESETS) == {
+            "baseline",
+            "cb",
+            "cb_non_lep",
+            "naive_cb",
+            "cb_fe",
+            "cb_fe_sc",
+            "naive_dp",
+            "optimus_topk",
+        }
+        for name in PLAN_PRESETS:
+            plan = ParallelPlan.preset(name)
+            assert plan.optimus_config() == getattr(OptimusCCConfig, name)()
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown plan preset"):
+            ParallelPlan.preset("warp")
+
+    def test_with_boundary_is_a_sweep_helper(self):
+        base = ParallelPlan.preset("cb_fe_sc")
+        swept = base.with_boundary(Boundary.DP, codec="topk", fraction=0.1)
+        assert swept.spec(Boundary.DP).codec == "topk"
+        assert base.spec(Boundary.DP).codec == "powersgd"  # original untouched
+        assert swept.spec(Boundary.PP) == base.spec(Boundary.PP)
+
+    def test_with_schedule_and_topology(self):
+        plan = ParallelPlan.baseline().with_schedule(kind="serial").with_topology(pp=8)
+        assert not plan.schedule.dp_overlap
+        assert plan.topology.pp == 8
+
+    def test_proxy_scaled_caps_ranks(self):
+        plan = ParallelPlan.preset("cb_fe_sc").proxy_scaled()
+        assert plan.spec(Boundary.PP).rank == 2
+        assert plan.spec(Boundary.DP).rank == 2
+
+    def test_describe_folds_in_overlap_and_bucket_state(self):
+        overlapped = ParallelPlan.preset("cb_fe_sc")
+        serial = overlapped.with_schedule(kind="serial")
+        rebucketed = overlapped.with_boundary(Boundary.DP, bucket_bytes=128 * 1024)
+        labels = {overlapped.describe(), serial.describe(), rebucketed.describe()}
+        assert len(labels) == 3  # the old EngineCompressionConfig label collapsed these
+        assert "overlap/64KiB" in overlapped.describe()
+        assert "serial-dp" in serial.describe()
+        assert "overlap/128KiB" in rebucketed.describe()
+
+    def test_diff_reports_differing_knobs_only(self):
+        a = ParallelPlan.preset("cb_fe")
+        b = ParallelPlan.preset("cb_fe_sc")
+        delta = a.diff(b)
+        assert delta == {
+            "compression.dp.codec": ("none", "powersgd"),
+            "compression.dp.stage_fraction": (1.0, 0.75),
+        }
+        assert a.diff(a) == {}
+
+    def test_training_job_delivers_schedule_and_topology(self):
+        from repro.models.gpt_configs import GPT_2_5B
+
+        plan = ParallelPlan.baseline().with_topology(
+            dp=4, pp=4, tp=8, micro_batches=16
+        ).with_schedule(num_model_chunks=2)
+        job = plan.training_job(GPT_2_5B)
+        assert job.layout.data_parallel == 4
+        assert job.layout.pipeline_parallel == 4
+        assert job.layout.tensor_parallel == 8
+        assert job.num_micro_batches == 16
+        assert job.num_model_chunks == 2
+        # Chunk count changes the simulated schedule, proving delivery.
+        from repro.simulator.executor import PipelineTimingSimulator
+
+        chunked = PipelineTimingSimulator(job, plan.compression_plan()).run()
+        plain_job = plan.with_schedule(num_model_chunks=1).training_job(GPT_2_5B)
+        plain = PipelineTimingSimulator(plain_job, plan.compression_plan()).run()
+        assert chunked.iteration_time != plain.iteration_time
+
+    def test_non_powersgd_dp_codec_is_not_misrepresented(self):
+        plan = ParallelPlan.baseline().with_boundary(
+            Boundary.DP, codec="topk", fraction=0.05, stage_fraction=1.0
+        )
+        optimus = plan.optimus_config()
+        assert optimus.dp_stage_fraction == 0.0  # no false PowerSGD-SC claim
+        assert plan.engine_config().dp_codec == "topk"  # the codec still runs
+        assert CompressionPlan.from_plan(plan).dp_codec == "topk"
+
+    def test_pretrainer_validates_plan_against_loader(self, small_config, loader):
+        from repro.training.trainer import Pretrainer
+
+        plan = ParallelPlan.baseline().with_topology(
+            pp=2, dp=loader.data_parallel_degree, micro_batches=8
+        )
+        with pytest.raises(ValueError, match="num_micro_batches"):
+            Pretrainer(small_config, loader, plan=plan)
+        matching = plan.with_topology(micro_batches=loader.num_micro_batches)
+        trainer = Pretrainer(small_config, loader, plan=matching)
+        assert trainer.num_stages == 2
+
+    def test_plans_are_hashable_value_objects(self):
+        plans = {ParallelPlan.baseline(), ParallelPlan.preset("cb_fe_sc"), ParallelPlan.baseline()}
+        assert len(plans) == 2
+        assert hash(ParallelPlan.preset("cb")) == hash(ParallelPlan.cb())
+
+    def test_explicit_topology_args_override_the_plan_in_measure(self):
+        from repro.experiments.engine_traffic import measure_engine_traffic
+
+        sample = measure_engine_traffic(
+            "override", plan=ParallelPlan.baseline(), num_stages=2, num_micro_batches=2
+        )
+        assert sample.num_stages == 2
+
+    def test_example_plan_files_are_valid(self):
+        files = sorted(EXAMPLES_DIR.glob("*.json"))
+        assert len(files) >= 4
+        for path in files:
+            plan = ParallelPlan.load(path)
+            assert ParallelPlan.from_dict(plan.to_dict()) == plan
+
+
+# ---------------------------------------------------------------------------------
+# Shim equivalence: legacy EngineCompressionConfig vs the plan path
+# ---------------------------------------------------------------------------------
+
+
+def _run_probe(engine, iterations=2, seed=7):
+    """Run a deterministic probe and return (records, weights)."""
+    rng = np.random.default_rng(seed)
+    model = engine.model_config
+    for _ in range(iterations):
+        batches = [
+            [
+                (
+                    rng.integers(0, model.vocab_size, size=(2, 8)),
+                    rng.integers(0, model.vocab_size, size=(2, 8)),
+                )
+                for _ in range(2)
+            ]
+            for _ in range(engine.data_parallel_degree)
+        ]
+        engine.zero_grad()
+        engine.run_iteration(batches)
+        for arena in engine.arenas:
+            arena.data[...] -= 1e-3 * arena.grad
+    records = [
+        (r.category, r.payload_bytes, r.wire_bytes, r.compressed, r.overlapped)
+        for r in engine.log.records
+    ]
+    weights = [p.data.copy() for p in engine.parameters()]
+    return records, weights
+
+
+ENGINE_SPELLINGS = [
+    EngineCompressionConfig.uncompressed(),
+    EngineCompressionConfig.uncompressed().with_(dp_overlap=False),
+    EngineCompressionConfig(dp_codec="powersgd", dp_rank=2, dp_stage_fraction=0.5),
+    EngineCompressionConfig(dp_codec="qsgd", dp_qsgd_bits=3, min_compression_elements=64),
+    EngineCompressionConfig(
+        dp_codec="topk", dp_topk_fraction=0.25, dp_overlap=False, dp_error_feedback=False
+    ),
+    EngineCompressionConfig(dp_codec="powersgd", dp_rank=2, dp_bucket_bytes=1 << 12),
+]
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize(
+        "engine_config", ENGINE_SPELLINGS, ids=lambda cfg: cfg.describe()
+    )
+    def test_every_legacy_spelling_matches_its_plan(self, engine_config):
+        """The shim contract: cfg and cfg.as_plan() drive identical engines."""
+        model = functional_config(
+            vocab_size=48, sequence_length=12, num_layers=2, hidden_size=16, num_heads=2
+        )
+        plan = engine_config.as_plan(num_stages=2, data_parallel_degree=2)
+        assert EngineCompressionConfig.from_plan(plan) == engine_config
+
+        legacy = ThreeDParallelEngine(
+            model, num_stages=2, data_parallel_degree=2, engine_config=engine_config
+        )
+        via_plan = ThreeDParallelEngine(model, plan=plan)
+        legacy_records, legacy_weights = _run_probe(legacy)
+        plan_records, plan_weights = _run_probe(via_plan)
+
+        assert legacy_records == plan_records  # identical traffic log, record by record
+        for mine, theirs in zip(legacy_weights, plan_weights):
+            assert np.array_equal(mine, theirs)  # bit-identical weights
+
+    def test_preset_cli_and_shim_spellings_are_bit_identical(self):
+        """The acceptance triangle: --preset path == plan path == legacy shim."""
+        arguments = cli.build_parser().parse_args(["train", "--preset", "cb_fe_sc"])
+        cli_plan = cli.build_train_plan(arguments)
+        plan = ParallelPlan.preset("cb_fe_sc").proxy_scaled()
+        assert cli_plan == plan
+
+        model = functional_config(
+            vocab_size=48, sequence_length=12, num_layers=4, hidden_size=16, num_heads=2
+        )
+        engines = [
+            ThreeDParallelEngine(model, plan=plan),
+            ThreeDParallelEngine(model, plan=cli_plan),
+            ThreeDParallelEngine(
+                model,
+                num_stages=4,
+                data_parallel_degree=2,
+                optimus_config=plan.optimus_config(),
+                engine_config=plan.engine_config(),  # the legacy shim spelling
+            ),
+        ]
+        results = [_run_probe(engine) for engine in engines]
+        reference_records, reference_weights = results[0]
+        dp_records = [r for r in reference_records if r[0] == "data_parallel"]
+        assert dp_records and any(r[3] for r in dp_records)  # DP compression exercised
+        for records, weights in results[1:]:
+            assert records == reference_records
+            for mine, theirs in zip(reference_weights, weights):
+                assert np.array_equal(mine, theirs)
+
+
+# ---------------------------------------------------------------------------------
+# Cross-layer parity: the simulator and the engine read the same plan
+# ---------------------------------------------------------------------------------
+
+
+class TestCrossLayerParity:
+    @pytest.mark.parametrize("name", sorted(PLAN_PRESETS))
+    def test_simulator_and_engine_agree_on_every_boundary(self, name):
+        plan = ParallelPlan.preset(name)
+        sim = CompressionPlan.from_plan(plan)
+        eng = plan.engine_config()
+        optimus = plan.optimus_config()
+
+        # DP boundary: codec, rank, bits, kept fraction, and the stage set.
+        if plan.spec(Boundary.DP).compresses:
+            assert sim.dp_codec == eng.dp_codec
+            assert sim.dp_rank == eng.dp_rank
+            assert sim.dp_qsgd_bits == eng.dp_qsgd_bits
+            assert sim.dp_topk_fraction == eng.dp_topk_fraction
+            assert sim.dp_compressed_stage_fraction == eng.dp_stage_fraction
+        for num_stages in (2, 4, 8):
+            engine_stages = (
+                select_compressed_stages(num_stages, eng.dp_stage_fraction)
+                if eng.compresses_dp
+                else set()
+            )
+            assert sim.compressed_dp_stages(num_stages) == engine_stages
+
+        # PP boundary: CB flag, rank, epilogue restriction, LEP.
+        assert sim.compress_backward == plan.spec(Boundary.PP).compresses
+        assert sim.backward_rank == optimus.cb_rank
+        assert sim.backward_epilogue_only == optimus.epilogue_only
+
+        # Embedding boundary.
+        assert sim.fuse_embedding == (plan.spec(Boundary.EMBEDDING).codec == "fused")
+
+    @pytest.mark.parametrize("rank", [2, 4, 64])
+    def test_powersgd_byte_models_agree(self, rank):
+        """Engine codec payloads and the cost model count the same elements."""
+        from repro.models.gpt_configs import GPT_2_5B
+
+        job = TrainingJob(model=GPT_2_5B)
+        cost = CostModel(job)
+        compressor = PowerSGDCompressor(rank=rank, min_compression_elements=0)
+        rng = np.random.default_rng(0)
+        for rows, cols in cost.stage_weight_matrices(0)[:4]:
+            # Simulator's element count for one matrix under powersgd.
+            effective = max(1, min(rank, rows, cols))
+            sim_elements = min(effective * (rows + cols), rows * cols)
+            payload = compressor.compress(rng.standard_normal((rows, cols)), key="m")
+            engine_elements = payload.payload_bytes / UNCOMPRESSED_BYTES_PER_ELEMENT
+            assert engine_elements == sim_elements
+
+    def test_engine_measured_savings_follow_the_shared_plan(self):
+        """End to end: the engine's measured DP savings match the plan's intent."""
+        from repro.experiments.engine_traffic import measure_engine_traffic
+
+        plan = ParallelPlan.preset("cb_fe_sc").proxy_scaled()
+        sample = measure_engine_traffic("parity", plan=plan)
+        assert sample.dp_bytes_saved_fraction > 0.0
+        sim = CompressionPlan.from_plan(plan)
+        # 75% of 4 stages -> stages {0, 1, 2} on both layers.
+        assert sim.compressed_dp_stages(plan.topology.pp) == {0, 1, 2}
+
+
+# ---------------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------------
+
+
+class TestPlanCli:
+    def test_plan_show_preset(self, capsys):
+        assert cli.main(["plan", "show", "cb_fe_sc"]) == 0
+        out = capsys.readouterr().out
+        assert "CB+FE+SC" in out and '"topology"' in out
+
+    def test_plan_show_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli.main(["plan", "show", "not_a_preset_or_file"])
+
+    def test_plan_validate_examples(self, capsys):
+        files = [str(path) for path in sorted(EXAMPLES_DIR.glob("*.json"))]
+        assert cli.main(["plan", "validate", *files]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(files)
+
+    def test_plan_validate_fails_on_invalid_file(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        ParallelPlan.baseline().save(good)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"compression": {"dp": {"codec": "zip"}}}')
+        with pytest.raises(SystemExit, match="1 invalid"):
+            cli.main(["plan", "validate", str(good), str(bad)])
+        out = capsys.readouterr().out
+        assert "OK" in out and "FAIL" in out
+
+    def test_plan_diff(self, capsys):
+        assert cli.main(["plan", "diff", "cb_fe", "cb_fe_sc"]) == 0
+        out = capsys.readouterr().out
+        assert "compression.dp.codec" in out
+        assert cli.main(["plan", "diff", "cb", "cb"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_train_accepts_plan_file(self, tmp_path, capsys):
+        path = tmp_path / "probe.json"
+        ParallelPlan.baseline().with_topology(pp=2).save(path)
+        assert cli.main(["train", "--plan", str(path), "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PP2 x DP2 x TP1" in out
+
+    def test_train_preset_and_plan_are_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "probe.json"
+        ParallelPlan.baseline().save(path)
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            cli.main(["train", "--plan", str(path), "--preset", "baseline"])
+        with pytest.raises(SystemExit, match="--config cannot be combined"):
+            cli.main(["train", "--preset", "baseline", "--config", "cb"])
+
+    def test_train_rejects_bad_topology_cleanly(self):
+        with pytest.raises(SystemExit, match="pp must be positive"):
+            cli.main(["train", "--stages", "0"])
+
+    def test_plan_file_rank_is_taken_verbatim(self, tmp_path):
+        """Restating a --plan file's own codec must not proxy-cap its rank."""
+        path = tmp_path / "r8.json"
+        ParallelPlan.cb_fe_sc(dp_rank=8).save(path)
+        arguments = cli.build_parser().parse_args(
+            ["train", "--plan", str(path), "--dp-codec", "powersgd"]
+        )
+        assert cli.build_train_plan(arguments).spec(Boundary.DP).rank == 8
+        preset_args = cli.build_parser().parse_args(
+            ["train", "--preset", "naive_dp", "--dp-codec", "powersgd"]
+        )
+        assert cli.build_train_plan(preset_args).spec(Boundary.DP).rank == 2
+
+    def test_engine_folds_overrides_into_its_stored_plan(self):
+        model = functional_config(
+            vocab_size=48, sequence_length=12, num_layers=2, hidden_size=16, num_heads=2
+        )
+        engine = ThreeDParallelEngine(
+            model, num_stages=2, plan=ParallelPlan.baseline().with_topology(pp=4)
+        )
+        assert engine.num_stages == 2
+        assert engine.plan.topology.pp == 2  # self.plan describes the actual run
+
+    def test_overlap_dp_flag_flips_a_serial_plan_back(self, tmp_path):
+        path = tmp_path / "serial.json"
+        ParallelPlan.baseline().with_schedule(kind="serial").save(path)
+        arguments = cli.build_parser().parse_args(
+            ["train", "--plan", str(path), "--overlap-dp"]
+        )
+        assert cli.build_train_plan(arguments).schedule.dp_overlap
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            cli.main(["train", "--serial-dp", "--overlap-dp"])
+
+    def test_train_flags_layer_onto_the_plan(self):
+        arguments = cli.build_parser().parse_args(
+            [
+                "train",
+                "--preset",
+                "baseline",
+                "--dp-codec",
+                "qsgd",
+                "--dp-qsgd-bits",
+                "2",
+                "--serial-dp",
+                "--stages",
+                "3",
+                "--dp-bucket-kb",
+                "16",
+            ]
+        )
+        plan = cli.build_train_plan(arguments)
+        dp = plan.spec(Boundary.DP)
+        assert dp.codec == "qsgd" and dp.bits == 2
+        assert dp.bucket_bytes == 16 * 1024
+        assert plan.schedule.kind == "serial"
+        assert plan.topology.pp == 3
+
+    def test_bucket_default_derives_from_the_dataclass(self):
+        """--dp-bucket-kb omitted -> the plan keeps the dataclass default."""
+        arguments = cli.build_parser().parse_args(["train", "--preset", "baseline"])
+        plan = cli.build_train_plan(arguments)
+        assert (
+            plan.engine_config().dp_bucket_bytes
+            == EngineCompressionConfig.dp_bucket_bytes
+        )
