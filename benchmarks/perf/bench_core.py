@@ -1,6 +1,6 @@
 """Microbenchmarks of the flat-arena execution core.
 
-Three hot paths are measured, each against the implementation it replaced:
+Four hot paths are measured, each against the implementation it replaced:
 
 * **optimizer step** — :class:`repro.optim.FusedAdam` over a flat
   :class:`~repro.parallel.arena.ParameterArena` versus the per-parameter
@@ -8,13 +8,20 @@ Three hot paths are measured, each against the implementation it replaced:
 * **engine iteration** — one :class:`~repro.parallel.engine.ThreeDParallelEngine`
   iteration with the bucketed, cool-down-overlapped DP all-reduce versus the
   serial per-parameter epilogue (identical weights — asserted here);
-* **codec round-trip** — compress + decompress throughput of the PowerSGD / QSGD /
-  top-k gradient codecs on a stage-sized matrix.
+* **codec round-trip** — compress + decompress throughput of the PowerSGD /
+  packed-QSGD / top-k gradient codecs on a stage-sized matrix, for both the safe
+  API and the zero-allocation workspace kernels
+  (``compress_into``/``decompress_into``);
+* **compressed-DP iteration** — a full engine iteration with every stage's DP
+  gradients codec-compressed: the bucketed path (one codec invocation per
+  bucket on flat arena views) versus the serial per-parameter epilogue
+  (identical gradients — asserted here).
 
 Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
 trajectory is tracked from PR 2 onward; the perf smoke test
 (``benchmarks/perf/test_perf_core.py``) runs the same harness with fewer repeats
-and asserts the headline claim (>= 2x on the optimizer step).
+and asserts the headline claims, and ``check_regression.py`` diffs a fresh run
+against the committed baseline in CI.
 
 Run directly with ``PYTHONPATH=src python benchmarks/perf/bench_core.py``.
 """
@@ -155,9 +162,15 @@ def bench_engine_iteration(repeats: int = 3, iterations_per_repeat: int = 2) -> 
 
 
 def bench_codec_roundtrip(repeats: int = 5, rows: int = 256, cols: int = 512) -> dict:
-    """Compress + decompress throughput of the DP gradient codecs."""
+    """Compress + decompress throughput of the DP gradient codecs.
+
+    ``mb_per_s`` is the safe API (payload owns its arrays); ``into_mb_per_s`` is
+    the zero-allocation workspace kernel the bucketed DP path runs
+    (``compress_into``/``decompress_into``, payload views workspace memory).
+    """
     rng = np.random.default_rng(2)
     gradient = rng.standard_normal((rows, cols))
+    out = np.empty_like(gradient)
     raw_mb = gradient.nbytes / 1e6
     codecs = {
         "powersgd": PowerSGDCompressor(rank=4, seed=0),
@@ -170,12 +183,87 @@ def bench_codec_roundtrip(repeats: int = 5, rows: int = 256, cols: int = 512) ->
             payload = codec.compress(gradient, key="bench")
             codec.decompress(payload)
 
+        def roundtrip_into():
+            payload = codec.compress_into(gradient, key="bench")
+            codec.decompress_into(payload, out)
+
         seconds = _time_calls(roundtrip, repeats)
+        into_seconds = _time_calls(roundtrip_into, repeats)
         results[name] = {
             "roundtrip_ms": seconds * 1e3,
             "mb_per_s": raw_mb / seconds,
+            "into_roundtrip_ms": into_seconds * 1e3,
+            "into_mb_per_s": raw_mb / into_seconds,
         }
     results["matrix"] = f"{rows}x{cols} float64"
+    return results
+
+
+#: Codec knobs for the compressed-DP iteration benchmark: aggressive enough that
+#: every transformer matrix of the probe model is codec-routed.
+_DP_CODEC_CONFIGS = {
+    "powersgd": dict(dp_codec="powersgd", dp_rank=2),
+    "qsgd": dict(dp_codec="qsgd", dp_qsgd_bits=4),
+    "topk": dict(dp_codec="topk", dp_topk_fraction=0.05),
+}
+
+
+def bench_compressed_dp_iteration(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """Bucketed per-bucket codec path vs. the serial per-parameter codec path."""
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=8, hidden_size=16, num_heads=2
+    )
+    rng = np.random.default_rng(4)
+    batches = [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+            )
+        ]
+        for _ in range(2)
+    ]
+    results = {}
+    for codec, knobs in _DP_CODEC_CONFIGS.items():
+        def build(overlap: bool) -> ThreeDParallelEngine:
+            return ThreeDParallelEngine(
+                config,
+                num_stages=2,
+                data_parallel_degree=2,
+                engine_config=EngineCompressionConfig(
+                    dp_stage_fraction=1.0,
+                    min_compression_elements=64,
+                    dp_overlap=overlap,
+                    **knobs,
+                ),
+                seed=3,
+            )
+
+        serial = build(overlap=False)
+        bucketed = build(overlap=True)
+
+        def run(engine):
+            def _run():
+                for _ in range(iterations_per_repeat):
+                    engine.zero_grad()
+                    engine.run_iteration(batches)
+
+            return _run
+
+        serial_s = _time_calls(run(serial), repeats) / iterations_per_repeat
+        bucketed_s = _time_calls(run(bucketed), repeats) / iterations_per_repeat
+
+        # Same seed, same data: the per-bucket codec kernels must leave
+        # bit-identical gradients behind (the PR's central parity claim).
+        for serial_param, bucketed_param in zip(serial.parameters(), bucketed.parameters()):
+            assert np.array_equal(serial_param.grad, bucketed_param.grad), serial_param.name
+
+        results[codec] = {
+            "per_parameter_ms": serial_s * 1e3,
+            "bucketed_ms": bucketed_s * 1e3,
+            "speedup": serial_s / bucketed_s,
+        }
+    results["layout"] = "PP2 x DP2, stage_fraction=1.0"
     return results
 
 
@@ -193,6 +281,7 @@ def run_all(
         "optimizer_step": bench_optimizer_step(repeats=optimizer_repeats),
         "engine_iteration": bench_engine_iteration(repeats=engine_repeats),
         "codec_roundtrip": bench_codec_roundtrip(repeats=codec_repeats),
+        "compressed_dp_iteration": bench_compressed_dp_iteration(repeats=engine_repeats),
     }
 
 
@@ -218,7 +307,15 @@ def main() -> int:
     )
     for codec in ("powersgd", "qsgd", "topk"):
         entry = results["codec_roundtrip"][codec]
-        print(f"codec {codec}: {entry['roundtrip_ms']:.2f} ms round-trip ({entry['mb_per_s']:.0f} MB/s)")
+        print(
+            f"codec {codec}: {entry['roundtrip_ms']:.2f} ms round-trip "
+            f"({entry['mb_per_s']:.0f} MB/s; zero-alloc {entry['into_mb_per_s']:.0f} MB/s)"
+        )
+        dp = results["compressed_dp_iteration"][codec]
+        print(
+            f"compressed DP [{codec}]: {dp['per_parameter_ms']:.1f} ms per-parameter -> "
+            f"{dp['bucketed_ms']:.1f} ms bucketed ({dp['speedup']:.2f}x)"
+        )
     print(f"[written to {path}]")
     return 0
 

@@ -1,0 +1,104 @@
+"""Compare a fresh BENCH_core.json against the committed baseline.
+
+CI runs the benchmark harness (which overwrites ``benchmarks/results/BENCH_core.json``),
+then calls this script with the committed copy saved aside::
+
+    python benchmarks/perf/check_regression.py \
+        --baseline /tmp/BENCH_core.baseline.json \
+        --fresh benchmarks/results/BENCH_core.json
+
+Every tracked metric is a higher-is-better ratio (speedups and MB/s).  A metric
+that drops more than ``--tolerance`` (default 30 %) below the committed value
+fails the check, so perf wins cannot silently erode; metrics present only on one
+side (new benchmarks, or a baseline predating one) are reported but never fail.
+
+The speedup metrics are ratios of two runs on the same machine and compare
+cleanly across hardware; the MB/s metrics are absolute and inherit the committed
+baseline's memory bandwidth, so a much slower runner can trip them spuriously —
+which is why the CI job that runs this check is non-blocking (the failure reads
+as a loud warning, and the uploaded artifact shows which kind it was).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: ``(json-path, leaf)`` pairs of the tracked higher-is-better metrics.
+TRACKED_METRICS = [
+    ("optimizer_step", "speedup"),
+    ("engine_iteration", "speedup"),
+    ("codec_roundtrip.powersgd", "mb_per_s"),
+    ("codec_roundtrip.qsgd", "mb_per_s"),
+    ("codec_roundtrip.topk", "mb_per_s"),
+    ("codec_roundtrip.powersgd", "into_mb_per_s"),
+    ("codec_roundtrip.qsgd", "into_mb_per_s"),
+    ("codec_roundtrip.topk", "into_mb_per_s"),
+    ("compressed_dp_iteration.powersgd", "speedup"),
+    ("compressed_dp_iteration.qsgd", "speedup"),
+    ("compressed_dp_iteration.topk", "speedup"),
+]
+
+
+def _lookup(payload: dict, dotted: str, leaf: str) -> float | None:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    value = node.get(leaf) if isinstance(node, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], list[str]]:
+    """Return ``(failures, report_lines)`` for the tracked metrics."""
+    failures: list[str] = []
+    lines: list[str] = []
+    for dotted, leaf in TRACKED_METRICS:
+        name = f"{dotted}.{leaf}"
+        old = _lookup(baseline, dotted, leaf)
+        new = _lookup(fresh, dotted, leaf)
+        if old is None or new is None:
+            lines.append(f"SKIP {name}: baseline={old} fresh={new}")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        status = "OK  "
+        if ratio < 1.0 - tolerance:
+            status = "FAIL"
+            failures.append(
+                f"{name}: {old:.3g} -> {new:.3g} ({ratio - 1.0:+.1%}, "
+                f"tolerance -{tolerance:.0%})"
+            )
+        lines.append(f"{status} {name}: {old:.3g} -> {new:.3g} ({ratio - 1.0:+.1%})")
+    return failures, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="committed BENCH_core.json")
+    parser.add_argument("--fresh", required=True, type=pathlib.Path,
+                        help="freshly measured BENCH_core.json")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop before failing (default 0.30)")
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(arguments.baseline.read_text(encoding="utf-8"))
+    fresh = json.loads(arguments.fresh.read_text(encoding="utf-8"))
+    failures, lines = compare(baseline, fresh, arguments.tolerance)
+    print(f"perf regression check (tolerance -{arguments.tolerance:.0%}):")
+    for line in lines:
+        print(f"  {line}")
+    if failures:
+        print(f"{len(failures)} metric(s) regressed beyond tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no perf regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,8 @@
 
 Lives in the ``benchmarks/`` tree so the shared conftest auto-marks it
 ``slow``/``benchmark`` and CI runs it in the non-blocking benchmark job, which
-uploads the emitted ``benchmarks/results/BENCH_core.json`` as an artifact.
+uploads the emitted ``benchmarks/results/BENCH_core.json`` as an artifact and
+diffs it against the committed baseline (``check_regression.py``).
 """
 
 from __future__ import annotations
@@ -10,6 +11,7 @@ from __future__ import annotations
 import json
 
 from bench_core import RESULTS_PATH, run_all, write_results
+from check_regression import compare
 
 
 def test_bench_core_smoke():
@@ -21,16 +23,70 @@ def test_bench_core_smoke():
     assert results["optimizer_step"]["speedup"] >= 2.0, results["optimizer_step"]
 
     # The bucketed, overlap-ordered DP path must never cost more than the serial
-    # epilogue (measured ~1.3-1.4x faster; the bound is loose for CI noise).
+    # epilogue (measured ~1.2-1.4x faster; the bound is loose for CI noise).
     assert results["engine_iteration"]["speedup"] >= 0.9, results["engine_iteration"]
 
-    # Codec round-trips complete and report sane throughput.
+    # Codec round-trips complete and report sane throughput; the packed-QSGD
+    # kernel rewrite is the headline (committed baseline was 159.8 MB/s before
+    # the zero-allocation kernels — assert a conservative floor well above it).
     for codec in ("powersgd", "qsgd", "topk"):
         entry = results["codec_roundtrip"][codec]
         assert entry["roundtrip_ms"] > 0.0
         assert entry["mb_per_s"] > 0.0
+        assert entry["into_mb_per_s"] > 0.0
+    # Absolute MB/s depends on the runner's memory bandwidth; the floor is set
+    # well below the dev-machine ~900 MB/s but far above the ~160 MB/s the
+    # pre-kernel implementation measured anywhere.
+    assert results["codec_roundtrip"]["qsgd"]["mb_per_s"] >= 300.0, (
+        results["codec_roundtrip"]["qsgd"]
+    )
+
+    # The per-bucket codec path (one invocation per bucket, workspace kernels)
+    # must never lose to the per-parameter epilogue; parity of the gradients is
+    # asserted inside the benchmark itself.  (Bound loose for CI-runner noise:
+    # measured 1.0-1.2x on the probe models.)
+    for codec in ("powersgd", "qsgd", "topk"):
+        entry = results["compressed_dp_iteration"][codec]
+        assert entry["speedup"] >= 0.8, (codec, entry)
 
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
     assert reloaded["benchmark"] == "BENCH_core"
+
+
+def test_regression_checker_flags_real_drops():
+    """The CI gate: identical payloads pass; a >30% drop on a tracked metric fails."""
+    baseline = {
+        "optimizer_step": {"speedup": 4.0},
+        "engine_iteration": {"speedup": 1.2},
+        "codec_roundtrip": {
+            "powersgd": {"mb_per_s": 2000.0, "into_mb_per_s": 2100.0},
+            "qsgd": {"mb_per_s": 800.0, "into_mb_per_s": 900.0},
+            "topk": {"mb_per_s": 1500.0, "into_mb_per_s": 1600.0},
+        },
+        "compressed_dp_iteration": {
+            "powersgd": {"speedup": 1.1},
+            "qsgd": {"speedup": 1.2},
+            "topk": {"speedup": 1.3},
+        },
+    }
+    same, _ = compare(baseline, baseline, tolerance=0.30)
+    assert same == []
+
+    regressed = json.loads(json.dumps(baseline))
+    regressed["codec_roundtrip"]["qsgd"]["mb_per_s"] = 300.0  # -62%
+    failures, _ = compare(baseline, regressed, tolerance=0.30)
+    assert len(failures) == 1 and "qsgd" in failures[0]
+
+    # Wobble inside the tolerance band never fails.
+    wobbly = json.loads(json.dumps(baseline))
+    wobbly["optimizer_step"]["speedup"] = 3.0  # -25%
+    failures, _ = compare(baseline, wobbly, tolerance=0.30)
+    assert failures == []
+
+    # A missing section (older baseline) is skipped, not failed.
+    del regressed["compressed_dp_iteration"]
+    failures, lines = compare(baseline, regressed, tolerance=0.30)
+    assert len(failures) == 1
+    assert any(line.startswith("SKIP") for line in lines)

@@ -42,7 +42,7 @@ from typing import Callable, Sequence
 from repro.core.autotune import SelectiveCompressionAutoTuner
 from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
-from repro.plan import PLAN_PRESETS, Boundary, ParallelPlan
+from repro.plan import DP_FIRE_KINDS, PLAN_PRESETS, Boundary, ParallelPlan
 from repro.models.gpt_configs import (
     GPT_2_5B,
     GPT_8_3B,
@@ -250,6 +250,10 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
         plan = plan.with_schedule(kind="serial")
     elif arguments.overlap_dp:
         plan = plan.with_schedule(kind="1f1b")
+    if arguments.dp_fire is not None:
+        if arguments.serial_dp:
+            raise SystemExit("--dp-fire only applies to the overlapped DP schedule")
+        plan = plan.with_schedule(dp_fire=arguments.dp_fire)
     return plan
 
 
@@ -451,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target gradient-bucket size (KiB of wire payload; "
                             f"default: {EngineCompressionConfig.dp_bucket_bytes // 1024} "
                             "via the plan's DP boundary spec)")
+    train.add_argument("--dp-fire", choices=DP_FIRE_KINDS, default=None,
+                       help="bucket firing granularity on the overlapped DP path: "
+                            "'stage' (fire at the stage's backward drain) or "
+                            "'micro_batch' (fire inside the final micro-batch's "
+                            "backward; only the last bucket stays exposed)")
     train.add_argument("--serial-dp", action="store_true",
                        help="serial per-parameter DP epilogue instead of the "
                             "bucketed all-reduce overlapped with the cool-down")

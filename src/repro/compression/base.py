@@ -54,12 +54,69 @@ class CompressedPayload:
         return self.original_bytes / self.payload_bytes
 
 
+class Workspace:
+    """Per-key cache of preallocated scratch arrays for the codec kernels.
+
+    The zero-allocation compression path (``compress_into``/``decompress_into``)
+    reuses the same scratch buffers on every call with the same ``key``, so the
+    steady-state hot loop performs no array allocation at all.  Buffers are keyed
+    by ``(key, name)`` and grown (never shrunk) when a tensor arrives larger than
+    the cached buffer, so a key that sees varying sizes converges to its maximum.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+
+    def flat(self, key: str, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        """A flat scratch array of at least ``size`` elements, sliced to ``size``."""
+        slot = (key, name)
+        buffer = self._buffers.get(slot)
+        if buffer is None or buffer.size < size or buffer.dtype != np.dtype(dtype):
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[slot] = buffer
+        return buffer[:size]
+
+    def nbytes(self) -> int:
+        """Total memory held by the cached scratch buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+def writable_flat_view(out: np.ndarray) -> np.ndarray:
+    """Flat view of ``out`` for an in-place decompression kernel.
+
+    ``reshape`` on a non-contiguous array silently returns a *copy*, so a kernel
+    writing through it would leave ``out`` untouched and return stale data.  The
+    zero-allocation ``decompress_into`` overrides therefore accept only
+    C-contiguous outputs (arena views and workspace buffers always are) and
+    reject anything else loudly instead of corrupting gradients quietly.
+    """
+    if not out.flags.c_contiguous:
+        raise ValueError(
+            "decompress_into requires a C-contiguous output buffer "
+            f"(got shape {out.shape} with strides {out.strides})"
+        )
+    return out.reshape(-1)
+
+
 class Compressor:
     """Abstract compressor.
 
     Concrete compressors may keep internal state keyed by a caller-supplied ``key``
     (PowerSGD reuses the previous Q factor per tensor, for example), so the same
     compressor instance must be used consistently for the same logical tensor.
+
+    Two entry points exist for each direction:
+
+    * ``compress``/``decompress`` — the safe API: the returned payload owns its
+      arrays and stays valid indefinitely.
+    * ``compress_into``/``decompress_into`` — the zero-allocation kernels: payload
+      arrays may be *views into the compressor's per-key workspace*, valid only
+      until the next call with the same key, and decompression writes into a
+      caller-provided output buffer.  Numerically both APIs are bit-identical;
+      the hot loops (the bucketed DP all-reduce) use the ``_into`` spellings.
     """
 
     #: Short algorithm name used in payloads and reports.
@@ -72,6 +129,28 @@ class Compressor:
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         """Reconstruct the (lossy) tensor from a payload."""
         raise NotImplementedError
+
+    def compress_into(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        """Compress using the per-key cached workspace (zero allocation).
+
+        The payload's arrays may alias workspace memory — or, on the passthrough
+        branches (tensors too small to compress), the *input tensor itself* —
+        so consume (decompress / account) the payload before the next
+        ``compress_into`` with the same key and before mutating ``tensor``.
+        The default falls back to :meth:`compress`; kernel-optimised codecs
+        override it.  Bit-identical to :meth:`compress`.
+        """
+        return self.compress(tensor, key=key)
+
+    def decompress_into(self, payload: CompressedPayload, out: np.ndarray) -> np.ndarray:
+        """Reconstruct into ``out`` (shape must match) and return it.
+
+        The default routes through :meth:`decompress`; kernel-optimised codecs
+        override it with an allocation-free path.  Bit-identical to
+        :meth:`decompress`.
+        """
+        out[...] = self.decompress(payload)
+        return out
 
     def roundtrip(self, tensor: np.ndarray, key: str | None = None) -> tuple[np.ndarray, CompressedPayload]:
         """Compress then decompress; returns ``(approximation, payload)``."""

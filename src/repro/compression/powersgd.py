@@ -26,6 +26,8 @@ from repro.compression.base import (
     UNCOMPRESSED_BYTES_PER_ELEMENT,
     CompressedPayload,
     Compressor,
+    Workspace,
+    writable_flat_view,
 )
 from repro.utils.random import seeded_rng
 
@@ -109,6 +111,7 @@ class PowerSGDCompressor(Compressor):
         self.min_compression_elements = int(min_compression_elements)
         self.seed = int(seed)
         self._queries: dict[str, np.ndarray] = {}
+        self._workspace = Workspace()
 
     # -- internal helpers ------------------------------------------------------
 
@@ -132,7 +135,13 @@ class PowerSGDCompressor(Compressor):
 
     # -- Compressor interface --------------------------------------------------
 
-    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+    def compress_into(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        """One power iteration into the per-key workspace (zero allocation).
+
+        The payload's ``p``/``q`` factors are views into the workspace, valid
+        until the next ``compress_into`` with the same key; the warm-started
+        query is kept in its own buffer so the reuse survives the aliasing.
+        """
         tensor = np.asarray(tensor, dtype=np.float64)
         key = key if key is not None else "default"
         matrix = matrix_view(tensor)
@@ -140,7 +149,7 @@ class PowerSGDCompressor(Compressor):
         if not self._should_compress(matrix):
             return CompressedPayload(
                 kind="powersgd-passthrough",
-                data={"tensor": tensor.copy()},
+                data={"tensor": tensor},
                 original_shape=tuple(tensor.shape),
                 payload_bytes=tensor.size * UNCOMPRESSED_BYTES_PER_ELEMENT,
                 metadata={"rank": 0, "compressed": False},
@@ -153,13 +162,19 @@ class PowerSGDCompressor(Compressor):
         if query is None or query.shape != (cols, rank) or not self.reuse_query:
             query = self._initial_query(cols, rank, key)
 
-        # Single power iteration with orthogonalisation.
-        p_factor = matrix @ query
+        # Single power iteration with orthogonalisation, written into the
+        # preallocated P/Q factor buffers (the same dgemm calls as the
+        # allocating spelling, so the factors are bit-identical).
+        p_factor = self._workspace.flat(key, "p", rows * rank).reshape(rows, rank)
+        q_factor = self._workspace.flat(key, "q", cols * rank).reshape(cols, rank)
+        np.matmul(matrix, query, out=p_factor)
         p_factor = orthogonalise(p_factor)
-        q_factor = matrix.T @ p_factor
+        np.matmul(matrix.T, p_factor, out=q_factor)
 
         if self.reuse_query:
-            self._queries[key] = q_factor.copy()
+            stored = self._workspace.flat(key, "query", cols * rank).reshape(cols, rank)
+            stored[...] = q_factor
+            self._queries[key] = stored
 
         payload_elements = p_factor.size + q_factor.size
         return CompressedPayload(
@@ -170,16 +185,31 @@ class PowerSGDCompressor(Compressor):
             metadata={"rank": rank, "compressed": True, "matrix_shape": (rows, cols)},
         )
 
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        payload = self.compress_into(tensor, key=key)
+        payload.data = {name: array.copy() for name, array in payload.data.items()}
+        return payload
+
+    def decompress_into(self, payload: CompressedPayload, out: np.ndarray) -> np.ndarray:
+        if payload.kind == "powersgd-passthrough":
+            out[...] = payload.data["tensor"]
+            return out
+        if payload.kind != self.name:
+            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
+        rows, cols = payload.metadata["matrix_shape"]
+        matrix = writable_flat_view(out).reshape(rows, cols)
+        np.matmul(payload.data["p"], payload.data["q"].T, out=matrix)
+        return out
+
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         if payload.kind == "powersgd-passthrough":
             return payload.data["tensor"].copy()
-        if payload.kind != self.name:
-            raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
-        reconstructed = payload.data["p"] @ payload.data["q"].T
-        return reconstructed.reshape(payload.original_shape)
+        out = np.empty(payload.original_shape, dtype=np.float64)
+        return self.decompress_into(payload, out)
 
     def reset(self) -> None:
         self._queries.clear()
+        self._workspace.clear()
 
     # -- diagnostics -----------------------------------------------------------
 

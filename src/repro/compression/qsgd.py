@@ -14,6 +14,14 @@ surveys in Section 2.3:
 
 Both follow the :class:`repro.compression.base.Compressor` interface so they can be
 dropped into compressed backpropagation or the data-parallel path for comparisons.
+
+The QSGD hot path is a zero-allocation kernel: one packed signed integer code per
+element (two's-complement level, int8 up to 7 bits), a per-key preallocated
+workspace, an in-place ufunc pipeline (the stochastic rounding is the single fused
+``floor(x * L/scale + u)`` pass), and a cached counter-based Philox generator
+(:class:`repro.utils.random.CounterRNG`) whose stream is keyed by the tensor key —
+so the draw is independent of the order in which tensors are compressed, which is
+what makes the bucketed and per-parameter DP paths bit-identical.
 """
 
 from __future__ import annotations
@@ -26,16 +34,24 @@ from repro.compression.base import (
     UNCOMPRESSED_BYTES_PER_ELEMENT,
     CompressedPayload,
     Compressor,
+    Workspace,
+    writable_flat_view,
 )
 from repro.compression.topk import INDEX_BYTES
-from repro.utils.random import seeded_rng
+from repro.utils.random import CounterRNG
+
+from repro.compression.powersgd import stable_key_hash
 
 
 class QSGDCompressor(Compressor):
     """Stochastic uniform quantisation to ``2^bits`` levels (per-tensor scale).
 
-    Each element ``x`` is mapped to ``sign(x) * scale * l / L`` where ``L = 2^bits - 1``
-    and the level ``l`` is chosen stochastically so the estimate is unbiased.
+    Each element ``x`` is mapped to ``scale * q / L`` where ``L = 2^bits - 1`` and
+    the signed level ``q = floor(x * L / scale + u)`` with ``u ~ U[0, 1)`` — the
+    classic unbiased stochastic-rounding rule expressed as one fused pass.  Codes
+    are *packed*: a single two's-complement integer per element (int8 for up to
+    7 bits, int16 for 8) instead of a separate magnitude + sign pair, which is
+    also exactly the ``bits + 1`` bits/element the wire model charges.
     """
 
     name = "qsgd"
@@ -46,48 +62,87 @@ class QSGDCompressor(Compressor):
         self.bits = int(bits)
         self.seed = int(seed)
         self.deterministic = bool(deterministic)
-        self._call_count = 0
+        self._rng = CounterRNG(self.seed)
+        #: Per-key call counters: the RNG stream of a call depends only on
+        #: ``(seed, key, how many times this key was compressed)``, never on the
+        #: global call order.
+        self._call_counts: dict[str, int] = {}
+        self._workspace = Workspace()
+        self._code_dtype = np.int8 if self.bits <= 7 else np.int16
 
     @property
     def num_levels(self) -> int:
         return 2**self.bits - 1
 
-    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
-        tensor = np.asarray(tensor, dtype=np.float64)
-        scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    def _payload_bytes(self, size: int) -> int:
+        return max(int(math.ceil(size * (self.bits + 1) / 8)) + 4, 1)
+
+    def _quantise_into(self, flat: np.ndarray, key: str, codes: np.ndarray) -> float:
+        """The kernel: write packed signed levels of ``flat`` into ``codes``."""
+        size = flat.size
+        if size == 0:
+            return 0.0
+        scale = float(max(flat.max(), -flat.min()))
         if scale == 0.0:
-            codes = np.zeros(tensor.shape, dtype=np.int16)
-            signs = np.ones(tensor.shape, dtype=np.int8)
+            codes[...] = 0
+            return 0.0
+        levels = self.num_levels
+        scaled = self._workspace.flat(key, "scaled", size)
+        np.multiply(flat, levels / scale, out=scaled)
+        if self.deterministic:
+            np.rint(scaled, out=scaled)
         else:
-            normalised = np.abs(tensor) / scale * self.num_levels
-            lower = np.floor(normalised)
-            probability_up = normalised - lower
-            if self.deterministic:
-                rounded = np.round(normalised)
-            else:
-                rng = seeded_rng(self.seed + self._call_count)
-                self._call_count += 1
-                rounded = lower + (rng.random(tensor.shape) < probability_up)
-            codes = rounded.astype(np.int16)
-            signs = np.where(tensor < 0, -1, 1).astype(np.int8)
-        payload_bytes = int(math.ceil(tensor.size * (self.bits + 1) / 8)) + 4
+            count = self._call_counts.get(key, 0)
+            self._call_counts[key] = count + 1
+            rng = self._rng.at(stable_key_hash(key), count)
+            uniform = self._workspace.flat(key, "uniform", size, dtype=np.float32)
+            rng.random(out=uniform, dtype=np.float32)
+            # floor(x + u) rounds x up with probability frac(x): the whole
+            # stochastic-rounding branch is one add + one floor, no temporaries.
+            scaled += uniform
+            np.floor(scaled, out=scaled)
+        np.copyto(codes, scaled, casting="unsafe")
+        return scale
+
+    def compress_into(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        tensor = np.asarray(tensor, dtype=np.float64)
+        key = key if key is not None else "default"
+        flat = tensor.reshape(-1)
+        codes = self._workspace.flat(key, "codes", flat.size, dtype=self._code_dtype)
+        scale = self._quantise_into(flat, key, codes)
         return CompressedPayload(
             kind=self.name,
-            data={"codes": codes, "signs": signs, "scale": scale},
+            data={"codes": codes, "scale": scale},
             original_shape=tuple(tensor.shape),
-            payload_bytes=max(payload_bytes, 1),
+            payload_bytes=self._payload_bytes(tensor.size),
             metadata={"bits": self.bits, "compressed": True},
         )
 
-    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+    def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
+        payload = self.compress_into(tensor, key=key)
+        payload.data = dict(payload.data, codes=payload.data["codes"].copy())
+        return payload
+
+    def decompress_into(self, payload: CompressedPayload, out: np.ndarray) -> np.ndarray:
         if payload.kind != self.name:
             raise ValueError(f"cannot decompress payload of kind {payload.kind!r}")
-        codes = payload.data["codes"].astype(np.float64)
-        signs = payload.data["signs"].astype(np.float64)
-        return signs * codes / self.num_levels * payload.data["scale"]
+        flat = writable_flat_view(out)
+        np.copyto(flat, payload.data["codes"], casting="unsafe")
+        flat /= self.num_levels
+        flat *= payload.data["scale"]
+        return out
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        out = np.empty(payload.original_shape, dtype=np.float64)
+        return self.decompress_into(payload, out)
 
     def reset(self) -> None:
-        self._call_count = 0
+        self._call_counts.clear()
+        self._workspace.clear()
+
+    def workspace_bytes(self) -> int:
+        """Memory held by the per-key kernel workspaces (diagnostics)."""
+        return self._workspace.nbytes()
 
 
 class AdaCompCompressor(Compressor):

@@ -16,7 +16,8 @@ from repro.compression.base import (
     CompressedPayload,
     Compressor,
 )
-from repro.utils.random import seeded_rng
+from repro.compression.powersgd import stable_key_hash
+from repro.utils.random import CounterRNG
 
 
 class TernGradCompressor(Compressor):
@@ -31,10 +32,12 @@ class TernGradCompressor(Compressor):
     def __init__(self, seed: int = 0, deterministic: bool = False) -> None:
         self.seed = int(seed)
         self.deterministic = bool(deterministic)
-        self._call_count = 0
+        self._rng = CounterRNG(self.seed)
+        self._call_counts: dict[str, int] = {}
 
     def compress(self, tensor: np.ndarray, key: str | None = None) -> CompressedPayload:
         tensor = np.asarray(tensor, dtype=np.float64)
+        key = key if key is not None else "default"
         scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
         if scale == 0.0:
             codes = np.zeros(tensor.shape, dtype=np.int8)
@@ -43,8 +46,9 @@ class TernGradCompressor(Compressor):
             if self.deterministic:
                 keep = probabilities >= 0.5
             else:
-                rng = seeded_rng(self.seed + self._call_count)
-                self._call_count += 1
+                count = self._call_counts.get(key, 0)
+                self._call_counts[key] = count + 1
+                rng = self._rng.at(stable_key_hash(key), count)
                 keep = rng.random(tensor.shape) < probabilities
             codes = (np.sign(tensor) * keep).astype(np.int8)
         payload_bytes = int(math.ceil(tensor.size / 4)) + 4  # 2 bits/element + fp32 scale
@@ -55,6 +59,9 @@ class TernGradCompressor(Compressor):
             payload_bytes=max(payload_bytes, 1),
             metadata={"compressed": True},
         )
+
+    def reset(self) -> None:
+        self._call_counts.clear()
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         if payload.kind != self.name:

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.plan import Boundary, CompressionSpec, ParallelPlan, Schedule, Topology
+from repro.plan import (
+    DP_FIRE_KINDS,
+    Boundary,
+    CompressionSpec,
+    ParallelPlan,
+    Schedule,
+    Topology,
+)
 from repro.simulator.executor import DP_CODECS, CompressionPlan
 
 #: Codecs the engine-level data-parallel all-reduce understands — the same
@@ -74,6 +81,11 @@ class EngineCompressionConfig:
         and the overlapped/exposed accounting differ).
     dp_bucket_bytes:
         Target wire-payload size of one gradient bucket on the overlapped path.
+    dp_fire:
+        Bucket firing granularity on the overlapped path: ``"stage"`` (fire when
+        the stage's backward has drained) or ``"micro_batch"`` (fire each bucket
+        inside the final micro-batch's backward pass; only the last bucket stays
+        exposed).  Timing/overlap accounting only — never numerics.
     """
 
     dp_codec: str = "none"
@@ -86,8 +98,13 @@ class EngineCompressionConfig:
     tensor_parallel_degree: int = 1
     dp_overlap: bool = True
     dp_bucket_bytes: int = 1 << 16
+    dp_fire: str = "stage"
 
     def __post_init__(self) -> None:
+        if self.dp_fire not in DP_FIRE_KINDS:
+            raise ValueError(
+                f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
+            )
         if self.dp_codec not in ENGINE_DP_CODECS:
             raise ValueError(
                 f"dp_codec must be one of {ENGINE_DP_CODECS}, got {self.dp_codec!r}"
@@ -146,7 +163,9 @@ class EngineCompressionConfig:
                 tp=self.tensor_parallel_degree,
                 micro_batches=micro_batches,
             ),
-            schedule=Schedule(kind="1f1b" if self.dp_overlap else "serial"),
+            schedule=Schedule(
+                kind="1f1b" if self.dp_overlap else "serial", dp_fire=self.dp_fire
+            ),
             compression={
                 Boundary.DP: CompressionSpec(
                     codec=self.dp_codec,
@@ -169,7 +188,11 @@ class EngineCompressionConfig:
         for the per-parameter epilogue — two runs that differ only in overlap
         or bucket size no longer read identically.
         """
-        sync = f"overlap/{self.dp_bucket_bytes // 1024}KiB" if self.dp_overlap else "serial"
+        if self.dp_overlap:
+            fire = "/mb-fire" if self.dp_fire == "micro_batch" else ""
+            sync = f"overlap/{self.dp_bucket_bytes // 1024}KiB{fire}"
+        else:
+            sync = "serial"
         if not self.compresses_dp:
             return f"exact|{sync}"
         knob = CompressionSpec(

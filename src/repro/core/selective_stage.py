@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.compression.powersgd import matrix_view, orthogonalise, stable_key_hash
+from repro.parallel.arena import BucketResidualStore, CodecBucket
 from repro.parallel.collectives import SimulatedProcessGroup
 from repro.tensor.parameter import Parameter
 from repro.utils.random import seeded_rng
@@ -90,6 +91,10 @@ class SelectiveStageCompression:
         self.seed = int(seed)
         self.compressed_stages = select_compressed_stages(num_stages, stage_fraction)
         self._states: dict[str, _TensorState] = {}
+        #: Bucket-path error-feedback residuals (flat per-bucket slabs).
+        self._bucket_residuals = BucketResidualStore()
+        #: Bucket-path corrected-gradient scratch, same slab layout.
+        self._bucket_scratch: dict[tuple[int, int], np.ndarray] = {}
         self.total_original_bytes = 0
         self.total_payload_bytes = 0
 
@@ -170,6 +175,100 @@ class SelectiveStageCompression:
         result = approximation.reshape(original_shape)
         return [result.copy() for _ in range(num_replicas)]
 
+    def reduce_bucket(
+        self,
+        bucket: CodecBucket,
+        flat_gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> None:
+        """Distributed PowerSGD reduction of one codec bucket, in place.
+
+        ``flat_gradients[r]`` is replica ``r``'s whole flat gradient buffer (the
+        arena's ``grad`` array); each segment is reduced on its zero-copy view.
+        Per segment the math is exactly :meth:`reduce` — same per-tensor keys,
+        same warm-started queries, same mean-of-replicas factors — so the weights
+        that come out are bit-identical to the per-parameter path.  What changes
+        is granularity: one hook invocation and one P/Q traffic record pair per
+        *bucket*, and the error-feedback residuals live in one flat
+        ``(replicas, elements)`` slab per bucket instead of one dict entry per
+        parameter per replica.
+        """
+        num_replicas = len(flat_gradients)
+        if num_replicas != group.size:
+            raise ValueError(
+                f"got {num_replicas} gradient buffers but the group has {group.size} ranks"
+            )
+        residual_slab, residual_ready = (
+            self._bucket_residuals.slab(bucket, num_replicas)
+            if self.error_feedback
+            else (None, False)
+        )
+        slot = (bucket.stage_index, bucket.index)
+        scratch = self._bucket_scratch.get(slot)
+        if scratch is None or scratch.shape != (num_replicas, bucket.num_elements):
+            scratch = np.empty((num_replicas, bucket.num_elements))
+            self._bucket_scratch[slot] = scratch
+
+        p_bytes_total = 0
+        q_bytes_total = 0
+        for segment in bucket.segments:
+            state = self._states.setdefault(segment.name, _TensorState(residuals={}))
+            span = slice(segment.offset, segment.offset + segment.num_elements)
+
+            views = []
+            matrices = []
+            for replica in range(num_replicas):
+                view = flat_gradients[replica][segment.start : segment.stop].reshape(
+                    segment.shape
+                )
+                views.append(view)
+                shaped = matrix_view(view)
+                matrix = scratch[replica, span].reshape(shaped.shape)
+                matrix[...] = shaped
+                if self.error_feedback and residual_ready:
+                    matrix += residual_slab[replica, span].reshape(shaped.shape)
+                matrices.append(matrix)
+
+            rows, cols = matrices[0].shape
+            rank = max(1, min(self.rank, rows, cols))
+            if state.query is None or state.query.shape != (cols, rank):
+                rng = seeded_rng(self.seed + stable_key_hash(segment.name))
+                state.query = rng.standard_normal((cols, rank))
+
+            local_p = [matrix @ state.query for matrix in matrices]
+            p_factor = orthogonalise(np.mean(np.stack(local_p), axis=0))
+            local_q = [matrix.T @ p_factor for matrix in matrices]
+            q_factor = np.mean(np.stack(local_q), axis=0)
+            state.query = q_factor.copy()
+            approximation = p_factor @ q_factor.T
+
+            if self.error_feedback:
+                for replica in range(num_replicas):
+                    np.subtract(
+                        matrices[replica],
+                        approximation,
+                        out=residual_slab[replica, span].reshape(rows, cols),
+                    )
+
+            synced = approximation.reshape(segment.shape)
+            for view in views:
+                view[...] = synced
+
+            p_bytes = int(local_p[0].size * 2)
+            q_bytes = int(local_q[0].size * 2)
+            p_bytes_total += p_bytes
+            q_bytes_total += q_bytes
+            self.total_original_bytes += int(segment.num_elements * 2) * num_replicas
+            self.total_payload_bytes += (p_bytes + q_bytes) * num_replicas
+
+        label = f"stage{bucket.stage_index} codec-bucket{bucket.index}"
+        group.record_collective(
+            "all_reduce", p_bytes_total, compressed=True, description=f"{label}:P"
+        )
+        group.record_collective(
+            "all_reduce", q_bytes_total, compressed=True, description=f"{label}:Q"
+        )
+
     # -- reporting ---------------------------------------------------------------------
 
     def bytes_saved_fraction(self) -> float:
@@ -184,10 +283,13 @@ class SelectiveStageCompression:
         for state in self._states.values():
             if state.residuals:
                 total += sum(residual.size * 4 for residual in state.residuals.values())
+        total += self._bucket_residuals.memory_bytes()
         return total
 
     def reset(self) -> None:
         """Drop residuals, warm-started factors, and counters."""
         self._states.clear()
+        self._bucket_residuals.clear()
+        self._bucket_scratch.clear()
         self.total_original_bytes = 0
         self.total_payload_bytes = 0

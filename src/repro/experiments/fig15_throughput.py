@@ -104,7 +104,7 @@ def run_fig15(
         throughput_model = CompressionThroughputModel(job)
         sweeps[model.name] = throughput_model.sweep(list(ranks))
         interconnect = throughput_model.interconnect_gbps()
-    measured = measured_numpy_throughput(rows=1024, cols=256, rank=16, repeats=2) if include_measured_point else None
+    measured = measured_numpy_throughput(rows=1024, cols=256, rank=16, repeats=5) if include_measured_point else None
     engine_samples: list[EngineTrafficSample] = []
     if include_engine_traffic:
         engine_samples = [

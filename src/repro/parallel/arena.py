@@ -114,6 +114,152 @@ class GradientBucket:
         return self.num_elements * WIRE_BYTES_PER_ELEMENT
 
 
+@dataclass(frozen=True)
+class BucketSegment:
+    """One parameter's slice of a codec bucket.
+
+    ``start``/``stop`` are arena element offsets; ``offset`` is the segment's
+    element offset within the bucket's flat residual slab (segments are packed
+    back to back, so the slab is "arena-aligned": same parameter order, same
+    per-parameter extents, just with the non-codec gaps squeezed out).
+    """
+
+    name: str
+    start: int
+    stop: int
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def num_elements(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class CodecBucket:
+    """A group of codec-selected parameters compressed in one codec invocation.
+
+    Unlike :class:`GradientBucket`, a codec bucket does not require its segments
+    to be arena-contiguous: the codec operates per segment anyway (each parameter
+    keeps its own matrix structure, RNG stream, and error-feedback key, which is
+    what makes the bucketed path bit-identical to the per-parameter one) — the
+    bucket is the unit of *invocation and message granularity*, not of layout.
+    """
+
+    stage_index: int
+    index: int
+    segments: tuple[BucketSegment, ...]
+
+    @property
+    def start(self) -> int:
+        """Lowest arena offset — the position used for firing order."""
+        return self.segments[0].start
+
+    @property
+    def num_elements(self) -> int:
+        return sum(segment.num_elements for segment in self.segments)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Uncompressed payload bytes of one replica's bucket (fp16 convention)."""
+        return self.num_elements * WIRE_BYTES_PER_ELEMENT
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(segment.name for segment in self.segments)
+
+
+class BucketResidualStore:
+    """Error-feedback residual slabs for the bucket codec kernels.
+
+    One flat ``(replicas, elements)`` array per codec bucket, allocated lazily on
+    the bucket's first reduction.  The first-call distinction matters for bit
+    parity with the per-parameter path: that path *adds no residual* on a key's
+    first compression (there is nothing stored yet), so the slab is handed back
+    with ``ready=False`` on the allocating call and the kernel must skip the add.
+    Shared by the qsgd/topk hook and the distributed-PowerSGD hook so the
+    lifecycle (keying, lazy allocation, memory accounting, reset) lives once.
+    """
+
+    def __init__(self) -> None:
+        self._slabs: dict[tuple[int, int], np.ndarray] = {}
+
+    def slab(self, bucket: "CodecBucket", num_replicas: int) -> tuple[np.ndarray, bool]:
+        """``(slab, ready)`` for ``bucket`` — ``ready`` is False on first use."""
+        slot = (bucket.stage_index, bucket.index)
+        existing = self._slabs.get(slot)
+        if existing is not None and existing.shape == (num_replicas, bucket.num_elements):
+            return existing, True
+        slab = np.empty((num_replicas, bucket.num_elements))
+        self._slabs[slot] = slab
+        return slab, False
+
+    def memory_bytes(self) -> int:
+        """Residual footprint under the library's fp32 accounting convention."""
+        return sum(slab.size * 4 for slab in self._slabs.values())
+
+    def clear(self) -> None:
+        self._slabs.clear()
+
+
+def build_codec_buckets(
+    arena: ParameterArena,
+    stage_parameters: Sequence[Sequence[Parameter]],
+    bucket_bytes: int,
+    select: Callable[[int, Parameter], bool],
+) -> list[CodecBucket]:
+    """Group the codec-selected parameters into size-targeted codec buckets.
+
+    ``select(stage_index, parameter)`` decides membership (the engine passes the
+    codec hook's ``codec_applies`` plus the embedding/frozen exclusions).  Buckets
+    never cross a stage boundary and close once the next parameter would push the
+    *uncompressed* payload past ``bucket_bytes`` (the same size discipline as the
+    flat buckets; the compressed payload is smaller still).  A single oversized
+    parameter forms its own bucket.
+    """
+    if bucket_bytes <= 0:
+        raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+    buckets: list[CodecBucket] = []
+    for stage_index, parameters in enumerate(stage_parameters):
+        run: list[BucketSegment] = []
+        run_elements = 0
+        stage_bucket_count = 0
+
+        def close_run() -> None:
+            nonlocal run, run_elements, stage_bucket_count
+            if run:
+                buckets.append(
+                    CodecBucket(
+                        stage_index=stage_index,
+                        index=stage_bucket_count,
+                        segments=tuple(run),
+                    )
+                )
+                stage_bucket_count += 1
+            run = []
+            run_elements = 0
+
+        for position, parameter in enumerate(parameters):
+            if not parameter.requires_grad or not select(stage_index, parameter):
+                continue
+            start, stop = arena.span(parameter)
+            size = stop - start
+            if run and (run_elements + size) * WIRE_BYTES_PER_ELEMENT > bucket_bytes:
+                close_run()
+            run.append(
+                BucketSegment(
+                    name=parameter.name or f"stage{stage_index}.param{position}",
+                    start=start,
+                    stop=stop,
+                    shape=tuple(parameter.shape),
+                    offset=run_elements,
+                )
+            )
+            run_elements += size
+        close_run()
+    return buckets
+
+
 def build_gradient_buckets(
     arena: ParameterArena,
     stage_parameters: Sequence[Sequence[Parameter]],

@@ -178,6 +178,40 @@ class SimulatedProcessGroup:
 
     # -- collectives --------------------------------------------------------------
 
+    def record_collective(
+        self,
+        operation: str,
+        payload_bytes: int,
+        compressed: bool = False,
+        description: str = "",
+    ) -> None:
+        """Log a collective whose result the caller computed in place.
+
+        The zero-copy bucket kernels reduce gradients directly on arena views
+        (no per-rank contribution arrays to hand over), so they account their
+        traffic through this method with the same wire-byte conventions the
+        materialising collectives apply: ring ``2V(R-1)/R`` for an all-reduce,
+        ``V(R-1)`` for an all-gather.
+        """
+        if operation == "all_reduce":
+            wire = ring_all_reduce_wire_bytes(payload_bytes, self.size)
+        elif operation == "all_gather":
+            wire = float(payload_bytes * (self.size - 1))
+        else:
+            raise ValueError(f"unsupported collective {operation!r}")
+        self.log.add(
+            TrafficRecord(
+                operation=operation,
+                category=self.category,
+                payload_bytes=int(payload_bytes),
+                wire_bytes=wire,
+                ranks=self.ranks,
+                compressed=compressed,
+                description=description,
+                overlapped=self.overlapped,
+            )
+        )
+
     def all_reduce(
         self,
         contributions: Sequence[np.ndarray],

@@ -16,8 +16,15 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from repro.nn.gpt_stage import GPTStage
-from repro.parallel.arena import GradientBucket, ParameterArena, build_gradient_buckets
+from repro.parallel.arena import (
+    CodecBucket,
+    GradientBucket,
+    ParameterArena,
+    build_codec_buckets,
+    build_gradient_buckets,
+)
 from repro.parallel.collectives import CommunicationLog, SimulatedProcessGroup
+from repro.plan import DP_FIRE_KINDS
 from repro.tensor.parameter import Parameter
 
 #: Parameters whose name contains this marker are the tied embedding copies.
@@ -184,16 +191,6 @@ class BucketedCompressionHook(Protocol):
         """Whether this stage/parameter pair is routed through the codec."""
         ...
 
-    def reduce(
-        self,
-        key: str,
-        stage_index: int,
-        gradients: Sequence[np.ndarray],
-        group: SimulatedProcessGroup,
-    ) -> list[np.ndarray]:
-        """Codec-compressed per-parameter all-reduce (with traffic accounting)."""
-        ...
-
     def reduce_bucket(
         self,
         bucket: GradientBucket,
@@ -202,6 +199,17 @@ class BucketedCompressionHook(Protocol):
     ) -> list[np.ndarray]:
         """Exact flat all-reduce of one bucket (with traffic accounting)."""
         ...
+
+    def reduce_codec_bucket(
+        self,
+        bucket: CodecBucket,
+        flat_gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> None:
+        """Codec-compressed in-place all-reduce of one codec bucket."""
+        ...
+
+
 
 
 class BucketedDataParallelSync:
@@ -215,16 +223,27 @@ class BucketedDataParallelSync:
     size-targeted flat *buckets* carved out of the replicas'
     :class:`~repro.parallel.arena.ParameterArena` (one zero-copy all-reduce per
     bucket instead of one per parameter) or — for the parameters selective stage
-    compression selects — through the per-parameter codec hook, exactly as on the
-    serial path.  All traffic fired before stage 0's turn is flagged
-    ``overlapped`` in the :class:`~repro.parallel.collectives.CommunicationLog`;
-    stage 0's own all-reduce completes after the pipeline has fully drained and is
-    therefore *exposed* (which is precisely why selective stage compression
-    targets the earliest stages).
+    compression selects — as :class:`~repro.parallel.arena.CodecBucket` groups,
+    one codec invocation per bucket on the flat arena views with error-feedback
+    residuals in per-bucket slabs.
+
+    ``dp_fire`` sets the firing granularity:
+
+    * ``"stage"`` — a stage's buckets fire when its whole backward pass has
+      drained.  Traffic of stages ``> 0`` hides in the cool-down (``overlapped``
+      in the :class:`~repro.parallel.collectives.CommunicationLog`); stage 0
+      drains last, so all of its traffic is exposed.
+    * ``"micro_batch"`` — buckets fire *inside* the final micro-batch's backward
+      pass, as each bucket's gradients become final (deepest layers first, i.e.
+      descending arena offset).  Only the last bucket to complete — stage 0's
+      input-side bucket — has no compute left to hide under; everything else is
+      overlapped.
 
     The numerical result is bit-for-bit identical to
-    :class:`DataParallelGradientSync` with the same hook: bucketing only changes
-    message granularity, and the elementwise mean is layout-independent.
+    :class:`DataParallelGradientSync` with the same hook under either granularity:
+    bucketing and firing order only change message granularity and overlap
+    accounting — every bucket's mean (and every codec segment's RNG stream and
+    error-feedback key) is independent of when the bucket fires.
     """
 
     def __init__(
@@ -235,50 +254,49 @@ class BucketedDataParallelSync:
         log: CommunicationLog | None = None,
         bucket_bytes: int = 1 << 16,
         exclude_embedding: bool = True,
+        dp_fire: str = "stage",
     ) -> None:
         if not replicas:
             raise ValueError("need at least one data-parallel replica")
         if len(arenas) != len(replicas):
             raise ValueError("need exactly one parameter arena per replica")
+        if dp_fire not in DP_FIRE_KINDS:
+            raise ValueError(f"dp_fire must be one of {DP_FIRE_KINDS}, got {dp_fire!r}")
         self.replicas = [list(replica) for replica in replicas]
         self.arenas = list(arenas)
         self.hook = hook
         self.log = log if log is not None else CommunicationLog()
         self.exclude_embedding = bool(exclude_embedding)
+        self.dp_fire = dp_fire
+
+        def excluded(parameter: Parameter) -> bool:
+            return self.exclude_embedding and is_embedding_parameter(parameter)
 
         def skip(stage_index: int, parameter: Parameter) -> bool:
-            if self.exclude_embedding and is_embedding_parameter(parameter):
-                return True
-            return hook.codec_applies(stage_index, parameter.grad)
+            return excluded(parameter) or hook.codec_applies(stage_index, parameter.grad)
+
+        def select(stage_index: int, parameter: Parameter) -> bool:
+            return not excluded(parameter) and hook.codec_applies(
+                stage_index, parameter.grad
+            )
 
         stage_parameters = [list(stage.parameters()) for stage in self.replicas[0]]
         self.buckets: list[GradientBucket] = build_gradient_buckets(
             self.arenas[0], stage_parameters, bucket_bytes, skip=skip
         )
-        self._buckets_by_stage: dict[int, list[GradientBucket]] = {}
-        for bucket in self.buckets:
-            self._buckets_by_stage.setdefault(bucket.stage_index, []).append(bucket)
-        # Per-stage codec-routed parameters, resolved to the per-replica Parameter
-        # objects once here (the stage structure is fixed) so the per-iteration
-        # hot path never re-walks the module trees.  Entries are
-        # ``(position, [replica0_param, replica1_param, ...])``; the position keys
-        # the codec's error-feedback state identically to the serial path.
-        self.codec_parameters: dict[int, list[tuple[int, list[Parameter]]]] = {}
-        for stage_index, parameters in enumerate(stage_parameters):
-            positions = [
-                position
-                for position, parameter in enumerate(parameters)
-                if parameter.requires_grad
-                and not (self.exclude_embedding and is_embedding_parameter(parameter))
-                and hook.codec_applies(stage_index, parameter.grad)
-            ]
-            if not positions:
-                continue
-            replica_lists = [list(replica[stage_index].parameters()) for replica in self.replicas]
-            self.codec_parameters[stage_index] = [
-                (position, [replica_list[position] for replica_list in replica_lists])
-                for position in positions
-            ]
+        self.codec_buckets: list[CodecBucket] = build_codec_buckets(
+            self.arenas[0], stage_parameters, bucket_bytes, select=select
+        )
+        # Per-stage firing schedule: buckets of both kinds, ordered by backward
+        # completion (descending arena offset — the backward pass touches the
+        # deepest layers first).  With ``dp_fire="stage"`` the order within a
+        # stage is immaterial (everything fires at the stage's drain point), so
+        # the same schedule serves both granularities.
+        self._fire_order: dict[int, list[GradientBucket | CodecBucket]] = {}
+        for bucket in [*self.buckets, *self.codec_buckets]:
+            self._fire_order.setdefault(bucket.stage_index, []).append(bucket)
+        for stage_buckets in self._fire_order.values():
+            stage_buckets.sort(key=lambda bucket: bucket.start, reverse=True)
 
     @property
     def data_parallel_degree(self) -> int:
@@ -298,26 +316,30 @@ class BucketedDataParallelSync:
         )
 
     def synchronize(self) -> None:
-        """Fire every stage's bucket/codec all-reduces in completion order."""
+        """Fire every stage's bucket all-reduces in backward-completion order."""
         if self.data_parallel_degree == 1:
             return
+        grad_buffers = [arena.grad for arena in self.arenas]
         for stage_index in range(self.num_stages - 1, -1, -1):
-            # Everything issued before the first stage's backward has drained can
-            # hide inside the cool-down; stage 0's own traffic cannot.
-            overlapped = stage_index > 0
-            group = self._group(overlapped)
-            for bucket in self._buckets_by_stage.get(stage_index, []):
-                flats = [arena.grad[bucket.start : bucket.stop] for arena in self.arenas]
-                synced = self.hook.reduce_bucket(bucket, flats, group)
-                for flat, new_grad in zip(flats, synced):
-                    flat[...] = new_grad
-            for position, parameters in self.codec_parameters.get(stage_index, []):
-                reference = parameters[0]
-                synced = self.hook.reduce(
-                    reference.name or f"stage{stage_index}.param{position}",
-                    stage_index,
-                    [parameter.grad for parameter in parameters],
-                    group,
-                )
-                for parameter, new_grad in zip(parameters, synced):
-                    parameter.grad[...] = new_grad
+            stage_buckets = self._fire_order.get(stage_index, [])
+            for position, bucket in enumerate(stage_buckets):
+                if self.dp_fire == "micro_batch":
+                    # Every bucket overlaps the remaining backward compute
+                    # except the very last one to become ready: stage 0's
+                    # input-side bucket, which completes only when the whole
+                    # pipeline has drained.
+                    overlapped = not (
+                        stage_index == 0 and position == len(stage_buckets) - 1
+                    )
+                else:
+                    # Stage granularity: everything issued before stage 0's
+                    # drain hides in the cool-down; stage 0's traffic cannot.
+                    overlapped = stage_index > 0
+                group = self._group(overlapped)
+                if isinstance(bucket, CodecBucket):
+                    self.hook.reduce_codec_bucket(bucket, grad_buffers, group)
+                else:
+                    flats = [grad[bucket.start : bucket.stop] for grad in grad_buffers]
+                    synced = self.hook.reduce_bucket(bucket, flats, group)
+                    for flat, new_grad in zip(flats, synced):
+                        flat[...] = new_grad

@@ -25,9 +25,14 @@ the whole replica in a handful of vectorised ops.  By default the DP boundary is
 synchronised by a :class:`~repro.parallel.data_parallel.BucketedDataParallelSync`:
 size-targeted flat gradient buckets fired in backward-completion order (last stage
 first), modelling the paper's overlap of DP traffic with the pipeline cool-down —
-with per-bucket overlapped/exposed accounting.  ``dp_overlap=False`` selects the
-serial per-parameter epilogue, which is bit-for-bit weight-parity with the
-overlapped path.
+with per-bucket overlapped/exposed accounting.  Codec-selected parameters ride the
+same bucketed path (PR 4): :class:`~repro.parallel.arena.CodecBucket` groups are
+compressed in one codec invocation per bucket on the flat arena views, with
+error-feedback residuals in per-bucket slabs, bit-identical to the per-parameter
+codec protocol.  ``dp_overlap=False`` selects the serial per-parameter epilogue,
+which is bit-for-bit weight-parity with the overlapped path; ``dp_fire`` picks the
+firing granularity of the overlapped buckets (stage drain vs. inside the final
+micro-batch's backward).
 
 Everything is routed through one :class:`~repro.parallel.collectives.CommunicationLog`
 so per-axis and per-boundary traffic can be reported exactly — the numbers behind
@@ -47,7 +52,12 @@ import numpy as np
 from repro.compression import ErrorFeedback, QSGDCompressor, TopKCompressor
 from repro.nn.gpt_stage import build_gpt_stages
 from repro.nn.transformer import GPTModelConfig
-from repro.parallel.arena import GradientBucket, ParameterArena
+from repro.parallel.arena import (
+    BucketResidualStore,
+    CodecBucket,
+    GradientBucket,
+    ParameterArena,
+)
 from repro.parallel.collectives import (
     CommunicationLog,
     SimulatedProcessGroup,
@@ -179,6 +189,11 @@ class CompressedGradientAllReduce:
                 enabled=config.dp_error_feedback,
             )
         self.stage_traffic: dict[int, StageTraffic] = {}
+        # Bucket-path state for the qsgd/topk codecs: per-bucket flat residual
+        # slabs (one row per replica, segment layout = the bucket's) and the
+        # approximation/corrected scratch the kernels decompress into.
+        self._bucket_residuals = BucketResidualStore()
+        self._bucket_scratch: dict[tuple[int, int], dict[str, np.ndarray]] = {}
 
     # -- DataParallelCompressionHook protocol --------------------------------------
 
@@ -190,9 +205,10 @@ class CompressedGradientAllReduce:
     def codec_applies(self, stage_index: int, gradient: np.ndarray) -> bool:
         """Whether this stage/parameter pair is routed through the codec.
 
-        The bucketed sync uses this to keep codec-compressed parameters out of the
-        flat buckets (the codecs need the 2-D matrix structure and per-parameter
-        error-feedback keys).
+        The bucketed sync uses this to split the arena into exact flat buckets
+        (everything else) and codec buckets (these parameters), which go through
+        :meth:`reduce_codec_bucket` — one codec invocation per bucket, per-segment
+        keys so the error-feedback state matches the per-parameter path.
         """
         if stage_index not in self.compressed_stages:
             return False
@@ -276,6 +292,104 @@ class CompressedGradientAllReduce:
             ),
         )
 
+    def reduce_codec_bucket(
+        self,
+        bucket: CodecBucket,
+        flat_gradients: Sequence[np.ndarray],
+        group: SimulatedProcessGroup,
+    ) -> None:
+        """Codec-compress one bucket of parameters in place on the arena views.
+
+        One hook invocation covers every codec-selected parameter of the bucket:
+        each segment keeps its own compression key (so RNG streams, warm-started
+        factors, and error-feedback state match the per-parameter path
+        bit-for-bit), while message granularity, Python dispatch, and residual
+        storage are per *bucket* — residuals live in one flat
+        ``(replicas, elements)`` slab and the kernels run on preallocated
+        workspaces via ``compress_into``/``decompress_into``.
+        """
+        num_replicas = len(flat_gradients)
+        original_bytes = int(bucket.num_elements * WIRE_BYTES_PER_ELEMENT)
+        traffic = self.stage_traffic.setdefault(bucket.stage_index, StageTraffic())
+        traffic.all_reduces += 1
+        traffic.bucket_all_reduces += 1
+        traffic.compressed_all_reduces += 1
+        traffic.original_bytes += original_bytes * num_replicas
+
+        if self.powersgd is not None:
+            payload_before = self.powersgd.total_payload_bytes
+            self.powersgd.reduce_bucket(bucket, flat_gradients, group)
+            traffic.payload_bytes += self.powersgd.total_payload_bytes - payload_before
+            return
+
+        assert self.feedback is not None  # codec is qsgd or topk
+        compressor = self.feedback.compressor
+        feedback_on = self.feedback.enabled
+        residual_slab, residual_ready = (
+            self._bucket_residuals.slab(bucket, num_replicas)
+            if feedback_on
+            else (None, False)
+        )
+        slot = (bucket.stage_index, bucket.index)
+        scratch = self._bucket_scratch.get(slot)
+        max_segment = max(segment.num_elements for segment in bucket.segments)
+        if scratch is None or scratch["approximations"].shape[0] != num_replicas:
+            scratch = {
+                "approximations": np.empty((num_replicas, max_segment)),
+                "corrected": np.empty(max_segment),
+            }
+            self._bucket_scratch[slot] = scratch
+
+        payload_per_rank = 0
+        payload_all_ranks = 0
+        for segment in bucket.segments:
+            size = segment.num_elements
+            span = slice(segment.offset, segment.offset + size)
+            approximations = scratch["approximations"][:, :size]
+            views = []
+            segment_payload = 0
+            for replica in range(num_replicas):
+                view = flat_gradients[replica][segment.start : segment.stop].reshape(
+                    segment.shape
+                )
+                views.append(view)
+                key = f"{segment.name}:replica{replica}"
+                if feedback_on and residual_ready:
+                    corrected = scratch["corrected"][:size].reshape(segment.shape)
+                    np.add(
+                        view,
+                        residual_slab[replica, span].reshape(segment.shape),
+                        out=corrected,
+                    )
+                else:
+                    corrected = view
+                payload = compressor.compress_into(corrected, key)
+                approximation = approximations[replica].reshape(segment.shape)
+                compressor.decompress_into(payload, approximation)
+                if feedback_on:
+                    np.subtract(
+                        corrected,
+                        approximation,
+                        out=residual_slab[replica, span].reshape(segment.shape),
+                    )
+                segment_payload += payload.payload_bytes
+            synced = np.mean(approximations, axis=0)
+            for view in views:
+                view[...] = synced.reshape(segment.shape)
+            payload_per_rank += segment_payload // num_replicas
+            payload_all_ranks += segment_payload
+
+        group.record_collective(
+            "all_gather",
+            payload_per_rank,
+            compressed=True,
+            description=(
+                f"stage{bucket.stage_index} codec-bucket{bucket.index} "
+                f"({len(bucket.segments)} params)"
+            ),
+        )
+        traffic.payload_bytes += payload_all_ranks
+
     # -- reporting -------------------------------------------------------------------
 
     def bytes_saved_fraction(self) -> float:
@@ -287,12 +401,13 @@ class CompressedGradientAllReduce:
         return 1.0 - payload / original
 
     def residual_memory_bytes(self) -> int:
-        """Memory held by the per-parameter error-feedback residuals."""
+        """Memory held by the error-feedback residuals (both storage layouts)."""
+        total = self._bucket_residuals.memory_bytes()
         if self.powersgd is not None:
-            return self.powersgd.residual_memory_bytes()
+            return total + self.powersgd.residual_memory_bytes()
         if self.feedback is not None:
-            return self.feedback.residual_bytes()
-        return 0
+            return total + self.feedback.residual_bytes()
+        return total
 
     def reset(self) -> None:
         """Drop residuals, warm-started factors, and traffic counters."""
@@ -301,6 +416,8 @@ class CompressedGradientAllReduce:
         if self.feedback is not None:
             self.feedback.reset()
         self.stage_traffic.clear()
+        self._bucket_residuals.clear()
+        self._bucket_scratch.clear()
 
 
 #: Axis names of the per-iteration traffic report.
@@ -525,6 +642,7 @@ class ThreeDParallelEngine:
                 log=self.log,
                 bucket_bytes=self.engine_config.dp_bucket_bytes,
                 exclude_embedding=True,
+                dp_fire=self.engine_config.dp_fire,
             )
         self.embedding_sync: EmbeddingSynchronizer = factory.make_embedding_synchronizer(
             self.replicas, self.log

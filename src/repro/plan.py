@@ -91,6 +91,13 @@ BOUNDARY_CODECS: dict[Boundary, tuple[str, ...]] = {
 #: identical weights; only message granularity and overlap accounting differ).
 SCHEDULE_KINDS = ("1f1b", "serial")
 
+#: DP bucket firing granularities on the overlapped (``"1f1b"``) path:
+#: ``"stage"`` fires a stage's buckets when its whole backward has drained;
+#: ``"micro_batch"`` fires each bucket inside the final micro-batch's backward
+#: pass as its gradients become final, hiding everything but the last bucket.
+#: Purely a timing/overlap-accounting knob — weights are bit-identical.
+DP_FIRE_KINDS = ("stage", "micro_batch")
+
 
 @dataclass(frozen=True)
 class CompressionSpec:
@@ -254,16 +261,29 @@ class Schedule:
         only codec policy, and the job owns the schedule shape.  (The
         functional engine always computes the plain schedule — chunking
         changes timing, not numerics.)
+    dp_fire:
+        Firing granularity of the overlapped DP buckets: ``"stage"`` issues a
+        stage's buckets when its whole backward pass has drained (the cool-down
+        overlap of PR 2); ``"micro_batch"`` issues each bucket inside the final
+        micro-batch's backward pass as soon as its gradients are final, so only
+        the very last bucket (stage 0's input side) stays exposed.  Timing and
+        overlap accounting only — never numerics.  Ignored by the serial
+        schedule.
     """
 
     kind: str = "1f1b"
     num_model_chunks: int = 1
+    dp_fire: str = "stage"
 
     def __post_init__(self) -> None:
         if self.kind not in SCHEDULE_KINDS:
             raise ValueError(f"kind must be one of {SCHEDULE_KINDS}, got {self.kind!r}")
         if self.num_model_chunks <= 0:
             raise ValueError("num_model_chunks must be positive")
+        if self.dp_fire not in DP_FIRE_KINDS:
+            raise ValueError(
+                f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
+            )
 
     @property
     def dp_overlap(self) -> bool:
@@ -275,7 +295,8 @@ class Schedule:
 
     def describe(self) -> str:
         chunks = f"x{self.num_model_chunks}" if self.num_model_chunks > 1 else ""
-        return f"{self.kind}{chunks}"
+        fire = "/mb-fire" if self.dp_overlap and self.dp_fire == "micro_batch" else ""
+        return f"{self.kind}{chunks}{fire}"
 
 
 def _spec_from_dict(boundary: Boundary, payload: Mapping[str, Any]) -> CompressionSpec:
@@ -604,6 +625,7 @@ class ParallelPlan:
             tensor_parallel_degree=self.topology.tp,
             dp_overlap=self.schedule.dp_overlap,
             dp_bucket_bytes=dp.bucket_bytes,
+            dp_fire=self.schedule.dp_fire,
         )
 
     def optimus_config(self, seed: int = 0) -> "OptimusCCConfig":
@@ -640,6 +662,7 @@ class ParallelPlan:
                 micro_batch_size * self.topology.micro_batches * self.topology.dp
             ),
             num_model_chunks=self.schedule.num_model_chunks,
+            dp_fire=self.schedule.dp_fire if self.schedule.dp_overlap else "stage",
         )
         if cluster is not None:
             kwargs["cluster"] = cluster

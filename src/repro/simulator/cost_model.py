@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.models.gpt_configs import PaperModelSpec
 from repro.parallel.collectives import ring_all_reduce_wire_bytes
 from repro.parallel.process_groups import ParallelLayout
+from repro.plan import DP_FIRE_KINDS
 from repro.simulator.hardware import ClusterSpec, PAPER_CLUSTER_SPEC
 
 
@@ -42,8 +43,17 @@ class TrainingJob:
     #: transfers while shrinking each compute segment; 1 selects plain 1F1B (the
     #: schedule the paper's timing diagrams are drawn with).
     num_model_chunks: int = 2
+    #: DP bucket firing granularity (``repro.plan.Schedule.dp_fire``): with
+    #: ``"micro_batch"`` the overlap window of each stage's DP traffic opens one
+    #: backward op earlier — buckets start leaving inside the final micro-batch's
+    #: backward pass instead of at the stage's drain point.
+    dp_fire: str = "stage"
 
     def __post_init__(self) -> None:
+        if self.dp_fire not in DP_FIRE_KINDS:
+            raise ValueError(
+                f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
+            )
         per_replica = self.global_batch_size / self.layout.data_parallel
         if per_replica != int(per_replica):
             raise ValueError(

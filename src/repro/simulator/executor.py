@@ -466,12 +466,17 @@ class PipelineTimingSimulator:
         # and the pipeline fully draining.  DP traffic fitting in that window is
         # overlapped (hidden); the remainder — all of stage 0's, since it drains
         # last — is exposed.  This is the schedule property selective stage
-        # compression exploits by compressing the earliest stages.
+        # compression exploits by compressing the earliest stages.  With
+        # micro-batch-granular firing (``job.dp_fire == "micro_batch"``) a
+        # stage's buckets start leaving while its *own* final backward op is
+        # still computing, so the window opens one backward-op duration earlier.
         backward_end = max(stage_backward_finish) if stage_backward_finish else 0.0
         dp_exposed_wire = 0.0
         dp_overlapped_wire = 0.0
         for stage in range(num_stages):
             window = max(0.0, backward_end - stage_backward_finish[stage])
+            if self.job.dp_fire == "micro_batch":
+                window += backward_times[stage]
             if dp_times[stage] > 0.0:
                 hidden_fraction = min(1.0, window / dp_times[stage])
             else:

@@ -54,6 +54,62 @@ def derive_seed(base_seed: int, *labels: object) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+_UINT64_MASK = (1 << 64) - 1
+
+
+class CounterRNG:
+    """One cached counter-based generator, reseekable to ``(stream, counter)``.
+
+    The compressor hot paths need a fresh deterministic uniform stream on every
+    ``compress()`` call.  Constructing ``np.random.default_rng(seed)`` per call
+    builds a new ``SeedSequence`` + ``PCG64`` + ``Generator`` each time and, worse,
+    forces the stream to depend on a *global* call counter, so two runs that visit
+    tensors in different orders draw different numbers.  This helper keeps exactly
+    one ``Philox`` bit generator and one ``Generator`` alive and reseeks them by
+    rewriting the Philox 256-bit counter in place (a dict assignment, ~3 µs):
+
+    * ``stream`` selects an independent substream (counter word 3, the top 64
+      bits of the 256-bit counter; callers pass a stable per-tensor hash, so
+      streams are order-independent — the Philox key itself is ``(seed, 0)``);
+    * ``counter`` selects the call index *within* the stream (counter word 2,
+      leaving words 0-1 — 2^128 draws — for the generation itself).
+
+    Reseeking the cached generator is bit-identical to constructing
+    ``Generator(Philox(key=..., counter=...))`` from scratch (regression-tested),
+    just without the per-call object churn.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed) & _UINT64_MASK
+        self._bit_generator = np.random.Philox(key=self.seed)
+        self._generator = np.random.Generator(self._bit_generator)
+
+    def at(self, stream: int, counter: int = 0) -> np.random.Generator:
+        """The cached generator, reseeked to the start of ``(stream, counter)``."""
+        state = self._bit_generator.state
+        state["state"]["counter"][:] = (0, 0, int(counter) & _UINT64_MASK, int(stream) & _UINT64_MASK)
+        state["state"]["key"][:] = (self.seed, 0)
+        state["buffer_pos"] = 4  # discard any buffered words from the previous seek
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+        self._bit_generator.state = state
+        return self._generator
+
+    @staticmethod
+    def reference_generator(seed: int, stream: int, counter: int = 0) -> np.random.Generator:
+        """A freshly constructed generator positioned exactly like :meth:`at`.
+
+        This is the specification :meth:`at` is tested against: one ``Philox``
+        keyed by ``(seed, stream)``'s counter layout, built from scratch.
+        """
+        philox_counter = ((int(stream) & _UINT64_MASK) << 192) | (
+            (int(counter) & _UINT64_MASK) << 128
+        )
+        return np.random.Generator(
+            np.random.Philox(key=int(seed) & _UINT64_MASK, counter=philox_counter)
+        )
+
+
 class RandomState:
     """A small façade over ``numpy.random.Generator`` with derived sub-streams.
 

@@ -387,3 +387,167 @@ class TestAllCodecRoundTrips:
         approx, payload = codec.roundtrip(rng.normal(size=(8, 8)), key="s")
         assert approx.shape == (8, 8)
         assert payload.payload_bytes > 0
+
+    @pytest.mark.parametrize("codec_name", CODEC_NAMES)
+    @pytest.mark.parametrize("shape", [(16, 12), (64,), (2, 6, 8)])
+    def test_into_kernels_are_bit_identical_to_safe_api(self, codec_name, shape, rng):
+        """compress_into/decompress_into == compress/decompress, bit for bit,
+        including the default fallbacks and every passthrough branch."""
+        build, _ = _codec_catalogue()[codec_name]
+        safe, fast = build(), build()
+        for step in range(3):  # stateful codecs must agree along the trajectory
+            tensor = rng.normal(size=shape)
+            want = safe.decompress(safe.compress(tensor, key="t"))
+            payload = fast.compress_into(tensor, key="t")
+            got = fast.decompress_into(payload, np.empty(shape))
+            assert np.array_equal(got, want), f"{codec_name} step {step}"
+
+    @pytest.mark.parametrize("codec_name", ["qsgd", "topk", "powersgd"])
+    def test_non_contiguous_output_rejected_loudly(self, codec_name, rng):
+        """reshape on a strided buffer would copy — the kernels must refuse it
+        instead of silently writing into the copy."""
+        build, _ = _codec_catalogue()[codec_name]
+        codec = build()
+        tensor = rng.normal(size=(16, 12))
+        payload = codec.compress_into(tensor, key="t")
+        strided = np.empty((16, 24))[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            codec.decompress_into(payload, strided)
+
+    @pytest.mark.parametrize("codec_name", ["qsgd", "topk", "powersgd"])
+    def test_workspace_payloads_alias_but_safe_payloads_do_not(self, codec_name, rng):
+        """The _into payload may alias workspace memory (invalidated by the next
+        call); the safe API's payload must survive a subsequent compression."""
+        build, _ = _codec_catalogue()[codec_name]
+        codec = build()
+        first = rng.normal(size=(16, 12))
+        second = rng.normal(size=(16, 12))
+        safe_payload = codec.compress(first, key="t")
+        want = codec.decompress(safe_payload).copy()
+        codec.compress_into(second, key="t")  # may clobber workspace views
+        assert np.array_equal(codec.decompress(safe_payload), want)
+
+
+class TestStochasticStreamKeying:
+    """Counter-keyed RNG: the draw depends on (seed, key, call-on-that-key) only."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: QSGDCompressor(bits=4, seed=7),
+            lambda: TernGradCompressor(seed=7),
+            lambda: RandomKCompressor(fraction=0.25, seed=7, min_elements=0),
+        ],
+        ids=["qsgd", "terngrad", "randomk"],
+    )
+    def test_streams_are_independent_of_visit_order(self, build, rng):
+        tensor_a = rng.normal(size=(12, 8))
+        tensor_b = rng.normal(size=(12, 8))
+        forward, backward = build(), build()
+        fa, _ = forward.roundtrip(tensor_a, key="a")
+        fb, _ = forward.roundtrip(tensor_b, key="b")
+        bb, _ = backward.roundtrip(tensor_b, key="b")
+        ba, _ = backward.roundtrip(tensor_a, key="a")
+        assert np.array_equal(fa, ba)
+        assert np.array_equal(fb, bb)
+
+    def test_repeated_calls_on_one_key_advance_the_stream(self, rng):
+        codec = QSGDCompressor(bits=4, seed=0)
+        tensor = rng.normal(size=(12, 8))
+        first, _ = codec.roundtrip(tensor, key="k")
+        second, _ = codec.roundtrip(tensor, key="k")
+        assert not np.array_equal(first, second)
+        # ... and reset replays the trajectory exactly.
+        codec.reset()
+        replay, _ = codec.roundtrip(tensor, key="k")
+        assert np.array_equal(first, replay)
+
+    def test_qsgd_streams_are_process_stable(self):
+        """Pinned draws: the packed-QSGD kernel's stream must never silently
+        change (it would break bucketed/per-parameter parity across versions)."""
+        codec = QSGDCompressor(bits=2, seed=1)
+        tensor = np.linspace(-1.0, 1.0, 12).reshape(3, 4)
+        approx, payload = codec.roundtrip(tensor, key="pin")
+        assert payload.data["codes"].dtype == np.int8
+        expected = np.array(
+            [[-3, -2, -2, -1], [0, -1, 0, 1], [2, 2, 3, 3]], dtype=np.int8
+        )
+        assert np.array_equal(payload.data["codes"].reshape(3, 4), expected)
+
+
+class TestQSGDPackedCodes:
+    def test_codes_are_one_packed_integer_per_element(self, rng):
+        tensor = rng.normal(size=(16, 16))
+        for bits, dtype in [(1, np.int8), (4, np.int8), (7, np.int8), (8, np.int16)]:
+            codec = QSGDCompressor(bits=bits, seed=0)
+            payload = codec.compress(tensor, key="t")
+            codes = payload.data["codes"]
+            assert codes.dtype == dtype
+            assert codes.size == tensor.size
+            levels = codec.num_levels
+            assert codes.min() >= -levels and codes.max() <= levels
+
+    def test_quantisation_is_unbiased(self, rng):
+        tensor = rng.normal(size=(8, 8))
+        codec = QSGDCompressor(bits=3, seed=2)
+        mean = np.zeros_like(tensor)
+        steps = 400
+        for _ in range(steps):
+            approx, _ = codec.roundtrip(tensor, key="u")
+            mean += approx / steps
+        scale = float(np.max(np.abs(tensor)))
+        assert np.abs(mean - tensor).max() < 0.15 * scale
+
+    def test_deterministic_mode_rounds_to_nearest(self, rng):
+        tensor = rng.normal(size=(16, 16))
+        codec = QSGDCompressor(bits=6, seed=0, deterministic=True)
+        approx, payload = codec.roundtrip(tensor, key="d")
+        step = payload.data["scale"] / codec.num_levels
+        assert np.abs(approx - tensor).max() <= 0.5 * step + 1e-12
+        again, _ = codec.roundtrip(tensor, key="d")
+        assert np.array_equal(approx, again)
+
+    def test_zero_tensor_stays_zero(self):
+        codec = QSGDCompressor(bits=4, seed=0)
+        approx, payload = codec.roundtrip(np.zeros((4, 4)), key="z")
+        assert np.array_equal(approx, np.zeros((4, 4)))
+        assert payload.data["scale"] == 0.0
+
+
+class TestTopKTieBreaking:
+    def test_equal_magnitudes_resolved_by_lowest_index(self):
+        tensor = np.array([2.0, -2.0, 2.0, -2.0, 5.0, 1.0])
+        compressor = TopKCompressor(fraction=0.5, min_elements=0)
+        payload = compressor.compress(tensor, key="t")
+        # 5.0 always wins; the 2.0-magnitude tie goes to the lowest indices.
+        assert list(payload.data["indices"]) == [0, 1, 4]
+
+    def test_all_equal_magnitudes_keep_a_prefix(self):
+        tensor = np.full(10, -3.0)
+        payload = TopKCompressor(fraction=0.3, min_elements=0).compress(tensor, key="t")
+        assert list(payload.data["indices"]) == [0, 1, 2]
+
+    def test_indices_are_sorted_ascending(self, rng):
+        tensor = rng.normal(size=256)
+        payload = TopKCompressor(fraction=0.1, min_elements=0).compress(tensor, key="t")
+        indices = payload.data["indices"]
+        assert np.array_equal(indices, np.sort(indices))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        size=st.integers(min_value=2, max_value=64),
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+        duplicates=st.booleans(),
+    )
+    def test_selection_matches_lexicographic_reference(self, size, fraction, duplicates):
+        """The O(n) partition kernel == sorting by (-|value|, index)."""
+        rng = np.random.default_rng(size * 101 + int(fraction * 997))
+        tensor = rng.normal(size=size)
+        if duplicates:  # force magnitude ties
+            tensor = np.round(tensor, 1)
+        compressor = TopKCompressor(fraction=fraction, min_elements=0)
+        payload = compressor.compress(tensor, key="t")
+        kept = payload.metadata["kept"]
+        order = np.lexsort((np.arange(size), -np.abs(tensor)))
+        expected = np.sort(order[:kept])
+        assert np.array_equal(payload.data["indices"], expected)

@@ -397,9 +397,41 @@ class TestOverlappedDataParallel:
             assert np.array_equal(over_param.data, serial_param.data), over_param.name
             assert np.array_equal(over_param.grad, serial_param.grad), over_param.name
 
-    def test_overlapped_path_is_weight_parity_under_powersgd(self, small_config, rng):
-        """With the codec on, the codec-selected parameters take the identical
-        per-parameter route in both modes, so parity still holds exactly."""
+    @pytest.mark.parametrize("codec", ["powersgd", "qsgd", "topk"])
+    @pytest.mark.parametrize("error_feedback", [True, False])
+    def test_overlapped_path_is_weight_parity_under_every_codec(
+        self, small_config, rng, codec, error_feedback
+    ):
+        """With a codec on, the overlapped path compresses *per bucket* on the
+        flat arena views while the serial epilogue compresses per parameter —
+        same per-tensor keys, RNG streams, and error-feedback math, so three
+        iterations of training end bit-for-bit identical."""
+        batches = make_batches(small_config, rng)
+        engine_config = EngineCompressionConfig(
+            dp_codec=codec,
+            dp_rank=2,
+            dp_qsgd_bits=4,
+            dp_topk_fraction=0.2,
+            dp_stage_fraction=1.0,
+            dp_error_feedback=error_feedback,
+            min_compression_elements=64,
+        )
+        overlapped = make_engine(
+            small_config,
+            engine_config=engine_config.with_(dp_overlap=True, dp_bucket_bytes=2048),
+            seed=4,
+        )
+        serial = make_engine(
+            small_config, engine_config=engine_config.with_(dp_overlap=False), seed=4
+        )
+        self._train(overlapped, batches)
+        self._train(serial, batches)
+        for over_param, serial_param in zip(overlapped.parameters(), serial.parameters()):
+            assert np.array_equal(over_param.data, serial_param.data), over_param.name
+            assert np.array_equal(over_param.grad, serial_param.grad), over_param.name
+
+    def test_selective_stage_fraction_respected_on_bucketed_path(self, small_config, rng):
+        """stage_fraction=0.5 on PP2: stage 0 compressed per bucket, stage 1 exact."""
         batches = make_batches(small_config, rng)
         engine_config = EngineCompressionConfig(
             dp_codec="powersgd",
@@ -413,10 +445,67 @@ class TestOverlappedDataParallel:
         serial = make_engine(
             small_config, engine_config=engine_config.with_(dp_overlap=False), seed=4
         )
-        self._train(overlapped, batches)
+        over_result = self._train(overlapped, batches)[-1]
         self._train(serial, batches)
         for over_param, serial_param in zip(overlapped.parameters(), serial.parameters()):
-            assert np.array_equal(over_param.data, serial_param.data), over_param.name
+            assert np.array_equal(over_param.data, serial_param.data)
+        assert over_result.dp_stage_traffic[0].compressed_all_reduces > 0
+        assert over_result.dp_stage_traffic[1].compressed_all_reduces == 0
+
+    @pytest.mark.parametrize("codec", ["none", "powersgd", "qsgd", "topk"])
+    def test_micro_batch_fire_changes_only_overlap_accounting(
+        self, small_config, rng, codec
+    ):
+        """dp_fire='micro_batch' must leave weights bit-identical to the stage
+        granularity (and to serial); only the overlapped fraction may move."""
+        batches = make_batches(small_config, rng)
+        engine_config = EngineCompressionConfig(
+            dp_codec=codec,
+            dp_rank=2,
+            dp_qsgd_bits=4,
+            dp_topk_fraction=0.2,
+            dp_stage_fraction=1.0,
+            min_compression_elements=64,
+            dp_bucket_bytes=2048,
+        )
+        stage_fire = make_engine(
+            small_config, engine_config=engine_config.with_(dp_fire="stage"), seed=6
+        )
+        micro_fire = make_engine(
+            small_config, engine_config=engine_config.with_(dp_fire="micro_batch"), seed=6
+        )
+        stage_results = self._train(stage_fire, batches)
+        micro_results = self._train(micro_fire, batches)
+        for stage_param, micro_param in zip(
+            stage_fire.parameters(), micro_fire.parameters()
+        ):
+            assert np.array_equal(stage_param.data, micro_param.data), stage_param.name
+        for stage_result, micro_result in zip(stage_results, micro_results):
+            assert micro_result.axis_wire_bytes["data_parallel"] == pytest.approx(
+                stage_result.axis_wire_bytes["data_parallel"]
+            )
+            # Micro-batch firing hides strictly more: everything overlaps except
+            # the one bucket that completes when the pipeline drains.
+            assert (
+                micro_result.dp_overlapped_fraction
+                > stage_result.dp_overlapped_fraction
+            )
+            assert micro_result.dp_exposed_wire_bytes > 0.0
+
+    def test_micro_batch_fire_exposes_exactly_one_bucket(self, small_config, rng):
+        batches = make_batches(small_config, rng)
+        engine = make_engine(
+            small_config,
+            engine_config=EngineCompressionConfig.uncompressed().with_(
+                dp_fire="micro_batch", dp_bucket_bytes=1024
+            ),
+            seed=0,
+        )
+        engine.run_iteration(batches)
+        dp_records = [r for r in engine.log.records if r.category == "data_parallel"]
+        exposed = [r for r in dp_records if not r.overlapped]
+        assert len(exposed) == 1, [r.description for r in exposed]
+        assert exposed[0].description.startswith("stage0"), exposed[0].description
 
     def test_bucket_bytes_sum_to_per_parameter_bytes(self, small_config, rng):
         """Accounting property: per-stage bucketed payload/original bytes equal the

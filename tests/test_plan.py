@@ -80,6 +80,7 @@ plan_strategy = st.builds(
         Schedule,
         kind=st.sampled_from(("1f1b", "serial")),
         num_model_chunks=st.integers(min_value=1, max_value=4),
+        dp_fire=st.sampled_from(("stage", "micro_batch")),
     ),
     compression=st.fixed_dictionaries(
         {
@@ -355,6 +356,67 @@ ENGINE_SPELLINGS = [
     ),
     EngineCompressionConfig(dp_codec="powersgd", dp_rank=2, dp_bucket_bytes=1 << 12),
 ]
+
+
+class TestDpFireKnob:
+    """The micro-batch-granular bucket-firing schedule knob."""
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(dp_fire="per_layer")
+        with pytest.raises(ValueError):
+            EngineCompressionConfig(dp_fire="per_layer")
+
+    def test_round_trips_and_diffs(self):
+        plan = ParallelPlan(schedule=Schedule(dp_fire="micro_batch"))
+        assert ParallelPlan.from_json(plan.to_json()) == plan
+        delta = ParallelPlan().diff(plan)
+        assert delta == {"schedule.dp_fire": ("stage", "micro_batch")}
+
+    def test_describe_marks_micro_batch_fire(self):
+        stage = ParallelPlan()
+        micro = stage.with_schedule(dp_fire="micro_batch")
+        assert "mb-fire" not in stage.describe()
+        assert "mb-fire" in micro.describe()
+        # The serial schedule has no buckets to fire: no marker.
+        serial = micro.with_schedule(kind="serial")
+        assert "mb-fire" not in serial.describe()
+
+    def test_engine_config_carries_dp_fire_both_ways(self):
+        plan = ParallelPlan(schedule=Schedule(dp_fire="micro_batch"))
+        config = plan.engine_config()
+        assert config.dp_fire == "micro_batch"
+        assert "mb-fire" in config.describe()
+        lifted = config.as_plan()
+        assert lifted.schedule.dp_fire == "micro_batch"
+        assert EngineCompressionConfig.from_plan(lifted) == config
+
+    def test_training_job_gets_dp_fire(self):
+        from repro.models.gpt_configs import GPT_2_5B
+
+        micro = ParallelPlan(schedule=Schedule(dp_fire="micro_batch"))
+        assert micro.training_job(GPT_2_5B).dp_fire == "micro_batch"
+        # A serial schedule has no overlapped buckets — the simulator keeps the
+        # stage-granular window.
+        serial = micro.with_schedule(kind="serial")
+        assert serial.training_job(GPT_2_5B).dp_fire == "stage"
+
+    def test_presets_default_to_stage_fire(self):
+        for name in PLAN_PRESETS:
+            assert ParallelPlan.preset(name).schedule.dp_fire == "stage"
+
+    def test_engine_threads_dp_fire_to_bucketed_sync(self):
+        config = functional_config(
+            vocab_size=32, sequence_length=8, num_layers=2, hidden_size=8, num_heads=2
+        )
+        engine = ThreeDParallelEngine(
+            config,
+            plan=ParallelPlan(
+                topology=Topology(dp=2, pp=2), schedule=Schedule(dp_fire="micro_batch")
+            ),
+        )
+        assert engine.bucketed_sync is not None
+        assert engine.bucketed_sync.dp_fire == "micro_batch"
 
 
 class TestShimEquivalence:

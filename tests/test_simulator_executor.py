@@ -124,6 +124,27 @@ class TestDpOverlapAccounting:
         deep = PipelineTimingSimulator(deep_job).run()
         assert deep.dp_overlapped_fraction > shallow.dp_overlapped_fraction
 
+    def test_micro_batch_fire_widens_the_overlap_window(self):
+        """dp_fire='micro_batch' opens each stage's window one backward op
+        earlier, so strictly more DP bytes hide — total bytes unchanged."""
+        stage_job = TrainingJob(
+            model=GPT_2_5B, layout=ParallelLayout(pipeline_parallel=4), dp_fire="stage"
+        )
+        micro_job = TrainingJob(
+            model=GPT_2_5B,
+            layout=ParallelLayout(pipeline_parallel=4),
+            dp_fire="micro_batch",
+        )
+        stage = PipelineTimingSimulator(stage_job).run()
+        micro = PipelineTimingSimulator(micro_job).run()
+        assert micro.dp_wire_bytes == pytest.approx(stage.dp_wire_bytes)
+        assert micro.dp_overlapped_fraction > stage.dp_overlapped_fraction
+        assert micro.iteration_time == pytest.approx(stage.iteration_time)
+
+    def test_invalid_dp_fire_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingJob(model=GPT_2_5B, dp_fire="per_layer")
+
 
 class TestTimingSimulator:
     def test_iteration_time_positive_and_consistent(self, job, baseline):
