@@ -15,7 +15,12 @@ Four hot paths are measured, each against the implementation it replaced:
 * **compressed-DP iteration** — a full engine iteration with every stage's DP
   gradients codec-compressed: the bucketed path (one codec invocation per
   bucket on flat arena views) versus the serial per-parameter epilogue
-  (identical gradients — asserted here).
+  (identical gradients — asserted here);
+* **schedule iteration** — the zero-bubble ``zb1`` schedule versus ``1f1b``:
+  functional engine wall time (identical gradients — asserted here) plus the
+  timing simulator's deterministic iteration-time speedup and bubble fractions
+  on a paper-scale job (these are the regression-gated metrics: they are exact
+  model outputs, immune to runner noise).
 
 Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
 trajectory is tracked from PR 2 onward; the perf smoke test
@@ -267,6 +272,83 @@ def bench_compressed_dp_iteration(repeats: int = 3, iterations_per_repeat: int =
     return results
 
 
+def bench_schedule_iteration(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """zb1 vs 1f1b: functional wall time (parity asserted) + simulated speedup.
+
+    The functional numbers measure this machine's Python overhead of the
+    split-backward replay (zb1 does the same arithmetic as 1f1b, so the ratio
+    hovers around 1.0 and is informational).  The tracked metrics come from the
+    timing simulator on a paper-scale job: ``sim_speedup`` (1f1b/zb1 iteration
+    time) and ``bubble_ratio`` (1f1b/zb1 bubble fraction) are deterministic
+    model outputs, so the regression gate on them can be tight without runner
+    noise ever tripping it.
+    """
+    from repro.models.gpt_configs import GPT_8_3B
+    from repro.parallel.process_groups import ParallelLayout
+    from repro.plan import ParallelPlan, Topology
+    from repro.simulator.cost_model import TrainingJob
+    from repro.simulator.throughput import schedule_throughput
+
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=8, hidden_size=16, num_heads=2
+    )
+    rng = np.random.default_rng(5)
+    batches = [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+            )
+            for _ in range(4)
+        ]
+        for _ in range(2)
+    ]
+
+    def build(kind: str) -> ThreeDParallelEngine:
+        plan = ParallelPlan(
+            topology=Topology(dp=2, pp=2, tp=1, micro_batches=4)
+        ).with_schedule(kind=kind)
+        return ThreeDParallelEngine(config, plan=plan, seed=3)
+
+    engines = {kind: build(kind) for kind in ("1f1b", "zb1")}
+    times = {}
+    for kind, engine in engines.items():
+        def run():
+            for _ in range(iterations_per_repeat):
+                engine.zero_grad()
+                engine.run_iteration(batches)
+
+        times[kind] = _time_calls(run, repeats) / iterations_per_repeat
+
+    # Same data, same seed: the zero-bubble replay must leave bit-identical
+    # gradients behind (the tentpole's central parity claim).
+    for base_param, zb1_param in zip(
+        engines["1f1b"].parameters(), engines["zb1"].parameters()
+    ):
+        assert np.array_equal(base_param.grad, zb1_param.grad), base_param.name
+
+    job = TrainingJob(
+        model=GPT_8_3B,
+        layout=ParallelLayout(tensor_parallel=8, pipeline_parallel=4, data_parallel=4),
+        num_model_chunks=1,
+    )
+    simulated = {point.kind: point for point in schedule_throughput(job)}
+    base, zb1 = simulated["1f1b"], simulated["zb1"]
+    return {
+        "functional_1f1b_ms": times["1f1b"] * 1e3,
+        "functional_zb1_ms": times["zb1"] * 1e3,
+        "functional_relative": times["1f1b"] / times["zb1"],
+        "sim_iteration_1f1b_s": base.iteration_time_s,
+        "sim_iteration_zb1_s": zb1.iteration_time_s,
+        "sim_speedup": base.iteration_time_s / zb1.iteration_time_s,
+        "bubble_1f1b": base.bubble_fraction,
+        "bubble_zb1": zb1.bubble_fraction,
+        "bubble_ratio": base.bubble_fraction / zb1.bubble_fraction,
+        "sim_layout": "GPT-8.3B PP4 x DP4 x TP8",
+        "functional_layout": "PP2 x DP2, 4 micro-batches",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -282,6 +364,7 @@ def run_all(
         "engine_iteration": bench_engine_iteration(repeats=engine_repeats),
         "codec_roundtrip": bench_codec_roundtrip(repeats=codec_repeats),
         "compressed_dp_iteration": bench_compressed_dp_iteration(repeats=engine_repeats),
+        "schedule_iteration": bench_schedule_iteration(repeats=engine_repeats),
     }
 
 
@@ -316,6 +399,14 @@ def main() -> int:
             f"compressed DP [{codec}]: {dp['per_parameter_ms']:.1f} ms per-parameter -> "
             f"{dp['bucketed_ms']:.1f} ms bucketed ({dp['speedup']:.2f}x)"
         )
+    schedule = results["schedule_iteration"]
+    print(
+        f"schedule [{schedule['sim_layout']}]: simulated {schedule['sim_iteration_1f1b_s']:.2f} s "
+        f"1f1b -> {schedule['sim_iteration_zb1_s']:.2f} s zb1 ({schedule['sim_speedup']:.2f}x); "
+        f"bubble {schedule['bubble_1f1b']:.1%} -> {schedule['bubble_zb1']:.1%}; "
+        f"functional {schedule['functional_1f1b_ms']:.1f} -> "
+        f"{schedule['functional_zb1_ms']:.1f} ms ({schedule['functional_relative']:.2f}x)"
+    )
     print(f"[written to {path}]")
     return 0
 

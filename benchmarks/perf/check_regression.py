@@ -39,6 +39,10 @@ TRACKED_METRICS = [
     ("compressed_dp_iteration.powersgd", "speedup"),
     ("compressed_dp_iteration.qsgd", "speedup"),
     ("compressed_dp_iteration.topk", "speedup"),
+    # Deterministic simulator outputs (zb1 vs 1f1b): any drop is a real model
+    # change, never runner noise.
+    ("schedule_iteration", "sim_speedup"),
+    ("schedule_iteration", "bubble_ratio"),
 ]
 
 

@@ -49,6 +49,16 @@ def test_bench_core_smoke():
         entry = results["compressed_dp_iteration"][codec]
         assert entry["speedup"] >= 0.8, (codec, entry)
 
+    # The zero-bubble schedule: the simulated speedup and bubble reduction are
+    # deterministic model outputs — assert the claims exactly, not loosely.
+    schedule = results["schedule_iteration"]
+    assert schedule["sim_speedup"] > 1.0, schedule
+    assert schedule["bubble_zb1"] < schedule["bubble_1f1b"], schedule
+    assert schedule["bubble_ratio"] > 1.0, schedule
+    # The functional replay does the same arithmetic with a dependency-ordered
+    # loop; it must not collapse (bound loose — pure Python dispatch noise).
+    assert schedule["functional_relative"] >= 0.5, schedule
+
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
@@ -70,6 +80,7 @@ def test_regression_checker_flags_real_drops():
             "qsgd": {"speedup": 1.2},
             "topk": {"speedup": 1.3},
         },
+        "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
     }
     same, _ = compare(baseline, baseline, tolerance=0.30)
     assert same == []

@@ -17,17 +17,27 @@ from repro.parallel.pipeline_schedule import (
     build_1f1b_schedule,
     build_gpipe_schedule,
     build_interleaved_1f1b_schedule,
+    build_zb1_schedule,
     epilogue_micro_batches,
 )
 
+#: One-letter op markers: F forward, B fused backward, b activation-gradient
+#: pass, W deferred weight-gradient pass (zero-bubble split backward).
+OP_MARKERS = {
+    "forward": "F",
+    "backward": "B",
+    "backward_input": "b",
+    "backward_weight": "W",
+}
+
 
 def render_schedule(schedule, title: str) -> str:
-    """Render one op per column: F<n> for forwards, B<n> for backwards."""
+    """Render one op per column: F<n>/B<n>, plus b<n>/W<n> for split backwards."""
     lines = [title, "-" * len(title)]
     for stage, ops in enumerate(schedule):
         cells = []
         for op in ops:
-            marker = "F" if op.kind == "forward" else "B"
+            marker = OP_MARKERS[op.kind]
             suffix = f".{op.chunk}" if op.chunk else ""
             cells.append(f"{marker}{op.micro_batch}{suffix}")
         lines.append(f"stage {stage}: " + " ".join(f"{cell:>5s}" for cell in cells))
@@ -78,6 +88,14 @@ def main() -> None:
             )
         )
         print()
+    print(
+        render_schedule(
+            build_zb1_schedule(stages, micro),
+            "Zero-bubble ZB-H1 (split backward: b = activation-gradient pass, "
+            "W = deferred weight pass; stage k defers k W passes)",
+        )
+    )
+    print()
     print(render_epilogue(stages, micro))
 
 

@@ -42,7 +42,7 @@ from typing import Callable, Sequence
 from repro.core.autotune import SelectiveCompressionAutoTuner
 from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
-from repro.plan import DP_FIRE_KINDS, PLAN_PRESETS, Boundary, ParallelPlan
+from repro.plan import DP_FIRE_KINDS, PLAN_PRESETS, SCHEDULE_KINDS, Boundary, ParallelPlan
 from repro.models.gpt_configs import (
     GPT_2_5B,
     GPT_8_3B,
@@ -116,6 +116,7 @@ def _artefact_catalogue() -> dict[str, Callable[[], object]]:
     """Lazy artefact table so that ``list`` stays fast."""
     from repro.experiments.discussion_accelerators import run_accelerator_comparison
     from repro.experiments.fig03_motivation import run_fig03
+    from repro.experiments.schedule_compare import run_schedule_comparison
     from repro.experiments.fig09_ppl_curves import run_fig09
     from repro.experiments.fig10_breakdown import run_fig10
     from repro.experiments.fig11_error_independence import run_fig11
@@ -142,6 +143,7 @@ def _artefact_catalogue() -> dict[str, Callable[[], object]]:
         "fig15": run_fig15,
         "fig16": run_fig16,
         "accelerators": run_accelerator_comparison,
+        "schedules": run_schedule_comparison,
     }
 
 
@@ -246,13 +248,17 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
             raise SystemExit(str(error)) from error
     if arguments.serial_dp and arguments.overlap_dp:
         raise SystemExit("--serial-dp and --overlap-dp are mutually exclusive")
-    if arguments.serial_dp:
+    if arguments.schedule is not None and (arguments.serial_dp or arguments.overlap_dp):
+        raise SystemExit("--schedule cannot be combined with --serial-dp/--overlap-dp")
+    if arguments.schedule is not None:
+        plan = plan.with_schedule(kind=arguments.schedule)
+    elif arguments.serial_dp:
         plan = plan.with_schedule(kind="serial")
     elif arguments.overlap_dp:
         plan = plan.with_schedule(kind="1f1b")
     if arguments.dp_fire is not None:
-        if arguments.serial_dp:
-            raise SystemExit("--dp-fire only applies to the overlapped DP schedule")
+        if arguments.serial_dp or arguments.schedule == "serial":
+            raise SystemExit("--dp-fire only applies to the overlapped DP schedules")
         plan = plan.with_schedule(dp_fire=arguments.dp_fire)
     return plan
 
@@ -305,10 +311,21 @@ def command_plan_show(arguments: argparse.Namespace) -> int:
 
 
 def command_plan_validate(arguments: argparse.Namespace) -> int:
+    """Validate plan files: each must load *and* round-trip through its JSON form.
+
+    The round-trip check (``load -> to_json -> from_json`` must reproduce the
+    plan exactly) is what CI runs over every file under ``examples/plans/``, so
+    a new plan file cannot silently drift from the schema.
+    """
     failures = 0
     for token in arguments.plans:
         try:
             plan = ParallelPlan.load(token)
+            reloaded = ParallelPlan.from_json(plan.to_json())
+            if reloaded != plan:
+                raise ValueError(
+                    "plan does not round-trip through to_json/from_json"
+                )
         except (OSError, ValueError, TypeError, json.JSONDecodeError) as error:
             failures += 1
             print(f"FAIL {token}: {error}")
@@ -460,6 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'stage' (fire at the stage's backward drain) or "
                             "'micro_batch' (fire inside the final micro-batch's "
                             "backward; only the last bucket stays exposed)")
+    train.add_argument("--schedule", choices=SCHEDULE_KINDS, default=None,
+                       help="override the plan's pipeline schedule: '1f1b' "
+                            "(overlapped DP), 'serial' (per-parameter DP "
+                            "epilogue), or 'zb1' (zero-bubble split-backward; "
+                            "bit-identical weights to 1f1b)")
     train.add_argument("--serial-dp", action="store_true",
                        help="serial per-parameter DP epilogue instead of the "
                             "bucketed all-reduce overlapped with the cool-down")

@@ -20,6 +20,7 @@ under ``benchmarks/`` is a thin wrapper around these drivers.
 | Fig. 14 (TP/PP sensitivity)           | :mod:`repro.experiments.fig14_config_sensitivity` |
 | Fig. 15 (compression throughput)      | :mod:`repro.experiments.fig15_throughput` |
 | Fig. 16 (scalability)                 | :mod:`repro.experiments.fig16_scalability` |
+| Schedule study (1f1b vs zb1)          | :mod:`repro.experiments.schedule_compare` |
 """
 
 from repro.experiments.settings import (

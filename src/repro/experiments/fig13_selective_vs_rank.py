@@ -102,7 +102,7 @@ class Fig13Result:
         verdict = (
             "Fig. 13 (right): to reach its best speed the rank knob pays "
             f"{self.rank_knob_quality_penalty():+.2f} perplexity over selective stage "
-            f"compression at its best speed (strict Pareto dominance: "
+            "compression at its best speed (strict Pareto dominance: "
             f"{self.selective_dominates_rank_knob()})."
         )
         return "\n\n".join([left.render(), middle.render(), verdict])

@@ -1,0 +1,150 @@
+"""Schedule study — 1F1B vs the zero-bubble ZB-H1 schedule (``Schedule.kind="zb1"``).
+
+Two fidelity layers, mirroring the rest of the experiment suite:
+
+* the **timing simulator** sweeps PP x DP layouts of a paper-scale model and
+  reports, per schedule kind, the simulated iteration time, the pipeline bubble
+  fraction, and the end-to-end speedup of zb1 over 1f1b — the zero-bubble
+  claim is that splitting each backward into an activation-gradient pass (B)
+  and a deferred weight-gradient pass (W) lets W passes fill the cool-down
+  bubble, so the bubble fraction must drop strictly for ``pp >= 2``;
+* a **functional probe** trains the same tiny model through the unified 3D
+  engine under both schedules and reports the largest absolute weight
+  difference — the schedules must be numerically *identical* (0.0), because
+  zb1 only reorders when weight gradients are accumulated, never what they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.gpt_configs import GPT_8_3B, PaperModelSpec, functional_config
+from repro.parallel.engine import ThreeDParallelEngine
+from repro.parallel.process_groups import ParallelLayout
+from repro.plan import ParallelPlan, Topology
+from repro.simulator.cost_model import TrainingJob
+from repro.simulator.throughput import SchedulePoint, schedule_throughput
+from repro.utils.tables import Table, format_float
+
+#: ``(pp, dp)`` layouts swept by the simulator study (TP fixed at the paper's 8).
+DEFAULT_LAYOUTS = ((2, 8), (4, 4), (8, 2))
+
+
+@dataclass
+class ScheduleComparisonResult:
+    """Per-layout 1f1b-vs-zb1 simulator numbers plus the functional parity probe."""
+
+    model_name: str
+    #: ``{(pp, dp): {kind: SchedulePoint}}``
+    sweeps: dict[tuple[int, int], dict[str, SchedulePoint]] = field(default_factory=dict)
+    #: Largest absolute weight difference between the 1f1b- and zb1-trained
+    #: functional probes (must be exactly 0.0).
+    functional_weight_delta: float = float("nan")
+    functional_layout: tuple[int, int] = (0, 0)
+
+    def point(self, pp: int, dp: int, kind: str) -> SchedulePoint:
+        return self.sweeps[(pp, dp)][kind]
+
+    def render(self) -> str:
+        table = Table(
+            title=f"{self.model_name}: pipeline schedules — 1f1b vs zero-bubble (zb1)",
+            columns=[
+                "PPxDP",
+                "1f1b iter (s)",
+                "zb1 iter (s)",
+                "1f1b bubble",
+                "zb1 bubble",
+                "zb1 speedup",
+            ],
+        )
+        for (pp, dp), points in sorted(self.sweeps.items()):
+            base, zb1 = points["1f1b"], points["zb1"]
+            table.add_row(
+                [
+                    f"PP{pp}xDP{dp}",
+                    format_float(base.iteration_time_s, 2),
+                    format_float(zb1.iteration_time_s, 2),
+                    f"{base.bubble_fraction:.1%}",
+                    f"{zb1.bubble_fraction:.1%}",
+                    f"{zb1.speedup_over(base):+.2%}",
+                ]
+            )
+        lines = [table.render()]
+        pp, dp = self.functional_layout
+        lines.append(
+            f"Functional parity probe (PP{pp}xDP{dp}): max |weight(1f1b) - weight(zb1)| "
+            f"= {self.functional_weight_delta:.1e} (schedules are bit-identical)"
+        )
+        return "\n".join(lines)
+
+
+def functional_schedule_parity(
+    pp: int = 2, dp: int = 2, iterations: int = 2, seed: int = 3
+) -> float:
+    """Train a tiny probe under 1f1b and zb1 and return the max weight delta.
+
+    A real multi-step trajectory: every iteration ends in a fused-Adam step, so
+    the comparison is over *weights after training*, not a single gradient
+    computation.  The schedules must agree exactly (0.0): zb1 only reorders
+    when each weight gradient is accumulated, never what it is.
+    """
+    from repro.optim import FusedAdam
+
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=4, hidden_size=16, num_heads=2
+    )
+    rng = np.random.default_rng(seed)
+    batches = [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+            )
+            for _ in range(4)
+        ]
+        for _ in range(dp)
+    ]
+    topology = Topology(dp=dp, pp=pp, tp=1, micro_batches=4)
+    worst = 0.0
+    engines = {}
+    for kind in ("1f1b", "zb1"):
+        plan = ParallelPlan(topology=topology).with_schedule(kind=kind)
+        engine = ThreeDParallelEngine(config, plan=plan, seed=seed)
+        optimizers = [FusedAdam(arena, lr=2e-3) for arena in engine.arenas]
+        for _ in range(iterations):
+            engine.zero_grad()
+            engine.run_iteration(batches)
+            for optimizer in optimizers:
+                optimizer.step()
+        engines[kind] = engine
+    for base_param, zb1_param in zip(
+        engines["1f1b"].parameters(), engines["zb1"].parameters()
+    ):
+        worst = max(worst, float(np.max(np.abs(base_param.data - zb1_param.data))))
+    return worst
+
+
+def run_schedule_comparison(
+    model: PaperModelSpec = GPT_8_3B,
+    layouts: tuple[tuple[int, int], ...] = DEFAULT_LAYOUTS,
+    micro_batch_size: int = 8,
+    global_batch_size: int = 512,
+) -> ScheduleComparisonResult:
+    """Sweep PP x DP layouts under both schedules and run the parity probe."""
+    result = ScheduleComparisonResult(model_name=model.name)
+    for pp, dp in layouts:
+        job = TrainingJob(
+            model=model,
+            layout=ParallelLayout(tensor_parallel=8, pipeline_parallel=pp, data_parallel=dp),
+            micro_batch_size=micro_batch_size,
+            global_batch_size=global_batch_size,
+            num_model_chunks=1,
+        )
+        result.sweeps[(pp, dp)] = {
+            point.kind: point for point in schedule_throughput(job)
+        }
+    result.functional_layout = (2, 2)
+    result.functional_weight_delta = functional_schedule_parity(*result.functional_layout)
+    return result

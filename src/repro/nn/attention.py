@@ -125,8 +125,19 @@ class MultiHeadSelfAttention(Module):
         return output, cache
 
     def backward(self, grad_output: np.ndarray, cache: AttentionCache) -> np.ndarray:
-        """Backward pass; accumulates parameter gradients, returns input gradient."""
-        grad_merged = self.proj.backward(grad_output, cache.proj_cache)
+        """Backward pass; accumulates parameter gradients, returns input gradient.
+
+        Equivalent to :meth:`backward_input` followed by :meth:`backward_weight`
+        (bit-for-bit — the split spelling runs the same kernels and merely
+        defers the two Linear weight accumulations).
+        """
+        grad_input = self.backward_input(grad_output, cache)
+        self.backward_weight(cache)
+        return grad_input
+
+    def backward_input(self, grad_output: np.ndarray, cache: AttentionCache) -> np.ndarray:
+        """B pass: input gradient only; the qkv/proj weight gradients are deferred."""
+        grad_merged = self.proj.backward_input(grad_output, cache.proj_cache)
 
         batch, seq, _ = cache.input_shape
         grad_context = grad_merged.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
@@ -150,4 +161,14 @@ class MultiHeadSelfAttention(Module):
             [self._merge_heads(grad_queries), self._merge_heads(grad_keys), self._merge_heads(grad_values)],
             axis=-1,
         )
-        return self.qkv.backward(grad_qkv, cache.qkv_cache)
+        grad_input = self.qkv.backward_input(grad_qkv, cache.qkv_cache)
+        # Release everything the deferred W pass does not need (the zero-bubble
+        # memory claim: after B, only the Linear W stashes stay alive).
+        cache.queries = cache.keys = cache.values = None
+        cache.attention_probs = cache.context = cache.dropout_mask = None
+        return grad_input
+
+    def backward_weight(self, cache: AttentionCache) -> None:
+        """W pass: accumulate the qkv/proj weight gradients stashed by the B pass."""
+        self.proj.backward_weight(cache.proj_cache)
+        self.qkv.backward_weight(cache.qkv_cache)

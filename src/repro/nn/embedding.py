@@ -15,12 +15,18 @@ from repro.tensor.parameter import Parameter
 
 
 class EmbeddingCache:
-    """Cache for the embedding backward pass (the token/position indices)."""
+    """Cache for the embedding backward pass.
 
-    __slots__ = ("indices",)
+    ``indices`` is stored by the forward pass; ``grad_output`` is stashed by
+    :meth:`Embedding.backward_input` so the scatter-add (the weight-gradient
+    work) can run later as a deferred :meth:`Embedding.backward_weight` pass.
+    """
+
+    __slots__ = ("indices", "grad_output")
 
     def __init__(self, indices: np.ndarray) -> None:
         self.indices = indices
+        self.grad_output: np.ndarray | None = None
 
 
 class Embedding(Module):
@@ -58,6 +64,17 @@ class Embedding(Module):
         np.add.at(grad, flat_indices, flat_grad)
         self.weight.accumulate_grad(grad)
 
+    def backward_input(self, grad_output: np.ndarray, cache: EmbeddingCache) -> None:
+        """B pass: an embedding lookup has no input gradient — just stash for W."""
+        cache.grad_output = grad_output
+
+    def backward_weight(self, cache: EmbeddingCache) -> None:
+        """W pass: run the deferred scatter-add stashed by the B pass."""
+        if cache.grad_output is None:
+            raise RuntimeError("backward_weight called before backward_input")
+        self.backward(cache.grad_output, cache)
+        cache.grad_output = None
+
     def project_to_vocab(self, hidden: np.ndarray) -> np.ndarray:
         """Use the embedding weight as a tied output projection (logits)."""
         return hidden @ self.weight.data.T
@@ -77,3 +94,18 @@ class Embedding(Module):
         flat_grad = grad_logits.reshape(-1, self.num_embeddings)
         self.weight.accumulate_grad(flat_grad.T @ flat_hidden)
         return grad_logits @ self.weight.data
+
+    def project_to_vocab_backward_input(
+        self, grad_logits: np.ndarray, hidden: np.ndarray
+    ) -> np.ndarray:
+        """B pass of the tied projection: the gradient w.r.t. ``hidden`` only."""
+        del hidden  # needed only by the weight-gradient half
+        return grad_logits @ self.weight.data
+
+    def project_to_vocab_backward_weight(
+        self, grad_logits: np.ndarray, hidden: np.ndarray
+    ) -> None:
+        """W pass of the tied projection: accumulate the weight gradient."""
+        flat_hidden = hidden.reshape(-1, self.embedding_dim)
+        flat_grad = grad_logits.reshape(-1, self.num_embeddings)
+        self.weight.accumulate_grad(flat_grad.T @ flat_hidden)

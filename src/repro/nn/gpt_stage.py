@@ -36,6 +36,8 @@ class StageCache:
         "final_hidden",
         "loss_cache",
         "stage_input",
+        "embedding_grad",
+        "logits_grad",
     )
 
     def __init__(self) -> None:
@@ -46,6 +48,11 @@ class StageCache:
         self.final_hidden: np.ndarray | None = None
         self.loss_cache: dict | None = None
         self.stage_input: np.ndarray | None = None
+        # Stashes of the split (zero-bubble) backward: the gradient arriving at
+        # the input embeddings (first stage) and the scaled logit gradient of
+        # the tied output projection (last stage), both consumed by the W pass.
+        self.embedding_grad: np.ndarray | None = None
+        self.logits_grad: np.ndarray | None = None
 
 
 class GPTStage(Module):
@@ -245,28 +252,73 @@ class GPTStage(Module):
 
         Returns the activation gradient to send upstream, or ``None`` for the first
         stage (which instead accumulates the embedding gradients).
+
+        Equivalent to :meth:`backward_input` followed by :meth:`backward_weight`
+        (bit-for-bit — the split spelling runs the same kernels and merely
+        defers every parameter-gradient accumulation).
+        """
+        grad = self.backward_input(grad_from_next, cache, loss_scale=loss_scale)
+        self.backward_weight(cache)
+        return grad
+
+    def backward_input(
+        self, grad_from_next: np.ndarray | None, cache: StageCache, loss_scale: float = 1.0
+    ) -> np.ndarray | None:
+        """B pass: propagate the activation gradient only (zero-bubble schedules).
+
+        Parameter-gradient work is stashed in ``cache`` for a later
+        :meth:`backward_weight` pass, so this is the op that sits on the
+        inter-stage critical path while the weight work can be deferred into
+        what would otherwise be pipeline bubble.
         """
         if self.is_last:
             if grad_from_next is not None:
                 raise ValueError("the last stage derives its gradient from the loss")
             grad_logits = self.loss_fn.backward(cache.loss_cache) * loss_scale
-            grad_hidden = self.output_embedding.project_to_vocab_backward(
+            cache.logits_grad = grad_logits
+            cache.loss_cache = None  # consumed; the W pass needs only logits_grad
+            grad_hidden = self.output_embedding.project_to_vocab_backward_input(
                 grad_logits, cache.final_hidden
             )
-            grad_hidden = self.final_ln.backward(grad_hidden, cache.final_ln_cache)
+            grad_hidden = self.final_ln.backward_input(grad_hidden, cache.final_ln_cache)
         else:
             if grad_from_next is None:
                 raise ValueError("non-last stages require the downstream activation gradient")
             grad_hidden = np.asarray(grad_from_next, dtype=np.float64)
 
         for layer, layer_cache in zip(reversed(self.layers), reversed(cache.layer_caches)):
-            grad_hidden = layer.backward(grad_hidden, layer_cache)
+            grad_hidden = layer.backward_input(grad_hidden, layer_cache)
+        cache.stage_input = None  # forward bookkeeping; never needed after B
 
         if self.is_first:
-            self.token_embedding.backward(grad_hidden, cache.token_cache)
-            self.position_embedding.backward(grad_hidden, cache.position_cache)
+            cache.embedding_grad = grad_hidden
             return None
         return grad_hidden
+
+    def backward_weight(self, cache: StageCache) -> None:
+        """W pass: accumulate every parameter gradient stashed by the B pass.
+
+        Accumulation order within one micro-batch touches each parameter exactly
+        once, so the split and fused spellings are bit-for-bit identical; across
+        micro-batches the scheduler issues W passes in ascending micro-batch
+        order, preserving 1F1B's per-parameter accumulation order.
+        """
+        if self.is_last:
+            if cache.logits_grad is None:
+                raise RuntimeError("backward_weight called before backward_input")
+            self.output_embedding.project_to_vocab_backward_weight(
+                cache.logits_grad, cache.final_hidden
+            )
+            self.final_ln.backward_weight(cache.final_ln_cache)
+            cache.logits_grad = None
+        for layer, layer_cache in zip(reversed(self.layers), reversed(cache.layer_caches)):
+            layer.backward_weight(layer_cache)
+        if self.is_first:
+            if cache.embedding_grad is None:
+                raise RuntimeError("backward_weight called before backward_input")
+            self.token_embedding.backward(cache.embedding_grad, cache.token_cache)
+            self.position_embedding.backward(cache.embedding_grad, cache.position_cache)
+            cache.embedding_grad = None
 
 
 def partition_layers(num_layers: int, num_stages: int) -> list[list[int]]:

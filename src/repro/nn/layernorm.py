@@ -30,3 +30,26 @@ class LayerNorm(Module):
         self.gamma.accumulate_grad(grad_gamma)
         self.beta.accumulate_grad(grad_beta)
         return grad_input
+
+    def backward_input(self, grad_output: np.ndarray, cache: dict) -> np.ndarray:
+        """B pass: return the input gradient, stash gamma/beta gradients in the cache.
+
+        The functional kernel produces the parameter gradients alongside the
+        input gradient in one pass, so the split spelling computes them here and
+        merely *defers the accumulation* to :meth:`backward_weight` — the
+        arrays are the very ones the fused :meth:`backward` would accumulate.
+        The forward activations in the cache are released here: after B, only
+        the two parameter-gradient vectors (the W stash) stay alive.
+        """
+        grad_input, grad_gamma, grad_beta = F.layer_norm_backward(grad_output, cache)
+        cache.clear()
+        cache["grad_gamma"] = grad_gamma
+        cache["grad_beta"] = grad_beta
+        return grad_input
+
+    def backward_weight(self, cache: dict) -> None:
+        """W pass: accumulate the gamma/beta gradients stashed by the B pass."""
+        if "grad_gamma" not in cache:
+            raise RuntimeError("backward_weight called before backward_input")
+        self.gamma.accumulate_grad(cache.pop("grad_gamma"))
+        self.beta.accumulate_grad(cache.pop("grad_beta"))

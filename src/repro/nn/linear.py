@@ -10,12 +10,18 @@ from repro.tensor.parameter import Parameter
 
 
 class LinearCache:
-    """Activation cache for :class:`Linear` (input of the forward pass)."""
+    """Activation cache for :class:`Linear`.
 
-    __slots__ = ("input",)
+    ``input`` is stored by the forward pass; ``grad_output`` is stashed by
+    :meth:`Linear.backward_input` so the weight-gradient work can run later as a
+    deferred :meth:`Linear.backward_weight` pass (zero-bubble scheduling).
+    """
+
+    __slots__ = ("input", "grad_output")
 
     def __init__(self, input_activation: np.ndarray) -> None:
         self.input = input_activation
+        self.grad_output: np.ndarray | None = None
 
 
 class Linear(Module):
@@ -67,11 +73,28 @@ class Linear(Module):
         return output, LinearCache(x)
 
     def backward(self, grad_output: np.ndarray, cache: LinearCache) -> np.ndarray:
-        """Accumulate parameter gradients and return the input gradient."""
-        x = cache.input
-        flat_x = x.reshape(-1, self.in_features)
-        flat_grad = grad_output.reshape(-1, self.out_features)
+        """Accumulate parameter gradients and return the input gradient.
+
+        Equivalent to :meth:`backward_input` immediately followed by
+        :meth:`backward_weight` (the same arithmetic on the same arrays, so the
+        fused and split spellings are bit-for-bit identical).
+        """
+        grad_input = self.backward_input(grad_output, cache)
+        self.backward_weight(cache)
+        return grad_input
+
+    def backward_input(self, grad_output: np.ndarray, cache: LinearCache) -> np.ndarray:
+        """B pass: return the input gradient, stash ``grad_output`` for the W pass."""
+        cache.grad_output = grad_output
+        return grad_output @ self.weight.data.T
+
+    def backward_weight(self, cache: LinearCache) -> None:
+        """W pass: accumulate the weight/bias gradients stashed by the B pass."""
+        if cache.grad_output is None:
+            raise RuntimeError("backward_weight called before backward_input")
+        flat_x = cache.input.reshape(-1, self.in_features)
+        flat_grad = cache.grad_output.reshape(-1, self.out_features)
         self.weight.accumulate_grad(flat_x.T @ flat_grad)
         if self.bias is not None:
             self.bias.accumulate_grad(flat_grad.sum(axis=0))
-        return grad_output @ self.weight.data.T
+        cache.grad_output = None

@@ -61,7 +61,26 @@ class TransformerMLP(Module):
         return output, cache
 
     def backward(self, grad_output: np.ndarray, cache: MLPCache) -> np.ndarray:
-        """Backward pass; accumulates parameter gradients, returns input gradient."""
-        grad_activated = self.proj.backward(grad_output, cache.proj_cache)
+        """Backward pass; accumulates parameter gradients, returns input gradient.
+
+        Equivalent to :meth:`backward_input` followed by :meth:`backward_weight`
+        (bit-for-bit — same kernels, deferred accumulation).
+        """
+        grad_input = self.backward_input(grad_output, cache)
+        self.backward_weight(cache)
+        return grad_input
+
+    def backward_input(self, grad_output: np.ndarray, cache: MLPCache) -> np.ndarray:
+        """B pass: input gradient only; both Linear weight gradients are deferred.
+
+        ``pre_gelu`` is released here — after B only the Linear W stashes live.
+        """
+        grad_activated = self.proj.backward_input(grad_output, cache.proj_cache)
         grad_hidden = F.gelu_backward(grad_activated, cache.pre_gelu)
-        return self.fc.backward(grad_hidden, cache.fc_cache)
+        cache.pre_gelu = None
+        return self.fc.backward_input(grad_hidden, cache.fc_cache)
+
+    def backward_weight(self, cache: MLPCache) -> None:
+        """W pass: accumulate the fc/proj weight gradients stashed by the B pass."""
+        self.proj.backward_weight(cache.proj_cache)
+        self.fc.backward_weight(cache.fc_cache)

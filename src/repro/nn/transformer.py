@@ -125,12 +125,29 @@ class TransformerLayer(Module):
         return residual + mlp_out, cache
 
     def backward(self, grad_output: np.ndarray, cache: TransformerLayerCache) -> np.ndarray:
-        """Backward pass; accumulates parameter gradients, returns input gradient."""
-        grad_mlp_in = self.mlp.backward(grad_output, cache.mlp_cache)
-        grad_residual = grad_output + self.ln2.backward(grad_mlp_in, cache.ln2_cache)
-        grad_attn_in = self.attention.backward(grad_residual, cache.attn_cache)
-        grad_input = grad_residual + self.ln1.backward(grad_attn_in, cache.ln1_cache)
+        """Backward pass; accumulates parameter gradients, returns input gradient.
+
+        Equivalent to :meth:`backward_input` followed by :meth:`backward_weight`
+        (bit-for-bit — same kernels, deferred accumulation).
+        """
+        grad_input = self.backward_input(grad_output, cache)
+        self.backward_weight(cache)
         return grad_input
+
+    def backward_input(self, grad_output: np.ndarray, cache: TransformerLayerCache) -> np.ndarray:
+        """B pass: input gradient only; every sub-module's weight work is deferred."""
+        grad_mlp_in = self.mlp.backward_input(grad_output, cache.mlp_cache)
+        grad_residual = grad_output + self.ln2.backward_input(grad_mlp_in, cache.ln2_cache)
+        grad_attn_in = self.attention.backward_input(grad_residual, cache.attn_cache)
+        grad_input = grad_residual + self.ln1.backward_input(grad_attn_in, cache.ln1_cache)
+        return grad_input
+
+    def backward_weight(self, cache: TransformerLayerCache) -> None:
+        """W pass: accumulate every sub-module's weight gradients (B-pass stashes)."""
+        self.mlp.backward_weight(cache.mlp_cache)
+        self.ln2.backward_weight(cache.ln2_cache)
+        self.attention.backward_weight(cache.attn_cache)
+        self.ln1.backward_weight(cache.ln1_cache)
 
 
 class GPTForwardCache:

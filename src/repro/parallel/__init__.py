@@ -19,6 +19,7 @@ from repro.parallel.pipeline_schedule import (
     build_1f1b_schedule,
     build_gpipe_schedule,
     build_interleaved_1f1b_schedule,
+    build_zb1_schedule,
     epilogue_micro_batches,
 )
 from repro.parallel.pipeline_engine import InterStageChannel, PipelineParallelEngine
@@ -43,6 +44,7 @@ __all__ = [
     "build_gpipe_schedule",
     "build_1f1b_schedule",
     "build_interleaved_1f1b_schedule",
+    "build_zb1_schedule",
     "epilogue_micro_batches",
     "PipelineParallelEngine",
     "InterStageChannel",

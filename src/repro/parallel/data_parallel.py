@@ -244,6 +244,19 @@ class BucketedDataParallelSync:
     bucketing and firing order only change message granularity and overlap
     accounting — every bucket's mean (and every codec segment's RNG stream and
     error-feedback key) is independent of when the bucket fires.
+
+    ``schedule_kind`` names the pipeline schedule the firing points are derived
+    from.  Under ``"zb1"`` a parameter's gradient becomes final at its
+    *weight-pass* (W), not at the stage's backward drain — the final
+    micro-batch's W pass walks the layers deepest-first, finalising buckets one
+    by one while the other stages still drain their deferred W passes.  The
+    split backward therefore makes micro-batch-granular firing the schedule's
+    *native* granularity: zb1 fires every bucket inside that W drain regardless
+    of ``dp_fire``, and only the globally last bucket to become final — stage
+    0's input-side one (stage 0 defers no W passes, so its W drain ends the
+    pipeline) — stays exposed.  This is how the late W passes widen the window
+    the PR-4 ``dp_fire`` knob opened; the timing simulator quantifies the same
+    effect through its per-stage windows.
     """
 
     def __init__(
@@ -255,6 +268,7 @@ class BucketedDataParallelSync:
         bucket_bytes: int = 1 << 16,
         exclude_embedding: bool = True,
         dp_fire: str = "stage",
+        schedule_kind: str = "1f1b",
     ) -> None:
         if not replicas:
             raise ValueError("need at least one data-parallel replica")
@@ -268,6 +282,7 @@ class BucketedDataParallelSync:
         self.log = log if log is not None else CommunicationLog()
         self.exclude_embedding = bool(exclude_embedding)
         self.dp_fire = dp_fire
+        self.schedule_kind = schedule_kind
 
         def excluded(parameter: Parameter) -> bool:
             return self.exclude_embedding and is_embedding_parameter(parameter)
@@ -319,11 +334,15 @@ class BucketedDataParallelSync:
         """Fire every stage's bucket all-reduces in backward-completion order."""
         if self.data_parallel_degree == 1:
             return
+        # zb1's split backward finalises gradients per W pass (deepest layers
+        # first), so micro-batch granularity is the schedule's native firing
+        # mode whatever ``dp_fire`` says.
+        fire = "micro_batch" if self.schedule_kind == "zb1" else self.dp_fire
         grad_buffers = [arena.grad for arena in self.arenas]
         for stage_index in range(self.num_stages - 1, -1, -1):
             stage_buckets = self._fire_order.get(stage_index, [])
             for position, bucket in enumerate(stage_buckets):
-                if self.dp_fire == "micro_batch":
+                if fire == "micro_batch":
                     # Every bucket overlaps the remaining backward compute
                     # except the very last one to become ready: stage 0's
                     # input-side bucket, which completes only when the whole

@@ -579,6 +579,10 @@ class ThreeDParallelEngine:
         self.model_config = model_config
         self.num_stages = int(num_stages)
         self.data_parallel_degree = int(data_parallel_degree)
+        # The pipeline execution schedule: "zb1" replays the split-backward
+        # ZB-H1 op lists inside every replica's pipeline engine (bit-for-bit
+        # identical weights); everything else runs the phase-ordered loop.
+        self.schedule_kind = plan.schedule.kind if plan is not None else "1f1b"
         self.optimus_config = (
             optimus_config if optimus_config is not None else OptimusCCConfig.baseline()
         )
@@ -611,7 +615,9 @@ class ThreeDParallelEngine:
                 log=self.log, backward_hook=cb_hook, forward_hook=forward_hook
             )
             self.replicas.append(stages)
-            self.pipeline_engines.append(PipelineParallelEngine(stages, channel))
+            self.pipeline_engines.append(
+                PipelineParallelEngine(stages, channel, schedule_kind=self.schedule_kind)
+            )
             self.cb_hooks.append(cb_hook)
 
         # Flat-arena storage: every replica's weights and gradients live in two
@@ -643,6 +649,7 @@ class ThreeDParallelEngine:
                 bucket_bytes=self.engine_config.dp_bucket_bytes,
                 exclude_embedding=True,
                 dp_fire=self.engine_config.dp_fire,
+                schedule_kind=self.schedule_kind,
             )
         self.embedding_sync: EmbeddingSynchronizer = factory.make_embedding_synchronizer(
             self.replicas, self.log

@@ -15,6 +15,16 @@ micro-batch to the next).  Both are identical between a real 1F1B execution and 
 simpler "all forwards in micro-batch order, then all backwards in micro-batch order"
 loop used here, so the functional engine uses the simpler loop; the 1F1B timing
 behaviour is modelled separately by :mod:`repro.simulator`.
+
+The zero-bubble schedule (``schedule_kind="zb1"``) *does* change the execution
+structure — each backward is split into an activation-gradient pass
+(:meth:`~repro.nn.gpt_stage.GPTStage.backward_input`) and a deferred
+weight-gradient pass (:meth:`~repro.nn.gpt_stage.GPTStage.backward_weight`) —
+so the engine replays the actual per-stage ZB-H1 op lists in dependency order.
+Because every boundary still sees its backward transfers in ascending
+micro-batch order and every stage runs its W passes in ascending micro-batch
+order, the weights remain bit-for-bit identical to the 1F1B loop (asserted by
+the parity tests).
 """
 
 from __future__ import annotations
@@ -30,6 +40,12 @@ from repro.parallel.collectives import (
     CommunicationLog,
     TrafficRecord,
 )
+from repro.parallel.pipeline_schedule import build_zb1_schedule
+
+#: Schedule kinds the functional engine can execute.  ``"1f1b"`` and
+#: ``"serial"`` are numerically the phase-ordered loop (1F1B timing is a
+#: simulator concern); ``"zb1"`` replays the split-backward ZB-H1 op lists.
+ENGINE_SCHEDULE_KINDS = ("1f1b", "serial", "zb1")
 
 #: Hook applied to every backward inter-stage transfer.
 #:
@@ -126,15 +142,28 @@ class PipelineParallelEngine:
         The pipeline stages in order (stage 0 first).
     channel:
         The inter-stage channel (owns the compression hooks and the traffic log).
+    schedule_kind:
+        ``"1f1b"``/``"serial"`` run the phase-ordered loop; ``"zb1"`` replays the
+        ZB-H1 split-backward op lists (bit-for-bit identical weights).
     """
 
-    def __init__(self, stages: Sequence[GPTStage], channel: InterStageChannel | None = None) -> None:
+    def __init__(
+        self,
+        stages: Sequence[GPTStage],
+        channel: InterStageChannel | None = None,
+        schedule_kind: str = "1f1b",
+    ) -> None:
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
         if not stages[0].is_first or not stages[-1].is_last:
             raise ValueError("stages[0] must be the first stage and stages[-1] the last stage")
+        if schedule_kind not in ENGINE_SCHEDULE_KINDS:
+            raise ValueError(
+                f"schedule_kind must be one of {ENGINE_SCHEDULE_KINDS}, got {schedule_kind!r}"
+            )
         self.stages: list[GPTStage] = list(stages)
         self.channel = channel if channel is not None else InterStageChannel()
+        self.schedule_kind = schedule_kind
 
     @property
     def num_stages(self) -> int:
@@ -166,6 +195,8 @@ class PipelineParallelEngine:
         num_micro_batches = len(micro_batches)
         if num_micro_batches == 0:
             raise ValueError("run_iteration requires at least one micro-batch")
+        if self.schedule_kind == "zb1":
+            return self._run_iteration_zb1(micro_batches)
         loss_scale = 1.0 / num_micro_batches
 
         forward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_forward")
@@ -213,6 +244,104 @@ class PipelineParallelEngine:
         )
         return IterationResult(
             mean_loss=float(np.mean(losses)),
+            num_micro_batches=num_micro_batches,
+            forward_bytes=int(forward_bytes),
+            backward_bytes=int(backward_bytes),
+        )
+
+    def _run_iteration_zb1(
+        self, micro_batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> IterationResult:
+        """Replay the ZB-H1 op lists (split B/W backward) in dependency order.
+
+        Each stage executes its :func:`~repro.parallel.pipeline_schedule.build_zb1_schedule`
+        op list in order; an op runs as soon as its input has arrived (forward
+        activation from upstream, activation gradient from downstream, or —
+        for a W pass — the stage's own earlier B pass).  Every boundary still
+        sees forward and backward transfers in ascending micro-batch order, and
+        every stage accumulates weight gradients in ascending micro-batch
+        order, so the result is bit-for-bit the phase-ordered loop's.
+        """
+        num_micro_batches = len(micro_batches)
+        num_stages = self.num_stages
+        loss_scale = 1.0 / num_micro_batches
+
+        forward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_forward")
+        backward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_backward")
+
+        schedule = build_zb1_schedule(num_stages, num_micro_batches)
+        caches: list[list[StageCache | None]] = [
+            [None] * num_micro_batches for _ in range(num_stages)
+        ]
+        # losses[mb] — filled by the last stage's forward ops (ascending mb).
+        losses: list[float | None] = [None] * num_micro_batches
+        activations: dict[tuple[int, int], np.ndarray] = {
+            (0, mb): np.asarray(tokens) for mb, (tokens, _) in enumerate(micro_batches)
+        }
+        gradients: dict[tuple[int, int], np.ndarray | None] = {
+            (num_stages - 1, mb): None for mb in range(num_micro_batches)
+        }
+        backward_done: set[tuple[int, int]] = set()
+
+        pointers = [0] * num_stages
+        remaining = sum(len(ops) for ops in schedule)
+        while remaining > 0:
+            progressed = False
+            for stage_index in range(num_stages):
+                stage = self.stages[stage_index]
+                while pointers[stage_index] < len(schedule[stage_index]):
+                    op = schedule[stage_index][pointers[stage_index]]
+                    key = (stage_index, op.micro_batch)
+                    if op.kind == "forward":
+                        if key not in activations:
+                            break
+                        activation = activations.pop(key)
+                        if stage.is_last:
+                            loss, cache = stage.forward(
+                                activation, targets=micro_batches[op.micro_batch][1]
+                            )
+                            losses[op.micro_batch] = float(loss)
+                        else:
+                            activation, cache = stage.forward(activation)
+                            activations[(stage_index + 1, op.micro_batch)] = (
+                                self.channel.send_forward(
+                                    activation, stage_index, op.micro_batch, num_micro_batches
+                                )
+                            )
+                        caches[stage_index][op.micro_batch] = cache
+                    elif op.kind == "backward_input":
+                        if key not in gradients:
+                            break
+                        grad = gradients.pop(key)
+                        cache = caches[stage_index][op.micro_batch]
+                        if stage.is_last:
+                            grad = stage.backward_input(None, cache, loss_scale=loss_scale)
+                        else:
+                            grad = stage.backward_input(grad, cache)
+                        backward_done.add(key)
+                        if stage_index > 0 and grad is not None:
+                            gradients[(stage_index - 1, op.micro_batch)] = (
+                                self.channel.send_backward(
+                                    grad, stage_index - 1, op.micro_batch, num_micro_batches
+                                )
+                            )
+                    else:  # backward_weight — always ready (op order puts B first)
+                        if key not in backward_done:
+                            break
+                        stage.backward_weight(caches[stage_index][op.micro_batch])
+                        caches[stage_index][op.micro_batch] = None  # release activations
+                    pointers[stage_index] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:  # pragma: no cover - the builder is validated
+                raise RuntimeError("zb1 schedule deadlocked (invalid dependency structure)")
+
+        forward_bytes = self.channel.log.total_wire_bytes("inter_stage_forward") - forward_bytes_before
+        backward_bytes = (
+            self.channel.log.total_wire_bytes("inter_stage_backward") - backward_bytes_before
+        )
+        return IterationResult(
+            mean_loss=float(np.mean([loss for loss in losses if loss is not None])),
             num_micro_batches=num_micro_batches,
             forward_bytes=int(forward_bytes),
             backward_bytes=int(backward_bytes),

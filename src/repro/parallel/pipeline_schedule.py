@@ -1,4 +1,4 @@
-"""Pipeline-parallel schedules: GPipe, 1F1B, and interleaved 1F1B.
+"""Pipeline-parallel schedules: GPipe, 1F1B, interleaved 1F1B, and ZB-H1.
 
 A schedule is, per pipeline stage, an ordered list of :class:`PipelineOp` values.
 Two consumers use them:
@@ -12,6 +12,17 @@ Two consumers use them:
 The 1F1B schedule follows Megatron-LM / PipeDream-Flush: stage ``k`` (0-indexed, of
 ``p`` stages) performs ``p-1-k`` warm-up forwards, then alternates one forward and
 one backward, and finally drains ``p-1-k`` cool-down backwards.
+
+The zero-bubble schedule (:func:`build_zb1_schedule`, ``Schedule.kind = "zb1"``)
+follows the handcrafted ZB-H1 of the zero-bubble pipeline-parallelism work
+(Qi et al.): each full backward pass is split into an activation-gradient pass B
+(``"backward_input"``, on the inter-stage critical path) and a weight-gradient
+pass W (``"backward_weight"``, purely local).  Stage ``k`` defers exactly ``k``
+W passes, so B passes cascade upstream every ``T_B`` instead of every
+``T_B + T_W`` and the deferred W passes fill what would otherwise be the
+cool-down bubble — shrinking the per-stage bubble from ``(p-1)(T_F + T_B + T_W)``
+to ``(p-1)(T_F + T_B - T_W)`` at the same peak in-flight activation count as
+1F1B.
 """
 
 from __future__ import annotations
@@ -26,6 +37,16 @@ class ScheduleKind(str, enum.Enum):
     GPIPE = "gpipe"
     ONE_F_ONE_B = "1f1b"
     INTERLEAVED_1F1B = "interleaved"
+    ZERO_BUBBLE_H1 = "zb1"
+
+
+#: Op kinds a schedule may emit.  ``"backward"`` is the fused full backward
+#: (input + weight gradients in one op); the zero-bubble schedules split it into
+#: ``"backward_input"`` (B) and ``"backward_weight"`` (W).
+OP_KINDS = ("forward", "backward", "backward_input", "backward_weight")
+
+#: Kinds that carry the activation gradient upstream (trigger a backward send).
+BACKWARD_SEND_KINDS = ("backward", "backward_input")
 
 
 @dataclass(frozen=True)
@@ -35,7 +56,9 @@ class PipelineOp:
     Attributes
     ----------
     kind:
-        ``"forward"`` or ``"backward"``.
+        ``"forward"``, ``"backward"`` (fused full backward), ``"backward_input"``
+        (B: activation gradient only), or ``"backward_weight"`` (W: deferred
+        weight gradient).
     micro_batch:
         Zero-based micro-batch index.
     chunk:
@@ -47,8 +70,8 @@ class PipelineOp:
     chunk: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("forward", "backward"):
-            raise ValueError(f"op kind must be 'forward' or 'backward', got {self.kind!r}")
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"op kind must be one of {OP_KINDS}, got {self.kind!r}")
         if self.micro_batch < 0:
             raise ValueError(f"micro_batch must be non-negative, got {self.micro_batch}")
 
@@ -91,6 +114,74 @@ def build_1f1b_schedule(num_stages: int, num_micro_batches: int) -> list[list[Pi
         while backward_mb < num_micro_batches:
             ops.append(PipelineOp("backward", backward_mb))
             backward_mb += 1
+        schedule.append(ops)
+    return schedule
+
+
+def zb1_deferred_weight_passes(stage: int, num_stages: int, num_micro_batches: int) -> int:
+    """How many weight-gradient (W) passes stage ``stage`` keeps pending under ZB-H1.
+
+    Stage ``k`` defers exactly ``k`` W passes (capped by the micro-batch count):
+    the last stage defers the most — its B passes then cascade upstream back to
+    back — and stage 0, which drains last, defers none.  The deferred W passes
+    are exactly what fills each stage's cool-down gaps.
+    """
+    if not 0 <= stage < num_stages:
+        raise ValueError(f"stage {stage} out of range [0, {num_stages})")
+    return min(stage, num_micro_batches)
+
+
+def build_zb1_schedule(num_stages: int, num_micro_batches: int) -> list[list[PipelineOp]]:
+    """Zero-bubble ZB-H1: 1F1B with the backward split into B and W passes.
+
+    Per stage ``k`` the op order is: ``p-1-k`` warm-up forwards (as in 1F1B),
+    then the 1F1B steady state with the full backward replaced by a B pass and
+    the matching W pass emitted once more than ``k`` W passes are pending, then
+    the cool-down B passes interleaved with the deferred W passes, and finally
+    the remaining W drain.  Properties (asserted by the tests):
+
+    * every micro-batch gets exactly one F, one B, and one W, with B after its F
+      and W after its B — so gradient *accumulation order per parameter* is the
+      ascending micro-batch order, identical to 1F1B (bit-for-bit weights);
+    * the peak number of in-flight *forward-activation* caches equals 1F1B's
+      (:func:`count_in_flight_micro_batches`) — ZB-H1's memory claim.  The B
+      pass releases every forward activation (the nn layers' ``backward_input``
+      clears them); between B and W only the small W stash (Linear inputs and
+      output gradients, LayerNorm parameter-gradient vectors) stays alive, and
+      stage ``k`` holds at most ``k + 1`` such stashes;
+    * with ``num_stages == 1`` the schedule degenerates to the serial
+      ``F, B, W`` loop (the split 1F1B), and ``num_micro_batches < num_stages``
+      just shortens warm-up/steady phases.
+    """
+    _validate(num_stages, num_micro_batches)
+    schedule = []
+    for stage in range(num_stages):
+        num_warmup = min(num_stages - 1 - stage, num_micro_batches)
+        deferred = zb1_deferred_weight_passes(stage, num_stages, num_micro_batches)
+        ops: list[PipelineOp] = []
+        forward_mb = 0
+        backward_mb = 0
+        weight_mb = 0
+        for _ in range(num_warmup):
+            ops.append(PipelineOp("forward", forward_mb))
+            forward_mb += 1
+        while forward_mb < num_micro_batches:
+            ops.append(PipelineOp("forward", forward_mb))
+            forward_mb += 1
+            ops.append(PipelineOp("backward_input", backward_mb))
+            backward_mb += 1
+            while backward_mb - weight_mb > deferred:
+                ops.append(PipelineOp("backward_weight", weight_mb))
+                weight_mb += 1
+        while backward_mb < num_micro_batches:
+            ops.append(PipelineOp("backward_input", backward_mb))
+            backward_mb += 1
+            while backward_mb - weight_mb > deferred and weight_mb < num_micro_batches:
+                ops.append(PipelineOp("backward_weight", weight_mb))
+                weight_mb += 1
+        while weight_mb < num_micro_batches:
+            ops.append(PipelineOp("backward_weight", weight_mb))
+            weight_mb += 1
         schedule.append(ops)
     return schedule
 
@@ -162,6 +253,8 @@ def build_schedule(
         return build_1f1b_schedule(num_stages, num_micro_batches)
     if kind == ScheduleKind.INTERLEAVED_1F1B:
         return build_interleaved_1f1b_schedule(num_stages, num_micro_batches, num_chunks)
+    if kind == ScheduleKind.ZERO_BUBBLE_H1:
+        return build_zb1_schedule(num_stages, num_micro_batches)
     raise ValueError(f"unknown schedule kind {kind!r}")
 
 

@@ -88,8 +88,12 @@ BOUNDARY_CODECS: dict[Boundary, tuple[str, ...]] = {
 #: Pipeline schedule kinds: ``"1f1b"`` fires the bucketed DP all-reduce in
 #: backward-completion order so it overlaps the pipeline cool-down; ``"serial"``
 #: runs the per-parameter DP epilogue after the pipeline drains (bit-for-bit
-#: identical weights; only message granularity and overlap accounting differ).
-SCHEDULE_KINDS = ("1f1b", "serial")
+#: identical weights; only message granularity and overlap accounting differ);
+#: ``"zb1"`` is the zero-bubble ZB-H1 schedule — every backward splits into an
+#: activation-gradient pass (B) and a deferred weight-gradient pass (W), so W
+#: passes fill the 1F1B cool-down bubble at the same peak activation memory
+#: (weights stay bit-for-bit identical to ``"1f1b"``).
+SCHEDULE_KINDS = ("1f1b", "serial", "zb1")
 
 #: DP bucket firing granularities on the overlapped (``"1f1b"``) path:
 #: ``"stage"`` fires a stage's buckets when its whole backward has drained;
@@ -254,6 +258,12 @@ class Schedule:
         ``"serial"`` — the same 1F1B pipeline but with the serial per-parameter
         DP epilogue after the pipeline drains (the overlap-off ablation;
         bit-for-bit identical weights).
+        ``"zb1"`` — the zero-bubble ZB-H1 schedule: each backward splits into
+        an activation-gradient pass (B) and a deferred weight-gradient pass
+        (W); stage ``k`` defers ``k`` W passes so they fill the cool-down
+        bubble, and the late W passes extend the window the bucketed DP
+        all-reduce hides in.  Weights stay bit-for-bit identical to
+        ``"1f1b"``; peak activation memory matches 1F1B.
     num_model_chunks:
         Megatron interleaved-1F1B model chunks per stage for the timing
         simulator; 1 selects the plain schedule.  Delivered through
@@ -268,7 +278,9 @@ class Schedule:
         micro-batch's backward pass as soon as its gradients are final, so only
         the very last bucket (stage 0's input side) stays exposed.  Timing and
         overlap accounting only — never numerics.  Ignored by the serial
-        schedule.
+        schedule — and by ``"zb1"``, whose split backward finalises gradients
+        per W pass and therefore always fires at micro-batch granularity (in
+        the engine and the simulator alike).
     """
 
     kind: str = "1f1b"
@@ -280,6 +292,10 @@ class Schedule:
             raise ValueError(f"kind must be one of {SCHEDULE_KINDS}, got {self.kind!r}")
         if self.num_model_chunks <= 0:
             raise ValueError("num_model_chunks must be positive")
+        if self.kind == "zb1" and self.num_model_chunks > 1:
+            raise ValueError(
+                "zb1 is a plain (non-interleaved) schedule; num_model_chunks must be 1"
+            )
         if self.dp_fire not in DP_FIRE_KINDS:
             raise ValueError(
                 f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
@@ -288,7 +304,7 @@ class Schedule:
     @property
     def dp_overlap(self) -> bool:
         """Whether the DP all-reduce overlaps the pipeline cool-down."""
-        return self.kind == "1f1b"
+        return self.kind in ("1f1b", "zb1")
 
     def with_(self, **kwargs: Any) -> "Schedule":
         return replace(self, **kwargs)
@@ -599,6 +615,15 @@ class ParallelPlan:
         return plan
 
     @classmethod
+    def zb1(cls, topology: Topology | None = None) -> "ParallelPlan":
+        """The zero-bubble ZB-H1 schedule on an otherwise uncompressed run.
+
+        Weights are bit-for-bit identical to :meth:`baseline`; the pipeline
+        bubble shrinks and the deferred W passes widen the DP overlap window.
+        """
+        return cls(topology=topology or Topology(), schedule=Schedule(kind="zb1"))
+
+    @classmethod
     def preset(cls, name: str, topology: Topology | None = None) -> "ParallelPlan":
         """Build a named preset (the registry is :data:`PLAN_PRESETS`)."""
         if name not in PLAN_PRESETS:
@@ -662,7 +687,18 @@ class ParallelPlan:
                 micro_batch_size * self.topology.micro_batches * self.topology.dp
             ),
             num_model_chunks=self.schedule.num_model_chunks,
-            dp_fire=self.schedule.dp_fire if self.schedule.dp_overlap else "stage",
+            # zb1's split backward finalises gradients per W pass, so
+            # micro-batch firing is its native granularity — the engine fires
+            # that way regardless of dp_fire, and the simulator must model the
+            # same behaviour (cross-layer agreement, tested in test_plan.py).
+            dp_fire=(
+                "micro_batch"
+                if self.schedule.kind == "zb1"
+                else self.schedule.dp_fire if self.schedule.dp_overlap else "stage"
+            ),
+            # The simulator's pipeline shape: zb1 replays the split-backward
+            # op lists; "serial" differs from "1f1b" only at the DP boundary.
+            schedule_kind="zb1" if self.schedule.kind == "zb1" else "1f1b",
         )
         if cluster is not None:
             kwargs["cluster"] = cluster
@@ -679,4 +715,5 @@ PLAN_PRESETS: dict[str, Callable[[Topology | None], ParallelPlan]] = {
     "cb_fe_sc": ParallelPlan.cb_fe_sc,
     "naive_dp": ParallelPlan.naive_dp,
     "optimus_topk": ParallelPlan.optimus_topk,
+    "zb1": ParallelPlan.zb1,
 }

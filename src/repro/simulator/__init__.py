@@ -25,7 +25,12 @@ from repro.simulator.executor import (
 )
 from repro.simulator.breakdown import ExecutionBreakdown, compute_breakdown
 from repro.simulator.memory_model import MemoryModel, MemoryReport
-from repro.simulator.throughput import CompressionThroughputModel, measured_numpy_throughput
+from repro.simulator.throughput import (
+    CompressionThroughputModel,
+    SchedulePoint,
+    measured_numpy_throughput,
+    schedule_throughput,
+)
 
 __all__ = [
     "GPUSpec",
@@ -41,5 +46,7 @@ __all__ = [
     "MemoryModel",
     "MemoryReport",
     "CompressionThroughputModel",
+    "SchedulePoint",
     "measured_numpy_throughput",
+    "schedule_throughput",
 ]

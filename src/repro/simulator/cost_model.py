@@ -23,6 +23,9 @@ from repro.parallel.process_groups import ParallelLayout
 from repro.plan import DP_FIRE_KINDS
 from repro.simulator.hardware import ClusterSpec, PAPER_CLUSTER_SPEC
 
+#: Pipeline shapes the timing simulator can replay.
+SIM_SCHEDULE_KINDS = ("1f1b", "zb1")
+
 
 @dataclass(frozen=True)
 class TrainingJob:
@@ -48,11 +51,25 @@ class TrainingJob:
     #: backward op earlier — buckets start leaving inside the final micro-batch's
     #: backward pass instead of at the stage's drain point.
     dp_fire: str = "stage"
+    #: Pipeline schedule shape (``repro.plan.Schedule.kind``): ``"1f1b"`` (the
+    #: fused-backward schedule; also used for serial-DP runs, which differ only
+    #: at the DP boundary) or ``"zb1"`` (zero-bubble ZB-H1 with the backward
+    #: split into B and W passes).  ``"zb1"`` requires ``num_model_chunks == 1``.
+    schedule_kind: str = "1f1b"
 
     def __post_init__(self) -> None:
         if self.dp_fire not in DP_FIRE_KINDS:
             raise ValueError(
                 f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
+            )
+        if self.schedule_kind not in SIM_SCHEDULE_KINDS:
+            raise ValueError(
+                f"schedule_kind must be one of {SIM_SCHEDULE_KINDS}, "
+                f"got {self.schedule_kind!r}"
+            )
+        if self.schedule_kind == "zb1" and self.num_model_chunks > 1:
+            raise ValueError(
+                "zb1 is a plain (non-interleaved) schedule; num_model_chunks must be 1"
             )
         per_replica = self.global_batch_size / self.layout.data_parallel
         if per_replica != int(per_replica):
@@ -155,6 +172,28 @@ class CostModel:
         if stage == self.layout.pipeline_parallel - 1:
             flops += 2.0 * self._embedding_forward_flops()
         return self._flops_to_time(flops)
+
+    def backward_weight_time(self, stage: int) -> float:
+        """Weight-gradient (W) share of the backward pass under a split schedule.
+
+        The weight-gradient GEMMs of a transformer layer cost one forward
+        equivalent (the dgrad GEMMs cost the other; recomputation, when enabled,
+        belongs to the activation-gradient pass, which must re-materialise the
+        activations before it can run).  The last stage's tied-projection wgrad
+        adds one embedding-forward equivalent.
+        """
+        flops = self.layers_on_stage(stage) * self._layer_forward_flops()
+        if stage == self.layout.pipeline_parallel - 1:
+            flops += self._embedding_forward_flops()
+        return self._flops_to_time(flops)
+
+    def backward_input_time(self, stage: int) -> float:
+        """Activation-gradient (B) share of the backward pass under a split schedule.
+
+        ``backward_input_time + backward_weight_time == backward_time`` exactly,
+        so a split schedule moves work around without inventing or losing any.
+        """
+        return self.backward_time(stage) - self.backward_weight_time(stage)
 
     # ----------------------------------------------------------- inter-stage p2p --
 

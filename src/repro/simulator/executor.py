@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.parallel.pipeline_schedule import (
+    BACKWARD_SEND_KINDS,
     PipelineOp,
     build_1f1b_schedule,
     build_interleaved_1f1b_schedule,
+    build_zb1_schedule,
 )
 from repro.plan import Boundary, ParallelPlan
 from repro.plan import DP_CODECS as DP_CODECS  # single shared codec vocabulary
@@ -231,6 +233,15 @@ class IterationTiming:
     #: early, so their DP traffic is overlapped; stage 0's is exposed.
     dp_exposed_wire_bytes: float = 0.0
     dp_overlapped_wire_bytes: float = 0.0
+    #: Fraction of device-seconds idle inside the pipeline phase (t=0 until the
+    #: last backward-side op drains) — the quantity the zero-bubble schedule
+    #: attacks.  Reported per schedule kind so 1f1b and zb1 runs compare
+    #: directly.
+    bubble_fraction: float = 0.0
+    #: Makespan of the pipeline phase (excludes the DP/embedding epilogue).
+    pipeline_time: float = 0.0
+    #: The schedule that produced this timing (``"1f1b"`` or ``"zb1"``).
+    schedule_kind: str = "1f1b"
 
     @property
     def dp_overlapped_fraction(self) -> float:
@@ -286,6 +297,8 @@ class PipelineTimingSimulator:
         num_stages = self.job.num_stages
         num_micro = self.job.num_micro_batches
         chunks = self.job.num_model_chunks
+        if self.job.schedule_kind == "zb1":
+            return build_zb1_schedule(num_stages, num_micro)
         if num_stages == 1:
             return build_1f1b_schedule(1, num_micro)
         if chunks > 1:
@@ -310,7 +323,7 @@ class PipelineTimingSimulator:
             stage_set = {
                 (op.micro_batch, op.chunk)
                 for op in ops[last_forward + 1 :]
-                if op.kind == "backward"
+                if op.kind in BACKWARD_SEND_KINDS
             }
             epilogue.append(stage_set)
         return epilogue
@@ -347,6 +360,20 @@ class PipelineTimingSimulator:
         backward_times = [
             self.cost.backward_time(s) * self.toggles.backward / chunks for s in range(num_stages)
         ]
+        # Split-backward (zb1) op times: B + W == the fused backward exactly.
+        backward_weight_times = [
+            self.cost.backward_weight_time(s) * self.toggles.backward / chunks
+            for s in range(num_stages)
+        ]
+        backward_input_times = [
+            full - weight for full, weight in zip(backward_times, backward_weight_times)
+        ]
+        op_durations = {
+            "forward": forward_times,
+            "backward": backward_times,
+            "backward_input": backward_input_times,
+            "backward_weight": backward_weight_times,
+        }
 
         device_free = [0.0] * num_stages
         pointers = [0] * num_stages
@@ -381,13 +408,19 @@ class PipelineTimingSimulator:
                 while pointers[stage] < len(schedule[stage]):
                     op = schedule[stage][pointers[stage]]
                     key = (stage, op.micro_batch, op.chunk)
-                    arrivals = forward_arrival if op.kind == "forward" else backward_arrival
-                    if key not in arrivals:
-                        break
-                    ready = arrivals[key]
-                    duration = (
-                        forward_times[stage] if op.kind == "forward" else backward_times[stage]
-                    )
+                    if op.kind == "forward":
+                        if key not in forward_arrival:
+                            break
+                        ready = forward_arrival[key]
+                    elif op.kind == "backward_weight":
+                        # Purely local: depends only on the stage's own earlier
+                        # B pass, which op-list order already sequenced.
+                        ready = 0.0
+                    else:
+                        if key not in backward_arrival:
+                            break
+                        ready = backward_arrival[key]
+                    duration = op_durations[op.kind][stage]
                     start = max(device_free[stage], ready)
                     end = start + duration
                     device_free[stage] = end
@@ -405,7 +438,11 @@ class PipelineTimingSimulator:
                             compression_overhead_total += overhead
                     else:
                         stage_backward_finish[stage] = end
-                        consumer = backward_consumer(stage, op.micro_batch, op.chunk)
+                        consumer = (
+                            backward_consumer(stage, op.micro_batch, op.chunk)
+                            if op.kind in BACKWARD_SEND_KINDS
+                            else None
+                        )
                         if consumer is not None:
                             receiving_stage = consumer[0]
                             compressed = False
@@ -426,6 +463,24 @@ class PipelineTimingSimulator:
                             compression_overhead_total += overhead
             if not progressed:
                 raise RuntimeError("pipeline schedule deadlocked (invalid dependency structure)")
+
+        # ---------------- pipeline bubble accounting ------------------------------
+        # The pipeline makespan runs from t=0 (stage 0's first forward) to the
+        # last backward-side op draining anywhere; every second a device is not
+        # computing inside that span is bubble.  This is the quantity the
+        # zero-bubble schedule attacks: splitting the backward lets W passes
+        # fill the cool-down, so zb1's fraction is strictly below 1F1B's for
+        # pp >= 2 (asserted by the simulator tests).
+        pipeline_makespan = max(stage_backward_finish) if stage_backward_finish else 0.0
+        total_compute = sum(
+            op_durations[op.kind][stage]
+            for stage, ops in enumerate(schedule)
+            for op in ops
+        )
+        if pipeline_makespan > 0.0:
+            bubble_fraction = 1.0 - total_compute / (num_stages * pipeline_makespan)
+        else:
+            bubble_fraction = 0.0
 
         # ---------------- data-parallel gradient all-reduce -----------------------
         compressed_stages = plan.compressed_dp_stages(num_stages)
@@ -469,14 +524,19 @@ class PipelineTimingSimulator:
         # compression exploits by compressing the earliest stages.  With
         # micro-batch-granular firing (``job.dp_fire == "micro_batch"``) a
         # stage's buckets start leaving while its *own* final backward op is
-        # still computing, so the window opens one backward-op duration earlier.
+        # still computing, so the window opens one backward-op duration earlier
+        # (one W-pass duration under zb1, whose final op is a weight pass).
         backward_end = max(stage_backward_finish) if stage_backward_finish else 0.0
         dp_exposed_wire = 0.0
         dp_overlapped_wire = 0.0
         for stage in range(num_stages):
             window = max(0.0, backward_end - stage_backward_finish[stage])
             if self.job.dp_fire == "micro_batch":
-                window += backward_times[stage]
+                window += (
+                    backward_weight_times[stage]
+                    if self.job.schedule_kind == "zb1"
+                    else backward_times[stage]
+                )
             if dp_times[stage] > 0.0:
                 hidden_fraction = min(1.0, window / dp_times[stage])
             else:
@@ -565,6 +625,9 @@ class PipelineTimingSimulator:
             tp_wire_bytes=tp_wire_total,
             dp_exposed_wire_bytes=dp_exposed_wire,
             dp_overlapped_wire_bytes=dp_overlapped_wire,
+            bubble_fraction=bubble_fraction,
+            pipeline_time=pipeline_makespan,
+            schedule_kind=self.job.schedule_kind,
         )
 
 

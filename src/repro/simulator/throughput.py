@@ -1,24 +1,27 @@
-"""Compression / decompression kernel throughput (paper Fig. 15).
+"""Compression-kernel and schedule throughput (paper Fig. 15 + schedule sweeps).
 
-Two views are provided:
+Three views are provided:
 
 * an **analytic model** driven by :class:`repro.simulator.cost_model.CostModel`,
   which reproduces the paper's trends — throughput far above the 200 Gb/s
   interconnect, higher for larger models (fixed overheads amortise), and *lower*
   for higher ranks (the sequential orthogonalisation grows with the rank);
 * a **measured path** that times the actual NumPy PowerSGD kernels in this library,
-  so the benchmark reports a real measurement alongside the model.
+  so the benchmark reports a real measurement alongside the model;
+* a **per-schedule-kind throughput report** (:func:`schedule_throughput`) that
+  replays the same job under each pipeline schedule (1F1B vs zero-bubble ZB-H1)
+  and reports iteration time, bubble fraction, and end-to-end tokens/s.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.compression.powersgd import PowerSGDCompressor
-from repro.simulator.cost_model import CostModel, TrainingJob
+from repro.simulator.cost_model import SIM_SCHEDULE_KINDS, CostModel, TrainingJob
 
 
 @dataclass
@@ -73,6 +76,56 @@ class CompressionThroughputModel:
     def interconnect_gbps(self) -> float:
         """The inter-node link bandwidth the paper plots as the reference line."""
         return self.job.cluster.topology.inter_node_bandwidth_gbps
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One schedule kind's simulated throughput on a fixed job."""
+
+    kind: str
+    iteration_time_s: float
+    bubble_fraction: float
+    tokens_per_second: float
+
+    def speedup_over(self, other: "SchedulePoint") -> float:
+        """Relative speedup versus another schedule (old/new - 1)."""
+        return other.iteration_time_s / self.iteration_time_s - 1.0
+
+
+def schedule_throughput(
+    job: TrainingJob,
+    plan=None,
+    kinds: tuple[str, ...] = SIM_SCHEDULE_KINDS,
+) -> list[SchedulePoint]:
+    """Simulate ``job`` under each pipeline schedule kind and report throughput.
+
+    ``plan`` is an optional simulator :class:`~repro.simulator.executor.CompressionPlan`
+    (compression is orthogonal to the schedule sweep).  The job's own
+    ``schedule_kind`` is overridden per point.  ``job`` must be plain
+    (``num_model_chunks == 1``): the split-backward schedule cannot interleave,
+    and silently un-interleaving the 1f1b baseline would overstate zb1's win.
+    """
+    from repro.simulator.executor import PipelineTimingSimulator
+
+    if job.num_model_chunks != 1:
+        raise ValueError(
+            "schedule_throughput compares plain schedules; pass a job with "
+            f"num_model_chunks=1 (got {job.num_model_chunks})"
+        )
+    tokens = job.global_batch_size * job.seq_length
+    points = []
+    for kind in kinds:
+        swept = replace(job, schedule_kind=kind)
+        timing = PipelineTimingSimulator(swept, plan).run()
+        points.append(
+            SchedulePoint(
+                kind=kind,
+                iteration_time_s=timing.iteration_time,
+                bubble_fraction=timing.bubble_fraction,
+                tokens_per_second=tokens / timing.iteration_time,
+            )
+        )
+    return points
 
 
 def measured_numpy_throughput(

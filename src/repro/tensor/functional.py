@@ -113,7 +113,6 @@ def layer_norm_backward(grad_output: np.ndarray, cache: dict) -> tuple[np.ndarra
     inv_std = cache["inv_std"]
     gamma = cache["gamma"]
 
-    hidden = normalised.shape[-1]
     grad_gamma = np.sum(grad_output * normalised, axis=tuple(range(grad_output.ndim - 1)))
     grad_beta = np.sum(grad_output, axis=tuple(range(grad_output.ndim - 1)))
 
@@ -121,9 +120,6 @@ def layer_norm_backward(grad_output: np.ndarray, cache: dict) -> tuple[np.ndarra
     mean_grad = np.mean(grad_normalised, axis=-1, keepdims=True)
     mean_grad_times_norm = np.mean(grad_normalised * normalised, axis=-1, keepdims=True)
     grad_input = inv_std * (grad_normalised - mean_grad - normalised * mean_grad_times_norm)
-    # ``hidden`` retained for readability of the standard formula; inv_std already folds 1/H terms
-    # via the mean() calls above.
-    del hidden
     return grad_input, grad_gamma, grad_beta
 
 

@@ -36,7 +36,7 @@ from repro.nn.loss import perplexity_from_loss
 from repro.nn.transformer import GPTModelConfig
 from repro.optim import FusedAdam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
-from repro.parallel.engine import EngineIterationResult, ThreeDParallelEngine
+from repro.parallel.engine import EngineIterationResult
 from repro.plan import ParallelPlan
 from repro.training.metrics import TrainingHistory
 

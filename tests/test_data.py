@@ -9,12 +9,10 @@ from repro.data import (
     ClozeTask,
     LanguageModelingDataLoader,
     MultipleChoiceTask,
-    SyntheticCorpus,
     SyntheticCorpusConfig,
     build_zero_shot_suite,
 )
 from repro.data.tasks import ZeroShotExample, ZeroShotTask
-from repro.tensor import functional as F
 
 
 class TestSyntheticCorpus:
@@ -194,7 +192,6 @@ class TestZeroShotTasks:
 
         vocab = corpus.config.vocab_size
         context = np.array([1, 2, 3], dtype=np.int64)
-        continuation = np.array([5, 6], dtype=np.int64)
 
         def peaked_logits(token_ids: np.ndarray) -> np.ndarray:
             # Always predict "next token = current token + 1" with high confidence.

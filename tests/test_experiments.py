@@ -142,3 +142,17 @@ class TestSimulatorDrivers:
         assert len(result.points) == 4
         assert all(speedup > 0 for speedup in result.full_stack_speedups())
         assert "Fig. 16" in result.render()
+
+
+class TestScheduleComparison:
+    def test_driver_reports_zb1_wins_and_exact_parity(self):
+        from repro.experiments.schedule_compare import run_schedule_comparison
+
+        result = run_schedule_comparison(layouts=((2, 2), (4, 2)))
+        for (pp, _dp), points in result.sweeps.items():
+            assert points["zb1"].bubble_fraction < points["1f1b"].bubble_fraction, pp
+            assert points["zb1"].iteration_time_s < points["1f1b"].iteration_time_s
+        # The schedules must be numerically identical.
+        assert result.functional_weight_delta == 0.0
+        rendered = result.render()
+        assert "zb1" in rendered and "bit-identical" in rendered

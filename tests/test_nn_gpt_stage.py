@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.nn import CrossEntropyLoss, GPTModel
-from repro.nn.gpt_stage import GPTStage, build_gpt_stages, partition_layers
+from repro.nn.gpt_stage import build_gpt_stages, partition_layers
 from repro.parallel.pipeline_engine import PipelineParallelEngine
 
 

@@ -16,8 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import EngineCompressionConfig, OptimusCCConfig
+from repro.nn.transformer import GPTModelConfig
+from repro.plan import Boundary, CompressionSpec, ParallelPlan, Schedule, Topology
 from repro.nn import CrossEntropyLoss, GPTModel
 from repro.parallel.collectives import CommunicationLog, ring_all_reduce_wire_bytes
 from repro.parallel.engine import (
@@ -597,3 +601,140 @@ class TestOverlappedDataParallel:
         large_messages, large_payload = dp_message_count(1 << 20)
         assert small_messages > large_messages
         assert small_payload == large_payload
+
+
+class TestZeroBubbleEngine:
+    """Schedule.kind="zb1" through the unified 3D engine: weight parity with 1f1b."""
+
+    # Four layers so pipelines up to PP4 are expressible.
+    CONFIG = GPTModelConfig(
+        vocab_size=32, max_sequence_length=12, num_layers=4, hidden_size=16, num_heads=2
+    )
+
+    @staticmethod
+    def _build(kind, pp, dp, micro_batches, codec="none", error_feedback=True, seed=4):
+        plan = ParallelPlan(
+            topology=Topology(dp=dp, pp=pp, tp=1, micro_batches=micro_batches),
+            schedule=Schedule(kind=kind),
+            compression={
+                Boundary.DP: CompressionSpec(
+                    codec=codec,
+                    rank=2,
+                    bits=4,
+                    fraction=0.2,
+                    stage_fraction=1.0,
+                    error_feedback=error_feedback,
+                    min_elements=64,
+                    bucket_bytes=2048,
+                )
+            },
+        )
+        return ThreeDParallelEngine(TestZeroBubbleEngine.CONFIG, plan=plan, seed=seed)
+
+    @classmethod
+    def _train(cls, engine, batches, iterations=2):
+        from repro.optim import FusedAdam
+
+        optimizers = [FusedAdam(arena, lr=2e-3) for arena in engine.arenas]
+        for _ in range(iterations):
+            for optimizer in optimizers:
+                optimizer.zero_grad()
+            engine.run_iteration(batches)
+            for optimizer in optimizers:
+                optimizer.step()
+
+    @pytest.mark.parametrize("codec", ["none", "powersgd", "qsgd", "topk"])
+    def test_zb1_weight_parity_with_1f1b_per_codec(self, rng, codec):
+        batches = make_batches(self.CONFIG, rng, replicas=2, micro_batches=4)
+        reference = self._build("1f1b", pp=2, dp=2, micro_batches=4, codec=codec)
+        zb1 = self._build("zb1", pp=2, dp=2, micro_batches=4, codec=codec)
+        self._train(reference, batches, iterations=3)
+        self._train(zb1, batches, iterations=3)
+        for ref_param, zb1_param in zip(reference.parameters(), zb1.parameters()):
+            assert np.array_equal(ref_param.data, zb1_param.data), ref_param.name
+            assert np.array_equal(ref_param.grad, zb1_param.grad), ref_param.name
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        pp=st.integers(min_value=1, max_value=4),
+        dp=st.integers(min_value=1, max_value=3),
+        micro_batches=st.integers(min_value=1, max_value=4),
+        codec=st.sampled_from(["none", "powersgd", "qsgd", "topk"]),
+        error_feedback=st.booleans(),
+    )
+    def test_zb1_weight_parity_sweep(self, pp, dp, micro_batches, codec, error_feedback):
+        """zb1 == 1f1b bit-for-bit across PP x DP layouts and DP codecs.
+
+        Includes micro_batches < pp and the pp == 1 degenerate schedule.
+        """
+        rng = np.random.default_rng(pp * 100 + dp * 10 + micro_batches)
+        batches = make_batches(self.CONFIG, rng, replicas=dp, micro_batches=micro_batches)
+        reference = self._build(
+            "1f1b", pp, dp, micro_batches, codec=codec, error_feedback=error_feedback
+        )
+        zb1 = self._build(
+            "zb1", pp, dp, micro_batches, codec=codec, error_feedback=error_feedback
+        )
+        self._train(reference, batches, iterations=2)
+        self._train(zb1, batches, iterations=2)
+        for ref_param, zb1_param in zip(reference.parameters(), zb1.parameters()):
+            assert np.array_equal(ref_param.data, zb1_param.data), ref_param.name
+
+    def test_zb1_matches_the_single_device_reference(self, rng):
+        """Transitivity check run directly: zb1 with one replica reproduces the
+        single-device reference model's gradients bit-for-bit."""
+        batches = make_batches(self.CONFIG, rng, replicas=1, micro_batches=3)
+        engine = self._build("zb1", pp=3, dp=1, micro_batches=3)
+        result = engine.run_iteration(batches)
+        model, ref_loss = reference_gradients(self.CONFIG, batches[0], seed=4)
+        assert result.mean_loss == pytest.approx(ref_loss, abs=1e-12)
+        assert_matches_reference(engine, model, atol=0.0)
+
+    def test_zb1_with_compressed_backprop_matches_1f1b(self, rng):
+        """CB (PP-boundary compression + LEP) sees the same per-boundary
+        micro-batch order under both schedules, so weights stay bit-identical."""
+        batches = make_batches(self.CONFIG, rng, replicas=2, micro_batches=4)
+        engines = {}
+        for kind in ("1f1b", "zb1"):
+            plan = (
+                ParallelPlan.cb_fe_sc(Topology(dp=2, pp=2, tp=1, micro_batches=4))
+                .proxy_scaled()
+                .with_schedule(kind=kind)
+            )
+            engine = ThreeDParallelEngine(self.CONFIG, plan=plan, seed=4)
+            self._train(engine, batches, iterations=3)
+            engines[kind] = engine
+        for ref_param, zb1_param in zip(
+            engines["1f1b"].parameters(), engines["zb1"].parameters()
+        ):
+            assert np.array_equal(ref_param.data, zb1_param.data), ref_param.name
+
+    def test_zb1_fires_buckets_at_micro_batch_granularity(self, rng):
+        """zb1's W passes finalise gradients per micro-batch, so the engine
+        fires every bucket overlapped except stage 0's input-side one — the
+        mb-fire pattern — even when the plan says dp_fire="stage"."""
+        batches = make_batches(self.CONFIG, rng, replicas=2, micro_batches=4)
+        engine = self._build("zb1", pp=2, dp=2, micro_batches=4)
+        assert engine.bucketed_sync is not None
+        assert engine.bucketed_sync.dp_fire == "stage"  # the plan default
+        result = engine.run_iteration(batches)
+        records = [
+            record
+            for record in engine.log.records
+            if record.category == "data_parallel"
+        ]
+        exposed = [record for record in records if not record.overlapped]
+        assert len(exposed) == 1
+        assert result.dp_exposed_wire_bytes == pytest.approx(exposed[0].wire_bytes)
+
+    def test_1f1b_stage_fire_still_exposes_all_of_stage_zero(self, rng):
+        """The zb1 firing rule must not leak into the fused-backward schedule."""
+        batches = make_batches(self.CONFIG, rng, replicas=2, micro_batches=4)
+        engine = self._build("1f1b", pp=2, dp=2, micro_batches=4)
+        engine.run_iteration(batches)
+        exposed = [
+            record
+            for record in engine.log.records
+            if record.category == "data_parallel" and not record.overlapped
+        ]
+        assert len(exposed) > 1  # every stage-0 bucket is exposed under stage fire

@@ -79,6 +79,72 @@ class TestTrafficAccounting:
         assert log.count() == 0
 
 
+class TestZeroBubbleReplay:
+    """The zb1 replay path of the functional pipeline engine."""
+
+    # Four layers so pipelines up to four stages are expressible.
+    from repro.nn.transformer import GPTModelConfig as _Config
+
+    DEEP_CONFIG = _Config(
+        vocab_size=32, max_sequence_length=12, num_layers=4, hidden_size=16, num_heads=2
+    )
+
+    @pytest.mark.parametrize("num_stages", [1, 2, 3, 4])
+    @pytest.mark.parametrize("num_micro", [1, 2, 5])
+    def test_zb1_is_bit_identical_to_the_phase_loop(self, rng, num_stages, num_micro):
+        """Covers micro_batches < pp and the pp == 1 degenerate case."""
+        config = self.DEEP_CONFIG
+        batches = [make_batch(config, rng) for _ in range(num_micro)]
+        reference = make_engine(config, num_stages=num_stages, seed=5)
+        zb1 = PipelineParallelEngine(
+            build_gpt_stages(config, num_stages, seed=5),
+            InterStageChannel(),
+            schedule_kind="zb1",
+        )
+        ref_result = reference.run_iteration(batches)
+        zb1_result = zb1.run_iteration(batches)
+        assert ref_result.mean_loss == zb1_result.mean_loss
+        assert ref_result.forward_bytes == zb1_result.forward_bytes
+        assert ref_result.backward_bytes == zb1_result.backward_bytes
+        for ref_param, zb1_param in zip(reference.parameters(), zb1.parameters()):
+            assert np.array_equal(ref_param.grad, zb1_param.grad), ref_param.name
+
+    def test_zb1_backward_transfers_stay_in_micro_batch_order_per_boundary(self, tiny_config, rng):
+        """LEP residuals ride micro-batch order per boundary — zb1 must keep it."""
+        order: dict[int, list[int]] = {}
+
+        def hook(grad, boundary, micro_batch, num_micro_batches):
+            order.setdefault(boundary, []).append(micro_batch)
+            return grad, int(grad.size * 2), False
+
+        engine = PipelineParallelEngine(
+            build_gpt_stages(tiny_config, 2, seed=0),
+            InterStageChannel(backward_hook=hook),
+            schedule_kind="zb1",
+        )
+        batches = [make_batch(tiny_config, rng) for _ in range(4)]
+        engine.run_iteration(batches)
+        assert order == {0: [0, 1, 2, 3]}
+
+    def test_zb1_caches_are_released(self, tiny_config, rng):
+        engine = PipelineParallelEngine(
+            build_gpt_stages(tiny_config, 2, seed=0),
+            InterStageChannel(),
+            schedule_kind="zb1",
+        )
+        engine.run_iteration([make_batch(tiny_config, rng) for _ in range(3)])
+        # The replay frees every per-micro-batch cache after its W pass; the
+        # second iteration must therefore start from a clean slate.
+        result = engine.run_iteration([make_batch(tiny_config, rng) for _ in range(3)])
+        assert result.num_micro_batches == 3
+
+    def test_unknown_schedule_kind_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="schedule_kind"):
+            PipelineParallelEngine(
+                build_gpt_stages(tiny_config, 2, seed=0), schedule_kind="gpipe"
+            )
+
+
 class TestBackwardHook:
     def test_hook_sees_every_backward_transfer(self, rng):
         from repro.nn.transformer import GPTModelConfig

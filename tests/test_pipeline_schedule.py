@@ -7,14 +7,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.parallel.pipeline_schedule import (
+    PipelineOp,
     ScheduleKind,
     build_1f1b_schedule,
     build_gpipe_schedule,
     build_interleaved_1f1b_schedule,
     build_schedule,
+    build_zb1_schedule,
     count_in_flight_micro_batches,
     epilogue_micro_batches,
     warmup_micro_batches,
+    zb1_deferred_weight_passes,
 )
 
 
@@ -102,11 +105,131 @@ class TestInterleaved:
             assert first_backward.chunk == 1
 
 
+class TestZB1:
+    """The handcrafted zero-bubble ZB-H1 schedule (split B/W backward)."""
+
+    @staticmethod
+    def op_lists(ops):
+        forwards = [op.micro_batch for op in ops if op.kind == "forward"]
+        inputs = [op.micro_batch for op in ops if op.kind == "backward_input"]
+        weights = [op.micro_batch for op in ops if op.kind == "backward_weight"]
+        return forwards, inputs, weights
+
+    @pytest.mark.parametrize(
+        "num_stages,num_micro",
+        [(1, 4), (2, 4), (4, 8), (4, 16), (3, 7), (4, 2), (4, 1), (8, 3)],
+    )
+    def test_every_micro_batch_has_f_b_w_once_in_order(self, num_stages, num_micro):
+        """Includes the micro_batches < pp edge cases (4,2), (4,1), (8,3)."""
+        schedule = build_zb1_schedule(num_stages, num_micro)
+        assert len(schedule) == num_stages
+        for ops in schedule:
+            forwards, inputs, weights = self.op_lists(ops)
+            # Each phase visits every micro-batch exactly once, in ascending
+            # order — ascending W order is what makes the per-parameter
+            # gradient accumulation order identical to 1F1B's.
+            assert forwards == list(range(num_micro))
+            assert inputs == list(range(num_micro))
+            assert weights == list(range(num_micro))
+            seen_forward, seen_input = set(), set()
+            for op in ops:
+                if op.kind == "forward":
+                    seen_forward.add(op.micro_batch)
+                elif op.kind == "backward_input":
+                    assert op.micro_batch in seen_forward
+                    seen_input.add(op.micro_batch)
+                else:
+                    assert op.kind == "backward_weight"
+                    assert op.micro_batch in seen_input
+
+    def test_single_stage_degenerates_to_serial_split_backward(self):
+        """pp == 1: F, B, W per micro-batch back to back — serial/1f1b order."""
+        (ops,) = build_zb1_schedule(1, 3)
+        assert ops == [
+            PipelineOp(kind, mb)
+            for mb in range(3)
+            for kind in ("forward", "backward_input", "backward_weight")
+        ]
+
+    @pytest.mark.parametrize("num_stages,num_micro", [(2, 4), (4, 8), (4, 2), (3, 7)])
+    def test_same_warmup_as_1f1b(self, num_stages, num_micro):
+        """The first B sits at the same op index as 1F1B's first backward."""
+        schedule = build_zb1_schedule(num_stages, num_micro)
+        reference = build_1f1b_schedule(num_stages, num_micro)
+        for zb_ops, ref_ops in zip(schedule, reference):
+            zb_first_b = next(i for i, op in enumerate(zb_ops) if op.kind == "backward_input")
+            ref_first_b = next(i for i, op in enumerate(ref_ops) if op.kind == "backward")
+            assert zb_first_b == ref_first_b
+
+    def test_stage_k_defers_k_weight_passes(self):
+        num_stages, num_micro = 4, 8
+        schedule = build_zb1_schedule(num_stages, num_micro)
+        for stage, ops in enumerate(schedule):
+            pending = peak_pending = 0
+            for op in ops:
+                if op.kind == "backward_input":
+                    pending += 1
+                elif op.kind == "backward_weight":
+                    pending -= 1
+                peak_pending = max(peak_pending, pending)
+            assert peak_pending == zb1_deferred_weight_passes(stage, num_stages, num_micro) + 1
+            assert zb1_deferred_weight_passes(stage, num_stages, num_micro) == min(
+                stage, num_micro
+            )
+
+    def test_deferred_passes_out_of_range_stage_raises(self):
+        with pytest.raises(ValueError):
+            zb1_deferred_weight_passes(4, 4, 8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_stages=st.integers(min_value=1, max_value=8),
+        num_micro=st.integers(min_value=1, max_value=24),
+    )
+    def test_same_peak_in_flight_activations_as_1f1b(self, num_stages, num_micro):
+        """ZB-H1's memory claim: peak in-flight micro-batches match 1F1B."""
+        schedule = build_zb1_schedule(num_stages, num_micro)
+        for stage, ops in enumerate(schedule):
+            outstanding = peak = 0
+            pending_w = peak_pending_w = 0
+            for op in ops:
+                if op.kind == "forward":
+                    outstanding += 1
+                elif op.kind == "backward_input":
+                    # B consumes the forward activation (backward_input clears
+                    # the caches), leaving only the W stash alive.
+                    outstanding -= 1
+                    pending_w += 1
+                else:
+                    pending_w -= 1
+                peak = max(peak, outstanding)
+                peak_pending_w = max(peak_pending_w, pending_w)
+            assert peak == count_in_flight_micro_batches(stage, num_stages, num_micro)
+            # The W stash held between B and W is bounded by the deferral depth.
+            assert peak_pending_w <= min(stage + 1, num_micro)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_stages=st.integers(min_value=1, max_value=8),
+        num_micro=st.integers(min_value=1, max_value=24),
+    )
+    def test_total_op_count_is_three_per_micro_batch(self, num_stages, num_micro):
+        schedule = build_zb1_schedule(num_stages, num_micro)
+        assert all(len(ops) == 3 * num_micro for ops in schedule)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            build_zb1_schedule(0, 4)
+        with pytest.raises(ValueError):
+            build_zb1_schedule(2, 0)
+
+
 class TestDispatch:
     def test_build_schedule_dispatch(self):
         assert build_schedule(ScheduleKind.GPIPE, 2, 4) == build_gpipe_schedule(2, 4)
         assert build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 4) == build_1f1b_schedule(2, 4)
         assert build_schedule(ScheduleKind.INTERLEAVED_1F1B, 2, 4, 2) == build_interleaved_1f1b_schedule(2, 4, 2)
+        assert build_schedule(ScheduleKind.ZERO_BUBBLE_H1, 2, 4) == build_zb1_schedule(2, 4)
 
 
 class TestEpilogue:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.models import GPT_2_5B, GPT_8_3B, GPT_175B
+from repro.models import GPT_2_5B, GPT_8_3B
 from repro.parallel.process_groups import ParallelLayout
 from repro.simulator.cost_model import CostModel, TrainingJob
 from repro.simulator.hardware import A100, ClusterSpec, SimulationConstants

@@ -317,3 +317,90 @@ class TestThroughputModel:
     def test_measured_numpy_throughput_runs(self):
         point = measured_numpy_throughput(rows=128, cols=64, rank=4, repeats=1)
         assert point.compress_gbps > 0 and point.decompress_gbps > 0
+
+
+class TestZeroBubbleTiming:
+    """The zb1 schedule through the timing simulator: bubble accounting."""
+
+    @staticmethod
+    def _job(pp=4, dp=4, global_batch=512, schedule_kind="1f1b"):
+        return TrainingJob(
+            model=GPT_8_3B,
+            layout=ParallelLayout(tensor_parallel=8, pipeline_parallel=pp, data_parallel=dp),
+            global_batch_size=global_batch,
+            num_model_chunks=1,
+            schedule_kind=schedule_kind,
+        )
+
+    @pytest.mark.parametrize(
+        "pp,dp,global_batch",
+        [(2, 8, 512), (4, 4, 512), (8, 2, 512), (4, 4, 256)],
+    )
+    def test_zb1_bubble_strictly_below_1f1b(self, pp, dp, global_batch):
+        """The acceptance claim: pp >= 2, micro_batches >= pp."""
+        base = PipelineTimingSimulator(
+            self._job(pp, dp, global_batch), CompressionPlan.baseline()
+        ).run()
+        zb1 = PipelineTimingSimulator(
+            self._job(pp, dp, global_batch, schedule_kind="zb1"), CompressionPlan.baseline()
+        ).run()
+        assert zb1.schedule_kind == "zb1" and base.schedule_kind == "1f1b"
+        assert zb1.bubble_fraction < base.bubble_fraction
+        assert zb1.iteration_time < base.iteration_time
+        assert zb1.pipeline_time < base.pipeline_time
+
+    def test_zb1_helps_even_when_micro_batches_below_pp(self):
+        base = PipelineTimingSimulator(self._job(8, 4, 64), CompressionPlan.baseline()).run()
+        zb1 = PipelineTimingSimulator(
+            self._job(8, 4, 64, schedule_kind="zb1"), CompressionPlan.baseline()
+        ).run()
+        assert zb1.bubble_fraction < base.bubble_fraction
+
+    def test_single_stage_has_no_bubble_under_either_schedule(self):
+        for kind in ("1f1b", "zb1"):
+            job = TrainingJob(
+                model=GPT_2_5B,
+                layout=ParallelLayout(tensor_parallel=8, pipeline_parallel=1, data_parallel=4),
+                num_model_chunks=1,
+                schedule_kind=kind,
+            )
+            timing = PipelineTimingSimulator(job, CompressionPlan.baseline()).run()
+            assert timing.bubble_fraction == pytest.approx(0.0, abs=1e-12)
+
+    def test_split_backward_times_sum_to_the_fused_backward(self):
+        from repro.simulator import CostModel
+
+        cost = CostModel(self._job())
+        for stage in range(4):
+            b = cost.backward_input_time(stage)
+            w = cost.backward_weight_time(stage)
+            assert b > 0 and w > 0
+            assert b + w == pytest.approx(cost.backward_time(stage), rel=1e-12)
+
+    def test_zb1_rejects_interleaving(self):
+        with pytest.raises(ValueError, match="num_model_chunks"):
+            TrainingJob(model=GPT_8_3B, num_model_chunks=2, schedule_kind="zb1")
+
+    def test_unknown_schedule_kind_rejected(self):
+        with pytest.raises(ValueError, match="schedule_kind"):
+            TrainingJob(model=GPT_8_3B, num_model_chunks=1, schedule_kind="gpipe")
+
+    def test_schedule_throughput_report(self):
+        from repro.simulator import schedule_throughput
+
+        points = {p.kind: p for p in schedule_throughput(self._job())}
+        assert set(points) == {"1f1b", "zb1"}
+        assert points["zb1"].tokens_per_second > points["1f1b"].tokens_per_second
+        assert points["zb1"].bubble_fraction < points["1f1b"].bubble_fraction
+        assert points["zb1"].speedup_over(points["1f1b"]) > 0.0
+
+    def test_zb1_compression_still_simulated(self):
+        """CB/FE/SC compose with the zb1 schedule (epilogue sets from B ops)."""
+        base = PipelineTimingSimulator(
+            self._job(schedule_kind="zb1"), CompressionPlan.baseline()
+        ).run()
+        compressed = PipelineTimingSimulator(
+            self._job(schedule_kind="zb1"), CompressionPlan.cb_fe_sc()
+        ).run()
+        assert compressed.iteration_time < base.iteration_time
+        assert compressed.interstage_wire_bytes < base.interstage_wire_bytes

@@ -1,0 +1,225 @@
+"""Split (B/W) backward parity: backward_input + backward_weight == backward.
+
+The zero-bubble schedule relies on every nn layer exposing an
+activation-gradient pass (``backward_input``) and a deferred weight-gradient
+pass (``backward_weight``) whose composition is *bit-for-bit* the fused
+``backward`` — same kernels, same accumulation values, only the accumulation
+moment moves.  These tests build two identically-seeded modules, run one fused
+and one split, and require exact equality of input gradients and every
+parameter gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.embedding import Embedding
+from repro.nn.gpt_stage import build_gpt_stages
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.mlp import TransformerMLP
+from repro.nn.transformer import GPTModelConfig, TransformerLayer
+
+
+def assert_parameter_grads_equal(fused, split):
+    for fused_param, split_param in zip(fused.parameters(), split.parameters()):
+        assert np.array_equal(fused_param.grad, split_param.grad), fused_param.name
+
+
+def paired(builder):
+    """Two bit-identical module instances (independent RNG streams per call)."""
+    return builder(np.random.default_rng(0)), builder(np.random.default_rng(0))
+
+
+class TestLayerParity:
+    def test_linear(self):
+        fused, split = paired(lambda rng: Linear(8, 12, rng))
+        x = np.random.default_rng(1).standard_normal((3, 5, 8))
+        grad = np.random.default_rng(2).standard_normal((3, 5, 12))
+        out_fused, cache_fused = fused.forward(x)
+        out_split, cache_split = split.forward(x)
+        assert np.array_equal(out_fused, out_split)
+        gi_fused = fused.backward(grad, cache_fused)
+        gi_split = split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_backward_weight_requires_backward_input(self):
+        linear = Linear(4, 4, np.random.default_rng(0))
+        _, cache = linear.forward(np.zeros((2, 4)))
+        with pytest.raises(RuntimeError, match="backward_input"):
+            linear.backward_weight(cache)
+
+    def test_layernorm(self):
+        fused, split = paired(lambda rng: LayerNorm(16))
+        x = np.random.default_rng(1).standard_normal((2, 4, 16))
+        grad = np.random.default_rng(2).standard_normal((2, 4, 16))
+        _, cache_fused = fused.forward(x)
+        _, cache_split = split.forward(x)
+        gi_fused = fused.backward(grad, cache_fused)
+        gi_split = split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_layernorm_weight_requires_input_pass(self):
+        layer_norm = LayerNorm(8)
+        _, cache = layer_norm.forward(np.zeros((2, 8)))
+        with pytest.raises(RuntimeError, match="backward_input"):
+            layer_norm.backward_weight(cache)
+
+    def test_embedding_lookup(self):
+        fused, split = paired(lambda rng: Embedding(32, 8, rng))
+        indices = np.random.default_rng(1).integers(0, 32, size=(2, 6))
+        grad = np.random.default_rng(2).standard_normal((2, 6, 8))
+        _, cache_fused = fused.forward(indices)
+        _, cache_split = split.forward(indices)
+        fused.backward(grad, cache_fused)
+        split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_tied_projection(self):
+        fused, split = paired(lambda rng: Embedding(32, 8, rng))
+        hidden = np.random.default_rng(1).standard_normal((2, 6, 8))
+        grad_logits = np.random.default_rng(2).standard_normal((2, 6, 32))
+        gi_fused = fused.project_to_vocab_backward(grad_logits, hidden)
+        gi_split = split.project_to_vocab_backward_input(grad_logits, hidden)
+        split.project_to_vocab_backward_weight(grad_logits, hidden)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_attention(self):
+        fused, split = paired(lambda rng: MultiHeadSelfAttention(16, 2, rng))
+        x = np.random.default_rng(1).standard_normal((2, 5, 16))
+        grad = np.random.default_rng(2).standard_normal((2, 5, 16))
+        _, cache_fused = fused.forward(x)
+        _, cache_split = split.forward(x)
+        gi_fused = fused.backward(grad, cache_fused)
+        gi_split = split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_mlp(self):
+        fused, split = paired(lambda rng: TransformerMLP(16, rng))
+        x = np.random.default_rng(1).standard_normal((2, 5, 16))
+        grad = np.random.default_rng(2).standard_normal((2, 5, 16))
+        _, cache_fused = fused.forward(x)
+        _, cache_split = split.forward(x)
+        gi_fused = fused.backward(grad, cache_fused)
+        gi_split = split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+    def test_transformer_layer(self):
+        fused, split = paired(lambda rng: TransformerLayer(16, 2, rng))
+        x = np.random.default_rng(1).standard_normal((2, 5, 16))
+        grad = np.random.default_rng(2).standard_normal((2, 5, 16))
+        _, cache_fused = fused.forward(x)
+        _, cache_split = split.forward(x)
+        gi_fused = fused.backward(grad, cache_fused)
+        gi_split = split.backward_input(grad, cache_split)
+        split.backward_weight(cache_split)
+        assert np.array_equal(gi_fused, gi_split)
+        assert_parameter_grads_equal(fused, split)
+
+
+class TestStageParity:
+    CONFIG = GPTModelConfig(
+        vocab_size=32, max_sequence_length=12, num_layers=3, hidden_size=16, num_heads=2
+    )
+
+    @pytest.mark.parametrize("num_stages", [1, 2, 3])
+    def test_stage_split_matches_fused(self, num_stages):
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, 32, size=(2, 8))
+        targets = rng.integers(0, 32, size=(2, 8))
+        fused_stages = build_gpt_stages(self.CONFIG, num_stages, seed=0)
+        split_stages = build_gpt_stages(self.CONFIG, num_stages, seed=0)
+
+        def run(stages, split):
+            activation = tokens
+            caches = []
+            for stage in stages:
+                if stage.is_last:
+                    _, cache = stage.forward(activation, targets=targets)
+                else:
+                    activation, cache = stage.forward(activation)
+                caches.append(cache)
+            grad = None
+            pending = []
+            for stage, cache in zip(reversed(stages), reversed(caches)):
+                upstream = None if stage.is_last else grad
+                if split:
+                    grad = stage.backward_input(upstream, cache, loss_scale=0.5)
+                    pending.append((stage, cache))
+                else:
+                    grad = stage.backward(upstream, cache, loss_scale=0.5)
+            for stage, cache in pending:
+                stage.backward_weight(cache)
+
+        run(fused_stages, split=False)
+        run(split_stages, split=True)
+        for fused_stage, split_stage in zip(fused_stages, split_stages):
+            assert_parameter_grads_equal(fused_stage, split_stage)
+
+    def test_stage_weight_pass_requires_input_pass(self):
+        (stage,) = build_gpt_stages(self.CONFIG, 1, seed=0)
+        rng = np.random.default_rng(1)
+        _, cache = stage.forward(
+            rng.integers(0, 32, size=(2, 8)), targets=rng.integers(0, 32, size=(2, 8))
+        )
+        with pytest.raises(RuntimeError, match="backward_input"):
+            stage.backward_weight(cache)
+
+
+class TestBPassReleasesActivations:
+    """The zero-bubble memory claim: after B, only the W stash stays alive."""
+
+    def test_attention_cache_slimmed_after_backward_input(self):
+        attention = MultiHeadSelfAttention(16, 2, np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((2, 5, 16))
+        _, cache = attention.forward(x)
+        attention.backward_input(np.random.default_rng(2).standard_normal((2, 5, 16)), cache)
+        assert cache.queries is None and cache.keys is None and cache.values is None
+        assert cache.attention_probs is None and cache.context is None
+        # The W stash survives: both Linear caches keep input + grad_output.
+        assert cache.qkv_cache.grad_output is not None
+        assert cache.proj_cache.grad_output is not None
+        attention.backward_weight(cache)  # still runs to completion
+
+    def test_mlp_and_layernorm_caches_slimmed_after_backward_input(self):
+        mlp = TransformerMLP(16, np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((2, 5, 16))
+        _, cache = mlp.forward(x)
+        mlp.backward_input(np.random.default_rng(2).standard_normal((2, 5, 16)), cache)
+        assert cache.pre_gelu is None
+        mlp.backward_weight(cache)
+
+        layer_norm = LayerNorm(16)
+        _, ln_cache = layer_norm.forward(x)
+        layer_norm.backward_input(
+            np.random.default_rng(3).standard_normal((2, 5, 16)), ln_cache
+        )
+        # Only the two parameter-gradient vectors remain.
+        assert set(ln_cache) == {"grad_gamma", "grad_beta"}
+        layer_norm.backward_weight(ln_cache)
+
+    def test_stage_cache_slimmed_after_backward_input(self):
+        config = TestStageParity.CONFIG
+        (stage,) = build_gpt_stages(config, 1, seed=0)
+        rng = np.random.default_rng(1)
+        _, cache = stage.forward(
+            rng.integers(0, 32, size=(2, 8)), targets=rng.integers(0, 32, size=(2, 8))
+        )
+        stage.backward_input(None, cache, loss_scale=1.0)
+        assert cache.loss_cache is None and cache.stage_input is None
+        for layer_cache in cache.layer_caches:
+            assert layer_cache.attn_cache.queries is None
+            assert layer_cache.mlp_cache.pre_gelu is None
+        stage.backward_weight(cache)
