@@ -349,6 +349,46 @@ def bench_schedule_iteration(repeats: int = 3, iterations_per_repeat: int = 2) -
     }
 
 
+def bench_auto_schedule() -> dict:
+    """Synthesized schedule vs zb1 on the paper-scale job, plus functional parity.
+
+    All tracked numbers are deterministic simulator outputs on GPT-8.3B
+    PP4 x DP4 x TP8 (the acceptance layout): at ``memory_cap_factor=1.0`` the
+    synthesizer must degenerate to zb1 (``bubble_ratio_cap1 == 1.0``), and at
+    ``2.0`` the extra in-flight forwards must buy a strictly lower bubble
+    (``sim_speedup_vs_zb1_cap2 > 1``).  The functional delta retrains a tiny
+    probe under 1f1b/zb1/auto and must be exactly 0.0.
+    """
+    from repro.experiments.schedule_compare import functional_schedule_parity
+    from repro.models.gpt_configs import GPT_8_3B
+    from repro.parallel.process_groups import ParallelLayout
+    from repro.simulator.cost_model import TrainingJob
+    from repro.simulator.throughput import schedule_cap_sweep, schedule_throughput
+
+    job = TrainingJob(
+        model=GPT_8_3B,
+        layout=ParallelLayout(tensor_parallel=8, pipeline_parallel=4, data_parallel=4),
+        num_model_chunks=1,
+    )
+    zb1 = {p.kind: p for p in schedule_throughput(job, kinds=("1f1b", "zb1"))}["zb1"]
+    caps = {p.memory_cap_factor: p for p in schedule_cap_sweep(job, caps=(1.0, 1.5, 2.0))}
+    return {
+        "sim_iteration_zb1_s": zb1.iteration_time_s,
+        "sim_iteration_auto_cap1_s": caps[1.0].iteration_time_s,
+        "sim_iteration_auto_cap2_s": caps[2.0].iteration_time_s,
+        "bubble_zb1": zb1.bubble_fraction,
+        "bubble_auto_cap1": caps[1.0].bubble_fraction,
+        "bubble_auto_cap15": caps[1.5].bubble_fraction,
+        "bubble_auto_cap2": caps[2.0].bubble_fraction,
+        # cap 1.0 must reproduce zb1 exactly; cap 2.0 must beat it strictly.
+        "bubble_ratio_cap1": caps[1.0].bubble_fraction / zb1.bubble_fraction,
+        "bubble_ratio_cap2": caps[2.0].bubble_fraction / zb1.bubble_fraction,
+        "sim_speedup_vs_zb1_cap2": zb1.iteration_time_s / caps[2.0].iteration_time_s,
+        "functional_parity_delta": functional_schedule_parity(pp=2, dp=2),
+        "sim_layout": "GPT-8.3B PP4 x DP4 x TP8",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -365,6 +405,7 @@ def run_all(
         "codec_roundtrip": bench_codec_roundtrip(repeats=codec_repeats),
         "compressed_dp_iteration": bench_compressed_dp_iteration(repeats=engine_repeats),
         "schedule_iteration": bench_schedule_iteration(repeats=engine_repeats),
+        "auto_schedule": bench_auto_schedule(),
     }
 
 
@@ -406,6 +447,13 @@ def main() -> int:
         f"bubble {schedule['bubble_1f1b']:.1%} -> {schedule['bubble_zb1']:.1%}; "
         f"functional {schedule['functional_1f1b_ms']:.1f} -> "
         f"{schedule['functional_zb1_ms']:.1f} ms ({schedule['functional_relative']:.2f}x)"
+    )
+    auto = results["auto_schedule"]
+    print(
+        f"auto schedule [{auto['sim_layout']}]: bubble zb1 {auto['bubble_zb1']:.1%} = "
+        f"auto@1x {auto['bubble_auto_cap1']:.1%} -> auto@2x {auto['bubble_auto_cap2']:.1%} "
+        f"({auto['sim_speedup_vs_zb1_cap2']:.2f}x over zb1; parity delta "
+        f"{auto['functional_parity_delta']:.1e})"
     )
     print(f"[written to {path}]")
     return 0

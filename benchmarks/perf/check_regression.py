@@ -9,8 +9,11 @@ then calls this script with the committed copy saved aside::
 
 Every tracked metric is a higher-is-better ratio (speedups and MB/s).  A metric
 that drops more than ``--tolerance`` (default 30 %) below the committed value
-fails the check, so perf wins cannot silently erode; metrics present only on one
-side (new benchmarks, or a baseline predating one) are reported but never fail.
+fails the check, so perf wins cannot silently erode.  A tracked metric missing
+from the *fresh* payload is a hard failure — that means the benchmark stopped
+emitting it (renamed, deleted, or crashed mid-run), exactly the silent erosion
+the gate exists to catch.  A metric missing only from the *baseline* (a benchmark
+newer than the committed file) is reported as a skip and never fails.
 
 The speedup metrics are ratios of two runs on the same machine and compare
 cleanly across hardware; the MB/s metrics are absolute and inherit the committed
@@ -43,6 +46,11 @@ TRACKED_METRICS = [
     # change, never runner noise.
     ("schedule_iteration", "sim_speedup"),
     ("schedule_iteration", "bubble_ratio"),
+    # Synthesized schedule vs zb1 (deterministic too): cap 2x must keep beating
+    # zb1 on iteration time, and the bubble ratio at cap 1x must stay pinned at
+    # 1.0 (degeneration to zb1) — tracked as a higher-is-better inverse.
+    ("auto_schedule", "sim_speedup_vs_zb1_cap2"),
+    ("auto_schedule", "bubble_ratio_cap1"),
 ]
 
 
@@ -64,8 +72,20 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], l
         name = f"{dotted}.{leaf}"
         old = _lookup(baseline, dotted, leaf)
         new = _lookup(fresh, dotted, leaf)
-        if old is None or new is None:
-            lines.append(f"SKIP {name}: baseline={old} fresh={new}")
+        if new is None:
+            # A tracked metric vanished from the fresh run: the benchmark was
+            # renamed, deleted, or crashed before emitting it.  Silently
+            # skipping here would let the whole section rot unnoticed.
+            failures.append(
+                f"{name}: missing from fresh results — the benchmark no longer "
+                "emits this tracked metric (update TRACKED_METRICS if the "
+                "rename/removal is intentional)"
+            )
+            lines.append(f"FAIL {name}: baseline={old} fresh=MISSING")
+            continue
+        if old is None:
+            # Baseline predates this benchmark — nothing to compare against yet.
+            lines.append(f"SKIP {name}: baseline=MISSING fresh={new:.3g}")
             continue
         ratio = new / old if old > 0 else float("inf")
         status = "OK  "

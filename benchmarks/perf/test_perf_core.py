@@ -59,6 +59,19 @@ def test_bench_core_smoke():
     # loop; it must not collapse (bound loose — pure Python dispatch noise).
     assert schedule["functional_relative"] >= 0.5, schedule
 
+    # The synthesized schedule: deterministic acceptance claims.  At cap 1x the
+    # synthesizer degenerates to zb1 exactly; at cap 2x the extra in-flight
+    # forwards buy a strictly lower bubble and a strictly faster iteration.
+    auto = results["auto_schedule"]
+    assert abs(auto["bubble_ratio_cap1"] - 1.0) < 0.01, auto
+    assert auto["bubble_auto_cap2"] < auto["bubble_zb1"], auto
+    assert auto["sim_speedup_vs_zb1_cap2"] > 1.0, auto
+    # Monotone in the cap: more memory never hurts.
+    assert auto["bubble_auto_cap15"] <= auto["bubble_auto_cap1"] + 1e-9, auto
+    assert auto["bubble_auto_cap2"] <= auto["bubble_auto_cap15"] + 1e-9, auto
+    # Weight parity across 1f1b/zb1/auto is exact, not approximate.
+    assert auto["functional_parity_delta"] == 0.0, auto
+
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
@@ -81,6 +94,7 @@ def test_regression_checker_flags_real_drops():
             "topk": {"speedup": 1.3},
         },
         "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
+        "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
     }
     same, _ = compare(baseline, baseline, tolerance=0.30)
     assert same == []
@@ -96,8 +110,51 @@ def test_regression_checker_flags_real_drops():
     failures, _ = compare(baseline, wobbly, tolerance=0.30)
     assert failures == []
 
-    # A missing section (older baseline) is skipped, not failed.
-    del regressed["compressed_dp_iteration"]
-    failures, lines = compare(baseline, regressed, tolerance=0.30)
-    assert len(failures) == 1
+
+def test_regression_checker_hard_fails_on_missing_fresh_metric():
+    """A tracked metric absent from the fresh payload must fail, not skip.
+
+    This used to slip through silently: ``_lookup`` returned ``None`` and the
+    comparison skipped, so deleting (or renaming) a whole benchmark section
+    passed the gate.  Missing from the *baseline* stays a skip (benchmarks
+    newer than the committed file have nothing to compare against).
+    """
+    baseline = {
+        "optimizer_step": {"speedup": 4.0},
+        "engine_iteration": {"speedup": 1.2},
+        "codec_roundtrip": {
+            "powersgd": {"mb_per_s": 2000.0, "into_mb_per_s": 2100.0},
+            "qsgd": {"mb_per_s": 800.0, "into_mb_per_s": 900.0},
+            "topk": {"mb_per_s": 1500.0, "into_mb_per_s": 1600.0},
+        },
+        "compressed_dp_iteration": {
+            "powersgd": {"speedup": 1.1},
+            "qsgd": {"speedup": 1.2},
+            "topk": {"speedup": 1.3},
+        },
+        "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
+        "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
+    }
+
+    # Whole tracked section gone from the fresh run: one hard failure per
+    # tracked metric it contained, each naming the metric.
+    fresh = json.loads(json.dumps(baseline))
+    del fresh["compressed_dp_iteration"]
+    failures, lines = compare(baseline, fresh, tolerance=0.30)
+    assert len(failures) == 3
+    assert all("missing from fresh" in failure for failure in failures)
+    assert any("compressed_dp_iteration.qsgd.speedup" in failure for failure in failures)
+    assert sum(line.startswith("FAIL") for line in lines) == 3
+
+    # One leaf key gone (renamed metric): also a hard failure.
+    fresh = json.loads(json.dumps(baseline))
+    del fresh["schedule_iteration"]["bubble_ratio"]
+    failures, _ = compare(baseline, fresh, tolerance=0.30)
+    assert len(failures) == 1 and "schedule_iteration.bubble_ratio" in failures[0]
+
+    # Missing only from the baseline (new benchmark): skipped, never failed.
+    older_baseline = json.loads(json.dumps(baseline))
+    del older_baseline["auto_schedule"]
+    failures, lines = compare(older_baseline, baseline, tolerance=0.30)
+    assert failures == []
     assert any(line.startswith("SKIP") for line in lines)

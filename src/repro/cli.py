@@ -260,6 +260,16 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
         if arguments.serial_dp or arguments.schedule == "serial":
             raise SystemExit("--dp-fire only applies to the overlapped DP schedules")
         plan = plan.with_schedule(dp_fire=arguments.dp_fire)
+    if getattr(arguments, "memory_cap", None) is not None:
+        if plan.schedule.kind != "auto":
+            raise SystemExit(
+                "--memory-cap only applies to the synthesized schedule; pass "
+                f"--schedule auto (resolved schedule is {plan.schedule.kind!r})"
+            )
+        try:
+            plan = plan.with_schedule(memory_cap_factor=arguments.memory_cap)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
     return plan
 
 
@@ -480,8 +490,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--schedule", choices=SCHEDULE_KINDS, default=None,
                        help="override the plan's pipeline schedule: '1f1b' "
                             "(overlapped DP), 'serial' (per-parameter DP "
-                            "epilogue), or 'zb1' (zero-bubble split-backward; "
-                            "bit-identical weights to 1f1b)")
+                            "epilogue), 'zb1' (zero-bubble split-backward; "
+                            "bit-identical weights to 1f1b), or 'auto' "
+                            "(synthesized split-backward under --memory-cap)")
+    train.add_argument("--memory-cap", type=float, default=None, metavar="FACTOR",
+                       help="activation-memory cap for --schedule auto, as a "
+                            "multiple of ZB-H1's per-stage footprint (>= 1.0; "
+                            "1.0 degenerates to zb1, ~2.0 approaches zero bubble)")
     train.add_argument("--serial-dp", action="store_true",
                        help="serial per-parameter DP epilogue instead of the "
                             "bucketed all-reduce overlapped with the cool-down")

@@ -24,7 +24,7 @@ from repro.parallel.arena import (
     build_gradient_buckets,
 )
 from repro.parallel.collectives import CommunicationLog, SimulatedProcessGroup
-from repro.plan import DP_FIRE_KINDS
+from repro.plan import DP_FIRE_KINDS, SCHEDULE_KINDS, SPLIT_BACKWARD_KINDS, validate_schedule_kind
 from repro.tensor.parameter import Parameter
 
 #: Parameters whose name contains this marker are the tied embedding copies.
@@ -276,6 +276,9 @@ class BucketedDataParallelSync:
             raise ValueError("need exactly one parameter arena per replica")
         if dp_fire not in DP_FIRE_KINDS:
             raise ValueError(f"dp_fire must be one of {DP_FIRE_KINDS}, got {dp_fire!r}")
+        validate_schedule_kind(
+            schedule_kind, SCHEDULE_KINDS, context="BucketedDataParallelSync.schedule_kind"
+        )
         self.replicas = [list(replica) for replica in replicas]
         self.arenas = list(arenas)
         self.hook = hook
@@ -334,10 +337,10 @@ class BucketedDataParallelSync:
         """Fire every stage's bucket all-reduces in backward-completion order."""
         if self.data_parallel_degree == 1:
             return
-        # zb1's split backward finalises gradients per W pass (deepest layers
-        # first), so micro-batch granularity is the schedule's native firing
-        # mode whatever ``dp_fire`` says.
-        fire = "micro_batch" if self.schedule_kind == "zb1" else self.dp_fire
+        # The split-backward schedules (zb1/auto) finalise gradients per W
+        # pass (deepest layers first), so micro-batch granularity is their
+        # native firing mode whatever ``dp_fire`` says.
+        fire = "micro_batch" if self.schedule_kind in SPLIT_BACKWARD_KINDS else self.dp_fire
         grad_buffers = [arena.grad for arena in self.arenas]
         for stage_index in range(self.num_stages - 1, -1, -1):
             stage_buckets = self._fire_order.get(stage_index, [])

@@ -579,10 +579,13 @@ class ThreeDParallelEngine:
         self.model_config = model_config
         self.num_stages = int(num_stages)
         self.data_parallel_degree = int(data_parallel_degree)
-        # The pipeline execution schedule: "zb1" replays the split-backward
-        # ZB-H1 op lists inside every replica's pipeline engine (bit-for-bit
-        # identical weights); everything else runs the phase-ordered loop.
+        # The pipeline execution schedule: the split-backward kinds ("zb1",
+        # "auto") replay their op lists inside every replica's pipeline engine
+        # (bit-for-bit identical weights); everything else runs the
+        # phase-ordered loop.  "auto" additionally carries the plan's
+        # activation-memory cap into the synthesizer.
         self.schedule_kind = plan.schedule.kind if plan is not None else "1f1b"
+        self.memory_cap_factor = plan.schedule.memory_cap_factor if plan is not None else 1.0
         self.optimus_config = (
             optimus_config if optimus_config is not None else OptimusCCConfig.baseline()
         )
@@ -616,7 +619,12 @@ class ThreeDParallelEngine:
             )
             self.replicas.append(stages)
             self.pipeline_engines.append(
-                PipelineParallelEngine(stages, channel, schedule_kind=self.schedule_kind)
+                PipelineParallelEngine(
+                    stages,
+                    channel,
+                    schedule_kind=self.schedule_kind,
+                    memory_cap_factor=self.memory_cap_factor,
+                )
             )
             self.cb_hooks.append(cb_hook)
 

@@ -16,15 +16,18 @@ simpler "all forwards in micro-batch order, then all backwards in micro-batch or
 loop used here, so the functional engine uses the simpler loop; the 1F1B timing
 behaviour is modelled separately by :mod:`repro.simulator`.
 
-The zero-bubble schedule (``schedule_kind="zb1"``) *does* change the execution
-structure — each backward is split into an activation-gradient pass
+The split-backward schedules (``schedule_kind="zb1"`` and the synthesized
+``"auto"``) *do* change the execution structure — each backward is split into
+an activation-gradient pass
 (:meth:`~repro.nn.gpt_stage.GPTStage.backward_input`) and a deferred
 weight-gradient pass (:meth:`~repro.nn.gpt_stage.GPTStage.backward_weight`) —
-so the engine replays the actual per-stage ZB-H1 op lists in dependency order.
-Because every boundary still sees its backward transfers in ascending
-micro-batch order and every stage runs its W passes in ascending micro-batch
-order, the weights remain bit-for-bit identical to the 1F1B loop (asserted by
-the parity tests).
+so the engine replays the actual per-stage op lists (the handcrafted ZB-H1
+order for ``"zb1"``, the synthesizer's output for ``"auto"``) in dependency
+order.  Because every valid op list still presents each boundary's backward
+transfers in ascending micro-batch order and runs each stage's W passes in
+ascending micro-batch order, the weights remain bit-for-bit identical to the
+1F1B loop regardless of which valid schedule is replayed (asserted by the
+parity tests).
 """
 
 from __future__ import annotations
@@ -40,12 +43,14 @@ from repro.parallel.collectives import (
     CommunicationLog,
     TrafficRecord,
 )
-from repro.parallel.pipeline_schedule import build_zb1_schedule
+from repro.parallel.pipeline_schedule import PipelineOp, build_zb1_schedule
+from repro.plan import SPLIT_BACKWARD_KINDS, validate_schedule_kind
 
 #: Schedule kinds the functional engine can execute.  ``"1f1b"`` and
 #: ``"serial"`` are numerically the phase-ordered loop (1F1B timing is a
-#: simulator concern); ``"zb1"`` replays the split-backward ZB-H1 op lists.
-ENGINE_SCHEDULE_KINDS = ("1f1b", "serial", "zb1")
+#: simulator concern); ``"zb1"`` replays the split-backward ZB-H1 op lists and
+#: ``"auto"`` replays whatever op lists the synthesizer emits for the layout.
+ENGINE_SCHEDULE_KINDS = ("1f1b", "serial", "zb1", "auto")
 
 #: Hook applied to every backward inter-stage transfer.
 #:
@@ -144,7 +149,11 @@ class PipelineParallelEngine:
         The inter-stage channel (owns the compression hooks and the traffic log).
     schedule_kind:
         ``"1f1b"``/``"serial"`` run the phase-ordered loop; ``"zb1"`` replays the
-        ZB-H1 split-backward op lists (bit-for-bit identical weights).
+        ZB-H1 split-backward op lists and ``"auto"`` the synthesized ones
+        (bit-for-bit identical weights either way).
+    memory_cap_factor:
+        Activation-memory cap handed to the synthesizer when
+        ``schedule_kind == "auto"`` (1.0 = ZB-H1's footprint; ignored otherwise).
     """
 
     def __init__(
@@ -152,18 +161,21 @@ class PipelineParallelEngine:
         stages: Sequence[GPTStage],
         channel: InterStageChannel | None = None,
         schedule_kind: str = "1f1b",
+        memory_cap_factor: float = 1.0,
     ) -> None:
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
         if not stages[0].is_first or not stages[-1].is_last:
             raise ValueError("stages[0] must be the first stage and stages[-1] the last stage")
-        if schedule_kind not in ENGINE_SCHEDULE_KINDS:
-            raise ValueError(
-                f"schedule_kind must be one of {ENGINE_SCHEDULE_KINDS}, got {schedule_kind!r}"
-            )
+        validate_schedule_kind(
+            schedule_kind, ENGINE_SCHEDULE_KINDS, context="PipelineParallelEngine"
+        )
+        if memory_cap_factor < 1.0:
+            raise ValueError(f"memory_cap_factor must be >= 1.0, got {memory_cap_factor}")
         self.stages: list[GPTStage] = list(stages)
         self.channel = channel if channel is not None else InterStageChannel()
         self.schedule_kind = schedule_kind
+        self.memory_cap_factor = memory_cap_factor
 
     @property
     def num_stages(self) -> int:
@@ -195,8 +207,8 @@ class PipelineParallelEngine:
         num_micro_batches = len(micro_batches)
         if num_micro_batches == 0:
             raise ValueError("run_iteration requires at least one micro-batch")
-        if self.schedule_kind == "zb1":
-            return self._run_iteration_zb1(micro_batches)
+        if self.schedule_kind in SPLIT_BACKWARD_KINDS:
+            return self._run_iteration_split(micro_batches, self._build_split_schedule(num_micro_batches))
         loss_scale = 1.0 / num_micro_batches
 
         forward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_forward")
@@ -249,18 +261,42 @@ class PipelineParallelEngine:
             backward_bytes=int(backward_bytes),
         )
 
-    def _run_iteration_zb1(
-        self, micro_batches: Sequence[tuple[np.ndarray, np.ndarray]]
-    ) -> IterationResult:
-        """Replay the ZB-H1 op lists (split B/W backward) in dependency order.
+    def _build_split_schedule(self, num_micro_batches: int) -> list[list[PipelineOp]]:
+        """Per-stage split-backward op lists for the engine's schedule kind.
 
-        Each stage executes its :func:`~repro.parallel.pipeline_schedule.build_zb1_schedule`
-        op list in order; an op runs as soon as its input has arrived (forward
-        activation from upstream, activation gradient from downstream, or —
-        for a W pass — the stage's own earlier B pass).  Every boundary still
-        sees forward and backward transfers in ascending micro-batch order, and
-        every stage accumulates weight gradients in ascending micro-batch
-        order, so the result is bit-for-bit the phase-ordered loop's.
+        ``"zb1"`` is the handcrafted ZB-H1 order; ``"auto"`` runs the
+        synthesizer with the analytic unit-cost split (F=1, B=2, W=1 — the
+        recompute-free transformer ratio) and the engine's memory cap.  The
+        functional engine is timing-free, so any dependency-valid list yields
+        identical weights; the costs only shape which valid list is chosen.
+        """
+        if self.schedule_kind == "auto":
+            from repro.parallel.scheduler import StageCosts, SynthesisSpec, synthesize_schedule
+
+            spec = SynthesisSpec(
+                num_stages=self.num_stages,
+                num_micro_batches=num_micro_batches,
+                costs=tuple(StageCosts(1.0, 2.0, 1.0) for _ in range(self.num_stages)),
+                memory_cap_factor=self.memory_cap_factor,
+            )
+            return synthesize_schedule(spec).stage_ops()
+        return build_zb1_schedule(self.num_stages, num_micro_batches)
+
+    def _run_iteration_split(
+        self,
+        micro_batches: Sequence[tuple[np.ndarray, np.ndarray]],
+        schedule: list[list[PipelineOp]],
+    ) -> IterationResult:
+        """Replay split-backward (B/W) op lists in dependency order.
+
+        Each stage executes its op list in order; an op runs as soon as its
+        input has arrived (forward activation from upstream, activation
+        gradient from downstream, or — for a W pass — the stage's own earlier
+        B pass).  Every valid op list presents forward and backward transfers
+        in ascending micro-batch order at every boundary and accumulates
+        weight gradients in ascending micro-batch order on every stage, so the
+        result is bit-for-bit the phase-ordered loop's whichever schedule
+        (zb1 or synthesized) is replayed.
         """
         num_micro_batches = len(micro_batches)
         num_stages = self.num_stages
@@ -269,7 +305,6 @@ class PipelineParallelEngine:
         forward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_forward")
         backward_bytes_before = self.channel.log.total_wire_bytes("inter_stage_backward")
 
-        schedule = build_zb1_schedule(num_stages, num_micro_batches)
         caches: list[list[StageCache | None]] = [
             [None] * num_micro_batches for _ in range(num_stages)
         ]
@@ -333,8 +368,10 @@ class PipelineParallelEngine:
                     pointers[stage_index] += 1
                     remaining -= 1
                     progressed = True
-            if not progressed:  # pragma: no cover - the builder is validated
-                raise RuntimeError("zb1 schedule deadlocked (invalid dependency structure)")
+            if not progressed:  # pragma: no cover - the builders are validated
+                raise RuntimeError(
+                    f"{self.schedule_kind} schedule deadlocked (invalid dependency structure)"
+                )
 
         forward_bytes = self.channel.log.total_wire_bytes("inter_stage_forward") - forward_bytes_before
         backward_bytes = (

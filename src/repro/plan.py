@@ -92,8 +92,34 @@ BOUNDARY_CODECS: dict[Boundary, tuple[str, ...]] = {
 #: ``"zb1"`` is the zero-bubble ZB-H1 schedule — every backward splits into an
 #: activation-gradient pass (B) and a deferred weight-gradient pass (W), so W
 #: passes fill the 1F1B cool-down bubble at the same peak activation memory
-#: (weights stay bit-for-bit identical to ``"1f1b"``).
-SCHEDULE_KINDS = ("1f1b", "serial", "zb1")
+#: (weights stay bit-for-bit identical to ``"1f1b"``); ``"auto"`` synthesizes
+#: a split-backward schedule per layout (:mod:`repro.parallel.scheduler`),
+#: admitting extra in-flight forwards while under ``memory_cap_factor`` times
+#: the 1F1B activation peak — never worse than zb1, and strictly better once
+#: the cap rises.
+SCHEDULE_KINDS = ("1f1b", "serial", "zb1", "auto")
+
+#: The kinds whose backward is split into B and W passes.  They share all the
+#: zb1 plumbing: micro-batch-granular DP firing (a parameter's gradient is
+#: final after its W pass), num_model_chunks == 1, and the split-backward
+#: replay in the functional engine and the timing simulator.
+SPLIT_BACKWARD_KINDS = ("zb1", "auto")
+
+
+def validate_schedule_kind(
+    kind: str, allowed: tuple[str, ...] = SCHEDULE_KINDS, *, context: str = "schedule"
+) -> str:
+    """The one schedule-kind validator every consumer shares.
+
+    Raises ``ValueError`` naming the offending context and the allowed
+    vocabulary — no consumer may silently fall back to 1f1b behaviour on an
+    unknown kind.  Returns ``kind`` so call sites can validate inline.
+    """
+    if kind not in allowed:
+        raise ValueError(
+            f"{context}: unknown schedule kind {kind!r}; expected one of {allowed}"
+        )
+    return kind
 
 #: DP bucket firing granularities on the overlapped (``"1f1b"``) path:
 #: ``"stage"`` fires a stage's buckets when its whole backward has drained;
@@ -278,41 +304,57 @@ class Schedule:
         micro-batch's backward pass as soon as its gradients are final, so only
         the very last bucket (stage 0's input side) stays exposed.  Timing and
         overlap accounting only — never numerics.  Ignored by the serial
-        schedule — and by ``"zb1"``, whose split backward finalises gradients
-        per W pass and therefore always fires at micro-batch granularity (in
-        the engine and the simulator alike).
+        schedule — and by the split-backward kinds (``"zb1"``/``"auto"``),
+        whose backward finalises gradients per W pass and therefore always
+        fires at micro-batch granularity (in the engine and the simulator
+        alike).
+    memory_cap_factor:
+        ``"auto"`` only: the per-stage activation-memory budget of the schedule
+        search, as a multiple of the 1F1B in-flight peak (the ZB-H1 W-stash
+        allowance rides on top).  1.0 degenerates to the handcrafted ZB-H1;
+        2.0 is the ZB-2p budget.  Must be ``>= 1.0``; inert on other kinds
+        (kept so sweeps can toggle the kind without losing the cap).
     """
 
     kind: str = "1f1b"
     num_model_chunks: int = 1
     dp_fire: str = "stage"
+    memory_cap_factor: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.kind not in SCHEDULE_KINDS:
-            raise ValueError(f"kind must be one of {SCHEDULE_KINDS}, got {self.kind!r}")
+        validate_schedule_kind(self.kind, context="Schedule.kind")
         if self.num_model_chunks <= 0:
             raise ValueError("num_model_chunks must be positive")
-        if self.kind == "zb1" and self.num_model_chunks > 1:
+        if self.kind in SPLIT_BACKWARD_KINDS and self.num_model_chunks > 1:
             raise ValueError(
-                "zb1 is a plain (non-interleaved) schedule; num_model_chunks must be 1"
+                f"{self.kind} is a plain (non-interleaved) schedule; "
+                "num_model_chunks must be 1"
             )
         if self.dp_fire not in DP_FIRE_KINDS:
             raise ValueError(
                 f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
             )
+        if self.memory_cap_factor < 1.0:
+            raise ValueError(
+                "memory_cap_factor is relative to the 1F1B activation peak and "
+                f"must be >= 1.0, got {self.memory_cap_factor}"
+            )
 
     @property
     def dp_overlap(self) -> bool:
         """Whether the DP all-reduce overlaps the pipeline cool-down."""
-        return self.kind in ("1f1b", "zb1")
+        return self.kind == "1f1b" or self.kind in SPLIT_BACKWARD_KINDS
 
     def with_(self, **kwargs: Any) -> "Schedule":
         return replace(self, **kwargs)
 
     def describe(self) -> str:
+        kind = self.kind
+        if kind == "auto":
+            kind += f"@{self.memory_cap_factor:g}x"
         chunks = f"x{self.num_model_chunks}" if self.num_model_chunks > 1 else ""
         fire = "/mb-fire" if self.dp_overlap and self.dp_fire == "micro_batch" else ""
-        return f"{self.kind}{chunks}{fire}"
+        return f"{kind}{chunks}{fire}"
 
 
 def _spec_from_dict(boundary: Boundary, payload: Mapping[str, Any]) -> CompressionSpec:
@@ -624,6 +666,23 @@ class ParallelPlan:
         return cls(topology=topology or Topology(), schedule=Schedule(kind="zb1"))
 
     @classmethod
+    def auto(
+        cls, topology: Topology | None = None, memory_cap_factor: float = 1.5
+    ) -> "ParallelPlan":
+        """The synthesized memory-capped schedule on an otherwise uncompressed run.
+
+        The schedule search (:mod:`repro.parallel.scheduler`) slots W passes
+        into bubble gaps and admits extra in-flight forwards while under
+        ``memory_cap_factor`` times the 1F1B activation peak.  Weights are
+        bit-for-bit identical to :meth:`baseline`; the bubble is never worse
+        than :meth:`zb1` and shrinks as the cap rises.
+        """
+        return cls(
+            topology=topology or Topology(),
+            schedule=Schedule(kind="auto", memory_cap_factor=memory_cap_factor),
+        )
+
+    @classmethod
     def preset(cls, name: str, topology: Topology | None = None) -> "ParallelPlan":
         """Build a named preset (the registry is :data:`PLAN_PRESETS`)."""
         if name not in PLAN_PRESETS:
@@ -687,18 +746,23 @@ class ParallelPlan:
                 micro_batch_size * self.topology.micro_batches * self.topology.dp
             ),
             num_model_chunks=self.schedule.num_model_chunks,
-            # zb1's split backward finalises gradients per W pass, so
-            # micro-batch firing is its native granularity — the engine fires
+            # The split-backward kinds finalise gradients per W pass, so
+            # micro-batch firing is their native granularity — the engine fires
             # that way regardless of dp_fire, and the simulator must model the
             # same behaviour (cross-layer agreement, tested in test_plan.py).
             dp_fire=(
                 "micro_batch"
-                if self.schedule.kind == "zb1"
+                if self.schedule.kind in SPLIT_BACKWARD_KINDS
                 else self.schedule.dp_fire if self.schedule.dp_overlap else "stage"
             ),
-            # The simulator's pipeline shape: zb1 replays the split-backward
+            # The simulator's pipeline shape: zb1/auto replay split-backward
             # op lists; "serial" differs from "1f1b" only at the DP boundary.
-            schedule_kind="zb1" if self.schedule.kind == "zb1" else "1f1b",
+            schedule_kind=(
+                self.schedule.kind
+                if self.schedule.kind in SPLIT_BACKWARD_KINDS
+                else "1f1b"
+            ),
+            memory_cap_factor=self.schedule.memory_cap_factor,
         )
         if cluster is not None:
             kwargs["cluster"] = cluster
@@ -716,4 +780,5 @@ PLAN_PRESETS: dict[str, Callable[[Topology | None], ParallelPlan]] = {
     "naive_dp": ParallelPlan.naive_dp,
     "optimus_topk": ParallelPlan.optimus_topk,
     "zb1": ParallelPlan.zb1,
+    "auto": ParallelPlan.auto,
 }

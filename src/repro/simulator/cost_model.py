@@ -20,11 +20,28 @@ from dataclasses import dataclass, field
 from repro.models.gpt_configs import PaperModelSpec
 from repro.parallel.collectives import ring_all_reduce_wire_bytes
 from repro.parallel.process_groups import ParallelLayout
-from repro.plan import DP_FIRE_KINDS
+from repro.plan import DP_FIRE_KINDS, SPLIT_BACKWARD_KINDS, validate_schedule_kind
 from repro.simulator.hardware import ClusterSpec, PAPER_CLUSTER_SPEC
 
 #: Pipeline shapes the timing simulator can replay.
-SIM_SCHEDULE_KINDS = ("1f1b", "zb1")
+SIM_SCHEDULE_KINDS = ("1f1b", "zb1", "auto")
+
+#: fp16 weight + fp16 gradient + fp32 master weight + fp32 Adam m + fp32 Adam v.
+BYTES_PER_PARAMETER_WITH_OPTIMIZER = 2 + 2 + 4 + 4 + 4
+
+#: Bytes of activation memory per token per hidden unit for one transformer layer
+#: (fp16, no sequence parallelism): the standard ~34 B·s·h estimate.
+ACTIVATION_BYTES_PER_TOKEN_HIDDEN = 34
+
+#: Bytes per token per hidden unit a split-backward (zb1/auto) schedule keeps
+#: alive between a layer's B and W passes: the four Linear inputs (QKV h,
+#: attention projection h, MLP up h, MLP down 4h = 7·s·h) and their output
+#: gradients (3h + h + 4h + h = 9·s·h), 16·s·h fp16 elements in total.  The B
+#: pass releases everything else (the LayerNorm W pass keeps only 1-D
+#: parameter-gradient vectors, negligible here); the tied output head's logit
+#: gradient is not charged, mirroring the activation estimate above, which
+#: also excludes the head.
+WEIGHT_STASH_BYTES_PER_TOKEN_HIDDEN = 32
 
 
 @dataclass(frozen=True)
@@ -53,23 +70,32 @@ class TrainingJob:
     dp_fire: str = "stage"
     #: Pipeline schedule shape (``repro.plan.Schedule.kind``): ``"1f1b"`` (the
     #: fused-backward schedule; also used for serial-DP runs, which differ only
-    #: at the DP boundary) or ``"zb1"`` (zero-bubble ZB-H1 with the backward
-    #: split into B and W passes).  ``"zb1"`` requires ``num_model_chunks == 1``.
+    #: at the DP boundary), ``"zb1"`` (zero-bubble ZB-H1 with the backward
+    #: split into B and W passes), or ``"auto"`` (a synthesized split-backward
+    #: schedule under ``memory_cap_factor``).  The split kinds require
+    #: ``num_model_chunks == 1``.
     schedule_kind: str = "1f1b"
+    #: ``"auto"`` only: activation-memory budget of the schedule search as a
+    #: multiple of the 1F1B in-flight peak (``repro.plan.Schedule.memory_cap_factor``).
+    memory_cap_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.dp_fire not in DP_FIRE_KINDS:
             raise ValueError(
                 f"dp_fire must be one of {DP_FIRE_KINDS}, got {self.dp_fire!r}"
             )
-        if self.schedule_kind not in SIM_SCHEDULE_KINDS:
+        validate_schedule_kind(
+            self.schedule_kind, SIM_SCHEDULE_KINDS, context="TrainingJob.schedule_kind"
+        )
+        if self.schedule_kind in SPLIT_BACKWARD_KINDS and self.num_model_chunks > 1:
             raise ValueError(
-                f"schedule_kind must be one of {SIM_SCHEDULE_KINDS}, "
-                f"got {self.schedule_kind!r}"
+                f"{self.schedule_kind} is a plain (non-interleaved) schedule; "
+                "num_model_chunks must be 1"
             )
-        if self.schedule_kind == "zb1" and self.num_model_chunks > 1:
+        if self.memory_cap_factor < 1.0:
             raise ValueError(
-                "zb1 is a plain (non-interleaved) schedule; num_model_chunks must be 1"
+                "memory_cap_factor is relative to the 1F1B activation peak and "
+                f"must be >= 1.0, got {self.memory_cap_factor}"
             )
         per_replica = self.global_batch_size / self.layout.data_parallel
         if per_replica != int(per_replica):
@@ -194,6 +220,55 @@ class CostModel:
         so a split schedule moves work around without inventing or losing any.
         """
         return self.backward_time(stage) - self.backward_weight_time(stage)
+
+    # ------------------------------------------------------- activation memory --
+
+    def activation_bytes_per_microbatch(self, stage: int) -> float:
+        """Activation bytes one in-flight micro-batch holds on ``stage``."""
+        tokens = self.job.micro_batch_size * self.job.seq_length
+        per_layer = tokens * self.model.hidden_size * ACTIVATION_BYTES_PER_TOKEN_HIDDEN
+        per_layer /= self.layout.tensor_parallel
+        return per_layer * self.layers_on_stage(stage)
+
+    def weight_stash_bytes_per_microbatch(self, stage: int) -> float:
+        """W-stash bytes one micro-batch holds between its B and W passes."""
+        tokens = self.job.micro_batch_size * self.job.seq_length
+        per_layer = tokens * self.model.hidden_size * WEIGHT_STASH_BYTES_PER_TOKEN_HIDDEN
+        per_layer /= self.layout.tensor_parallel
+        return per_layer * self.layers_on_stage(stage)
+
+    def auto_synthesis_spec(self) -> "SynthesisSpec":
+        """The schedule-synthesis problem this job poses (``schedule_kind="auto"``).
+
+        Per-stage F/B/W times come from the split-backward cost methods, the
+        transfer delay is the uncompressed inter-stage p2p time (compression is
+        a replay-time concern; the synthesizer only needs a consistent
+        estimate), and the memory terms use the same per-micro-batch byte
+        accounting as :class:`repro.simulator.memory_model.MemoryModel`.
+        """
+        from repro.parallel.scheduler import StageCosts, SynthesisSpec
+
+        num_stages = self.layout.pipeline_parallel
+        return SynthesisSpec(
+            num_stages=num_stages,
+            num_micro_batches=self.job.num_micro_batches,
+            costs=tuple(
+                StageCosts(
+                    forward=self.forward_time(stage),
+                    backward_input=self.backward_input_time(stage),
+                    backward_weight=self.backward_weight_time(stage),
+                )
+                for stage in range(num_stages)
+            ),
+            transfer_delay=self.interstage_time(),
+            memory_cap_factor=self.job.memory_cap_factor,
+            activation_bytes=tuple(
+                self.activation_bytes_per_microbatch(stage) for stage in range(num_stages)
+            ),
+            stash_bytes=tuple(
+                self.weight_stash_bytes_per_microbatch(stage) for stage in range(num_stages)
+            ),
+        )
 
     # ----------------------------------------------------------- inter-stage p2p --
 

@@ -25,9 +25,33 @@ from repro.parallel.pipeline_schedule import (
     build_interleaved_1f1b_schedule,
     build_zb1_schedule,
 )
-from repro.plan import Boundary, ParallelPlan
+from repro.plan import Boundary, ParallelPlan, SPLIT_BACKWARD_KINDS
 from repro.plan import DP_CODECS as DP_CODECS  # single shared codec vocabulary
 from repro.simulator.cost_model import CostModel, TrainingJob
+
+
+def build_job_schedule(job: TrainingJob, cost: CostModel | None = None) -> list[list[PipelineOp]]:
+    """Per-stage op lists for a training job's ``schedule_kind``.
+
+    ``"auto"`` runs the synthesizer over the job's cost model (per-stage F/B/W
+    times, transfer delay, activation/stash bytes, ``memory_cap_factor``) — the
+    same op lists the timing replay and the memory model then consume, so the
+    two layers can never disagree about what ``"auto"`` means for a given job.
+    """
+    num_stages = job.num_stages
+    num_micro = job.num_micro_batches
+    if job.schedule_kind == "auto":
+        from repro.parallel.scheduler import synthesize_schedule
+
+        spec = (cost if cost is not None else CostModel(job)).auto_synthesis_spec()
+        return synthesize_schedule(spec).stage_ops()
+    if job.schedule_kind == "zb1":
+        return build_zb1_schedule(num_stages, num_micro)
+    if num_stages == 1:
+        return build_1f1b_schedule(1, num_micro)
+    if job.num_model_chunks > 1:
+        return build_interleaved_1f1b_schedule(num_stages, num_micro, job.num_model_chunks)
+    return build_1f1b_schedule(num_stages, num_micro)
 
 
 @dataclass(frozen=True)
@@ -240,7 +264,7 @@ class IterationTiming:
     bubble_fraction: float = 0.0
     #: Makespan of the pipeline phase (excludes the DP/embedding epilogue).
     pipeline_time: float = 0.0
-    #: The schedule that produced this timing (``"1f1b"`` or ``"zb1"``).
+    #: The schedule that produced this timing (``"1f1b"``, ``"zb1"``, or ``"auto"``).
     schedule_kind: str = "1f1b"
 
     @property
@@ -294,16 +318,7 @@ class PipelineTimingSimulator:
         return PipelineTimingSimulator(self.job, self.plan, replace(self.toggles, **kwargs))
 
     def _build_schedule(self) -> list[list[PipelineOp]]:
-        num_stages = self.job.num_stages
-        num_micro = self.job.num_micro_batches
-        chunks = self.job.num_model_chunks
-        if self.job.schedule_kind == "zb1":
-            return build_zb1_schedule(num_stages, num_micro)
-        if num_stages == 1:
-            return build_1f1b_schedule(1, num_micro)
-        if chunks > 1:
-            return build_interleaved_1f1b_schedule(num_stages, num_micro, chunks)
-        return build_1f1b_schedule(num_stages, num_micro)
+        return build_job_schedule(self.job, self.cost)
 
     @staticmethod
     def _epilogue_sets(schedule: list[list[PipelineOp]]) -> list[set[tuple[int, int]]]:
@@ -534,7 +549,7 @@ class PipelineTimingSimulator:
             if self.job.dp_fire == "micro_batch":
                 window += (
                     backward_weight_times[stage]
-                    if self.job.schedule_kind == "zb1"
+                    if self.job.schedule_kind in SPLIT_BACKWARD_KINDS
                     else backward_times[stage]
                 )
             if dp_times[stage] > 0.0:

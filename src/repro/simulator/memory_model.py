@@ -6,7 +6,13 @@ lazy-error residuals add roughly one more percent.  The model here accounts for 
 same components:
 
 * parameter, gradient, and optimizer state (Megatron mixed-precision recipe);
-* activations of the in-flight micro-batches under 1F1B;
+* activations of the in-flight micro-batches — under 1F1B the analytic
+  ``count_in_flight_micro_batches`` peak, under the split-backward schedules
+  (zb1/auto) the peak read off the actual op lists;
+* the split-backward **W stash**: between a micro-batch's B and W passes the
+  Linear inputs and output gradients stay alive
+  (:data:`~repro.simulator.cost_model.WEIGHT_STASH_BYTES_PER_TOKEN_HIDDEN`);
+  1F1B's fused backward never stashes, so the term is zero there;
 * PowerSGD ``P``/``Q`` work buffers when compression is enabled;
 * one activation-gradient-sized residual per outgoing boundary when lazy error
   propagation is enabled.
@@ -17,15 +23,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.parallel.pipeline_schedule import count_in_flight_micro_batches
-from repro.simulator.cost_model import CostModel, TrainingJob
-from repro.simulator.executor import CompressionPlan
+from repro.parallel.scheduler import stage_memory_profile
+from repro.plan import SPLIT_BACKWARD_KINDS
+from repro.simulator.cost_model import (
+    ACTIVATION_BYTES_PER_TOKEN_HIDDEN,
+    BYTES_PER_PARAMETER_WITH_OPTIMIZER,
+    WEIGHT_STASH_BYTES_PER_TOKEN_HIDDEN,
+    CostModel,
+    TrainingJob,
+)
+from repro.simulator.executor import CompressionPlan, build_job_schedule
 
-#: fp16 weight + fp16 gradient + fp32 master weight + fp32 Adam m + fp32 Adam v.
-BYTES_PER_PARAMETER_WITH_OPTIMIZER = 2 + 2 + 4 + 4 + 4
-
-#: Bytes of activation memory per token per hidden unit for one transformer layer
-#: (fp16, no sequence parallelism): the standard ~34 B·s·h estimate.
-ACTIVATION_BYTES_PER_TOKEN_HIDDEN = 34
+__all__ = [
+    "ACTIVATION_BYTES_PER_TOKEN_HIDDEN",
+    "BYTES_PER_PARAMETER_WITH_OPTIMIZER",
+    "WEIGHT_STASH_BYTES_PER_TOKEN_HIDDEN",
+    "MemoryModel",
+    "MemoryReport",
+]
 
 
 @dataclass
@@ -37,12 +52,16 @@ class MemoryReport:
     activations: float
     compression_buffers: float
     lazy_error_buffers: float
+    #: Split-backward (zb1/auto) only: the peak of the per-micro-batch W
+    #: stashes held between B and W passes.  Zero under 1F1B.
+    weight_stash: float = 0.0
 
     @property
     def total(self) -> float:
         return (
             self.parameters_and_optimizer
             + self.activations
+            + self.weight_stash
             + self.compression_buffers
             + self.lazy_error_buffers
         )
@@ -65,16 +84,36 @@ class MemoryModel:
         self.job = job
         self.plan = plan if plan is not None else CompressionPlan.baseline()
         self.cost = CostModel(job)
+        #: Per-stage ``(peak in-flight activations, peak pending W stashes)``
+        #: of the split-backward op lists; ``None`` until first needed (and
+        #: never built for fused-backward schedules).
+        self._split_profiles: list[tuple[int, int]] | None = None
 
     def _parameters_per_gpu(self, stage: int) -> float:
         total = self.job.model.parameters_per_stage(self.job.num_stages, stage)
         return total / self.job.layout.tensor_parallel
 
     def _activation_bytes_per_microbatch(self, stage: int) -> float:
-        tokens = self.job.micro_batch_size * self.job.seq_length
-        per_layer = tokens * self.job.model.hidden_size * ACTIVATION_BYTES_PER_TOKEN_HIDDEN
-        per_layer /= self.job.layout.tensor_parallel
-        return per_layer * self.cost.layers_on_stage(stage)
+        return self.cost.activation_bytes_per_microbatch(stage)
+
+    def _stage_memory_profile(self, stage: int) -> tuple[int, int]:
+        """``(peak in-flight activations, peak pending W stashes)`` of ``stage``.
+
+        For the split-backward kinds both counts are read off the actual op
+        lists (for ``"auto"`` that means synthesizing the schedule the
+        simulator would replay, so the report and the replay agree); for the
+        fused-backward schedules the in-flight peak is the analytic 1F1B count
+        and the stash is zero.
+        """
+        if self.job.schedule_kind not in SPLIT_BACKWARD_KINDS:
+            in_flight = count_in_flight_micro_batches(
+                stage, self.job.num_stages, self.job.num_micro_batches
+            )
+            return in_flight, 0
+        if self._split_profiles is None:
+            schedule = build_job_schedule(self.job, self.cost)
+            self._split_profiles = [stage_memory_profile(ops) for ops in schedule]
+        return self._split_profiles[stage]
 
     def _compression_buffer_bytes(self, stage: int) -> float:
         """Work buffers (fp32) of the compression paths active on this stage.
@@ -92,9 +131,7 @@ class MemoryModel:
             rows = self.job.micro_batch_size * self.job.seq_length
             cols = self.job.model.hidden_size
             rank = max(1, min(plan.backward_rank, rows, cols))
-            in_flight = count_in_flight_micro_batches(
-                stage, self.job.num_stages, self.job.num_micro_batches
-            )
+            in_flight, _ = self._stage_memory_profile(stage)
             total += in_flight * rows * cols * 4  # fp32 staging buffers
             total += rank * (rows + cols) * 4 * 2  # P and Q, previous Q kept for reuse
         if stage in plan.compressed_dp_stages(self.job.num_stages):
@@ -112,12 +149,13 @@ class MemoryModel:
 
     def stage_report(self, stage: int, lazy_error_propagation: bool = True) -> MemoryReport:
         """Peak-memory report of one stage."""
-        in_flight = count_in_flight_micro_batches(stage, self.job.num_stages, self.job.num_micro_batches)
+        in_flight, pending_w = self._stage_memory_profile(stage)
         return MemoryReport(
             stage=stage,
             parameters_and_optimizer=self._parameters_per_gpu(stage)
             * BYTES_PER_PARAMETER_WITH_OPTIMIZER,
             activations=self._activation_bytes_per_microbatch(stage) * in_flight,
+            weight_stash=self.cost.weight_stash_bytes_per_microbatch(stage) * pending_w,
             compression_buffers=self._compression_buffer_bytes(stage),
             lazy_error_buffers=self._lazy_error_bytes(stage, lazy_error_propagation),
         )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.compression.powersgd import PowerSGDCompressor
+from repro.plan import validate_schedule_kind
 from repro.simulator.cost_model import SIM_SCHEDULE_KINDS, CostModel, TrainingJob
 
 
@@ -86,6 +87,9 @@ class SchedulePoint:
     iteration_time_s: float
     bubble_fraction: float
     tokens_per_second: float
+    #: Activation-memory cap the point ran under (``"auto"`` only; the
+    #: handcrafted schedules have no cap knob, so ``None`` there).
+    memory_cap_factor: float | None = None
 
     def speedup_over(self, other: "SchedulePoint") -> float:
         """Relative speedup versus another schedule (old/new - 1)."""
@@ -115,6 +119,9 @@ def schedule_throughput(
     tokens = job.global_batch_size * job.seq_length
     points = []
     for kind in kinds:
+        # Loud rejection of unknown kinds: an unrecognized string must never
+        # fall through to 1f1b behavior and masquerade as a real sweep point.
+        validate_schedule_kind(kind, SIM_SCHEDULE_KINDS, context="schedule_throughput")
         swept = replace(job, schedule_kind=kind)
         timing = PipelineTimingSimulator(swept, plan).run()
         points.append(
@@ -123,6 +130,44 @@ def schedule_throughput(
                 iteration_time_s=timing.iteration_time,
                 bubble_fraction=timing.bubble_fraction,
                 tokens_per_second=tokens / timing.iteration_time,
+                memory_cap_factor=swept.memory_cap_factor if kind == "auto" else None,
+            )
+        )
+    return points
+
+
+def schedule_cap_sweep(
+    job: TrainingJob,
+    caps: tuple[float, ...] = (1.0, 1.5, 2.0),
+    plan=None,
+) -> list[SchedulePoint]:
+    """Sweep the synthesizer's memory cap on one job (all points ``kind="auto"``).
+
+    Each point re-synthesizes the schedule with ``memory_cap_factor`` set to the
+    sweep value, so the list shows how the bubble fraction melts as the cap
+    rises from 1× (ZB-H1-equivalent) toward 2× (near zero bubble).  The bubble
+    fraction is monotone non-increasing in the cap by construction of the
+    synthesizer's candidate ladder.
+    """
+    from repro.simulator.executor import PipelineTimingSimulator
+
+    if job.num_model_chunks != 1:
+        raise ValueError(
+            "schedule_cap_sweep needs a plain job; pass num_model_chunks=1 "
+            f"(got {job.num_model_chunks})"
+        )
+    tokens = job.global_batch_size * job.seq_length
+    points = []
+    for cap in caps:
+        swept = replace(job, schedule_kind="auto", memory_cap_factor=cap)
+        timing = PipelineTimingSimulator(swept, plan).run()
+        points.append(
+            SchedulePoint(
+                kind="auto",
+                iteration_time_s=timing.iteration_time,
+                bubble_fraction=timing.bubble_fraction,
+                tokens_per_second=tokens / timing.iteration_time,
+                memory_cap_factor=cap,
             )
         )
     return points

@@ -139,7 +139,7 @@ class TestZeroBubbleReplay:
         assert result.num_micro_batches == 3
 
     def test_unknown_schedule_kind_rejected(self, tiny_config):
-        with pytest.raises(ValueError, match="schedule_kind"):
+        with pytest.raises(ValueError, match="schedule kind"):
             PipelineParallelEngine(
                 build_gpt_stages(tiny_config, 2, seed=0), schedule_kind="gpipe"
             )

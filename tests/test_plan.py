@@ -200,7 +200,7 @@ class TestValidation:
             ParallelPlan.from_dict({"topology": {"dp": 2, "nodes": 4}})
 
     def test_bad_schedule_kind(self):
-        with pytest.raises(ValueError, match="kind must be one of"):
+        with pytest.raises(ValueError, match="unknown schedule kind"):
             Schedule(kind="gpipe")
 
 
@@ -216,14 +216,17 @@ class TestPlanHelpers:
             "naive_dp",
             "optimus_topk",
             "zb1",
+            "auto",
         }
         for name in PLAN_PRESETS:
             plan = ParallelPlan.preset(name)
-            if name == "zb1":
-                # A schedule preset, not a compression stack: the technique
+            if name in ("zb1", "auto"):
+                # Schedule presets, not compression stacks: the technique
                 # flags are the baseline's.
-                assert plan.schedule.kind == "zb1"
+                assert plan.schedule.kind == name
                 assert plan.optimus_config() == OptimusCCConfig.baseline()
+                if name == "auto":
+                    assert plan.schedule.memory_cap_factor == 1.5
                 continue
             assert plan.optimus_config() == getattr(OptimusCCConfig, name)()
 

@@ -382,14 +382,17 @@ class TestZeroBubbleTiming:
             TrainingJob(model=GPT_8_3B, num_model_chunks=2, schedule_kind="zb1")
 
     def test_unknown_schedule_kind_rejected(self):
-        with pytest.raises(ValueError, match="schedule_kind"):
+        with pytest.raises(ValueError, match="schedule kind"):
             TrainingJob(model=GPT_8_3B, num_model_chunks=1, schedule_kind="gpipe")
 
     def test_schedule_throughput_report(self):
         from repro.simulator import schedule_throughput
 
         points = {p.kind: p for p in schedule_throughput(self._job())}
-        assert set(points) == {"1f1b", "zb1"}
+        assert set(points) == {"1f1b", "zb1", "auto"}
+        # The default sweep runs auto at the job's cap (1.0): never worse than zb1.
+        assert points["auto"].memory_cap_factor == 1.0
+        assert points["auto"].bubble_fraction <= points["zb1"].bubble_fraction + 1e-9
         assert points["zb1"].tokens_per_second > points["1f1b"].tokens_per_second
         assert points["zb1"].bubble_fraction < points["1f1b"].bubble_fraction
         assert points["zb1"].speedup_over(points["1f1b"]) > 0.0
