@@ -389,6 +389,68 @@ def bench_auto_schedule() -> dict:
     }
 
 
+def bench_resilience_overhead(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """Guarded vs unguarded training iteration, plus the snapshot cost.
+
+    The guarded loop adds a whole-buffer ``isfinite`` sweep and an
+    arena + optimizer + engine-state snapshot per iteration; the weights stay
+    bit-identical to the unguarded loop (asserted here), so its only cost is
+    time.  ``unguarded_over_guarded`` is the tracked higher-is-better ratio:
+    it sits just below 1.0 and drops if guarding gets more expensive.
+    """
+    from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
+    from repro.plan import ParallelPlan, ResilienceSpec
+    from repro.training.trainer import Pretrainer
+
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=2, hidden_size=16, num_heads=2
+    )
+    plan = (
+        ParallelPlan.preset("cb_fe_sc")
+        .with_topology(pp=2, dp=2, micro_batches=2)
+        .proxy_scaled()
+    )
+
+    def build(guarded: bool) -> Pretrainer:
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(vocab_size=64, seed=321))
+        loader = LanguageModelingDataLoader(
+            corpus, sequence_length=12, micro_batch_size=2,
+            num_micro_batches=2, data_parallel_degree=2,
+        )
+        built = plan.with_resilience(ResilienceSpec()) if guarded else plan
+        return Pretrainer(config, loader, plan=built, seed=0)
+
+    unguarded = build(guarded=False)
+    guarded = build(guarded=True)
+
+    def run(trainer):
+        def _run():
+            for _ in range(iterations_per_repeat):
+                trainer.train_iteration()
+
+        return _run
+
+    unguarded_s = _time_calls(run(unguarded), repeats) / iterations_per_repeat
+    guarded_s = _time_calls(run(guarded), repeats) / iterations_per_repeat
+
+    # The guardrails are pure reads on a fault-free run: both trainers must
+    # hold bit-identical weights after the same number of iterations.
+    for unguarded_arena, guarded_arena in zip(
+        unguarded.engine.arenas, guarded.engine.arenas
+    ):
+        assert np.array_equal(unguarded_arena.data, guarded_arena.data)
+
+    snapshot_s = _time_calls(guarded._rollback_snapshot, repeats, inner=10)
+    return {
+        "unguarded_ms": unguarded_s * 1e3,
+        "guarded_ms": guarded_s * 1e3,
+        "guarded_over_unguarded": guarded_s / unguarded_s,
+        "unguarded_over_guarded": unguarded_s / guarded_s,
+        "snapshot_ms": snapshot_s * 1e3,
+        "layout": "PP2 x DP2, cb_fe_sc",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -406,6 +468,7 @@ def run_all(
         "compressed_dp_iteration": bench_compressed_dp_iteration(repeats=engine_repeats),
         "schedule_iteration": bench_schedule_iteration(repeats=engine_repeats),
         "auto_schedule": bench_auto_schedule(),
+        "resilience_overhead": bench_resilience_overhead(repeats=engine_repeats),
     }
 
 
@@ -454,6 +517,13 @@ def main() -> int:
         f"auto@1x {auto['bubble_auto_cap1']:.1%} -> auto@2x {auto['bubble_auto_cap2']:.1%} "
         f"({auto['sim_speedup_vs_zb1_cap2']:.2f}x over zb1; parity delta "
         f"{auto['functional_parity_delta']:.1e})"
+    )
+    resilience = results["resilience_overhead"]
+    print(
+        f"resilience [{resilience['layout']}]: {resilience['unguarded_ms']:.1f} ms unguarded -> "
+        f"{resilience['guarded_ms']:.1f} ms guarded "
+        f"({resilience['guarded_over_unguarded']:.2f}x; snapshot "
+        f"{resilience['snapshot_ms']:.2f} ms)"
     )
     print(f"[written to {path}]")
     return 0

@@ -51,6 +51,9 @@ TRACKED_METRICS = [
     # 1.0 (degeneration to zb1) — tracked as a higher-is-better inverse.
     ("auto_schedule", "sim_speedup_vs_zb1_cap2"),
     ("auto_schedule", "bubble_ratio_cap1"),
+    # Guarded-loop cost relative to the unguarded loop (higher is better: the
+    # ratio sits just below 1.0 and drops if guarding gets more expensive).
+    ("resilience_overhead", "unguarded_over_guarded"),
 ]
 
 

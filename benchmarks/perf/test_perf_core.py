@@ -72,6 +72,13 @@ def test_bench_core_smoke():
     # Weight parity across 1f1b/zb1/auto is exact, not approximate.
     assert auto["functional_parity_delta"] == 0.0, auto
 
+    # The guarded loop's cost: pure reads on the fault-free path, so it must
+    # stay within noise of the unguarded loop (weight parity is asserted inside
+    # the benchmark).  Bound loose for CI noise; measured ~0.95-1.05x.
+    resilience = results["resilience_overhead"]
+    assert resilience["guarded_over_unguarded"] <= 1.5, resilience
+    assert resilience["snapshot_ms"] > 0.0, resilience
+
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
@@ -95,6 +102,7 @@ def test_regression_checker_flags_real_drops():
         },
         "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
         "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
+        "resilience_overhead": {"unguarded_over_guarded": 0.97},
     }
     same, _ = compare(baseline, baseline, tolerance=0.30)
     assert same == []
@@ -134,6 +142,7 @@ def test_regression_checker_hard_fails_on_missing_fresh_metric():
         },
         "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
         "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
+        "resilience_overhead": {"unguarded_over_guarded": 0.97},
     }
 
     # Whole tracked section gone from the fresh run: one hard failure per

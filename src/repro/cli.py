@@ -42,7 +42,14 @@ from typing import Callable, Sequence
 from repro.core.autotune import SelectiveCompressionAutoTuner
 from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
-from repro.plan import DP_FIRE_KINDS, PLAN_PRESETS, SCHEDULE_KINDS, Boundary, ParallelPlan
+from repro.plan import (
+    DP_FIRE_KINDS,
+    PLAN_PRESETS,
+    SCHEDULE_KINDS,
+    Boundary,
+    ParallelPlan,
+    ResilienceSpec,
+)
 from repro.models.gpt_configs import (
     GPT_2_5B,
     GPT_8_3B,
@@ -270,7 +277,120 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
             plan = plan.with_schedule(memory_cap_factor=arguments.memory_cap)
         except ValueError as error:
             raise SystemExit(str(error)) from error
+
+    # Resilience flags fold into the plan's (possibly absent) resilience
+    # section; --guard alone arms the guardrails with an empty fault schedule.
+    resilience_changes: dict = {}
+    if getattr(arguments, "inject_fault", None):
+        resilience_changes["faults"] = tuple(arguments.inject_fault)
+    if getattr(arguments, "max_grad_norm", None) is not None:
+        resilience_changes["max_grad_norm"] = arguments.max_grad_norm
+    if getattr(arguments, "max_collective_retries", None) is not None:
+        resilience_changes["max_collective_retries"] = arguments.max_collective_retries
+    if getattr(arguments, "fault_seed", None) is not None:
+        resilience_changes["seed"] = arguments.fault_seed
+    if resilience_changes or getattr(arguments, "guard", False):
+        base = plan.resilience if plan.resilience is not None else ResilienceSpec()
+        try:
+            plan = plan.with_resilience(base.with_(**resilience_changes))
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
     return plan
+
+
+def _command_train_resilient(arguments: argparse.Namespace, plan: ParallelPlan) -> int:
+    """The guarded ``train`` path: Pretrainer loop + checkpointing + resume.
+
+    Runs the same tiny functional probe as the traffic path (so both commands
+    train the identical model), but through :class:`Pretrainer` so the fault
+    injector, guardrails, rollback, and checkpoint v2 machinery are live.
+    """
+    from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
+    from repro.models.gpt_configs import functional_config
+    from repro.resilience import ResilienceExhausted, WorkerCrash
+    from repro.training.checkpoint import latest_checkpoint, load_checkpoint
+    from repro.training.trainer import Pretrainer
+
+    topology = plan.topology
+    if arguments.checkpoint_every is not None:
+        if arguments.checkpoint_every <= 0:
+            raise SystemExit("--checkpoint-every must be positive")
+        if arguments.checkpoint_dir is None:
+            raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if arguments.keep_last <= 0:
+        raise SystemExit("--keep-last must be positive")
+    model = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=topology.pp, hidden_size=16, num_heads=2
+    )
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(vocab_size=64, seed=321))
+    loader = LanguageModelingDataLoader(
+        corpus,
+        sequence_length=12,
+        micro_batch_size=2,
+        num_micro_batches=topology.micro_batches,
+        data_parallel_degree=topology.dp,
+    )
+    try:
+        trainer = Pretrainer(model, loader, plan=plan, seed=0)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+    start_iteration = 0
+    if arguments.resume is not None:
+        if arguments.resume == "latest":
+            if arguments.checkpoint_dir is None:
+                raise SystemExit("--resume without a path requires --checkpoint-dir")
+            checkpoint = latest_checkpoint(arguments.checkpoint_dir)
+            if checkpoint is None:
+                raise SystemExit(
+                    f"no ckpt-*.npz checkpoints under {arguments.checkpoint_dir}"
+                )
+        else:
+            checkpoint = pathlib.Path(arguments.resume)
+        try:
+            start_iteration = load_checkpoint(trainer, checkpoint)
+        except (OSError, KeyError, ValueError) as error:
+            raise SystemExit(f"cannot resume from {checkpoint}: {error}") from error
+        print(f"Resumed from {checkpoint} at iteration {start_iteration}.")
+    remaining = arguments.iterations - start_iteration
+    if remaining <= 0:
+        print(
+            f"Checkpoint is already at iteration {start_iteration} of "
+            f"{arguments.iterations}; nothing left to train."
+        )
+        return 0
+
+    try:
+        result = trainer.train(
+            remaining,
+            checkpoint_every=arguments.checkpoint_every,
+            checkpoint_dir=arguments.checkpoint_dir,
+            keep_last=arguments.keep_last,
+        )
+    except WorkerCrash as crash:
+        print(
+            f"worker crash injected at iteration {crash.iteration}; "
+            "restart with --resume to continue from the last checkpoint"
+        )
+        return 1
+    except ResilienceExhausted as error:
+        print(f"resilience budget exhausted: {error}")
+        return 1
+    losses = result.history.train_losses
+    survivors = len(trainer.engine.arenas)
+    print(
+        f"Trained {arguments.iterations} iterations through the guarded 3D engine "
+        f"(PP{topology.pp} x DP{topology.dp} x TP{topology.tp}); "
+        f"final training loss {losses[-1]:.4f}."
+    )
+    report = trainer.resilience_report
+    print(f"Resilience: {report.describe()}")
+    if survivors != topology.dp:
+        print(
+            f"Degraded topology: {survivors} of {topology.dp} DP replicas "
+            "survived; gradient averaging was rescaled accordingly."
+        )
+    return 0
 
 
 def command_train(arguments: argparse.Namespace) -> int:
@@ -279,6 +399,12 @@ def command_train(arguments: argparse.Namespace) -> int:
     if arguments.iterations <= 0:
         raise SystemExit("--iterations must be positive")
     plan = build_train_plan(arguments)
+    if (
+        plan.resilience is not None
+        or arguments.resume is not None
+        or arguments.checkpoint_every is not None
+    ):
+        return _command_train_resilient(arguments, plan)
     try:
         sample = measure_engine_traffic(
             plan.describe(), plan=plan, iterations=arguments.iterations
@@ -503,6 +629,39 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--overlap-dp", action="store_true",
                        help="force the overlapped (1f1b) DP schedule, e.g. over a "
                             "plan file whose schedule is serial")
+    train.add_argument("--inject-fault", action="append", default=None, metavar="SPEC",
+                       help="deterministic fault to inject, as "
+                            "'kind@iteration[:key=value,...]' with kind one of "
+                            "nan/inf/collective/crash/replica_loss "
+                            "(e.g. 'nan@3:replica=1,stage=0', 'collective@2:count=2'); "
+                            "repeatable; implies the guarded training loop")
+    train.add_argument("--guard", action="store_true",
+                       help="run the guarded training loop (non-finite gradient "
+                            "detection + snapshot/rollback skip-step) even with "
+                            "no faults scheduled")
+    train.add_argument("--max-grad-norm", type=float, default=None,
+                       help="additionally skip+rollback steps whose global "
+                            "gradient norm exceeds this cap (guarded loop only)")
+    train.add_argument("--max-collective-retries", type=int, default=None,
+                       help="retry budget per iteration for transient collective "
+                            "faults before ResilienceExhausted (default: 3)")
+    train.add_argument("--fault-seed", type=int, default=None,
+                       help="seed for the fault injector's deterministic element "
+                            "choices (default: 0)")
+    train.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="write a rotating atomic checkpoint (format v2) into "
+                            "--checkpoint-dir after every N completed iterations")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for rotating checkpoints and --resume latest")
+    train.add_argument("--keep-last", type=int, default=3,
+                       help="rotating checkpoints retained in --checkpoint-dir "
+                            "(default: 3)")
+    train.add_argument("--resume", nargs="?", const="latest", default=None,
+                       metavar="CKPT",
+                       help="resume bit-exactly from a checkpoint file, or from "
+                            "the newest one in --checkpoint-dir when given "
+                            "without a path; --iterations is the total target, "
+                            "so only the remaining iterations run")
     train.set_defaults(handler=command_train)
 
     plan = subparsers.add_parser(

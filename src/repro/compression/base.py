@@ -160,6 +160,22 @@ class Compressor:
     def reset(self) -> None:
         """Drop any per-tensor state (Q reuse, residuals held by subclasses)."""
 
+    def state_dict(self) -> dict:
+        """Cross-call mutable state for bit-exact checkpoint/rollback.
+
+        Workspace scratch buffers are *not* state: they are fully overwritten
+        on every call.  Stateless compressors return ``{}``; subclasses with
+        warm starts or RNG call counts override both methods.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} holds no cross-call state; "
+                f"got unexpected entries {sorted(state)}"
+            )
+
 
 class NoCompression(Compressor):
     """Identity compressor: the payload is the tensor itself.

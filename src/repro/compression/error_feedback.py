@@ -82,3 +82,18 @@ class ErrorFeedback:
         """Drop residuals and the wrapped compressor's internal state."""
         self._residuals.clear()
         self.compressor.reset()
+
+    def state_dict(self) -> dict:
+        """Residual copies plus the wrapped compressor's state (one seam for
+        both checkpoint v2 and the guarded trainer's rollback snapshots)."""
+        return {
+            "residuals": {key: value.copy() for key, value in self._residuals.items()},
+            "compressor": self.compressor.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._residuals = {
+            str(key): np.array(value, dtype=np.float64)
+            for key, value in state["residuals"].items()
+        }
+        self.compressor.load_state_dict(state["compressor"])

@@ -211,6 +211,19 @@ class PowerSGDCompressor(Compressor):
         self._queries.clear()
         self._workspace.clear()
 
+    def state_dict(self) -> dict:
+        # The warm-started Q factors are views into the workspace; the copies
+        # taken here detach them.  Restoring plain copies is bit-safe: the next
+        # compress_into reads the stored query first, then rebinds the slot
+        # back into the workspace buffer.
+        return {"queries": {key: query.copy() for key, query in self._queries.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._queries = {
+            str(key): np.array(query, dtype=np.float64)
+            for key, query in state["queries"].items()
+        }
+
     # -- diagnostics -----------------------------------------------------------
 
     def stored_query(self, key: str) -> np.ndarray | None:

@@ -140,6 +140,17 @@ class QSGDCompressor(Compressor):
         self._call_counts.clear()
         self._workspace.clear()
 
+    def state_dict(self) -> dict:
+        # The call counters are the only cross-call state: they pick each
+        # key's next stochastic-rounding stream, so a bit-exact resume must
+        # continue them rather than restart at zero.
+        return {"call_counts": dict(self._call_counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._call_counts = {
+            str(key): int(count) for key, count in state["call_counts"].items()
+        }
+
     def workspace_bytes(self) -> int:
         """Memory held by the per-key kernel workspaces (diagnostics)."""
         return self._workspace.nbytes()
@@ -217,3 +228,12 @@ class AdaCompCompressor(Compressor):
 
     def reset(self) -> None:
         self._residuals.clear()
+
+    def state_dict(self) -> dict:
+        return {"residuals": {key: value.copy() for key, value in self._residuals.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._residuals = {
+            str(key): np.array(value, dtype=np.float64)
+            for key, value in state["residuals"].items()
+        }

@@ -180,3 +180,11 @@ class RandomKCompressor(Compressor):
 
     def reset(self) -> None:
         self._call_counts.clear()
+
+    def state_dict(self) -> dict:
+        return {"call_counts": dict(self._call_counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._call_counts = {
+            str(key): int(count) for key, count in state["call_counts"].items()
+        }

@@ -257,6 +257,18 @@ class CompressedBackpropagation:
         self.diagnostics.clear()
         self._previous_tensor.clear()
 
+    def state_dict(self) -> dict:
+        """The per-boundary residuals + compressor warm starts.
+
+        These persist across iterations (``boundary{b}`` keys), so they belong
+        in checkpoints and rollback snapshots.  ``events``/``diagnostics``/
+        ``_previous_tensor`` are diagnostics-only and excluded.
+        """
+        return {"feedback": self.feedback.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.feedback.load_state_dict(state["feedback"])
+
     def residual_memory_bytes(self) -> int:
         """Memory held by the lazy-error residuals (for the memory experiments)."""
         return self.feedback.residual_bytes()

@@ -293,3 +293,48 @@ class SelectiveStageCompression:
         self._bucket_scratch.clear()
         self.total_original_bytes = 0
         self.total_payload_bytes = 0
+
+    def clear_replica_residuals(self) -> None:
+        """Drop error-feedback residuals but keep the warm-started Q factors.
+
+        Used by graceful degradation: after a replica loss the per-replica
+        residual indexing is stale, so every replica restarts its residual
+        accumulation, while the (replica-agnostic) warm starts survive.
+        """
+        for state in self._states.values():
+            if state.residuals:
+                state.residuals.clear()
+        self._bucket_residuals.clear()
+        self._bucket_scratch.clear()
+
+    def state_dict(self) -> dict:
+        """All cross-iteration state: warm-started Q factors and EF residuals.
+
+        The traffic counters (``total_original_bytes``/``total_payload_bytes``)
+        are reporting-only and deliberately excluded — restoring them would
+        make a resumed run double-count wire traffic it never sent.
+        """
+        states = {}
+        for key, state in self._states.items():
+            states[key] = {
+                "query": None if state.query is None else state.query.copy(),
+                "residuals": {
+                    str(replica): residual.copy()
+                    for replica, residual in (state.residuals or {}).items()
+                },
+            }
+        return {"states": states, "bucket_residuals": self._bucket_residuals.state_dict()}
+
+    def load_state_dict(self, payload: dict) -> None:
+        self._states = {
+            str(key): _TensorState(
+                query=None if entry["query"] is None else np.array(entry["query"], dtype=np.float64),
+                residuals={
+                    int(replica): np.array(residual, dtype=np.float64)
+                    for replica, residual in entry["residuals"].items()
+                },
+            )
+            for key, entry in payload["states"].items()
+        }
+        self._bucket_residuals.load_state_dict(payload["bucket_residuals"])
+        self._bucket_scratch.clear()

@@ -85,6 +85,31 @@ class FusedAdam:
         """Per-parameter views of the second moment (checkpoint compatibility)."""
         return self._moment_views(self._exp_avg_sq_flat)
 
+    # -- checkpoint / rollback state --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All mutable optimiser state: moments, step count, current LR."""
+        return {
+            "step_count": int(self._step_count),
+            "lr": float(self.lr),
+            "exp_avg": self._exp_avg_flat.copy(),
+            "exp_avg_sq": self._exp_avg_sq_flat.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        exp_avg = np.asarray(state["exp_avg"])
+        exp_avg_sq = np.asarray(state["exp_avg_sq"])
+        if exp_avg.shape != self._exp_avg_flat.shape or exp_avg_sq.shape != self._exp_avg_sq_flat.shape:
+            raise ValueError(
+                "optimizer state does not match this arena: "
+                f"got moments of {exp_avg.shape}/{exp_avg_sq.shape}, "
+                f"expected {self._exp_avg_flat.shape}"
+            )
+        self._step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+        self._exp_avg_flat[...] = exp_avg
+        self._exp_avg_sq_flat[...] = exp_avg_sq
+
     # -- optimisation ----------------------------------------------------------------
 
     def zero_grad(self) -> None:

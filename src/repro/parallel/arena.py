@@ -93,6 +93,28 @@ class ParameterArena:
         """Zero every gradient in one buffer-wide write."""
         self.grad[...] = 0.0
 
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copy the full weight/gradient state for a later :meth:`restore`.
+
+        Two contiguous buffer copies — the cheap rollback primitive the
+        guarded training loop (and, eventually, optimizer-in-the-bubble
+        post-validation) relies on.  The copies are independent of the live
+        buffers, so taking a snapshot never perturbs training.
+        """
+        return {"data": self.data.copy(), "grad": self.grad.copy()}
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Write a :meth:`snapshot` back into the live buffers, bit-for-bit."""
+        data = snapshot["data"]
+        grad = snapshot["grad"]
+        if data.shape != self.data.shape or grad.shape != self.grad.shape:
+            raise ValueError(
+                "snapshot does not match this arena: "
+                f"data {data.shape} vs {self.data.shape}, grad {grad.shape} vs {self.grad.shape}"
+            )
+        self.data[...] = data
+        self.grad[...] = grad
+
 
 @dataclass(frozen=True)
 class GradientBucket:
@@ -200,6 +222,19 @@ class BucketResidualStore:
 
     def clear(self) -> None:
         self._slabs.clear()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Slab copies keyed ``"stage:index"`` (string keys survive JSON headers)."""
+        return {
+            f"{stage}:{index}": slab.copy() for (stage, index), slab in self._slabs.items()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        slabs: dict[tuple[int, int], np.ndarray] = {}
+        for key, slab in state.items():
+            stage_text, _, index_text = key.partition(":")
+            slabs[(int(stage_text), int(index_text))] = np.array(slab, dtype=np.float64)
+        self._slabs = slabs
 
 
 def build_codec_buckets(

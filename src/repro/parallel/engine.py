@@ -73,6 +73,12 @@ from repro.parallel.pipeline_engine import (
     PipelineParallelEngine,
 )
 from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+from repro.resilience import (
+    FaultInjector,
+    GuardrailPolicy,
+    ResilienceExhausted,
+    ResilienceReport,
+)
 from repro.tensor.parameter import Parameter
 
 if TYPE_CHECKING:  # imported lazily at runtime — repro.core reaches back into here
@@ -419,6 +425,45 @@ class CompressedGradientAllReduce:
         self._bucket_residuals.clear()
         self._bucket_scratch.clear()
 
+    def state_dict(self) -> dict:
+        """All cross-iteration DP-codec state (residuals, warm starts, RNG counters).
+
+        The per-stage traffic counters are reporting-only and excluded: a
+        resumed run should account only the traffic it actually sends.
+        """
+        return {
+            "powersgd": self.powersgd.state_dict() if self.powersgd is not None else None,
+            "feedback": self.feedback.state_dict() if self.feedback is not None else None,
+            "bucket_residuals": self._bucket_residuals.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, component in (("powersgd", self.powersgd), ("feedback", self.feedback)):
+            stored = state[name]
+            if (component is None) != (stored is None):
+                raise ValueError(
+                    f"checkpoint {name} state does not match this codec configuration"
+                )
+            if component is not None:
+                component.load_state_dict(stored)
+        self._bucket_residuals.load_state_dict(state["bucket_residuals"])
+        self._bucket_scratch.clear()
+
+    def clear_replica_state(self) -> None:
+        """Restart the per-replica error-feedback accumulation (degradation).
+
+        After a replica loss the per-replica residual indexing is stale, so
+        residual slabs and per-replica residual dicts are dropped; the
+        replica-agnostic warm starts (PowerSGD Q factors) and RNG call counts
+        survive.
+        """
+        if self.powersgd is not None:
+            self.powersgd.clear_replica_residuals()
+        if self.feedback is not None:
+            self.feedback.clear()
+        self._bucket_residuals.clear()
+        self._bucket_scratch.clear()
+
 
 #: Axis names of the per-iteration traffic report.
 TRAFFIC_AXES = (
@@ -458,6 +503,9 @@ class EngineIterationResult:
     #: pipeline cool-down (overlapped) or after the pipeline drained (exposed).
     dp_exposed_wire_bytes: float = 0.0
     dp_overlapped_wire_bytes: float = 0.0
+    #: Resilience events of this iteration (faults injected, collective
+    #: retries); populated only when a fault injector is wired.
+    resilience: "ResilienceReport | None" = None
 
     @property
     def total_wire_bytes(self) -> float:
@@ -662,6 +710,20 @@ class ThreeDParallelEngine:
         self.embedding_sync: EmbeddingSynchronizer = factory.make_embedding_synchronizer(
             self.replicas, self.log
         )
+
+        # Resilience seams: a plan's ``resilience`` section (or the trainer,
+        # post-construction) wires a fault injector and guardrail budgets;
+        # without them the engine runs exactly as before — the report stays
+        # empty and no extra work happens on the iteration path.
+        self.resilience = ResilienceReport()
+        self.fault_injector: FaultInjector | None = None
+        self.guardrails = GuardrailPolicy()
+        if plan is not None and plan.resilience is not None:
+            self.fault_injector = plan.resilience.injector()
+            self.guardrails = plan.resilience.policy()
+        self._iteration_index = 0
+        self._stage_spans_cache: list[list[list[tuple[int, int]]]] | None = None
+
         if self.tensor_parallel_degree > 1:
             self.verify_tensor_parallel()
 
@@ -764,6 +826,33 @@ class ThreeDParallelEngine:
             )
 
         self._log_tensor_parallel_traffic(shapes)
+
+        report_before = self.resilience.copy()
+        injector = self.fault_injector
+        if injector is not None:
+            # Gradient corruption lands after the backward pass and before the
+            # DP sync, so the poison propagates through the collectives (and
+            # into the error-feedback state) like a real numerical blow-up.
+            for spec in injector.corrupt_gradients(
+                self._iteration_index, self.arenas, self._stage_parameter_spans()
+            ):
+                self.resilience.record_fault(spec.kind)
+            # Transient collective faults fire at the sync entry point, before
+            # any gradient is mutated by the all-reduce — retrying is sound.
+            attempt = 0
+            while injector.collective_fault_pending(self._iteration_index, attempt):
+                if attempt >= self.guardrails.max_collective_retries:
+                    raise ResilienceExhausted(
+                        f"data-parallel collective still failing after {attempt} "
+                        f"retries at iteration {self._iteration_index}"
+                    )
+                self.resilience.record_fault("collective")
+                self.resilience.collective_retries += 1
+                self.resilience.backoff_seconds += (
+                    self.guardrails.backoff_base_seconds * (2.0**attempt)
+                )
+                attempt += 1
+
         if self.bucketed_sync is not None:
             # Overlapped path: bucket all-reduces fired in backward-completion
             # order (last stage first), hidden under the pipeline cool-down.
@@ -772,6 +861,7 @@ class ThreeDParallelEngine:
             # Serial epilogue: per-parameter all-reduces after the pipeline drains.
             self.dp_sync.synchronize()
         self.embedding_sync.synchronize()
+        self._iteration_index += 1
 
         iteration_records = self.log.records[record_mark:]
         wire, fractions, boundaries = _axis_report(iteration_records)
@@ -790,7 +880,107 @@ class ThreeDParallelEngine:
             dp_stage_traffic=dp_stage_traffic,
             dp_exposed_wire_bytes=wire.get("data_parallel", 0.0) - dp_overlapped,
             dp_overlapped_wire_bytes=dp_overlapped,
+            resilience=(
+                self.resilience.delta_since(report_before) if injector is not None else None
+            ),
         )
+
+    # -- resilience --------------------------------------------------------------------
+
+    def _stage_parameter_spans(self) -> list[list[list[tuple[int, int]]]]:
+        """``[replica][stage] -> [(start, stop), ...]`` arena spans of trainable params."""
+        if self._stage_spans_cache is None:
+            self._stage_spans_cache = [
+                [
+                    [
+                        arena.span(parameter)
+                        for parameter in stage.parameters()
+                        if parameter.requires_grad
+                    ]
+                    for stage in replica
+                ]
+                for replica, arena in zip(self.replicas, self.arenas)
+            ]
+        return self._stage_spans_cache
+
+    def drop_replica(self, index: int) -> None:
+        """Permanently remove one DP replica and shrink the group (degradation).
+
+        The gradient mean automatically rescales to the survivors because every
+        sync object is rebuilt over the shrunk replica list.  Replica lists are
+        mutated in place so caller aliases (the trainer's ``replicas`` /
+        ``engines`` views) stay valid.  Per-replica error-feedback residuals
+        restart (their replica indexing is stale); PowerSGD warm starts and RNG
+        call counts survive.
+        """
+        from repro.core.framework import OptimusCC
+
+        if self.data_parallel_degree <= 1:
+            raise ResilienceExhausted(
+                "lost the last data-parallel replica — nothing left to train on"
+            )
+        if not 0 <= index < self.data_parallel_degree:
+            raise ValueError(
+                f"replica index {index} out of range for dp={self.data_parallel_degree}"
+            )
+        del self.replicas[index]
+        del self.pipeline_engines[index]
+        del self.arenas[index]
+        del self.cb_hooks[index]
+        self.data_parallel_degree -= 1
+        self._stage_spans_cache = None
+        self.dp_reduce.clear_replica_state()
+        self.dp_sync = DataParallelGradientSync(
+            self.replicas,
+            log=self.log,
+            compression_hook=self.dp_reduce,
+            exclude_embedding=True,
+        )
+        if self.bucketed_sync is not None:
+            self.bucketed_sync = (
+                BucketedDataParallelSync(
+                    self.replicas,
+                    self.arenas,
+                    hook=self.dp_reduce,
+                    log=self.log,
+                    bucket_bytes=self.engine_config.dp_bucket_bytes,
+                    exclude_embedding=True,
+                    dp_fire=self.engine_config.dp_fire,
+                    schedule_kind=self.schedule_kind,
+                )
+                if self.data_parallel_degree > 1
+                else None
+            )
+        factory = OptimusCC(self.optimus_config)
+        self.embedding_sync = factory.make_embedding_synchronizer(self.replicas, self.log)
+
+    def mutable_state(self) -> dict:
+        """Every cross-iteration mutable buffer outside the arenas/optimisers.
+
+        One inventory serves both the guarded trainer's rollback snapshots and
+        checkpoint format v2: DP-codec error-feedback residuals and warm starts
+        (``dp_reduce``) plus each replica's compressed-backpropagation
+        residual/warm-start state (``cb_hooks``).
+        """
+        return {
+            "dp_reduce": self.dp_reduce.state_dict(),
+            "cb_hooks": [
+                hook.state_dict() if hook is not None else None for hook in self.cb_hooks
+            ],
+        }
+
+    def load_mutable_state(self, state: dict) -> None:
+        hooks_state = state["cb_hooks"]
+        if len(hooks_state) != len(self.cb_hooks):
+            raise ValueError(
+                f"state has {len(hooks_state)} CB hooks, engine has {len(self.cb_hooks)}"
+            )
+        for hook, hook_state in zip(self.cb_hooks, hooks_state):
+            if (hook is None) != (hook_state is None):
+                raise ValueError("CB hook state does not match this configuration")
+            if hook is not None:
+                hook.load_state_dict(hook_state)
+        self.dp_reduce.load_state_dict(state["dp_reduce"])
 
     # -- evaluation --------------------------------------------------------------------
 

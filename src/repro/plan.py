@@ -372,18 +372,83 @@ def _spec_from_dict(boundary: Boundary, payload: Mapping[str, Any]) -> Compressi
 
 
 @dataclass(frozen=True)
+class ResilienceSpec:
+    """The plan's resilience section: fault schedule + guardrail budgets.
+
+    ``faults`` holds compact fault strings (``"nan@3:replica=1,stage=0"``,
+    ``"collective@2:count=2"``, ``"crash@5"``, ``"replica_loss@4:replica=1"``);
+    they are parsed (and validated) by :func:`repro.resilience.parse_fault_spec`.
+    An empty schedule with guardrails still means "guard the run": non-finite
+    gradient detection with snapshot/rollback skip-step is always on when a
+    resilience section is present.
+    """
+
+    faults: tuple[str, ...] = ()
+    max_grad_norm: float | None = None
+    max_collective_retries: int = 3
+    max_consecutive_skips: int = 8
+    backoff_base_seconds: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(str(fault) for fault in self.faults))
+        # Validate the schedule eagerly so a plan that exists can run; the
+        # parser lives in repro.resilience (lazy: plan.py stays stdlib-only
+        # at module level and repro.parallel imports this module).
+        from repro.resilience import parse_fault_spec
+
+        for fault in self.faults:
+            parse_fault_spec(fault)
+        if self.max_collective_retries < 0:
+            raise ValueError("max_collective_retries must be non-negative")
+        if self.max_consecutive_skips < 0:
+            raise ValueError("max_consecutive_skips must be non-negative")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be non-negative")
+
+    def with_(self, **kwargs: Any) -> "ResilienceSpec":
+        return replace(self, **kwargs)
+
+    def policy(self):
+        """The :class:`repro.resilience.GuardrailPolicy` this spec configures."""
+        from repro.resilience import GuardrailPolicy
+
+        return GuardrailPolicy(
+            max_grad_norm=self.max_grad_norm,
+            max_collective_retries=self.max_collective_retries,
+            max_consecutive_skips=self.max_consecutive_skips,
+            backoff_base_seconds=self.backoff_base_seconds,
+        )
+
+    def injector(self):
+        """A :class:`repro.resilience.FaultInjector` replaying ``faults``."""
+        from repro.resilience import FaultInjector
+
+        return FaultInjector(self.faults, seed=self.seed)
+
+    def describe(self) -> str:
+        faults = ", ".join(self.faults) if self.faults else "none"
+        return f"faults: {faults}; retries<={self.max_collective_retries}, skips<={self.max_consecutive_skips}"
+
+
+@dataclass(frozen=True)
 class ParallelPlan:
     """Topology × schedule × boundary-keyed compression: one run, declared once.
 
     The compression map accepts :class:`Boundary` keys or their string values;
     missing boundaries default to uncompressed.  Construction validates every
     knob (including per-boundary codec vocabularies), so a ``ParallelPlan``
-    that exists is a ``ParallelPlan`` that can run.
+    that exists is a ``ParallelPlan`` that can run.  The optional
+    ``resilience`` section arms fault injection and guardrails
+    (:mod:`repro.resilience`); plans without one are untouched.
     """
 
     topology: Topology = field(default_factory=Topology)
     schedule: Schedule = field(default_factory=Schedule)
     compression: Mapping[Boundary, CompressionSpec] = field(default_factory=dict)
+    resilience: ResilienceSpec | None = None
 
     def __post_init__(self) -> None:
         normalised: dict[Boundary, CompressionSpec] = {}
@@ -413,12 +478,20 @@ class ParallelPlan:
         object.__setattr__(
             self, "compression", {b: normalised[b] for b in Boundary}
         )
+        if isinstance(self.resilience, Mapping):
+            object.__setattr__(self, "resilience", ResilienceSpec(**dict(self.resilience)))
+        if self.resilience is not None and not isinstance(self.resilience, ResilienceSpec):
+            raise ValueError(
+                f"resilience must be a ResilienceSpec or mapping, got {self.resilience!r}"
+            )
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the dict field;
         # the normalised map has a stable key order, so its items are a sound
         # hashable identity (plans are value objects usable in sets/dict keys).
-        return hash((self.topology, self.schedule, tuple(self.compression.items())))
+        return hash(
+            (self.topology, self.schedule, tuple(self.compression.items()), self.resilience)
+        )
 
     # -- accessors --------------------------------------------------------------------
 
@@ -447,6 +520,13 @@ class ParallelPlan:
         """A copy with some schedule knobs replaced."""
         return replace(self, schedule=self.schedule.with_(**changes))
 
+    def with_resilience(self, resilience: "ResilienceSpec | None" = None, **changes: Any) -> "ParallelPlan":
+        """A copy with the resilience section replaced (or its knobs updated)."""
+        if resilience is None and changes:
+            base = self.resilience if self.resilience is not None else ResilienceSpec()
+            resilience = base.with_(**changes)
+        return replace(self, resilience=resilience)
+
     def proxy_scaled(self, max_rank: int = 2) -> "ParallelPlan":
         """Rescale the PowerSGD ranks for a tiny functional probe model.
 
@@ -465,13 +545,19 @@ class ParallelPlan:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
-        return {
+        payload = {
             "topology": asdict(self.topology),
             "schedule": asdict(self.schedule),
             "compression": {
                 boundary.value: asdict(spec) for boundary, spec in self.compression.items()
             },
         }
+        # Emitted only when armed, so pre-existing plan JSON stays byte-stable.
+        if self.resilience is not None:
+            resilience = asdict(self.resilience)
+            resilience["faults"] = list(self.resilience.faults)
+            payload["resilience"] = resilience
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ParallelPlan":
@@ -482,11 +568,11 @@ class ParallelPlan:
         """
         if not isinstance(payload, Mapping):
             raise ValueError(f"plan payload must be a mapping, got {payload!r}")
-        unknown = set(payload) - {"topology", "schedule", "compression"}
+        unknown = set(payload) - {"topology", "schedule", "compression", "resilience"}
         if unknown:
             raise ValueError(
                 f"unknown plan section(s) {sorted(unknown)}; "
-                "expected topology / schedule / compression"
+                "expected topology / schedule / compression / resilience"
             )
 
         def build(section: str, target, known: set[str]):
@@ -503,7 +589,23 @@ class ParallelPlan:
         compression = payload.get("compression", {})
         if not isinstance(compression, Mapping):
             raise ValueError(f"compression must be a mapping, got {compression!r}")
-        return cls(topology=topology, schedule=schedule, compression=dict(compression))
+        resilience = None
+        if payload.get("resilience") is not None:
+            resilience_data = build(
+                "resilience", dict, {f.name for f in fields(ResilienceSpec)}
+            )
+            resilience = ResilienceSpec(
+                **{
+                    key: tuple(value) if key == "faults" else value
+                    for key, value in resilience_data.items()
+                }
+            )
+        return cls(
+            topology=topology,
+            schedule=schedule,
+            compression=dict(compression),
+            resilience=resilience,
+        )
 
     def to_json(self, indent: int = 2) -> str:
         """JSON form (stable key order)."""

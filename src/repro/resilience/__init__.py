@@ -1,0 +1,29 @@
+"""Resilience layer: fault injection, guardrails, and rollback accounting.
+
+See ``faults`` for the fault model and ``guardrails`` for the policy/report
+types.  Checkpointing lives in :mod:`repro.training.checkpoint` (format v2
+captures the full mutable-state inventory these guardrails roll back).
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    CollectiveFault,
+    FaultInjector,
+    FaultSpec,
+    ResilienceExhausted,
+    WorkerCrash,
+    parse_fault_spec,
+)
+from repro.resilience.guardrails import GuardrailPolicy, ResilienceReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "CollectiveFault",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardrailPolicy",
+    "ResilienceExhausted",
+    "ResilienceReport",
+    "WorkerCrash",
+    "parse_fault_spec",
+]

@@ -1,0 +1,149 @@
+"""Guardrail policy and resilience accounting.
+
+:class:`GuardrailPolicy` bounds how much misbehaviour a guarded run tolerates
+(retry budget for transient collectives, consecutive-skip budget for poisoned
+updates, optional global grad-norm cap).  :class:`ResilienceReport` is the
+mutable ledger every outcome lands in — faults injected, retries, simulated
+backoff, skipped steps, rollbacks, and topology degradations — surfaced
+through the engine result and ``repro train`` output.
+
+Backoff is *simulated*: the retry loop records ``base * 2**attempt`` seconds
+in the report instead of sleeping, so tests stay fast and the accounting stays
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GuardrailPolicy:
+    """Budget knobs for the guarded training loop.
+
+    ``skip_nonfinite``
+        Discard (rollback + skip) any update whose flat gradient arenas
+        contain NaN/Inf.
+    ``max_grad_norm``
+        Optional global grad-norm cap; an update whose replica-0 trainable
+        gradient norm exceeds it is skipped like a non-finite one.
+    ``max_collective_retries``
+        How many times the engine retries a transiently failing DP collective
+        before raising ``ResilienceExhausted``.
+    ``max_consecutive_skips``
+        How many poisoned updates in a row the trainer discards before
+        raising ``ResilienceExhausted``.
+    ``backoff_base_seconds``
+        First retry's simulated backoff; attempt ``i`` records
+        ``base * 2**i`` seconds.
+    """
+
+    skip_nonfinite: bool = True
+    max_grad_norm: float | None = None
+    max_collective_retries: int = 3
+    max_consecutive_skips: int = 8
+    backoff_base_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_collective_retries < 0:
+            raise ValueError("max_collective_retries must be non-negative")
+        if self.max_consecutive_skips < 0:
+            raise ValueError("max_consecutive_skips must be non-negative")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be non-negative")
+
+
+@dataclass
+class ResilienceReport:
+    """Cumulative ledger of resilience events (mutated in place)."""
+
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    collective_retries: int = 0
+    backoff_seconds: float = 0.0
+    skipped_steps: int = 0
+    rollbacks: int = 0
+    degraded: list[dict] = field(default_factory=list)
+
+    def record_fault(self, kind: str) -> None:
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
+
+    @property
+    def any_events(self) -> bool:
+        return bool(
+            self.faults_injected
+            or self.collective_retries
+            or self.skipped_steps
+            or self.rollbacks
+            or self.degraded
+        )
+
+    def copy(self) -> "ResilienceReport":
+        return ResilienceReport(
+            faults_injected=dict(self.faults_injected),
+            collective_retries=self.collective_retries,
+            backoff_seconds=self.backoff_seconds,
+            skipped_steps=self.skipped_steps,
+            rollbacks=self.rollbacks,
+            degraded=[dict(entry) for entry in self.degraded],
+        )
+
+    def delta_since(self, before: "ResilienceReport") -> "ResilienceReport":
+        """The events recorded since ``before`` (a prior :meth:`copy`)."""
+        faults = {
+            kind: count - before.faults_injected.get(kind, 0)
+            for kind, count in self.faults_injected.items()
+            if count - before.faults_injected.get(kind, 0)
+        }
+        return ResilienceReport(
+            faults_injected=faults,
+            collective_retries=self.collective_retries - before.collective_retries,
+            backoff_seconds=self.backoff_seconds - before.backoff_seconds,
+            skipped_steps=self.skipped_steps - before.skipped_steps,
+            rollbacks=self.rollbacks - before.rollbacks,
+            degraded=[dict(entry) for entry in self.degraded[len(before.degraded) :]],
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "faults_injected": dict(self.faults_injected),
+            "collective_retries": self.collective_retries,
+            "backoff_seconds": self.backoff_seconds,
+            "skipped_steps": self.skipped_steps,
+            "rollbacks": self.rollbacks,
+            "degraded": [dict(entry) for entry in self.degraded],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResilienceReport":
+        return cls(
+            faults_injected={str(k): int(v) for k, v in payload.get("faults_injected", {}).items()},
+            collective_retries=int(payload.get("collective_retries", 0)),
+            backoff_seconds=float(payload.get("backoff_seconds", 0.0)),
+            skipped_steps=int(payload.get("skipped_steps", 0)),
+            rollbacks=int(payload.get("rollbacks", 0)),
+            degraded=[dict(entry) for entry in payload.get("degraded", [])],
+        )
+
+    def describe(self) -> str:
+        if not self.any_events:
+            return "no resilience events"
+        fault_text = (
+            ", ".join(f"{kind}×{count}" for kind, count in sorted(self.faults_injected.items()))
+            or "none"
+        )
+        parts = [
+            f"faults: {fault_text}",
+            f"retries: {self.collective_retries} ({self.backoff_seconds:.2f}s backoff)",
+            f"skipped steps: {self.skipped_steps}",
+            f"rollbacks: {self.rollbacks}",
+        ]
+        if self.degraded:
+            degree = self.degraded[-1]["data_parallel_degree"]
+            parts.append(f"degraded to dp={degree} ({len(self.degraded)} replica losses)")
+        return "; ".join(parts)

@@ -266,6 +266,10 @@ class IterationTiming:
     pipeline_time: float = 0.0
     #: The schedule that produced this timing (``"1f1b"``, ``"zb1"``, or ``"auto"``).
     schedule_kind: str = "1f1b"
+    #: Amortised resilience cost folded into ``iteration_time`` (guardrail
+    #: validation, snapshot copies, retry backoff, recovery replay) — zero for
+    #: unguarded runs.
+    recovery_overhead: float = 0.0
 
     @property
     def dp_overlapped_fraction(self) -> float:
@@ -359,8 +363,16 @@ class PipelineTimingSimulator:
 
     # -- main simulation ---------------------------------------------------------------
 
-    def run(self) -> IterationTiming:
-        """Simulate one iteration and return its timing."""
+    def run(self, resilience_overhead_s: float = 0.0) -> IterationTiming:
+        """Simulate one iteration and return its timing.
+
+        ``resilience_overhead_s`` is an additive per-iteration cost for guarded
+        runs (snapshot copies + gradient validation + amortised retry backoff,
+        e.g. measured by the ``resilience_overhead`` benchmark section); it is
+        folded into ``iteration_time`` and reported as ``recovery_overhead``.
+        """
+        if resilience_overhead_s < 0:
+            raise ValueError("resilience_overhead_s must be non-negative")
         num_stages = self.job.num_stages
         num_micro = self.job.num_micro_batches
         chunks = self.job.num_model_chunks if num_stages > 1 else 1
@@ -626,7 +638,7 @@ class PipelineTimingSimulator:
         )
 
         return IterationTiming(
-            iteration_time=iteration_time,
+            iteration_time=iteration_time + resilience_overhead_s,
             stage_backward_finish=stage_backward_finish,
             stage_finish=stage_finish,
             dp_times=dp_times,
@@ -643,9 +655,12 @@ class PipelineTimingSimulator:
             bubble_fraction=bubble_fraction,
             pipeline_time=pipeline_makespan,
             schedule_kind=self.job.schedule_kind,
+            recovery_overhead=resilience_overhead_s,
         )
 
 
-def simulate_plan(job: TrainingJob, plan: CompressionPlan) -> IterationTiming:
+def simulate_plan(
+    job: TrainingJob, plan: CompressionPlan, resilience_overhead_s: float = 0.0
+) -> IterationTiming:
     """Convenience wrapper: simulate one iteration of ``job`` under ``plan``."""
-    return PipelineTimingSimulator(job, plan).run()
+    return PipelineTimingSimulator(job, plan).run(resilience_overhead_s=resilience_overhead_s)

@@ -17,6 +17,17 @@ The trainer adds what a training loop needs on top: one optimiser per replica
 (states stay identical because the synchronised gradients are identical), the
 learning-rate schedule, validation, and history recording.
 
+Resilience (PR 7): when a :class:`repro.plan.ResilienceSpec` is supplied (via
+the plan or the ``resilience`` argument) the loop becomes *guarded*.  Before
+each iteration it snapshots every mutable buffer (arenas, optimiser moments,
+error-feedback residuals/warm starts); after the iteration a whole-buffer
+``isfinite`` check over the flat gradient arenas (plus an optional global
+grad-norm cap) decides whether to apply the update or roll the snapshot back
+and skip the step.  Injected crashes surface as
+:class:`repro.resilience.WorkerCrash`; permanent replica losses shrink the DP
+group in place.  Fault-free guarded runs are bit-identical to unguarded runs —
+the guards only *read* live state unless a violation fires.
+
 This is the "functional layer" of the reproduction: the models are small enough to
 train on a CPU, but the parallel structure, the compression algebra, and therefore
 the *quality* effects are the real thing.
@@ -37,7 +48,8 @@ from repro.nn.transformer import GPTModelConfig
 from repro.optim import FusedAdam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
 from repro.parallel.engine import EngineIterationResult
-from repro.plan import ParallelPlan
+from repro.plan import ParallelPlan, ResilienceSpec
+from repro.resilience import GuardrailPolicy, ResilienceExhausted, ResilienceReport, WorkerCrash
 from repro.training.metrics import TrainingHistory
 
 
@@ -50,6 +62,8 @@ class PretrainingResult:
     communication_log: CommunicationLog
     cb_diagnostics: list = field(default_factory=list)
     zero_shot_accuracy: dict[str, float] = field(default_factory=dict)
+    #: Resilience ledger of the run; ``None`` when the loop ran unguarded.
+    resilience: ResilienceReport | None = None
 
 
 class Pretrainer:
@@ -82,6 +96,9 @@ class Pretrainer:
         pipeline depth and both configuration blocks (explicit arguments still
         override).  The loader's ``data_parallel_degree`` and
         ``num_micro_batches`` must match the plan's topology.
+    resilience:
+        Optional :class:`repro.plan.ResilienceSpec` arming the guarded loop and
+        fault injector; defaults to ``plan.resilience`` when a plan carries one.
     """
 
     def __init__(
@@ -97,6 +114,7 @@ class Pretrainer:
         seed: int = 0,
         collect_cb_diagnostics: bool = False,
         plan: ParallelPlan | None = None,
+        resilience: ResilienceSpec | None = None,
     ) -> None:
         if plan is not None:
             num_stages = plan.topology.pp if num_stages is None else num_stages
@@ -159,20 +177,71 @@ class Pretrainer:
         self.last_iteration_result: EngineIterationResult | None = None
         self._iteration = 0
 
+        # Resilience wiring: the factory-built engine has no plan, so the
+        # trainer arms the injector/guardrails on it post-construction.
+        if resilience is None and plan is not None:
+            resilience = plan.resilience
+        self.resilience_spec = resilience
+        self.guardrails: GuardrailPolicy | None = None
+        if resilience is not None:
+            self.guardrails = resilience.policy()
+            self.engine.fault_injector = resilience.injector()
+            self.engine.guardrails = self.guardrails
+        self.resilience_report = self.engine.resilience
+        self._consecutive_skips = 0
+        #: Original loader shard index of each surviving replica (graceful
+        #: degradation drops entries; the loader keeps producing all shards).
+        self._replica_ids = list(range(self.data_parallel_degree))
+
     # ---------------------------------------------------------------- training loop --
 
     def train_iteration(self) -> float:
-        """Run one full training iteration; returns the mean training loss."""
+        """Run one full training iteration; returns the mean training loss.
+
+        Guarded mode (a resilience spec is armed) additionally: raises
+        :class:`WorkerCrash` on a scheduled crash, degrades the DP group on a
+        scheduled replica loss, and discards poisoned updates by rolling back
+        a pre-iteration snapshot (the skipped iteration still advances the
+        counter, but records no training loss and applies no optimiser step).
+        """
         iteration = self._iteration
+        injector = self.engine.fault_injector
+        policy = self.guardrails
+        if injector is not None:
+            if injector.crash_due(iteration) is not None:
+                self.resilience_report.record_fault("crash")
+                raise WorkerCrash(iteration)
+            loss_spec = injector.replica_loss_due(iteration)
+            if loss_spec is not None:
+                self._degrade(loss_spec.replica, iteration)
+
         if self.lr_schedule is not None:
             for optimizer in self.optimizers:
                 self.lr_schedule.apply(optimizer, iteration)
 
         for optimizer in self.optimizers:
             optimizer.zero_grad()
+        snapshot = self._rollback_snapshot() if policy is not None else None
         batches = self.loader.iteration_batches(iteration)
+        if len(self._replica_ids) != self.loader.data_parallel_degree:
+            batches = [batches[index] for index in self._replica_ids]
         result = self.engine.run_iteration(batches)
         self.last_iteration_result = result
+
+        if policy is not None and not self._gradients_healthy(policy):
+            self._rollback(snapshot)
+            self.engine.zero_grad()
+            self.resilience_report.skipped_steps += 1
+            self.resilience_report.rollbacks += 1
+            self._consecutive_skips += 1
+            if self._consecutive_skips > policy.max_consecutive_skips:
+                raise ResilienceExhausted(
+                    f"{self._consecutive_skips} consecutive skipped steps "
+                    f"(budget {policy.max_consecutive_skips}) — gradients keep failing validation"
+                )
+            self._iteration += 1
+            return result.mean_loss
+        self._consecutive_skips = 0
 
         for optimizer in self.optimizers:
             optimizer.step()
@@ -186,13 +255,30 @@ class Pretrainer:
         num_iterations: int,
         validation_interval: int | None = None,
         validation_batches: int = 2,
+        checkpoint_every: int | None = None,
+        checkpoint_dir=None,
+        keep_last: int = 3,
     ) -> PretrainingResult:
-        """Run ``num_iterations`` iterations, validating every ``validation_interval``."""
+        """Run ``num_iterations`` iterations, validating every ``validation_interval``.
+
+        ``checkpoint_every`` writes a rotating atomic checkpoint (format v2,
+        last ``keep_last`` retained) into ``checkpoint_dir`` after every
+        ``checkpoint_every``-th completed iteration.
+        """
         if num_iterations <= 0:
             raise ValueError("num_iterations must be positive")
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            # Lazy: the checkpoint module imports this one for type references.
+            from repro.training.checkpoint import save_rotating_checkpoint
         interval = validation_interval if validation_interval is not None else max(1, num_iterations // 5)
         for _ in range(num_iterations):
             self.train_iteration()
+            if checkpoint_every is not None and self._iteration % checkpoint_every == 0:
+                save_rotating_checkpoint(self, checkpoint_dir, keep_last=keep_last)
             if self._iteration % interval == 0 or self._iteration == num_iterations:
                 loss = self.validation_loss(num_batches=validation_batches)
                 self.history.record_validation(self._iteration, loss)
@@ -207,6 +293,67 @@ class Pretrainer:
             final_validation_perplexity=self.history.final_validation_perplexity,
             communication_log=self.log,
             cb_diagnostics=diagnostics,
+            resilience=(
+                self.resilience_report
+                if (self.guardrails is not None or self.engine.fault_injector is not None)
+                else None
+            ),
+        )
+
+    # -------------------------------------------------------------------- guardrails --
+
+    def _rollback_snapshot(self) -> dict:
+        """Copy every mutable buffer an optimiser step (or poisoned sync) touches.
+
+        Pure reads — taking a snapshot never perturbs live state, which is what
+        keeps fault-free guarded runs bit-identical to unguarded ones.
+        """
+        return {
+            "arenas": [arena.snapshot() for arena in self.engine.arenas],
+            "optimizers": [optimizer.state_dict() for optimizer in self.optimizers],
+            "engine": self.engine.mutable_state(),
+        }
+
+    def _rollback(self, snapshot: dict) -> None:
+        """Restore a :meth:`_rollback_snapshot`, discarding the poisoned update."""
+        for arena, arena_snapshot in zip(self.engine.arenas, snapshot["arenas"]):
+            arena.restore(arena_snapshot)
+        for optimizer, optimizer_state in zip(self.optimizers, snapshot["optimizers"]):
+            optimizer.load_state_dict(optimizer_state)
+        self.engine.load_mutable_state(snapshot["engine"])
+
+    def _gradients_healthy(self, policy: GuardrailPolicy) -> bool:
+        """Whole-buffer validation of the post-sync gradients (reads only)."""
+        if policy.skip_nonfinite:
+            for arena in self.engine.arenas:
+                if not np.isfinite(arena.grad).all():
+                    return False
+        if policy.max_grad_norm is not None:
+            # Replicas hold identical synchronised gradients; replica 0 stands
+            # in for the global gradient.
+            norm = float(np.linalg.norm(self.engine.arenas[0].trainable_grad))
+            if not np.isfinite(norm) or norm > policy.max_grad_norm:
+                return False
+        return True
+
+    def _degrade(self, replica_index: int, iteration: int) -> None:
+        """Permanently drop one replica: shrink the DP group and rescale."""
+        if replica_index >= len(self._replica_ids):
+            replica_index = len(self._replica_ids) - 1
+        original = self._replica_ids[replica_index]
+        self.engine.drop_replica(replica_index)
+        del self.optimizers[replica_index]
+        del self._replica_ids[replica_index]
+        self.data_parallel_degree = self.engine.data_parallel_degree
+        self.dp_sync = self.engine.dp_sync
+        self.embedding_sync = self.engine.embedding_sync
+        self.resilience_report.record_fault("replica_loss")
+        self.resilience_report.degraded.append(
+            {
+                "iteration": iteration,
+                "replica": original,
+                "data_parallel_degree": self.engine.data_parallel_degree,
+            }
         )
 
     # ------------------------------------------------------------------- evaluation --

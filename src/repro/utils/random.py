@@ -54,6 +54,15 @@ def derive_seed(base_seed: int, *labels: object) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def labelled_rng(base_seed: int, *labels: object) -> np.random.Generator:
+    """A fresh generator on the ``derive_seed(base_seed, *labels)`` stream.
+
+    Convenience for call sites (e.g. fault injection) that want a one-shot
+    deterministic stream keyed by structured labels rather than a raw seed.
+    """
+    return seeded_rng(derive_seed(base_seed, *labels))
+
+
 _UINT64_MASK = (1 << 64) - 1
 
 

@@ -114,7 +114,9 @@ class TestCheckpointing:
         trainer.train_iteration()
         path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
         mismatched = Pretrainer(small_config, loader, num_stages=1, learning_rate=2e-3, seed=3)
-        with pytest.raises(KeyError):
+        # Format v2 validates the pipeline/DP topology before touching any
+        # weights, so the mismatch fails loudly up front.
+        with pytest.raises(ValueError, match="topology"):
             load_checkpoint(mismatched, path)
 
 

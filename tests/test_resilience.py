@@ -1,0 +1,567 @@
+"""Tests for the resilience subsystem: deterministic fault injection, the
+guarded training loop (detect / rollback / skip / retry / degrade), bit-exact
+format-v2 checkpointing, and the plan/CLI/simulator seams they thread through.
+
+The load-bearing invariants:
+
+* a fault-free guarded run is bit-identical to the unguarded run;
+* a poisoned iteration is skipped with post-rollback weights bit-identical to
+  the previous iteration's;
+* crash + ``--resume`` reproduces the continuous run's final weights
+  bit-for-bit for every DP codec, with and without error feedback;
+* under *any* fault schedule the guarded loop either finishes with finite
+  weights or raises loudly (``ResilienceExhausted`` / ``WorkerCrash``) — it
+  never silently corrupts the model (hypothesis-fuzzed).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
+from repro.models.gpt_configs import functional_config
+from repro.plan import Boundary, ParallelPlan, ResilienceSpec
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    GuardrailPolicy,
+    ResilienceExhausted,
+    ResilienceReport,
+    WorkerCrash,
+    parse_fault_spec,
+)
+from repro.training.checkpoint import (
+    checkpoint_name,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.training.trainer import Pretrainer
+
+DP_CODECS = ("none", "powersgd", "qsgd", "topk")
+
+
+def _loader(dp: int = 2, micro_batches: int = 2) -> LanguageModelingDataLoader:
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(vocab_size=64, seed=321))
+    return LanguageModelingDataLoader(
+        corpus,
+        sequence_length=12,
+        micro_batch_size=2,
+        num_micro_batches=micro_batches,
+        data_parallel_degree=dp,
+    )
+
+
+def _plan(codec: str = "powersgd", error_feedback: bool = True,
+          dp: int = 2, pp: int = 2) -> ParallelPlan:
+    plan = (
+        ParallelPlan.preset("cb_fe_sc")
+        .with_topology(pp=pp, dp=dp, micro_batches=2)
+        .proxy_scaled()
+    )
+    # min_elements=0 + full stage fraction so the codec touches every gradient
+    # on the tiny probe — otherwise the codec tests would be vacuous.
+    return plan.with_boundary(
+        Boundary.DP,
+        codec=codec,
+        error_feedback=error_feedback,
+        min_elements=0,
+        stage_fraction=1.0,
+    )
+
+
+def _trainer(plan: ParallelPlan) -> Pretrainer:
+    model = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=plan.topology.pp,
+        hidden_size=16, num_heads=2,
+    )
+    return Pretrainer(
+        model, _loader(plan.topology.dp, plan.topology.micro_batches), plan=plan, seed=0
+    )
+
+
+def _weights(trainer: Pretrainer) -> list[np.ndarray]:
+    return [arena.data.copy() for arena in trainer.engine.arenas]
+
+
+def _assert_same_weights(a: list[np.ndarray], b: list[np.ndarray]) -> None:
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert np.array_equal(left, right)  # bit-exact, no tolerance
+
+
+# ----------------------------------------------------------------------------------
+# Fault-spec grammar
+# ----------------------------------------------------------------------------------
+
+
+class TestFaultSpecParsing:
+    def test_parse_full_spec(self):
+        spec = parse_fault_spec("nan@3:replica=1,stage=0")
+        assert spec == FaultSpec(kind="nan", iteration=3, replica=1, stage=0)
+
+    def test_parse_collective_count(self):
+        spec = parse_fault_spec("collective@2:count=2")
+        assert spec.kind == "collective"
+        assert spec.iteration == 2
+        assert spec.count == 2
+
+    def test_parse_bare_crash(self):
+        assert parse_fault_spec("crash@5") == FaultSpec(kind="crash", iteration=5)
+
+    @pytest.mark.parametrize("text", [
+        "nan",                      # missing @iteration
+        "meteor@3",                 # unknown kind
+        "nan@-1",                   # negative iteration
+        "nan@2:wormhole=1",         # unknown knob
+        "nan@2:replica=x",          # non-integer value
+        "collective@1:count=0",     # count must be positive
+        "nan@1:elements=0",         # elements must be positive
+    ])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_spec(text)
+
+    def test_describe_mentions_kind_and_iteration(self):
+        text = parse_fault_spec("inf@4:replica=1").describe()
+        assert "inf" in text and "4" in text
+
+
+class TestGuardrailPolicy:
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            GuardrailPolicy(max_collective_retries=-1)
+        with pytest.raises(ValueError):
+            GuardrailPolicy(max_consecutive_skips=-1)
+        with pytest.raises(ValueError):
+            GuardrailPolicy(max_grad_norm=0.0)
+
+    def test_report_delta_and_copy(self):
+        report = ResilienceReport()
+        before = report.copy()
+        report.record_fault("nan")
+        report.skipped_steps += 1
+        delta = report.delta_since(before)
+        assert delta.faults_injected == {"nan": 1}
+        assert delta.skipped_steps == 1
+        assert before.faults_injected == {}
+
+    def test_report_dict_round_trip(self):
+        report = ResilienceReport()
+        report.record_fault("collective")
+        report.collective_retries = 2
+        report.backoff_seconds = 1.5
+        restored = ResilienceReport.from_dict(report.to_dict())
+        assert restored.to_dict() == report.to_dict()
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_corruption_positions(self):
+        spec = ("nan@0:replica=0,stage=0,elements=3",)
+        poisoned = []
+        for _ in range(2):
+            trainer = _trainer(_plan().with_resilience(ResilienceSpec(faults=spec)))
+            injector = FaultInjector(spec, seed=7)
+            trainer.engine.fault_injector = injector
+            trainer.train_iteration()
+            poisoned.append(_weights(trainer))
+        _assert_same_weights(poisoned[0], poisoned[1])
+
+
+# ----------------------------------------------------------------------------------
+# Guarded loop: parity, rollback, retry, budgets
+# ----------------------------------------------------------------------------------
+
+
+class TestGuardedParity:
+    def test_fault_free_guarded_matches_unguarded(self):
+        guarded = _trainer(_plan().with_resilience(ResilienceSpec()))
+        unguarded = _trainer(_plan())
+        guarded_result = guarded.train(4)
+        unguarded_result = unguarded.train(4)
+        _assert_same_weights(_weights(guarded), _weights(unguarded))
+        assert guarded_result.resilience is not None
+        assert not guarded_result.resilience.any_events
+        assert unguarded_result.resilience is None
+
+    @pytest.mark.parametrize("kind", ["nan", "inf"])
+    def test_poisoned_step_rolls_back_to_previous_weights(self, kind):
+        spec = ResilienceSpec(faults=(f"{kind}@2:replica=1,stage=0",))
+        trainer = _trainer(_plan().with_resilience(spec))
+        trainer.train_iteration()
+        trainer.train_iteration()
+        before_fault = _weights(trainer)
+
+        loss = trainer.train_iteration()  # iteration 2: poisoned, skipped
+        report = trainer.resilience_report
+        assert report.faults_injected == {kind: 1}
+        assert report.skipped_steps == 1
+        assert report.rollbacks == 1
+        assert np.isfinite(loss)
+        # The skipped iteration leaves the model exactly where iteration 1 did.
+        _assert_same_weights(_weights(trainer), before_fault)
+        # Skipped steps do not pollute the training history ...
+        assert len(trainer.history.train_losses) == 2
+        # ... but the iteration counter still advances, so the fault never re-fires.
+        assert trainer._iteration == 3
+        trainer.train_iteration()
+        assert report.skipped_steps == 1
+        assert len(trainer.history.train_losses) == 3
+
+    def test_grad_norm_cap_skips_every_step(self):
+        spec = ResilienceSpec(max_grad_norm=1e-12)
+        trainer = _trainer(_plan().with_resilience(spec))
+        initial = _weights(trainer)
+        for _ in range(3):
+            trainer.train_iteration()
+        assert trainer.resilience_report.skipped_steps == 3
+        _assert_same_weights(_weights(trainer), initial)
+
+    def test_consecutive_skip_budget_exhausts(self):
+        spec = ResilienceSpec(
+            faults=("nan@0:replica=0", "nan@1:replica=0"), max_consecutive_skips=1
+        )
+        trainer = _trainer(_plan().with_resilience(spec))
+        trainer.train_iteration()  # first skip: within budget
+        with pytest.raises(ResilienceExhausted):
+            trainer.train_iteration()
+
+    def test_collective_fault_retried_with_backoff(self):
+        spec = ResilienceSpec(faults=("collective@1:count=2",))
+        trainer = _trainer(_plan().with_resilience(spec))
+        trainer.train(3)
+        report = trainer.resilience_report
+        assert report.collective_retries == 2
+        assert report.faults_injected["collective"] == 2
+        # Exponential backoff: 0.5 * 2**0 + 0.5 * 2**1.
+        assert report.backoff_seconds == pytest.approx(1.5)
+        assert report.skipped_steps == 0  # retries succeed; no rollback needed
+
+    def test_collective_fault_exhausts_retry_budget(self):
+        spec = ResilienceSpec(faults=("collective@0:count=5",), max_collective_retries=3)
+        trainer = _trainer(_plan().with_resilience(spec))
+        with pytest.raises(ResilienceExhausted):
+            trainer.train_iteration()
+
+
+class TestCrashAndDegrade:
+    def test_crash_raises_worker_crash(self):
+        trainer = _trainer(_plan().with_resilience(ResilienceSpec(faults=("crash@1",))))
+        trainer.train_iteration()
+        with pytest.raises(WorkerCrash) as excinfo:
+            trainer.train_iteration()
+        assert excinfo.value.iteration == 1
+        assert trainer.resilience_report.faults_injected == {"crash": 1}
+
+    def test_replica_loss_shrinks_dp_group(self):
+        spec = ResilienceSpec(faults=("replica_loss@2:replica=1",))
+        trainer = _trainer(_plan().with_resilience(spec))
+        result = trainer.train(4)
+        assert len(trainer.engine.arenas) == 1
+        assert len(trainer.optimizers) == 1
+        assert trainer.engine.data_parallel_degree == 1
+        assert result.resilience.degraded == [
+            {"iteration": 2, "replica": 1, "data_parallel_degree": 1}
+        ]
+        for arena in trainer.engine.arenas:
+            assert np.isfinite(arena.data).all()
+        # The surviving replica keeps training on its original loader shard.
+        assert trainer._replica_ids == [0]
+        assert len(trainer.history.train_losses) == 4
+
+    def test_losing_the_last_replica_exhausts(self):
+        spec = ResilienceSpec(
+            faults=("replica_loss@1:replica=1", "replica_loss@2:replica=0")
+        )
+        trainer = _trainer(_plan().with_resilience(spec))
+        trainer.train_iteration()
+        trainer.train_iteration()  # drops replica 1, dp -> 1
+        with pytest.raises(ResilienceExhausted):
+            trainer.train_iteration()
+
+
+# ----------------------------------------------------------------------------------
+# Checkpoint v2: bit-exact round trips
+# ----------------------------------------------------------------------------------
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("error_feedback", [True, False])
+    @pytest.mark.parametrize("codec", DP_CODECS)
+    def test_resume_is_bit_exact(self, codec, error_feedback, tmp_path):
+        """train(6) continuous == train(3) + save + fresh load + train(3)."""
+        plan = _plan(codec=codec, error_feedback=error_feedback)
+        continuous = _trainer(plan)
+        continuous.train(6)
+
+        first = _trainer(plan)
+        first.train(3)
+        path = save_checkpoint(first, tmp_path / "ckpt.npz")
+
+        resumed = _trainer(plan)
+        assert load_checkpoint(resumed, path) == 3
+        resumed.train(3)
+        _assert_same_weights(_weights(resumed), _weights(continuous))
+        assert resumed.history.train_losses == continuous.history.train_losses
+
+    @pytest.mark.parametrize("codec", DP_CODECS)
+    def test_crash_then_resume_matches_continuous(self, codec, tmp_path):
+        """The ISSUE acceptance path: crash at k + --resume == continuous run."""
+        plan = _plan(codec=codec, error_feedback=True)
+        continuous = _trainer(plan)
+        continuous.train(4)
+
+        crashing = _trainer(plan.with_resilience(ResilienceSpec(faults=("crash@2",))))
+        with pytest.raises(WorkerCrash):
+            crashing.train(4, checkpoint_every=1, checkpoint_dir=tmp_path)
+
+        checkpoint = latest_checkpoint(tmp_path)
+        assert checkpoint is not None and checkpoint.name == checkpoint_name(2)
+        resumed = _trainer(plan)
+        assert load_checkpoint(resumed, checkpoint) == 2
+        resumed.train(2)
+        _assert_same_weights(_weights(resumed), _weights(continuous))
+
+    def test_state_survives_round_trip(self, tmp_path):
+        """EF residuals, RNG call counts, and Q warm starts are all restored."""
+        trainer = _trainer(_plan(codec="powersgd"))
+        trainer.train(3)
+        path = save_checkpoint(trainer, tmp_path / "ckpt")
+        other = _trainer(_plan(codec="powersgd"))
+        load_checkpoint(other, path)
+        ours = trainer.engine.mutable_state()
+        theirs = other.engine.mutable_state()
+
+        def _equal(a, b):
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                return isinstance(a, np.ndarray) and isinstance(b, np.ndarray) and np.array_equal(a, b)
+            if isinstance(a, dict) and isinstance(b, dict):
+                return a.keys() == b.keys() and all(_equal(a[k], b[k]) for k in a)
+            if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+                return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+            return a == b
+
+        assert _equal(ours, theirs)
+
+
+class TestCheckpointValidation:
+    def test_config_mismatch_rejected(self, tmp_path):
+        writer = _trainer(_plan(codec="powersgd"))
+        writer.train_iteration()
+        path = save_checkpoint(writer, tmp_path / "ckpt.npz")
+        reader = _trainer(_plan(codec="qsgd"))
+        with pytest.raises(ValueError, match="configuration"):
+            load_checkpoint(reader, path)
+
+    def test_topology_mismatch_rejected(self, tmp_path):
+        writer = _trainer(_plan(dp=2))
+        writer.train_iteration()
+        path = save_checkpoint(writer, tmp_path / "ckpt.npz")
+        reader = _trainer(_plan(dp=1))
+        with pytest.raises(ValueError, match="topology"):
+            load_checkpoint(reader, path)
+
+    @staticmethod
+    def _tamper_header(path, mutate):
+        with np.load(path, allow_pickle=False) as archive:
+            data = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
+        mutate(header)
+        data["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **data)
+
+    def test_v1_checkpoint_rejected_loudly(self, tmp_path):
+        trainer = _trainer(_plan())
+        trainer.train_iteration()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        self._tamper_header(path, lambda h: h.update(format_version=1))
+        with pytest.raises(ValueError, match="bit-exactly"):
+            load_checkpoint(_trainer(_plan()), path)
+
+    def test_optimizer_steps_length_checked(self, tmp_path):
+        """The strict zip catches a header listing the wrong optimizer count."""
+        trainer = _trainer(_plan())
+        trainer.train_iteration()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        self._tamper_header(
+            path, lambda h: h.update(optimizer_steps=h["optimizer_steps"][:-1])
+        )
+        with pytest.raises(ValueError):
+            load_checkpoint(_trainer(_plan()), path)
+
+    def test_optimizer_steps_value_checked(self, tmp_path):
+        trainer = _trainer(_plan())
+        trainer.train_iteration()
+        path = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        self._tamper_header(
+            path, lambda h: h.update(optimizer_steps=[s + 1 for s in h["optimizer_steps"]])
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_checkpoint(_trainer(_plan()), path)
+
+
+class TestCheckpointFiles:
+    def test_write_is_atomic_no_tmp_leftover(self, tmp_path):
+        trainer = _trainer(_plan())
+        trainer.train_iteration()
+        path = save_checkpoint(trainer, tmp_path / "ckpt")
+        assert path.suffix == ".npz" and path.exists()
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_rotation_keeps_last_k(self, tmp_path):
+        trainer = _trainer(_plan())
+        trainer.train(5, checkpoint_every=1, checkpoint_dir=tmp_path, keep_last=2)
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
+        assert names == [checkpoint_name(4), checkpoint_name(5)]
+        assert latest_checkpoint(tmp_path).name == checkpoint_name(5)
+
+    def test_latest_checkpoint_empty_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+
+
+# ----------------------------------------------------------------------------------
+# Plan / CLI / simulator seams
+# ----------------------------------------------------------------------------------
+
+
+class TestPlanResilienceSection:
+    def test_json_round_trip(self):
+        plan = _plan().with_resilience(
+            ResilienceSpec(faults=("nan@3:replica=1",), max_grad_norm=10.0, seed=5)
+        )
+        assert ParallelPlan.from_json(plan.to_json()) == plan
+        assert "resilience" in plan.to_dict()
+
+    def test_plans_without_resilience_omit_the_section(self):
+        plan = _plan()
+        assert "resilience" not in plan.to_dict()
+        assert ParallelPlan.from_json(plan.to_json()) == plan
+
+    def test_resilience_participates_in_hash_and_eq(self):
+        bare = _plan()
+        armed = bare.with_resilience(ResilienceSpec(faults=("nan@1",)))
+        assert bare != armed
+        assert hash(bare) != hash(armed) or bare == armed  # hashable either way
+        assert hash(armed) == hash(armed.with_resilience(ResilienceSpec(faults=("nan@1",))))
+
+    def test_from_dict_rejects_unknown_resilience_keys(self):
+        payload = _plan().to_dict()
+        payload["resilience"] = {"faults": [], "wormhole": 1}
+        with pytest.raises(ValueError):
+            ParallelPlan.from_dict(payload)
+
+    def test_invalid_fault_strings_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            ResilienceSpec(faults=("nan",))
+        with pytest.raises(ValueError):
+            ResilienceSpec(faults=("meteor@1",))
+
+    def test_cli_flags_arm_the_plan(self):
+        from repro.cli import build_parser, build_train_plan
+
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["train", "--preset", "cb_fe_sc", "--guard",
+             "--inject-fault", "nan@2:replica=1", "--max-grad-norm", "5.0",
+             "--fault-seed", "9"]
+        )
+        plan = build_train_plan(arguments)
+        assert plan.resilience is not None
+        assert plan.resilience.faults == ("nan@2:replica=1",)
+        assert plan.resilience.max_grad_norm == 5.0
+        assert plan.resilience.seed == 9
+
+    def test_cli_unarmed_by_default(self):
+        from repro.cli import build_parser, build_train_plan
+
+        arguments = build_parser().parse_args(["train", "--preset", "cb_fe_sc"])
+        assert build_train_plan(arguments).resilience is None
+
+
+class TestSimulatorRecoveryOverhead:
+    def test_recovery_overhead_adds_to_iteration_time(self):
+        from repro.models import GPT_2_5B
+        from repro.simulator import TrainingJob
+        from repro.simulator.executor import CompressionPlan, simulate_plan
+
+        job = TrainingJob(model=GPT_2_5B)
+        base = simulate_plan(job, CompressionPlan.cb_fe_sc())
+        padded = simulate_plan(job, CompressionPlan.cb_fe_sc(), resilience_overhead_s=0.5)
+        assert base.recovery_overhead == 0.0
+        assert padded.recovery_overhead == 0.5
+        assert padded.iteration_time == pytest.approx(base.iteration_time + 0.5)
+
+    def test_negative_overhead_rejected(self):
+        from repro.models import GPT_2_5B
+        from repro.simulator import TrainingJob
+        from repro.simulator.executor import CompressionPlan, simulate_plan
+
+        with pytest.raises(ValueError):
+            simulate_plan(
+                TrainingJob(model=GPT_2_5B), CompressionPlan.cb_fe_sc(),
+                resilience_overhead_s=-0.1,
+            )
+
+
+# ----------------------------------------------------------------------------------
+# CI smoke + fuzz
+# ----------------------------------------------------------------------------------
+
+
+def test_fault_injection_smoke():
+    """The CI fast-tier smoke: one NaN + one transient collective fault in a
+    2x2 run must produce exactly one skip and one retry, then finish."""
+    spec = ResilienceSpec(faults=("nan@1:replica=1,stage=0", "collective@2:count=1"))
+    trainer = _trainer(_plan(dp=2, pp=2).with_resilience(spec))
+    result = trainer.train(4)
+    report = result.resilience
+    assert report.skipped_steps == 1
+    assert report.rollbacks == 1
+    assert report.collective_retries == 1
+    assert report.faults_injected == {"nan": 1, "collective": 1}
+    assert len(trainer.history.train_losses) == 3  # the poisoned step is skipped
+    for arena in trainer.engine.arenas:
+        assert np.isfinite(arena.data).all()
+
+
+@st.composite
+def fault_schedules(draw):
+    faults = []
+    for _ in range(draw(st.integers(0, 3))):
+        kind = draw(st.sampled_from(["nan", "inf", "collective", "crash", "replica_loss"]))
+        iteration = draw(st.integers(0, 3))
+        if kind in ("nan", "inf"):
+            replica = draw(st.integers(0, 1))
+            stage = draw(st.integers(0, 1))
+            elements = draw(st.integers(1, 4))
+            faults.append(f"{kind}@{iteration}:replica={replica},stage={stage},elements={elements}")
+        elif kind == "collective":
+            faults.append(f"collective@{iteration}:count={draw(st.integers(1, 5))}")
+        elif kind == "replica_loss":
+            faults.append(f"replica_loss@{iteration}:replica={draw(st.integers(0, 1))}")
+        else:
+            faults.append(f"crash@{iteration}")
+    return tuple(faults)
+
+
+class TestFuzzedFaultSchedules:
+    @given(faults=fault_schedules(), seed=st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_guarded_loop_never_silently_corrupts(self, faults, seed):
+        """Under any schedule: finish with finite weights, or raise loudly."""
+        spec = ResilienceSpec(faults=faults, seed=seed)
+        trainer = _trainer(_plan().with_resilience(spec))
+        try:
+            trainer.train(4)
+        except (ResilienceExhausted, WorkerCrash):
+            pass  # loud failure is inside the contract
+        for arena in trainer.engine.arenas:
+            assert np.isfinite(arena.data).all()
+        assert trainer.weights_in_sync()
