@@ -20,7 +20,12 @@ Four hot paths are measured, each against the implementation it replaced:
   functional engine wall time (identical gradients — asserted here) plus the
   timing simulator's deterministic iteration-time speedup and bubble fractions
   on a paper-scale job (these are the regression-gated metrics: they are exact
-  model outputs, immune to runner noise).
+  model outputs, immune to runner noise);
+* **process executor** — the serial replica loop versus ``repro.exec``'s
+  forked shared-memory workers on a PP2 x DP4 probe (bit-identical final
+  weights — asserted here; the speedup is recorded with the runner's core
+  count, since replica concurrency is real parallelism only on multi-core
+  machines).
 
 Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
 trajectory is tracked from PR 2 onward; the perf smoke test
@@ -451,6 +456,96 @@ def bench_resilience_overhead(repeats: int = 3, iterations_per_repeat: int = 2) 
     }
 
 
+def bench_process_executor(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """Serial replica loop vs. the process-parallel executor (``repro.exec``).
+
+    A >=4-worker probe (PP2 x DP4): each engine trains the identical workload
+    through :class:`FusedAdam`, and the final weights must be bit-identical
+    (asserted here — the executor's core guarantee).  The first iteration of
+    each side is an untimed warmup, so fork + shared-memory adoption cost is
+    excluded and the timed region is the steady state.  ``speedup`` is
+    serial/process wall time: >1x on multi-core runners (the DP replicas run
+    concurrently), ~1x or below on single-core machines, where the executor
+    can only add IPC overhead — ``cpu_count`` is recorded alongside so the
+    number can be read in context.
+    """
+    import os
+
+    from repro.optim import FusedAdam as _FusedAdam
+    from repro.plan import ParallelPlan
+
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=2, hidden_size=64, num_heads=4
+    )
+    plan = (
+        ParallelPlan.preset("cb_fe_sc")
+        .proxy_scaled()
+        .with_topology(pp=2, dp=4, micro_batches=2)
+    )
+    rng = np.random.default_rng(5)
+    batches = [
+        [
+            (
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+                rng.integers(0, config.vocab_size, size=(2, 12)),
+            )
+            for _ in range(2)
+        ]
+        for _ in range(4)
+    ]
+
+    def build(executor: str):
+        engine = ThreeDParallelEngine(config, plan=plan.with_executor(executor), seed=3)
+        optimizers = [_FusedAdam(arena, lr=1e-3) for arena in engine.arenas]
+        return engine, optimizers
+
+    def step(engine, optimizers):
+        for optimizer in optimizers:
+            optimizer.zero_grad()
+        engine.run_iteration(batches)
+        for optimizer in optimizers:
+            optimizer.step()
+
+    serial, serial_optimizers = build("serial")
+    process, process_optimizers = build("process")
+    try:
+        # Untimed warmup: the process side forks its workers here.
+        step(serial, serial_optimizers)
+        step(process, process_optimizers)
+
+        def run(engine, optimizers):
+            def _run():
+                for _ in range(iterations_per_repeat):
+                    step(engine, optimizers)
+
+            return _run
+
+        serial_s = _time_calls(run(serial, serial_optimizers), repeats) / iterations_per_repeat
+        process_s = (
+            _time_calls(run(process, process_optimizers), repeats) / iterations_per_repeat
+        )
+
+        # Both sides ran the identical iteration count on identical data: the
+        # executor's contract is bit-for-bit equality, not closeness.
+        bit_parity = all(
+            np.array_equal(serial_arena.data, process_arena.data)
+            for serial_arena, process_arena in zip(serial.arenas, process.arenas)
+        )
+        assert bit_parity, "process executor diverged from the serial oracle"
+    finally:
+        process.close()
+
+    return {
+        "serial_ms": serial_s * 1e3,
+        "process_ms": process_s * 1e3,
+        "speedup": serial_s / process_s,
+        "workers": len(process.arenas),
+        "cpu_count": os.cpu_count(),
+        "bit_parity": bit_parity,
+        "layout": "PP2 x DP4, cb_fe_sc",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -469,6 +564,7 @@ def run_all(
         "schedule_iteration": bench_schedule_iteration(repeats=engine_repeats),
         "auto_schedule": bench_auto_schedule(),
         "resilience_overhead": bench_resilience_overhead(repeats=engine_repeats),
+        "process_executor": bench_process_executor(repeats=engine_repeats),
     }
 
 
@@ -524,6 +620,13 @@ def main() -> int:
         f"{resilience['guarded_ms']:.1f} ms guarded "
         f"({resilience['guarded_over_unguarded']:.2f}x; snapshot "
         f"{resilience['snapshot_ms']:.2f} ms)"
+    )
+    executor = results["process_executor"]
+    print(
+        f"process executor [{executor['layout']}]: {executor['serial_ms']:.1f} ms serial -> "
+        f"{executor['process_ms']:.1f} ms process ({executor['speedup']:.2f}x on "
+        f"{executor['cpu_count']} cores, {executor['workers']} workers, "
+        f"bit parity {executor['bit_parity']})"
     )
     print(f"[written to {path}]")
     return 0

@@ -54,6 +54,10 @@ TRACKED_METRICS = [
     # Guarded-loop cost relative to the unguarded loop (higher is better: the
     # ratio sits just below 1.0 and drops if guarding gets more expensive).
     ("resilience_overhead", "unguarded_over_guarded"),
+    # Serial replica loop vs the forked shared-memory executor.  The absolute
+    # value is machine-dependent (>1x only with spare cores), but the fresh/
+    # committed ratio compares same-machine runs like every other speedup here.
+    ("process_executor", "speedup"),
 ]
 
 

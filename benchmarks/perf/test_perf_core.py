@@ -79,6 +79,15 @@ def test_bench_core_smoke():
     assert resilience["guarded_over_unguarded"] <= 1.5, resilience
     assert resilience["snapshot_ms"] > 0.0, resilience
 
+    # The process executor: parity is the hard claim (asserted inside the
+    # benchmark too); wall-clock speedup is machine-dependent — >1x needs spare
+    # cores for the 4 workers, so the smoke only bounds the overhead, and the
+    # recorded cpu_count lets the committed number be read in context.
+    executor = results["process_executor"]
+    assert executor["bit_parity"] is True, executor
+    assert executor["workers"] >= 4, executor
+    assert executor["speedup"] > 0.0, executor
+
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
@@ -103,6 +112,7 @@ def test_regression_checker_flags_real_drops():
         "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
         "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
         "resilience_overhead": {"unguarded_over_guarded": 0.97},
+        "process_executor": {"speedup": 1.0},
     }
     same, _ = compare(baseline, baseline, tolerance=0.30)
     assert same == []
@@ -143,6 +153,7 @@ def test_regression_checker_hard_fails_on_missing_fresh_metric():
         "schedule_iteration": {"sim_speedup": 1.13, "bubble_ratio": 1.5},
         "auto_schedule": {"sim_speedup_vs_zb1_cap2": 1.08, "bubble_ratio_cap1": 1.0},
         "resilience_overhead": {"unguarded_over_guarded": 0.97},
+        "process_executor": {"speedup": 1.0},
     }
 
     # Whole tracked section gone from the fresh run: one hard failure per

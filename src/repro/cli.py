@@ -44,6 +44,7 @@ from repro.core.config import EngineCompressionConfig, OptimusCCConfig
 from repro.core.framework import OptimusCC
 from repro.plan import (
     DP_FIRE_KINDS,
+    EXECUTOR_KINDS,
     PLAN_PRESETS,
     SCHEDULE_KINDS,
     Boundary,
@@ -295,6 +296,8 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
             plan = plan.with_resilience(base.with_(**resilience_changes))
         except ValueError as error:
             raise SystemExit(str(error)) from error
+    if getattr(arguments, "executor", None) is not None:
+        plan = plan.with_executor(arguments.executor)
     return plan
 
 
@@ -334,7 +337,17 @@ def _command_train_resilient(arguments: argparse.Namespace, plan: ParallelPlan) 
         trainer = Pretrainer(model, loader, plan=plan, seed=0)
     except ValueError as error:
         raise SystemExit(str(error)) from error
+    # Joins/cleans the process executor's workers on every exit path below;
+    # a no-op for serial plans.
+    with trainer:
+        return _run_train_resilient(arguments, plan, trainer)
 
+
+def _run_train_resilient(arguments, plan: ParallelPlan, trainer) -> int:
+    from repro.resilience import ResilienceExhausted, WorkerCrash
+    from repro.training.checkpoint import latest_checkpoint, load_checkpoint
+
+    topology = plan.topology
     start_iteration = 0
     if arguments.resume is not None:
         if arguments.resume == "latest":
@@ -623,6 +636,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="activation-memory cap for --schedule auto, as a "
                             "multiple of ZB-H1's per-stage footprint (>= 1.0; "
                             "1.0 degenerates to zb1, ~2.0 approaches zero bubble)")
+    train.add_argument("--executor", choices=EXECUTOR_KINDS, default=None,
+                       help="execution backend: 'serial' (one process, the "
+                            "bit-exact oracle) or 'process' (one forked worker "
+                            "per DP replica over shared-memory arenas; "
+                            "bit-identical weights, real multi-core concurrency)")
     train.add_argument("--serial-dp", action="store_true",
                        help="serial per-parameter DP epilogue instead of the "
                             "bucketed all-reduce overlapped with the cool-down")

@@ -98,6 +98,7 @@ class OptimusCC:
         log: CommunicationLog | None = None,
         seed: int = 0,
         collect_cb_diagnostics: bool = False,
+        executor: str | None = None,
     ):
         """Construct a :class:`repro.parallel.engine.ThreeDParallelEngine`.
 
@@ -115,6 +116,7 @@ class OptimusCC:
             log=log,
             seed=seed,
             collect_cb_diagnostics=collect_cb_diagnostics,
+            executor=executor,
         )
 
     def build_trainer(self, *args, **kwargs):

@@ -1,0 +1,14 @@
+"""Process-parallel execution core: shared-memory worker processes for the 3D engine.
+
+The sequential engine is the bit-for-bit oracle; this package makes the
+data-parallel axis physically concurrent.  :class:`ProcessExecutor` forks one
+worker per DP replica over :class:`SharedArenaSegment`-backed parameter arenas;
+the engine's ``executor`` knob (``ParallelPlan.executor`` / ``repro train
+--executor {serial,process}``) selects it.  See :mod:`repro.exec.executor` for
+the parity argument and lifecycle guarantees.
+"""
+
+from repro.exec.executor import ProcessExecutor
+from repro.exec.shm import SharedArenaSegment
+
+__all__ = ["ProcessExecutor", "SharedArenaSegment"]

@@ -1,0 +1,394 @@
+"""True process-parallel execution of the 3D engine's replica loop.
+
+The sequential :class:`~repro.parallel.engine.ThreeDParallelEngine` *models*
+DP×PP concurrency but runs every replica's pipeline one after another in one
+Python process.  :class:`ProcessExecutor` makes the data-parallel axis real:
+one forked worker process per DP replica owns that replica's
+:class:`~repro.parallel.pipeline_engine.PipelineParallelEngine` — and with it
+the dependency-ordered per-stage op lists the schedule layer emits
+(``1f1b``/``zb1``/``auto``), which become the worker's instruction stream —
+while the replica's flat :class:`~repro.parallel.arena.ParameterArena` lives in
+a :class:`~repro.exec.shm.SharedArenaSegment` mapped by parent and worker
+alike.
+
+Bit-for-bit parity with the serial oracle is by construction, not tolerance:
+
+* the per-replica forward/backward is the *identical code on identical state* —
+  workers are forked from the fully constructed engine, so weights, CB-hook
+  residuals, and per-stage RNG streams start equal and, because each replica's
+  state is touched by exactly one process, stay equal to what the serial loop
+  would have computed;
+* everything whose *order* matters — the DP codec all-reduce (Philox streams,
+  per-key call counts), the bucketed sync's reduction order, embedding sync,
+  fault injection, and the optimiser — runs in the parent, on the shared
+  gradient buffers the workers just filled, exactly where the serial engine
+  runs it.
+
+The parent↔worker protocol is a pair of pipes per worker carrying tiny
+messages (micro-batch arrays down, loss + traffic records up); the gradients
+and weights themselves never travel — they are the shared segment.  Worker
+death or an exception inside a worker surfaces as
+:class:`repro.resilience.WorkerCrash`; shutdown is context-managed with a join
+timeout, terminate/kill escalation, and a ``weakref`` finalizer so neither
+processes nor ``/dev/shm`` segments outlive the executor (asserted in
+``tests/test_process_executor.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import weakref
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exec.shm import SharedArenaSegment
+from repro.resilience import WorkerCrash
+from repro.utils.logging import set_worker_tag
+
+if TYPE_CHECKING:  # the engine imports this module lazily, not vice versa
+    from repro.parallel.engine import ThreeDParallelEngine
+
+#: How often the parent re-checks worker liveness while waiting on a reply.
+_POLL_INTERVAL_SECONDS = 0.05
+
+
+def _replica_worker_main(replica_index, pipeline_engine, cb_hook, connection) -> None:
+    """Command loop of one replica worker (runs in the forked child).
+
+    The worker inherited the replica's pipeline engine, stages, CB hook, and
+    channel by fork; its arena views alias the parent's shared segment.  Every
+    ``run`` replays the schedule's op stream for one iteration, leaves the
+    gradients in shared memory, and ships back only the mean loss and the
+    traffic records the channel logged (the parent merges them into the global
+    log in replica order, matching the serial loop's record order).
+    """
+    set_worker_tag(f"dp{replica_index}")
+    channel_log = pipeline_engine.channel.log
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            kind = message[0]
+            try:
+                if kind == "run":
+                    mark = len(channel_log.records)
+                    result = pipeline_engine.run_iteration(message[1])
+                    records = list(channel_log.records[mark:])
+                    # Bound worker-side memory: records were shipped, drop them.
+                    del channel_log.records[:]
+                    connection.send(("ok", result.mean_loss, records))
+                elif kind == "cb_state":
+                    state = cb_hook.state_dict() if cb_hook is not None else None
+                    connection.send(("ok", state))
+                elif kind == "load_cb_state":
+                    if cb_hook is not None:
+                        cb_hook.load_state_dict(message[1])
+                    connection.send(("ok", None))
+                elif kind == "shutdown":
+                    connection.send(("ok", None))
+                    break
+                else:  # protocol bug — fail loudly rather than hang the parent
+                    connection.send(("error", f"unknown command {kind!r}"))
+            except KeyboardInterrupt:
+                break
+            except BaseException:
+                connection.send(("error", traceback.format_exc()))
+    finally:
+        connection.close()
+
+
+def _cleanup(processes, connections, segments, join_timeout: float) -> None:
+    """Terminate workers and destroy segments (finalizer-safe, never raises)."""
+    for connection in connections:
+        try:
+            connection.close()
+        except OSError:
+            pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=join_timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=join_timeout)
+    for segment in segments:
+        segment.destroy()
+
+
+class ProcessExecutor:
+    """Runs the engine's per-replica pipeline iterations in forked workers.
+
+    Created (lazily, on the first iteration) and owned by
+    :class:`~repro.parallel.engine.ThreeDParallelEngine` when its executor knob
+    is ``"process"``; user code normally only sees the knob.  Usable as a
+    context manager; :meth:`close` is idempotent and restores the arenas onto
+    private memory so the engine remains fully usable afterwards.
+    """
+
+    def __init__(self, engine: "ThreeDParallelEngine", join_timeout: float = 5.0) -> None:
+        self.engine = engine
+        self.join_timeout = float(join_timeout)
+        self.segments: list[SharedArenaSegment] = []
+        self._processes: list[multiprocessing.Process] = []
+        self._connections: list = []
+        self._started = False
+        self._finalizer: weakref.finalize | None = None
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    def start(self) -> None:
+        """Migrate every replica arena into shared memory and fork the workers.
+
+        Must run before any parent-side state diverges from what the workers
+        need (the engine starts it ahead of its first process iteration).  The
+        ``fork`` start method is required — workers inherit the constructed
+        engine objects; the arenas are adopted *before* forking so parent and
+        children alias the same pages.
+        """
+        if self._started:
+            return
+        context = multiprocessing.get_context("fork")
+        self.segments = [
+            SharedArenaSegment.adopt(arena) for arena in self.engine.arenas
+        ]
+        for replica_index, (pipeline_engine, cb_hook) in enumerate(
+            zip(self.engine.pipeline_engines, self.engine.cb_hooks)
+        ):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_replica_worker_main,
+                args=(replica_index, pipeline_engine, cb_hook, child_end),
+                name=f"repro-exec-dp{replica_index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._connections.append(parent_end)
+        self._started = True
+        # Safety net for abandoned executors: kills workers and unlinks the
+        # shared segments even if close() is never called.  Holds no reference
+        # to self (or the engine), so it cannot keep the executor alive.
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup,
+            list(self._processes),
+            list(self._connections),
+            list(self.segments),
+            self.join_timeout,
+        )
+
+    # -- the per-iteration hot path ---------------------------------------------------
+
+    def run(
+        self, per_replica_micro_batches: Sequence[Sequence], iteration: int
+    ) -> list[float]:
+        """One forward+backward on every replica, concurrently; returns the losses.
+
+        Gradients land in the shared arenas (ready for the parent's DP sync);
+        each worker's traffic records are appended to the engine log in replica
+        order, so the merged log is record-for-record what the serial loop
+        writes.
+        """
+        if not self._started:
+            raise RuntimeError("executor not started")
+        if len(per_replica_micro_batches) != len(self._processes):
+            raise ValueError(
+                f"got micro-batches for {len(per_replica_micro_batches)} replicas, "
+                f"executor has {len(self._processes)} workers"
+            )
+        for replica_index, (connection, batches) in enumerate(
+            zip(self._connections, per_replica_micro_batches)
+        ):
+            self._send(replica_index, ("run", list(batches)), iteration)
+        losses: list[float] = []
+        for replica_index in range(len(self._processes)):
+            loss, records = self._receive(replica_index, iteration)
+            losses.append(loss)
+            self.engine.log.records.extend(records)
+        return losses
+
+    def _send(self, replica_index: int, message, iteration: int) -> None:
+        """Send one command, surfacing a dead worker's broken pipe as a crash."""
+        try:
+            self._connections[replica_index].send(message)
+        except (BrokenPipeError, OSError) as error:
+            process = self._processes[replica_index]
+            raise WorkerCrash(
+                iteration,
+                message=(
+                    f"replica worker dp{replica_index} (pid {process.pid}) is gone "
+                    f"(exit code {process.exitcode}) at iteration {iteration}: {error}"
+                ),
+                replica=replica_index,
+            ) from error
+
+    def _receive(self, replica_index: int, iteration: int):
+        """Wait for one worker's reply, surfacing death as :class:`WorkerCrash`."""
+        connection = self._connections[replica_index]
+        process = self._processes[replica_index]
+        while not connection.poll(_POLL_INTERVAL_SECONDS):
+            if not process.is_alive():
+                raise WorkerCrash(
+                    iteration,
+                    message=(
+                        f"replica worker dp{replica_index} (pid {process.pid}) died "
+                        f"with exit code {process.exitcode} at iteration {iteration}"
+                    ),
+                    replica=replica_index,
+                )
+        try:
+            reply = connection.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrash(
+                iteration,
+                message=(
+                    f"replica worker dp{replica_index} closed its pipe mid-reply "
+                    f"at iteration {iteration}: {error}"
+                ),
+                replica=replica_index,
+            ) from error
+        if reply[0] == "error":
+            raise WorkerCrash(
+                iteration,
+                message=(
+                    f"replica worker dp{replica_index} failed at iteration "
+                    f"{iteration}:\n{reply[1]}"
+                ),
+                replica=replica_index,
+            )
+        return reply[1:]
+
+    # -- worker-held mutable state ----------------------------------------------------
+
+    def fetch_cb_states(self) -> list:
+        """Each worker's live CB-hook ``state_dict()`` (checkpoint / rollback).
+
+        The compressed-backpropagation residuals and warm starts evolve inside
+        the workers (the parent's hook copies are stale after the first process
+        iteration), so the engine's ``mutable_state()`` fetches them here.
+        """
+        return [self._request(index, ("cb_state",)) for index in range(len(self._processes))]
+
+    def push_cb_states(self, states: Sequence) -> None:
+        """Load CB-hook state into every worker (checkpoint resume / rollback)."""
+        if len(states) != len(self._processes):
+            raise ValueError(
+                f"got {len(states)} CB states for {len(self._processes)} workers"
+            )
+        for index, state in enumerate(states):
+            self._request(index, ("load_cb_state", state))
+
+    def _request(self, replica_index: int, message):
+        iteration = self.engine._iteration_index
+        self._send(replica_index, message, iteration)
+        reply = self._receive(replica_index, iteration)
+        return reply[0]
+
+    # -- topology changes --------------------------------------------------------------
+
+    def drop_worker(self, index: int) -> None:
+        """Shut down one replica's worker and destroy its segment (degradation).
+
+        Called by :meth:`ThreeDParallelEngine.drop_replica` *before* the engine
+        deletes the replica; the arena is migrated back to private memory so
+        any surviving alias stays valid.
+        """
+        self._shutdown_one(index)
+        process = self._processes.pop(index)
+        self._connections.pop(index)
+        process.join(timeout=self.join_timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.join_timeout)
+        segment = self.segments.pop(index)
+        segment.release(self.engine.arenas[index])
+        self._refresh_finalizer()
+
+    def _shutdown_one(self, index: int) -> None:
+        connection = self._connections[index]
+        try:
+            connection.send(("shutdown",))
+            if connection.poll(self.join_timeout):
+                connection.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass  # already dead — the join/terminate path below handles it
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    # -- shutdown ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and return the arenas to private memory (idempotent).
+
+        Polite shutdown first (sentinel + join with timeout), then terminate,
+        then kill — no orphaned processes; segments are closed and unlinked —
+        no leaked shared memory.  The engine remains usable on the serial path
+        afterwards with bit-identical state.
+        """
+        if not self._started:
+            return
+        self._started = False
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        # Pull the workers' live CB-hook state back into the parent's copies so
+        # a serial continuation after close() is bit-identical, not merely
+        # weight-identical.  Best-effort: skipped if the workers already died.
+        try:
+            states = [
+                self._request(index, ("cb_state",))
+                for index in range(len(self._connections))
+            ]
+        except (WorkerCrash, BrokenPipeError, EOFError, OSError):
+            states = None
+        if states is not None:
+            for hook, state in zip(self.engine.cb_hooks, states):
+                if hook is not None and state is not None:
+                    hook.load_state_dict(state)
+        for index in range(len(self._connections)):
+            self._shutdown_one(index)
+        for process in self._processes:
+            process.join(timeout=self.join_timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=self.join_timeout)
+            if process.is_alive():  # pragma: no cover - terminate should suffice
+                process.kill()
+                process.join(timeout=self.join_timeout)
+        self._processes = []
+        self._connections = []
+        for segment, arena in zip(self.segments, self.engine.arenas):
+            segment.release(arena)
+        self.segments = []
+
+    def _refresh_finalizer(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup,
+            list(self._processes),
+            list(self._connections),
+            list(self.segments),
+            self.join_timeout,
+        )
+
+    def __enter__(self) -> "ProcessExecutor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.close()

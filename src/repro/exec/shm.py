@@ -1,0 +1,101 @@
+"""Shared-memory storage segments for the process-parallel executor.
+
+One :class:`SharedArenaSegment` holds a replica's entire
+:class:`~repro.parallel.arena.ParameterArena` — the flat weight buffer followed
+by the flat gradient buffer — in a single POSIX shared-memory object.  The flat
+arenas are exactly the layout ``multiprocessing.shared_memory`` wants: adopting
+an arena is two whole-buffer copies plus a view rebind, and because the parent
+creates the segment *before* forking, parent and workers alias the same
+physical pages — a worker's backward pass writes gradients the parent's DP
+sync reads with zero copies, and the parent's optimiser step writes weights the
+worker's next forward pass reads.
+
+Lifecycle discipline (asserted in ``tests/test_process_executor.py``): every
+segment is created by the parent, adopted exactly once, and destroyed by the
+parent after the workers exit — :meth:`release` first migrates the arena back
+onto private memory (so no live NumPy view pins the mapping), then closes and
+unlinks the OS object.  A :func:`weakref.finalize` in the executor guarantees
+unlink even on abandoned executors, so no run leaks ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.arena import ParameterArena
+
+
+class SharedArenaSegment:
+    """One replica arena's weight+grad storage in a shared-memory object."""
+
+    def __init__(self, num_elements: int, dtype=np.float64) -> None:
+        self.num_elements = int(num_elements)
+        self.dtype = np.dtype(dtype)
+        nbytes = self.num_elements * self.dtype.itemsize
+        self.shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=max(2 * nbytes, 1)
+        )
+        self.data = np.ndarray(self.num_elements, dtype=self.dtype, buffer=self.shm.buf)
+        self.grad = np.ndarray(
+            self.num_elements, dtype=self.dtype, buffer=self.shm.buf, offset=nbytes
+        )
+
+    @property
+    def name(self) -> str:
+        """OS name of the segment (``/dev/shm`` entry on Linux)."""
+        if self.shm is None:
+            raise RuntimeError("segment already destroyed")
+        return self.shm.name
+
+    @classmethod
+    def adopt(cls, arena: ParameterArena) -> "SharedArenaSegment":
+        """Create a segment matching ``arena`` and migrate its storage into it.
+
+        Values are preserved bit-for-bit and every parameter view is rebound
+        (:meth:`ParameterArena.rebind_storage`), so from this call on all
+        reads/writes through the arena touch shared memory.
+        """
+        segment = cls(arena.num_elements, dtype=arena.data.dtype)
+        arena.rebind_storage(segment.data, segment.grad)
+        return segment
+
+    def release(self, arena: ParameterArena | None = None) -> None:
+        """Migrate ``arena`` back onto private memory and destroy the segment.
+
+        After release the arena keeps working exactly as before adoption (same
+        values, private buffers) — the serial oracle path needs nothing more
+        than this to resume.  Pass ``arena=None`` when the arena is being
+        discarded anyway (replica drop): the segment is destroyed without a
+        copy-out.
+        """
+        if arena is not None and self.shm is not None:
+            arena.rebind_storage(
+                np.empty(self.num_elements, dtype=self.dtype),
+                np.empty(self.num_elements, dtype=self.dtype),
+            )
+        self.destroy()
+
+    def destroy(self) -> None:
+        """Close and unlink the OS object (idempotent, never raises).
+
+        ``close()`` can fail with ``BufferError`` if a stray NumPy view still
+        pins the mapping; the unlink still proceeds so the name never leaks —
+        the mapping itself is reclaimed when the last view dies (or at process
+        exit).
+        """
+        shm = self.shm
+        if shm is None:
+            return
+        self.shm = None
+        self.data = None  # type: ignore[assignment]
+        self.grad = None  # type: ignore[assignment]
+        try:
+            shm.close()
+        except BufferError:  # a live view still pins the mapping — unlink anyway
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. by the finalizer)
+            pass

@@ -150,20 +150,25 @@ def measure_engine_traffic(
     dp_overlapped = 0.0
     dp_exposed = 0.0
     last_loss = 0.0
-    for iteration in range(iterations):
-        for optimizer in optimizers:
-            optimizer.zero_grad()
-        result = engine.run_iteration(loader.iteration_batches(iteration))
-        for optimizer in optimizers:
-            optimizer.step()
-        last_loss = result.mean_loss
-        for axis, value in result.axis_wire_bytes.items():
-            axis_totals[axis] = axis_totals.get(axis, 0.0) + value
-            compressed[axis] = result.axis_compressed_fraction[axis]
-        for boundary, value in result.pipeline_boundary_wire_bytes.items():
-            boundaries[boundary] = boundaries.get(boundary, 0.0) + value
-        dp_overlapped += result.dp_overlapped_wire_bytes
-        dp_exposed += result.dp_exposed_wire_bytes
+    try:
+        for iteration in range(iterations):
+            for optimizer in optimizers:
+                optimizer.zero_grad()
+            result = engine.run_iteration(loader.iteration_batches(iteration))
+            for optimizer in optimizers:
+                optimizer.step()
+            last_loss = result.mean_loss
+            for axis, value in result.axis_wire_bytes.items():
+                axis_totals[axis] = axis_totals.get(axis, 0.0) + value
+                compressed[axis] = result.axis_compressed_fraction[axis]
+            for boundary, value in result.pipeline_boundary_wire_bytes.items():
+                boundaries[boundary] = boundaries.get(boundary, 0.0) + value
+            dp_overlapped += result.dp_overlapped_wire_bytes
+            dp_exposed += result.dp_exposed_wire_bytes
+    finally:
+        # Joins/cleans the process executor's workers when the plan asked for
+        # one; a no-op for serial engines.
+        engine.close()
 
     return EngineTrafficSample(
         label=label,

@@ -115,6 +115,37 @@ class ParameterArena:
         self.data[...] = data
         self.grad[...] = grad
 
+    def rebind_storage(self, data: np.ndarray, grad: np.ndarray) -> None:
+        """Migrate the arena onto caller-provided flat buffers, bit-for-bit.
+
+        The process-parallel executor (:mod:`repro.exec`) uses this to move a
+        replica's storage into (and back out of) a ``SharedMemory``-backed
+        buffer before forking workers: current contents are copied into the new
+        buffers, then ``self.data``/``self.grad`` and every parameter's
+        ``data``/``grad`` view are rebound, so all existing in-place accesses —
+        the stages' backward accumulation, the fused optimiser, the DP sync's
+        flat bucket views — transparently read and write the new memory.
+        Spans are layout identities and do not change.
+        """
+        if data.shape != self.data.shape or data.dtype != self.data.dtype:
+            raise ValueError(
+                f"data buffer mismatch: got {data.shape}/{data.dtype}, "
+                f"expected {self.data.shape}/{self.data.dtype}"
+            )
+        if grad.shape != self.grad.shape or grad.dtype != self.grad.dtype:
+            raise ValueError(
+                f"grad buffer mismatch: got {grad.shape}/{grad.dtype}, "
+                f"expected {self.grad.shape}/{self.grad.dtype}"
+            )
+        data[...] = self.data
+        grad[...] = self.grad
+        self.data = data
+        self.grad = grad
+        for parameter in self.parameters:
+            start, stop = self._spans[id(parameter)]
+            parameter.data = data[start:stop].reshape(parameter.shape)
+            parameter.grad = grad[start:stop].reshape(parameter.shape)
+
 
 @dataclass(frozen=True)
 class GradientBucket:

@@ -73,6 +73,7 @@ from repro.parallel.pipeline_engine import (
     PipelineParallelEngine,
 )
 from repro.parallel.tensor_parallel import ColumnParallelLinear, RowParallelLinear
+from repro.plan import validate_executor_kind
 from repro.resilience import (
     FaultInjector,
     GuardrailPolicy,
@@ -593,10 +594,18 @@ class ThreeDParallelEngine:
         seed: int = 0,
         collect_cb_diagnostics: bool = False,
         plan: "ParallelPlan | None" = None,
+        executor: str | None = None,
     ) -> None:
         # Lazy: repro.core reaches back into this module for the hook wiring.
         from repro.core.config import OptimusCCConfig
         from repro.core.framework import OptimusCC
+
+        if executor is None:
+            executor = plan.executor if plan is not None else "serial"
+        validate_executor_kind(executor, context="ThreeDParallelEngine.executor")
+        if plan is not None and plan.executor != executor:
+            # Keep the stored plan describing the run that actually executes.
+            plan = plan.with_executor(executor)
 
         if plan is not None:
             num_stages = plan.topology.pp if num_stages is None else num_stages
@@ -724,6 +733,12 @@ class ThreeDParallelEngine:
         self._iteration_index = 0
         self._stage_spans_cache: list[list[list[tuple[int, int]]]] | None = None
 
+        # Process-parallel execution (repro.exec): started lazily on the first
+        # run_iteration so that engines which are built but never stepped (plan
+        # validation, traffic prediction) never fork.
+        self.executor_kind = executor
+        self._process_executor = None
+
         if self.tensor_parallel_degree > 1:
             self.verify_tensor_parallel()
 
@@ -816,14 +831,22 @@ class ThreeDParallelEngine:
             for stage, traffic in self.dp_reduce.stage_traffic.items()
         }
 
-        losses = []
-        shapes: list[tuple[int, int]] = []
-        for engine, replica_batches in zip(self.pipeline_engines, normalised):
-            result = engine.run_iteration(replica_batches)
-            losses.append(result.mean_loss)
-            shapes.extend(
-                (int(tokens.shape[0]), int(tokens.shape[1])) for tokens, _ in replica_batches
-            )
+        shapes: list[tuple[int, int]] = [
+            (int(tokens.shape[0]), int(tokens.shape[1]))
+            for replica_batches in normalised
+            for tokens, _ in replica_batches
+        ]
+        if self.executor_kind == "process":
+            # Per-replica pipelines run concurrently in forked workers over
+            # shared-memory arenas; everything order-sensitive below (fault
+            # injection, DP sync, embedding sync) stays in this process, so the
+            # result is bit-for-bit the serial loop's.
+            losses = self._ensure_process_executor().run(normalised, self._iteration_index)
+        else:
+            losses = [
+                engine.run_iteration(replica_batches).mean_loss
+                for engine, replica_batches in zip(self.pipeline_engines, normalised)
+            ]
 
         self._log_tensor_parallel_traffic(shapes)
 
@@ -923,6 +946,10 @@ class ThreeDParallelEngine:
             raise ValueError(
                 f"replica index {index} out of range for dp={self.data_parallel_degree}"
             )
+        if self._process_executor is not None:
+            # Retire the worker (and its shared-memory segment) before the
+            # replica objects disappear under it.
+            self._process_executor.drop_worker(index)
         del self.replicas[index]
         del self.pipeline_engines[index]
         del self.arenas[index]
@@ -961,13 +988,18 @@ class ThreeDParallelEngine:
         checkpoint format v2: DP-codec error-feedback residuals and warm starts
         (``dp_reduce``) plus each replica's compressed-backpropagation
         residual/warm-start state (``cb_hooks``).
+
+        Under the process executor the live CB hook copies are the *workers'*
+        (forked state diverges from the parent's after the first iteration), so
+        the per-replica states are fetched over the command pipes.
         """
-        return {
-            "dp_reduce": self.dp_reduce.state_dict(),
-            "cb_hooks": [
+        if self._process_executor is not None and self._process_executor.started:
+            cb_states = self._process_executor.fetch_cb_states()
+        else:
+            cb_states = [
                 hook.state_dict() if hook is not None else None for hook in self.cb_hooks
-            ],
-        }
+            ]
+        return {"dp_reduce": self.dp_reduce.state_dict(), "cb_hooks": cb_states}
 
     def load_mutable_state(self, state: dict) -> None:
         hooks_state = state["cb_hooks"]
@@ -981,6 +1013,39 @@ class ThreeDParallelEngine:
             if hook is not None:
                 hook.load_state_dict(hook_state)
         self.dp_reduce.load_state_dict(state["dp_reduce"])
+        if self._process_executor is not None and self._process_executor.started:
+            self._process_executor.push_cb_states(hooks_state)
+
+    # -- process-parallel execution ----------------------------------------------------
+
+    def _ensure_process_executor(self):
+        """Fork the replica workers on first use (``executor_kind == "process"``)."""
+        if self._process_executor is None:
+            # Lazy import: repro.exec builds on this module's objects.
+            from repro.exec import ProcessExecutor
+
+            self._process_executor = ProcessExecutor(self)
+        if not self._process_executor.started:
+            self._process_executor.start()
+        return self._process_executor
+
+    def close(self) -> None:
+        """Shut down the process executor, if one was started (idempotent).
+
+        Workers are joined/terminated and their shared-memory segments
+        unlinked; the arenas return to private memory and the engine keeps
+        working on the serial path with the same state.  A no-op for serial
+        engines, so callers may close unconditionally.
+        """
+        if self._process_executor is not None:
+            self._process_executor.close()
+            self._process_executor = None
+
+    def __enter__(self) -> "ThreeDParallelEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.close()
 
     # -- evaluation --------------------------------------------------------------------
 

@@ -121,6 +121,23 @@ def validate_schedule_kind(
         )
     return kind
 
+#: Execution substrates: ``"serial"`` runs every replica's pipeline in the one
+#: parent process (the bit-for-bit oracle); ``"process"`` runs one forked
+#: worker per DP replica over shared-memory arenas (:mod:`repro.exec`), with
+#: the order-sensitive DP/embedding collectives and the optimiser kept in the
+#: parent — weights are bit-identical to serial, only wall-clock changes.
+EXECUTOR_KINDS = ("serial", "process")
+
+
+def validate_executor_kind(kind: str, *, context: str = "executor") -> str:
+    """The one executor-kind validator every consumer shares (returns ``kind``)."""
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"{context}: unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    return kind
+
+
 #: DP bucket firing granularities on the overlapped (``"1f1b"``) path:
 #: ``"stage"`` fires a stage's buckets when its whole backward has drained;
 #: ``"micro_batch"`` fires each bucket inside the final micro-batch's backward
@@ -449,6 +466,10 @@ class ParallelPlan:
     schedule: Schedule = field(default_factory=Schedule)
     compression: Mapping[Boundary, CompressionSpec] = field(default_factory=dict)
     resilience: ResilienceSpec | None = None
+    #: Execution substrate: ``"serial"`` (the oracle) or ``"process"`` (one
+    #: forked worker per DP replica over shared-memory arenas; bit-identical
+    #: weights, real multi-core wall clock).
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         normalised: dict[Boundary, CompressionSpec] = {}
@@ -484,13 +505,20 @@ class ParallelPlan:
             raise ValueError(
                 f"resilience must be a ResilienceSpec or mapping, got {self.resilience!r}"
             )
+        validate_executor_kind(self.executor, context="ParallelPlan.executor")
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the dict field;
         # the normalised map has a stable key order, so its items are a sound
         # hashable identity (plans are value objects usable in sets/dict keys).
         return hash(
-            (self.topology, self.schedule, tuple(self.compression.items()), self.resilience)
+            (
+                self.topology,
+                self.schedule,
+                tuple(self.compression.items()),
+                self.resilience,
+                self.executor,
+            )
         )
 
     # -- accessors --------------------------------------------------------------------
@@ -527,6 +555,10 @@ class ParallelPlan:
             resilience = base.with_(**changes)
         return replace(self, resilience=resilience)
 
+    def with_executor(self, executor: str) -> "ParallelPlan":
+        """A copy running on a different execution substrate (validated)."""
+        return replace(self, executor=executor)
+
     def proxy_scaled(self, max_rank: int = 2) -> "ParallelPlan":
         """Rescale the PowerSGD ranks for a tiny functional probe model.
 
@@ -557,6 +589,9 @@ class ParallelPlan:
             resilience = asdict(self.resilience)
             resilience["faults"] = list(self.resilience.faults)
             payload["resilience"] = resilience
+        # Same discipline for the executor: emitted only when non-default.
+        if self.executor != "serial":
+            payload["executor"] = self.executor
         return payload
 
     @classmethod
@@ -568,11 +603,13 @@ class ParallelPlan:
         """
         if not isinstance(payload, Mapping):
             raise ValueError(f"plan payload must be a mapping, got {payload!r}")
-        unknown = set(payload) - {"topology", "schedule", "compression", "resilience"}
+        unknown = set(payload) - {
+            "topology", "schedule", "compression", "resilience", "executor",
+        }
         if unknown:
             raise ValueError(
                 f"unknown plan section(s) {sorted(unknown)}; "
-                "expected topology / schedule / compression / resilience"
+                "expected topology / schedule / compression / resilience / executor"
             )
 
         def build(section: str, target, known: set[str]):
@@ -600,11 +637,15 @@ class ParallelPlan:
                     for key, value in resilience_data.items()
                 }
             )
+        executor = payload.get("executor", "serial")
+        if not isinstance(executor, str):
+            raise ValueError(f"executor must be a string, got {executor!r}")
         return cls(
             topology=topology,
             schedule=schedule,
             compression=dict(compression),
             resilience=resilience,
+            executor=executor,
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -688,7 +729,9 @@ class ParallelPlan:
         else:
             chunks = self.schedule.num_model_chunks
             schedule = "serial-dp" + (f"x{chunks}" if chunks > 1 else "")
-        return f"{label} {schedule} {self.topology.describe()}"
+        # Serial is the default substrate and stays unlabelled (label stability).
+        executor = " proc-exec" if self.executor == "process" else ""
+        return f"{label} {schedule} {self.topology.describe()}{executor}"
 
     # -- named presets ----------------------------------------------------------------
 

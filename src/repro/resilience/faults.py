@@ -50,15 +50,25 @@ class CollectiveFault(RuntimeError):
 
 
 class WorkerCrash(RuntimeError):
-    """A (simulated) worker process death at the start of an iteration.
+    """A worker process death — simulated (fault injection) or real.
 
     Carries the iteration so callers can point the user at the right
-    checkpoint to ``--resume`` from.
+    checkpoint to ``--resume`` from.  The process-parallel executor
+    (:mod:`repro.exec`) raises it with an explicit ``message`` and the dead
+    worker's ``replica`` index when a forked replica worker actually dies or
+    fails mid-iteration.
     """
 
-    def __init__(self, iteration: int) -> None:
-        super().__init__(f"simulated worker crash at iteration {iteration}")
+    def __init__(
+        self, iteration: int, message: str | None = None, replica: int | None = None
+    ) -> None:
+        super().__init__(
+            message
+            if message is not None
+            else f"simulated worker crash at iteration {iteration}"
+        )
         self.iteration = int(iteration)
+        self.replica = replica
 
 
 class ResilienceExhausted(RuntimeError):

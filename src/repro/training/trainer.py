@@ -115,6 +115,7 @@ class Pretrainer:
         collect_cb_diagnostics: bool = False,
         plan: ParallelPlan | None = None,
         resilience: ResilienceSpec | None = None,
+        executor: str | None = None,
     ) -> None:
         if plan is not None:
             num_stages = plan.topology.pp if num_stages is None else num_stages
@@ -148,6 +149,9 @@ class Pretrainer:
         self.lr_schedule = lr_schedule
         self.seed = int(seed)
         self.data_parallel_degree = loader.data_parallel_degree
+        if executor is None:
+            executor = plan.executor if plan is not None else "serial"
+        self.executor_kind = executor
 
         self.engine = self.factory.build_engine(
             model_config,
@@ -156,6 +160,7 @@ class Pretrainer:
             engine_config=engine_config,
             seed=self.seed,
             collect_cb_diagnostics=collect_cb_diagnostics,
+            executor=executor,
         )
         # Aliases kept for the pre-engine API (tests and experiments use these).
         self.log = self.engine.log
@@ -357,6 +362,18 @@ class Pretrainer:
         )
 
     # ------------------------------------------------------------------- evaluation --
+
+    # -------------------------------------------------------------------- lifecycle --
+
+    def close(self) -> None:
+        """Release the engine's process executor, if any (idempotent no-op otherwise)."""
+        self.engine.close()
+
+    def __enter__(self) -> "Pretrainer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.close()
 
     def validation_loss(self, num_batches: int = 2) -> float:
         """Mean validation loss of replica 0 over ``num_batches`` held-out batches."""

@@ -3,6 +3,14 @@
 The library does not configure the root logger (that is the application's job); it
 only provides namespaced loggers with a sensible default handler when running the
 bundled examples and benchmarks.
+
+Worker attribution: the process-parallel executor (:mod:`repro.exec`) runs one
+forked worker per DP replica, and their console output interleaves with the
+parent's.  :func:`set_worker_tag` stamps every record emitted *from this
+process* with a replica/stage tag (``[dp0]``, ``[dp1/pp2]``), so interleaved
+lines stay attributable.  The tag is process-global because it identifies the
+process, and it rides a handler filter, so forked workers inherit the console
+handler and only have to set their own tag.
 """
 
 from __future__ import annotations
@@ -11,6 +19,35 @@ import logging
 import sys
 
 _LIBRARY_LOGGER_NAME = "repro"
+
+#: Worker tag of this process; empty in the parent / serial executor.
+_WORKER_TAG = ""
+
+
+def set_worker_tag(tag: str | None) -> None:
+    """Tag every console record from this process (e.g. ``"dp0"``, ``"dp1/pp2"``).
+
+    Called by executor workers right after fork; pass ``None``/``""`` to clear.
+    """
+    global _WORKER_TAG
+    _WORKER_TAG = str(tag) if tag else ""
+
+
+def worker_tag() -> str:
+    """The current process's worker tag (empty outside executor workers)."""
+    return _WORKER_TAG
+
+
+class WorkerTagFilter(logging.Filter):
+    """Injects the process's worker tag into records as ``record.worker``.
+
+    The attribute renders as ``"[dp0] "`` (trailing space included) or ``""``,
+    so format strings can splice ``%(worker)s`` in unconditionally.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.worker = f"[{_WORKER_TAG}] " if _WORKER_TAG else ""
+        return True
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -40,7 +77,8 @@ def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
     )
     if not already_attached:
         handler = logging.StreamHandler(stream=sys.stderr)
-        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(worker)s%(name)s: %(message)s"))
+        handler.addFilter(WorkerTagFilter())
         handler._repro_console = True  # type: ignore[attr-defined]
         logger.addHandler(handler)
     return logger

@@ -93,6 +93,20 @@ class CounterRNG:
         self._bit_generator = np.random.Philox(key=self.seed)
         self._generator = np.random.Generator(self._bit_generator)
 
+    def __getstate__(self) -> dict:
+        # Default pickling would serialise ``_bit_generator`` and ``_generator``
+        # (which embeds its own bit-generator reference) as two *separate*
+        # objects, so after unpickling, ``at()``'s in-place counter rewrite
+        # would no longer steer the cached generator's stream.  The seed is the
+        # entire identity: ``at()`` reseeks the full Philox state on every call,
+        # so rebuilding the coupled pair from the seed is bit-exact.
+        return {"seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.seed = int(state["seed"]) & _UINT64_MASK
+        self._bit_generator = np.random.Philox(key=self.seed)
+        self._generator = np.random.Generator(self._bit_generator)
+
     def at(self, stream: int, counter: int = 0) -> np.random.Generator:
         """The cached generator, reseeked to the start of ``(stream, counter)``."""
         state = self._bit_generator.state

@@ -762,3 +762,48 @@ class TestPlanCli:
             plan.engine_config().dp_bucket_bytes
             == EngineCompressionConfig.dp_bucket_bytes
         )
+
+
+class TestExecutorKnob:
+    """The plan's execution-backend selector (``repro.exec`` integration)."""
+
+    def test_round_trip_and_describe(self):
+        plan = ParallelPlan.preset("cb_fe_sc").with_executor("process")
+        assert plan.executor == "process"
+        assert ParallelPlan.from_dict(plan.to_dict()) == plan
+        assert plan.describe().endswith("proc-exec")
+        assert "proc-exec" not in plan.with_executor("serial").describe()
+
+    def test_serial_is_omitted_from_json(self):
+        """Byte-stability: existing plan files never gain an executor key."""
+        payload = ParallelPlan.preset("baseline").to_dict()
+        assert "executor" not in payload
+        assert ParallelPlan.from_dict(payload).executor == "serial"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            ParallelPlan.baseline().with_executor("threads")
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            ParallelPlan.from_dict({"executor": "threads"})
+        with pytest.raises(ValueError, match="executor must be a string"):
+            ParallelPlan.from_dict({"executor": 2})
+
+    def test_cli_flag_layers_onto_any_plan(self):
+        arguments = cli.build_parser().parse_args(
+            ["train", "--preset", "baseline", "--executor", "process"]
+        )
+        assert cli.build_train_plan(arguments).executor == "process"
+        arguments = cli.build_parser().parse_args(["train", "--preset", "baseline"])
+        assert cli.build_train_plan(arguments).executor == "serial"
+
+    def test_train_executor_process_smoke(self, capsys):
+        """Fast-tier CI smoke: the full CLI path over the process executor."""
+        assert (
+            cli.main(
+                ["train", "--preset", "cb_fe_sc", "--stages", "2", "--executor",
+                 "process", "--iterations", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "proc-exec" in out and "final training loss" in out

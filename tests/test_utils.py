@@ -84,6 +84,31 @@ class TestCounterRNG:
         a.at(0, 0).random(10)
         assert np.array_equal(a.at(4, 0).random(16), b.at(4, 0).random(16))
 
+    def test_pickle_round_trip_preserves_streams(self):
+        """Fork/pickle-safety regression: the unpickled copy must keep its
+        cached ``Generator`` coupled to its ``Philox`` bit generator.
+
+        Default pickling serialised ``_bit_generator`` and ``_generator`` as
+        two *separate* objects, so ``at()``'s in-place counter rewrite stopped
+        steering the cached generator and every post-unpickle draw came from
+        counter 0.  The process-parallel executor inherits codec RNGs by fork
+        (and checkpointing may pickle them), so streams must survive exactly.
+        """
+        import pickle
+
+        original = CounterRNG(2024)
+        original.at(3, 7).random(50)  # disturb the cached generator's position
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.seed == original.seed
+        for stream, counter in [(0, 0), (3, 7), (2**63 + 11, 2**40)]:
+            expected = CounterRNG.reference_generator(2024, stream, counter).random(65)
+            assert np.array_equal(clone.at(stream, counter).random(65), expected)
+        # The clone's draws must also not perturb the original (no sharing).
+        assert np.array_equal(
+            original.at(5, 1).random(16),
+            CounterRNG.reference_generator(2024, 5, 1).random(16),
+        )
+
 
 class TestGlobalSeed:
     def test_set_global_seed_resets_stream(self):
@@ -138,3 +163,21 @@ class TestLogging:
         handlers_before = len(logger.handlers)
         enable_console_logging(logging.INFO)
         assert len(logger.handlers) == handlers_before
+
+    def test_worker_tag_prefixes_records(self):
+        """Per-worker attribution: a set tag shows up as ``[tag]`` in the line."""
+        from repro.utils.logging import WorkerTagFilter, set_worker_tag, worker_tag
+
+        record = logging.LogRecord("repro.exec", logging.INFO, __file__, 1, "hi", (), None)
+        try:
+            set_worker_tag("dp3")
+            assert worker_tag() == "dp3"
+            assert WorkerTagFilter().filter(record) is True
+            assert record.worker == "[dp3] "
+        finally:
+            set_worker_tag("")
+        record_untagged = logging.LogRecord(
+            "repro.exec", logging.INFO, __file__, 1, "hi", (), None
+        )
+        WorkerTagFilter().filter(record_untagged)
+        assert record_untagged.worker == ""
