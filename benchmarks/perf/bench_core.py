@@ -25,7 +25,12 @@ Four hot paths are measured, each against the implementation it replaced:
   forked shared-memory workers on a PP2 x DP4 probe (bit-identical final
   weights — asserted here; the speedup is recorded with the runner's core
   count, since replica concurrency is real parallelism only on multi-core
-  machines).
+  machines);
+* **worker recovery** — the supervised process executor's two costs: the
+  fault-free per-iteration recovery-point overhead (snapshot + CB-state
+  fetch) versus the raw executor, and the kill -> detect -> respawn -> replay
+  latency of healing a SIGKILLed worker (bit-identical final weights versus
+  the serial oracle — asserted here).
 
 Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
 trajectory is tracked from PR 2 onward; the perf smoke test
@@ -546,6 +551,110 @@ def bench_process_executor(repeats: int = 3, iterations_per_repeat: int = 2) -> 
     }
 
 
+def bench_worker_recovery(repeats: int = 3, iterations_per_repeat: int = 2) -> dict:
+    """Supervised process executor: steady-state overhead + respawn latency.
+
+    Two costs of self-healing are measured on a PP2 x DP2 process-executor
+    probe.  ``unsupervised_over_supervised`` (tracked, higher is better) is the
+    fault-free cost of supervision: the per-iteration arena snapshot + CB-state
+    fetch that makes every iteration replayable; the ratio sits just below 1.0
+    and drops if the recovery point gets more expensive.  ``respawns_per_s``
+    (tracked) is the inverse wall time of one kill -> detect -> re-fork ->
+    rewind -> replay cycle, measured by SIGKILLing a live worker from outside
+    and timing the supervised iteration that heals it; like the process
+    executor's speedup it is machine-dependent but compares same-machine runs.
+    Recovery must be invisible in the result: the killed-and-healed trainer's
+    weights are asserted bit-identical to the serial oracle's.
+    """
+    import os
+    import signal
+
+    from repro.data import LanguageModelingDataLoader, SyntheticCorpus, SyntheticCorpusConfig
+    from repro.plan import ParallelPlan, ResilienceSpec
+    from repro.training.trainer import Pretrainer
+
+    config = functional_config(
+        vocab_size=64, sequence_length=16, num_layers=2, hidden_size=16, num_heads=2
+    )
+    plan = (
+        ParallelPlan.preset("cb_fe_sc")
+        .with_topology(pp=2, dp=2, micro_batches=2)
+        .proxy_scaled()
+    )
+
+    def build(executor: str, supervised: bool) -> Pretrainer:
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(vocab_size=64, seed=321))
+        loader = LanguageModelingDataLoader(
+            corpus, sequence_length=12, micro_batch_size=2,
+            num_micro_batches=2, data_parallel_degree=2,
+        )
+        built = plan.with_executor(executor)
+        if supervised:
+            # A huge respawn budget: this benchmark keeps killing the same
+            # worker and must never hit the escalation ladder.
+            built = built.with_resilience(
+                ResilienceSpec(max_respawns_per_worker=64, max_total_respawns=256)
+            )
+        return Pretrainer(config, loader, plan=built, seed=0)
+
+    unsupervised = build("process", supervised=False)
+    supervised = build("process", supervised=True)
+    try:
+        # Untimed warmup forks both sides' workers.
+        unsupervised.train_iteration()
+        supervised.train_iteration()
+
+        def run(trainer):
+            def _run():
+                for _ in range(iterations_per_repeat):
+                    trainer.train_iteration()
+
+            return _run
+
+        unsupervised_s = _time_calls(run(unsupervised), repeats) / iterations_per_repeat
+        supervised_s = _time_calls(run(supervised), repeats) / iterations_per_repeat
+
+        def kill_and_recover():
+            executor = supervised.engine._process_executor
+            os.kill(executor._processes[0].pid, signal.SIGKILL)
+            supervised.train_iteration()
+
+        recovered_s = _time_calls(kill_and_recover, repeats)
+        kills = repeats
+
+        # Recovery is bit-exact or it is not recovery: replay the same number
+        # of iterations on the serial oracle and demand identical weights.
+        oracle = build("serial", supervised=False)
+        for _ in range(supervised._iteration):
+            oracle.train_iteration()
+        bit_parity = all(
+            np.array_equal(oracle_arena.data, supervised_arena.data)
+            for oracle_arena, supervised_arena in zip(
+                oracle.engine.arenas, supervised.engine.arenas
+            )
+        )
+        assert bit_parity, "supervised recovery diverged from the serial oracle"
+        respawns = supervised.resilience_report.respawns
+        assert respawns >= kills, f"expected >= {kills} respawns, ledger says {respawns}"
+    finally:
+        unsupervised.close()
+        supervised.close()
+
+    return {
+        "unsupervised_ms": unsupervised_s * 1e3,
+        "supervised_ms": supervised_s * 1e3,
+        "supervised_over_unsupervised": supervised_s / unsupervised_s,
+        "unsupervised_over_supervised": unsupervised_s / supervised_s,
+        "recovered_iteration_ms": recovered_s * 1e3,
+        "respawn_overhead_ms": (recovered_s - supervised_s) * 1e3,
+        "respawns_per_s": 1.0 / recovered_s,
+        "kills": kills,
+        "respawns": respawns,
+        "bit_parity": bit_parity,
+        "layout": "PP2 x DP2, cb_fe_sc",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -565,6 +674,7 @@ def run_all(
         "auto_schedule": bench_auto_schedule(),
         "resilience_overhead": bench_resilience_overhead(repeats=engine_repeats),
         "process_executor": bench_process_executor(repeats=engine_repeats),
+        "worker_recovery": bench_worker_recovery(repeats=engine_repeats),
     }
 
 
@@ -627,6 +737,14 @@ def main() -> int:
         f"{executor['process_ms']:.1f} ms process ({executor['speedup']:.2f}x on "
         f"{executor['cpu_count']} cores, {executor['workers']} workers, "
         f"bit parity {executor['bit_parity']})"
+    )
+    recovery = results["worker_recovery"]
+    print(
+        f"worker recovery [{recovery['layout']}]: {recovery['unsupervised_ms']:.1f} ms raw -> "
+        f"{recovery['supervised_ms']:.1f} ms supervised "
+        f"({recovery['supervised_over_unsupervised']:.2f}x); kill->heal "
+        f"{recovery['recovered_iteration_ms']:.1f} ms ({recovery['respawns_per_s']:.1f} "
+        f"respawns/s, {recovery['respawns']} respawns, bit parity {recovery['bit_parity']})"
     )
     print(f"[written to {path}]")
     return 0

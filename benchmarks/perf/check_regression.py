@@ -58,6 +58,11 @@ TRACKED_METRICS = [
     # value is machine-dependent (>1x only with spare cores), but the fresh/
     # committed ratio compares same-machine runs like every other speedup here.
     ("process_executor", "speedup"),
+    # Self-healing supervision: fault-free recovery-point overhead (ratio just
+    # below 1.0, drops if snapshotting gets dearer) and the kill -> respawn ->
+    # replay healing rate (machine-dependent, same-machine comparable).
+    ("worker_recovery", "unsupervised_over_supervised"),
+    ("worker_recovery", "respawns_per_s"),
 ]
 
 

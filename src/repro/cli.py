@@ -279,6 +279,14 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
         except ValueError as error:
             raise SystemExit(str(error)) from error
 
+    # The executor lands before the resilience fold so hang faults (which
+    # require the process executor) validate against the resolved backend.
+    if getattr(arguments, "executor", None) is not None:
+        try:
+            plan = plan.with_executor(arguments.executor)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+
     # Resilience flags fold into the plan's (possibly absent) resilience
     # section; --guard alone arms the guardrails with an empty fault schedule.
     resilience_changes: dict = {}
@@ -290,14 +298,18 @@ def build_train_plan(arguments: argparse.Namespace) -> ParallelPlan:
         resilience_changes["max_collective_retries"] = arguments.max_collective_retries
     if getattr(arguments, "fault_seed", None) is not None:
         resilience_changes["seed"] = arguments.fault_seed
+    if getattr(arguments, "worker_timeout", None) is not None:
+        resilience_changes["worker_timeout"] = arguments.worker_timeout
+    if getattr(arguments, "max_respawns", None) is not None:
+        resilience_changes["max_respawns_per_worker"] = arguments.max_respawns
+    if getattr(arguments, "on_exhausted", None) is not None:
+        resilience_changes["on_exhausted"] = arguments.on_exhausted
     if resilience_changes or getattr(arguments, "guard", False):
         base = plan.resilience if plan.resilience is not None else ResilienceSpec()
         try:
             plan = plan.with_resilience(base.with_(**resilience_changes))
         except ValueError as error:
             raise SystemExit(str(error)) from error
-    if getattr(arguments, "executor", None) is not None:
-        plan = plan.with_executor(arguments.executor)
     return plan
 
 
@@ -650,8 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--inject-fault", action="append", default=None, metavar="SPEC",
                        help="deterministic fault to inject, as "
                             "'kind@iteration[:key=value,...]' with kind one of "
-                            "nan/inf/collective/crash/replica_loss "
-                            "(e.g. 'nan@3:replica=1,stage=0', 'collective@2:count=2'); "
+                            "nan/inf/collective/crash/replica_loss/hang "
+                            "(e.g. 'nan@3:replica=1,stage=0', 'collective@2:count=2'; "
+                            "hang requires --executor process); "
                             "repeatable; implies the guarded training loop")
     train.add_argument("--guard", action="store_true",
                        help="run the guarded training loop (non-finite gradient "
@@ -666,6 +679,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--fault-seed", type=int, default=None,
                        help="seed for the fault injector's deterministic element "
                             "choices (default: 0)")
+    train.add_argument("--worker-timeout", type=float, default=None, metavar="SECONDS",
+                       help="hang-watchdog deadline per worker reply under "
+                            "--executor process (default: 60s); a worker that "
+                            "stays silent longer is treated as hung and respawned")
+    train.add_argument("--max-respawns", type=int, default=None, metavar="N",
+                       help="respawn budget per worker before the supervisor "
+                            "escalates per --on-exhausted (default: 2)")
+    train.add_argument("--on-exhausted", choices=("degrade", "checkpoint_abort"),
+                       default=None,
+                       help="escalation when a worker's respawn budget is spent: "
+                            "'degrade' shrinks the DP group and replays on the "
+                            "survivors; 'checkpoint_abort' writes a final "
+                            "checkpoint into --checkpoint-dir and aborts loudly")
     train.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
                        help="write a rotating atomic checkpoint (format v2) into "
                             "--checkpoint-dir after every N completed iterations")

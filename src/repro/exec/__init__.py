@@ -5,10 +5,13 @@ data-parallel axis physically concurrent.  :class:`ProcessExecutor` forks one
 worker per DP replica over :class:`SharedArenaSegment`-backed parameter arenas;
 the engine's ``executor`` knob (``ParallelPlan.executor`` / ``repro train
 --executor {serial,process}``) selects it.  See :mod:`repro.exec.executor` for
-the parity argument and lifecycle guarantees.
+the parity argument and lifecycle guarantees, and :mod:`repro.exec.supervisor`
+for the self-healing layer (hang watchdog, automatic respawn over the same
+shared segment, policy-driven degrade/checkpoint-abort escalation).
 """
 
 from repro.exec.executor import ProcessExecutor
 from repro.exec.shm import SharedArenaSegment
+from repro.exec.supervisor import WorkerSupervisor
 
-__all__ = ["ProcessExecutor", "SharedArenaSegment"]
+__all__ = ["ProcessExecutor", "SharedArenaSegment", "WorkerSupervisor"]

@@ -37,12 +37,15 @@ processes nor ``/dev/shm`` segments outlive the executor (asserted in
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import time
 import traceback
 import weakref
 from typing import TYPE_CHECKING, Sequence
 
 from repro.exec.shm import SharedArenaSegment
-from repro.resilience import WorkerCrash
+from repro.resilience import DEFAULT_WORKER_TIMEOUT, WorkerCrash, WorkerTimeout
 from repro.utils.logging import set_worker_tag
 
 if TYPE_CHECKING:  # the engine imports this module lazily, not vice versa
@@ -52,7 +55,23 @@ if TYPE_CHECKING:  # the engine imports this module lazily, not vice versa
 _POLL_INTERVAL_SECONDS = 0.05
 
 
-def _replica_worker_main(replica_index, pipeline_engine, cb_hook, connection) -> None:
+def _fire_worker_fault(spec) -> None:
+    """Deliver one injected worker-side fault inside the forked child.
+
+    ``crash``/``replica_loss`` take the *real* death path (SIGKILL to self —
+    no Python cleanup, no reply, exactly what an OOM-killed worker looks
+    like); ``hang`` wedges the process in a sleep loop that only a signal
+    ends, which is what the parent's watchdog deadline exists to catch.
+    """
+    if spec.kind == "hang":
+        while True:  # pragma: no cover - the parent kills the wedged worker
+            time.sleep(3600.0)
+    os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies instantly
+
+
+def _replica_worker_main(
+    replica_index, pipeline_engine, cb_hook, connection, worker_faults=()
+) -> None:
     """Command loop of one replica worker (runs in the forked child).
 
     The worker inherited the replica's pipeline engine, stages, CB hook, and
@@ -61,6 +80,11 @@ def _replica_worker_main(replica_index, pipeline_engine, cb_hook, connection) ->
     gradients in shared memory, and ships back only the mean loss and the
     traffic records the channel logged (the parent merges them into the global
     log in replica order, matching the serial loop's record order).
+
+    ``worker_faults`` is this replica's injected crash/hang/replica-loss
+    schedule; a fault scheduled at the ``run`` command's iteration fires
+    before any computation, at the start of the iteration — matching the
+    serial executor's crash semantics.
     """
     set_worker_tag(f"dp{replica_index}")
     channel_log = pipeline_engine.channel.log
@@ -73,12 +97,20 @@ def _replica_worker_main(replica_index, pipeline_engine, cb_hook, connection) ->
             kind = message[0]
             try:
                 if kind == "run":
+                    iteration = message[2]
+                    for spec in worker_faults:
+                        if spec.iteration == iteration:
+                            _fire_worker_fault(spec)
                     mark = len(channel_log.records)
                     result = pipeline_engine.run_iteration(message[1])
                     records = list(channel_log.records[mark:])
                     # Bound worker-side memory: records were shipped, drop them.
                     del channel_log.records[:]
                     connection.send(("ok", result.mean_loss, records))
+                elif kind == "ping":
+                    # Heartbeat: proves the command loop is live (used by the
+                    # supervisor to verify a freshly respawned worker).
+                    connection.send(("ok", "pong"))
                 elif kind == "cb_state":
                     state = cb_hook.state_dict() if cb_hook is not None else None
                     connection.send(("ok", state))
@@ -128,12 +160,30 @@ class ProcessExecutor:
     private memory so the engine remains fully usable afterwards.
     """
 
-    def __init__(self, engine: "ThreeDParallelEngine", join_timeout: float = 5.0) -> None:
+    def __init__(
+        self,
+        engine: "ThreeDParallelEngine",
+        join_timeout: float = 5.0,
+        worker_timeout: float | None = None,
+    ) -> None:
         self.engine = engine
         self.join_timeout = float(join_timeout)
+        #: Hang-watchdog deadline: the longest the parent waits for one reply
+        #: from a *live* worker before raising ``WorkerTimeout``.  Always
+        #: finite — a wedged worker must never block the parent forever, with
+        #: or without a supervisor on top.
+        self.worker_timeout = float(
+            worker_timeout if worker_timeout is not None else DEFAULT_WORKER_TIMEOUT
+        )
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
         self.segments: list[SharedArenaSegment] = []
         self._processes: list[multiprocessing.Process] = []
         self._connections: list = []
+        #: Original DP shard id of each current worker (``drop_worker`` pops
+        #: entries, so index ``i`` always attributes to the right shard).
+        self.worker_ids: list[int] = []
+        self._worker_faults: list[tuple] = []
         self._started = False
         self._finalizer: weakref.finalize | None = None
 
@@ -160,13 +210,20 @@ class ProcessExecutor:
         self.segments = [
             SharedArenaSegment.adopt(arena) for arena in self.engine.arenas
         ]
+        # Worker-side fault routing: crash/hang/replica_loss specs are handed
+        # to the forked worker so injection exercises the real SIGKILL/wedge
+        # paths (the parent only *detects* the death, as with a real failure).
+        injector = self.engine.fault_injector
         for replica_index, (pipeline_engine, cb_hook) in enumerate(
             zip(self.engine.pipeline_engines, self.engine.cb_hooks)
         ):
+            faults = (
+                injector.worker_faults(replica_index) if injector is not None else ()
+            )
             parent_end, child_end = context.Pipe()
             process = context.Process(
                 target=_replica_worker_main,
-                args=(replica_index, pipeline_engine, cb_hook, child_end),
+                args=(replica_index, pipeline_engine, cb_hook, child_end, faults),
                 name=f"repro-exec-dp{replica_index}",
                 daemon=True,
             )
@@ -174,6 +231,8 @@ class ProcessExecutor:
             child_end.close()
             self._processes.append(process)
             self._connections.append(parent_end)
+            self.worker_ids.append(replica_index)
+            self._worker_faults.append(faults)
         self._started = True
         # Safety net for abandoned executors: kills workers and unlinks the
         # shared segments even if close() is never called.  Holds no reference
@@ -197,7 +256,26 @@ class ProcessExecutor:
         Gradients land in the shared arenas (ready for the parent's DP sync);
         each worker's traffic records are appended to the engine log in replica
         order, so the merged log is record-for-record what the serial loop
-        writes.
+        writes.  On any worker failure the first one (by replica index) is
+        raised — after every other worker has been drained, so no worker is
+        still writing to shared memory when the caller handles the error.
+        """
+        losses, failures = self.run_collect(per_replica_micro_batches, iteration)
+        if failures:
+            raise failures[min(failures)]
+        return losses
+
+    def run_collect(
+        self, per_replica_micro_batches: Sequence[Sequence], iteration: int
+    ) -> tuple[list[float], dict[int, WorkerCrash]]:
+        """:meth:`run`, but collecting per-worker failures instead of raising.
+
+        Returns ``(losses, failures)``.  On full success ``failures`` is empty
+        and the traffic records are merged into the engine log; on any failure
+        ``losses`` is empty and *no* records are merged (so a supervised
+        replay of the iteration cannot duplicate them).  Every surviving
+        worker is drained either way — when this returns, no worker is mid-
+        iteration, so the caller may safely restore the shared arenas.
         """
         if not self._started:
             raise RuntimeError("executor not started")
@@ -206,16 +284,28 @@ class ProcessExecutor:
                 f"got micro-batches for {len(per_replica_micro_batches)} replicas, "
                 f"executor has {len(self._processes)} workers"
             )
-        for replica_index, (connection, batches) in enumerate(
-            zip(self._connections, per_replica_micro_batches)
-        ):
-            self._send(replica_index, ("run", list(batches)), iteration)
+        failures: dict[int, WorkerCrash] = {}
+        for replica_index, batches in enumerate(per_replica_micro_batches):
+            try:
+                self._send(replica_index, ("run", list(batches), iteration), iteration)
+            except WorkerCrash as crash:
+                failures[replica_index] = crash
+        replies: dict[int, tuple] = {}
+        for replica_index in range(len(self._processes)):
+            if replica_index in failures:
+                continue
+            try:
+                replies[replica_index] = self._receive(replica_index, iteration)
+            except WorkerCrash as crash:
+                failures[replica_index] = crash
+        if failures:
+            return [], failures
         losses: list[float] = []
         for replica_index in range(len(self._processes)):
-            loss, records = self._receive(replica_index, iteration)
+            loss, records = replies[replica_index]
             losses.append(loss)
             self.engine.log.records.extend(records)
-        return losses
+        return losses, failures
 
     def _send(self, replica_index: int, message, iteration: int) -> None:
         """Send one command, surfacing a dead worker's broken pipe as a crash."""
@@ -233,9 +323,16 @@ class ProcessExecutor:
             ) from error
 
     def _receive(self, replica_index: int, iteration: int):
-        """Wait for one worker's reply, surfacing death as :class:`WorkerCrash`."""
+        """Wait for one worker's reply, surfacing death as :class:`WorkerCrash`.
+
+        The wait honors an overall deadline (``worker_timeout``) even when no
+        supervisor wraps this executor: a live-but-hung worker used to block
+        the parent forever in this poll loop; now it surfaces as
+        :class:`WorkerTimeout` once the deadline passes.
+        """
         connection = self._connections[replica_index]
         process = self._processes[replica_index]
+        deadline = time.monotonic() + self.worker_timeout
         while not connection.poll(_POLL_INTERVAL_SECONDS):
             if not process.is_alive():
                 raise WorkerCrash(
@@ -243,6 +340,16 @@ class ProcessExecutor:
                     message=(
                         f"replica worker dp{replica_index} (pid {process.pid}) died "
                         f"with exit code {process.exitcode} at iteration {iteration}"
+                    ),
+                    replica=replica_index,
+                )
+            if time.monotonic() >= deadline:
+                raise WorkerTimeout(
+                    iteration,
+                    message=(
+                        f"replica worker dp{replica_index} (pid {process.pid}) is "
+                        f"alive but sent no reply within {self.worker_timeout:.1f}s "
+                        f"at iteration {iteration} — treating it as hung"
                     ),
                     replica=replica_index,
                 )
@@ -288,6 +395,18 @@ class ProcessExecutor:
         for index, state in enumerate(states):
             self._request(index, ("load_cb_state", state))
 
+    def fetch_cb_state(self, index: int):
+        """One worker's live CB-hook ``state_dict()`` (supervised cache refresh)."""
+        return self._request(index, ("cb_state",))
+
+    def push_cb_state(self, index: int, state) -> None:
+        """Load CB-hook state into one worker (supervised replay after respawn)."""
+        self._request(index, ("load_cb_state", state))
+
+    def ping(self, index: int) -> None:
+        """Heartbeat round-trip proving worker ``index``'s command loop is live."""
+        self._request(index, ("ping",))
+
     def _request(self, replica_index: int, message):
         iteration = self.engine._iteration_index
         self._send(replica_index, message, iteration)
@@ -295,6 +414,62 @@ class ProcessExecutor:
         return reply[0]
 
     # -- topology changes --------------------------------------------------------------
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker and reap it (keeps its slot; used before respawn).
+
+        Safe on an already-dead worker.  The shared segment and the parent's
+        replica objects are untouched — :meth:`respawn_worker` re-forks over
+        them, or :meth:`drop_worker` retires them.
+        """
+        process = self._processes[index]
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=self.join_timeout)
+        try:
+            self._connections[index].close()
+        except OSError:
+            pass
+
+    def respawn_worker(self, index: int, iteration: int) -> None:
+        """Re-fork a dead or hung worker over the *same* shared arena segment.
+
+        The parent's pipeline engine and CB hook for this replica still alias
+        the shared segment's pages, so the fresh fork inherits the replica's
+        current weights with zero copies; only the CB hook state it inherits
+        is stale (the parent's copy), which the supervisor fixes by pushing
+        the pre-iteration state through ``load_cb_state`` before replay.
+        Faults at or before ``iteration`` are filtered from the new worker's
+        schedule so a replayed iteration cannot re-fire the fault that killed
+        its predecessor.
+        """
+        self.kill_worker(index)
+        injector = self.engine.fault_injector
+        faults = (
+            injector.worker_faults(self.worker_ids[index], after_iteration=iteration)
+            if injector is not None
+            else ()
+        )
+        context = multiprocessing.get_context("fork")
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=_replica_worker_main,
+            args=(
+                index,
+                self.engine.pipeline_engines[index],
+                self.engine.cb_hooks[index],
+                child_end,
+                faults,
+            ),
+            name=f"repro-exec-dp{self.worker_ids[index]}-r{iteration}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        self._processes[index] = process
+        self._connections[index] = parent_end
+        self._worker_faults[index] = faults
+        self._refresh_finalizer()
 
     def drop_worker(self, index: int) -> None:
         """Shut down one replica's worker and destroy its segment (degradation).
@@ -306,6 +481,8 @@ class ProcessExecutor:
         self._shutdown_one(index)
         process = self._processes.pop(index)
         self._connections.pop(index)
+        self.worker_ids.pop(index)
+        self._worker_faults.pop(index)
         process.join(timeout=self.join_timeout)
         if process.is_alive():
             process.terminate()
@@ -370,6 +547,8 @@ class ProcessExecutor:
                 process.join(timeout=self.join_timeout)
         self._processes = []
         self._connections = []
+        self.worker_ids = []
+        self._worker_faults = []
         for segment, arena in zip(self.segments, self.engine.arenas):
             segment.release(arena)
         self.segments = []

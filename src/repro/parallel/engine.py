@@ -79,6 +79,7 @@ from repro.resilience import (
     GuardrailPolicy,
     ResilienceExhausted,
     ResilienceReport,
+    SupervisionPolicy,
 )
 from repro.tensor.parameter import Parameter
 
@@ -727,9 +728,16 @@ class ThreeDParallelEngine:
         self.resilience = ResilienceReport()
         self.fault_injector: FaultInjector | None = None
         self.guardrails = GuardrailPolicy()
+        #: Worker supervision (hang watchdog + respawn + escalation): armed
+        #: when a resilience section rides a process-executor plan, or by the
+        #: trainer post-construction.  ``None`` means the raw executor runs —
+        #: its receive deadline still bounds hangs, but failures are fatal.
+        self.supervision: SupervisionPolicy | None = None
         if plan is not None and plan.resilience is not None:
             self.fault_injector = plan.resilience.injector()
             self.guardrails = plan.resilience.policy()
+            if executor == "process":
+                self.supervision = plan.resilience.supervision_policy()
         self._iteration_index = 0
         self._stage_spans_cache: list[list[list[tuple[int, int]]]] | None = None
 
@@ -738,6 +746,7 @@ class ThreeDParallelEngine:
         # validation, traffic prediction) never fork.
         self.executor_kind = executor
         self._process_executor = None
+        self._supervisor = None
 
         if self.tensor_parallel_degree > 1:
             self.verify_tensor_parallel()
@@ -840,8 +849,14 @@ class ThreeDParallelEngine:
             # Per-replica pipelines run concurrently in forked workers over
             # shared-memory arenas; everything order-sensitive below (fault
             # injection, DP sync, embedding sync) stays in this process, so the
-            # result is bit-for-bit the serial loop's.
-            losses = self._ensure_process_executor().run(normalised, self._iteration_index)
+            # result is bit-for-bit the serial loop's.  With supervision armed
+            # the run is additionally self-healing: worker crashes and hangs
+            # are respawned and the iteration replayed bit-exactly.
+            executor = self._ensure_process_executor()
+            if self._supervisor is not None:
+                losses = self._supervisor.run(normalised, self._iteration_index)
+            else:
+                losses = executor.run(normalised, self._iteration_index)
         else:
             losses = [
                 engine.run_iteration(replica_batches).mean_loss
@@ -950,6 +965,8 @@ class ThreeDParallelEngine:
             # Retire the worker (and its shared-memory segment) before the
             # replica objects disappear under it.
             self._process_executor.drop_worker(index)
+            if self._supervisor is not None:
+                self._supervisor.drop_cb_state(index)
         del self.replicas[index]
         del self.pipeline_engines[index]
         del self.arenas[index]
@@ -991,10 +1008,16 @@ class ThreeDParallelEngine:
 
         Under the process executor the live CB hook copies are the *workers'*
         (forked state diverges from the parent's after the first iteration), so
-        the per-replica states are fetched over the command pipes.
+        the per-replica states are fetched over the command pipes — or, under
+        supervision, served from the supervisor's post-step cache, which both
+        skips the per-snapshot round-trip and stays readable when a worker has
+        just died (the cache *is* the dead worker's last completed state).
         """
         if self._process_executor is not None and self._process_executor.started:
-            cb_states = self._process_executor.fetch_cb_states()
+            if self._supervisor is not None:
+                cb_states = list(self._supervisor.cb_states())
+            else:
+                cb_states = self._process_executor.fetch_cb_states()
         else:
             cb_states = [
                 hook.state_dict() if hook is not None else None for hook in self.cb_hooks
@@ -1015,16 +1038,31 @@ class ThreeDParallelEngine:
         self.dp_reduce.load_state_dict(state["dp_reduce"])
         if self._process_executor is not None and self._process_executor.started:
             self._process_executor.push_cb_states(hooks_state)
+            if self._supervisor is not None:
+                self._supervisor.set_cb_states(hooks_state)
 
     # -- process-parallel execution ----------------------------------------------------
 
     def _ensure_process_executor(self):
-        """Fork the replica workers on first use (``executor_kind == "process"``)."""
+        """Fork the replica workers on first use (``executor_kind == "process"``).
+
+        When a :class:`~repro.resilience.SupervisionPolicy` is armed the
+        executor gets its hang-watchdog deadline from the policy and a
+        :class:`~repro.exec.WorkerSupervisor` wraps it.
+        """
         if self._process_executor is None:
             # Lazy import: repro.exec builds on this module's objects.
-            from repro.exec import ProcessExecutor
+            from repro.exec import ProcessExecutor, WorkerSupervisor
 
-            self._process_executor = ProcessExecutor(self)
+            policy = self.supervision
+            self._process_executor = ProcessExecutor(
+                self,
+                worker_timeout=policy.worker_timeout if policy is not None else None,
+            )
+            if policy is not None:
+                self._supervisor = WorkerSupervisor(
+                    self._process_executor, policy, self.resilience
+                )
         if not self._process_executor.started:
             self._process_executor.start()
         return self._process_executor
@@ -1040,6 +1078,7 @@ class ThreeDParallelEngine:
         if self._process_executor is not None:
             self._process_executor.close()
             self._process_executor = None
+            self._supervisor = None
 
     def __enter__(self) -> "ThreeDParallelEngine":
         return self

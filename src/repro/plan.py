@@ -393,11 +393,15 @@ class ResilienceSpec:
     """The plan's resilience section: fault schedule + guardrail budgets.
 
     ``faults`` holds compact fault strings (``"nan@3:replica=1,stage=0"``,
-    ``"collective@2:count=2"``, ``"crash@5"``, ``"replica_loss@4:replica=1"``);
-    they are parsed (and validated) by :func:`repro.resilience.parse_fault_spec`.
-    An empty schedule with guardrails still means "guard the run": non-finite
-    gradient detection with snapshot/rollback skip-step is always on when a
-    resilience section is present.
+    ``"collective@2:count=2"``, ``"crash@5"``, ``"replica_loss@4:replica=1"``,
+    ``"hang@2:replica=1"`` — process executor only); they are parsed (and
+    validated) by :func:`repro.resilience.parse_fault_spec`.  An empty
+    schedule with guardrails still means "guard the run": non-finite gradient
+    detection with snapshot/rollback skip-step is always on when a resilience
+    section is present.  The supervision knobs (``worker_timeout``,
+    ``max_respawns_per_worker``, ``max_total_respawns``, ``on_exhausted``)
+    only take effect under ``executor="process"``, where they configure the
+    hang watchdog and the respawn/degrade escalation ladder.
     """
 
     faults: tuple[str, ...] = ()
@@ -406,13 +410,19 @@ class ResilienceSpec:
     max_consecutive_skips: int = 8
     backoff_base_seconds: float = 0.5
     seed: int = 0
+    #: Hang-watchdog reply deadline in seconds; ``None`` uses the executor
+    #: default (:data:`repro.resilience.DEFAULT_WORKER_TIMEOUT`).
+    worker_timeout: float | None = None
+    max_respawns_per_worker: int = 2
+    max_total_respawns: int = 8
+    on_exhausted: str = "degrade"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(str(fault) for fault in self.faults))
         # Validate the schedule eagerly so a plan that exists can run; the
         # parser lives in repro.resilience (lazy: plan.py stays stdlib-only
         # at module level and repro.parallel imports this module).
-        from repro.resilience import parse_fault_spec
+        from repro.resilience import ON_EXHAUSTED_KINDS, parse_fault_spec
 
         for fault in self.faults:
             parse_fault_spec(fault)
@@ -424,9 +434,25 @@ class ResilienceSpec:
             raise ValueError("max_grad_norm must be positive")
         if self.backoff_base_seconds < 0:
             raise ValueError("backoff_base_seconds must be non-negative")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+        if self.max_respawns_per_worker < 0:
+            raise ValueError("max_respawns_per_worker must be non-negative")
+        if self.max_total_respawns < 0:
+            raise ValueError("max_total_respawns must be non-negative")
+        if self.on_exhausted not in ON_EXHAUSTED_KINDS:
+            raise ValueError(
+                f"on_exhausted must be one of {ON_EXHAUSTED_KINDS}, got {self.on_exhausted!r}"
+            )
 
     def with_(self, **kwargs: Any) -> "ResilienceSpec":
         return replace(self, **kwargs)
+
+    def requires_process_executor(self) -> bool:
+        """Whether this schedule needs forked workers (``hang`` faults do)."""
+        from repro.resilience import parse_fault_spec
+
+        return any(parse_fault_spec(fault).kind == "hang" for fault in self.faults)
 
     def policy(self):
         """The :class:`repro.resilience.GuardrailPolicy` this spec configures."""
@@ -445,9 +471,26 @@ class ResilienceSpec:
 
         return FaultInjector(self.faults, seed=self.seed)
 
+    def supervision_policy(self):
+        """The :class:`repro.resilience.SupervisionPolicy` this spec configures."""
+        from repro.resilience import SupervisionPolicy
+
+        kwargs = {
+            "max_respawns_per_worker": self.max_respawns_per_worker,
+            "max_total_respawns": self.max_total_respawns,
+            "on_exhausted": self.on_exhausted,
+        }
+        if self.worker_timeout is not None:
+            kwargs["worker_timeout"] = self.worker_timeout
+        return SupervisionPolicy(**kwargs)
+
     def describe(self) -> str:
         faults = ", ".join(self.faults) if self.faults else "none"
-        return f"faults: {faults}; retries<={self.max_collective_retries}, skips<={self.max_consecutive_skips}"
+        base = f"faults: {faults}; retries<={self.max_collective_retries}, skips<={self.max_consecutive_skips}"
+        return (
+            f"{base}; respawns<={self.max_respawns_per_worker}/worker,"
+            f"<={self.max_total_respawns} total ({self.on_exhausted})"
+        )
 
 
 @dataclass(frozen=True)
@@ -506,6 +549,16 @@ class ParallelPlan:
                 f"resilience must be a ResilienceSpec or mapping, got {self.resilience!r}"
             )
         validate_executor_kind(self.executor, context="ParallelPlan.executor")
+        if (
+            self.resilience is not None
+            and self.executor != "process"
+            and self.resilience.requires_process_executor()
+        ):
+            raise ValueError(
+                "hang faults wedge a forked worker and need the hang watchdog; "
+                'they require executor="process" (the serial executor has no '
+                "worker to hang or to respawn)"
+            )
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would choke on the dict field;

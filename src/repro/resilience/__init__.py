@@ -1,29 +1,47 @@
-"""Resilience layer: fault injection, guardrails, and rollback accounting.
+"""Resilience layer: fault injection, guardrails, supervision, rollback accounting.
 
-See ``faults`` for the fault model and ``guardrails`` for the policy/report
-types.  Checkpointing lives in :mod:`repro.training.checkpoint` (format v2
-captures the full mutable-state inventory these guardrails roll back).
+See ``faults`` for the fault model (including the worker-side crash/hang
+kinds the process executor routes into its forked workers) and ``guardrails``
+for the policy/report types — :class:`SupervisionPolicy` configures the
+worker-supervision mechanism in :mod:`repro.exec.supervisor`.  Checkpointing
+lives in :mod:`repro.training.checkpoint` (format v2 captures the full
+mutable-state inventory these guardrails roll back).
 """
 
 from repro.resilience.faults import (
     FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     CollectiveFault,
     FaultInjector,
     FaultSpec,
     ResilienceExhausted,
+    RespawnExhausted,
     WorkerCrash,
+    WorkerTimeout,
     parse_fault_spec,
 )
-from repro.resilience.guardrails import GuardrailPolicy, ResilienceReport
+from repro.resilience.guardrails import (
+    DEFAULT_WORKER_TIMEOUT,
+    ON_EXHAUSTED_KINDS,
+    GuardrailPolicy,
+    ResilienceReport,
+    SupervisionPolicy,
+)
 
 __all__ = [
+    "DEFAULT_WORKER_TIMEOUT",
     "FAULT_KINDS",
+    "ON_EXHAUSTED_KINDS",
+    "WORKER_FAULT_KINDS",
     "CollectiveFault",
     "FaultInjector",
     "FaultSpec",
     "GuardrailPolicy",
     "ResilienceExhausted",
     "ResilienceReport",
+    "RespawnExhausted",
+    "SupervisionPolicy",
     "WorkerCrash",
+    "WorkerTimeout",
     "parse_fault_spec",
 ]

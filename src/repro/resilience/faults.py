@@ -24,13 +24,23 @@ Fault kinds
     retries with exponential backoff under a bounded budget
     (:class:`~repro.resilience.guardrails.GuardrailPolicy`).
 ``crash``
-    The trainer raises :class:`WorkerCrash` at the *start* of the given
-    iteration — the simulated process death the checkpoint/``--resume`` path
-    recovers from.
+    Process death at the *start* of the given iteration.  Under the serial
+    executor the trainer raises :class:`WorkerCrash` (the simulated death the
+    checkpoint/``--resume`` path recovers from).  Under ``executor="process"``
+    the fault is routed into the forked worker, which SIGKILLs itself — the
+    *real* worker-death path — and the supervision layer
+    (:mod:`repro.exec.supervisor`) respawns it.
+``hang``
+    The forked worker wedges (sleeps forever, never replies) at the start of
+    the given iteration; the parent's hang watchdog detects it via the
+    ``worker_timeout`` deadline and raises :class:`WorkerTimeout`.  Requires
+    ``executor="process"`` — a serial run has no worker to wedge, so plans
+    reject the combination.
 ``replica_loss``
     Permanent loss of one DP replica at the start of the given iteration; the
     engine shrinks the DP group and rescales the gradient mean over the
-    survivors (graceful degradation).
+    survivors (graceful degradation).  Under ``executor="process"`` the worker
+    really dies (SIGKILL) and the supervisor degrades instead of respawning.
 """
 
 from __future__ import annotations
@@ -42,7 +52,11 @@ import numpy as np
 from repro.utils.random import labelled_rng
 
 #: The fault vocabulary of :func:`parse_fault_spec`.
-FAULT_KINDS = ("nan", "inf", "collective", "crash", "replica_loss")
+FAULT_KINDS = ("nan", "inf", "collective", "crash", "replica_loss", "hang")
+
+#: Kinds that fire *inside* a forked replica worker under ``executor="process"``
+#: (real SIGKILL/wedge paths) rather than in the parent.
+WORKER_FAULT_KINDS = ("crash", "hang", "replica_loss")
 
 
 class CollectiveFault(RuntimeError):
@@ -69,6 +83,45 @@ class WorkerCrash(RuntimeError):
         )
         self.iteration = int(iteration)
         self.replica = replica
+
+
+class WorkerTimeout(WorkerCrash):
+    """A live-but-hung worker missed its reply deadline (``worker_timeout``).
+
+    Raised by ``ProcessExecutor._receive`` when a worker process is still
+    alive but has not answered within the per-iteration deadline — the wedge
+    the hang watchdog exists to catch.  A :class:`WorkerCrash` subclass, so
+    every crash-handling path (supervision, ``--resume`` hints) covers hangs
+    too.
+    """
+
+
+class RespawnExhausted(WorkerCrash):
+    """A worker is unrecoverable: the respawn budget is spent or the loss is permanent.
+
+    Raised by :class:`repro.exec.supervisor.WorkerSupervisor` after it has
+    restored the pre-iteration state, so the engine is clean.  ``action`` is
+    the escalation the policy prescribes (``"degrade"`` shrinks the DP group
+    through ``drop_replica`` and replays the iteration; ``"checkpoint_abort"``
+    writes a final checkpoint and raises :class:`ResilienceExhausted`);
+    ``permanent`` marks an injected ``replica_loss`` (never respawned,
+    always degraded).  ``replica`` is the *current* index (valid for
+    ``drop_replica``); ``worker`` is the original DP shard id for ledgers.
+    """
+
+    def __init__(
+        self,
+        iteration: int,
+        message: str | None = None,
+        replica: int | None = None,
+        worker: int | None = None,
+        action: str = "degrade",
+        permanent: bool = False,
+    ) -> None:
+        super().__init__(iteration, message=message, replica=replica)
+        self.worker = worker
+        self.action = action
+        self.permanent = permanent
 
 
 class ResilienceExhausted(RuntimeError):
@@ -115,6 +168,8 @@ class FaultSpec:
         """The compact string form ``parse_fault_spec`` accepts."""
         knobs = []
         if self.kind in ("nan", "inf", "replica_loss"):
+            knobs.append(f"replica={self.replica}")
+        if self.kind in ("crash", "hang") and self.replica != 0:
             knobs.append(f"replica={self.replica}")
         if self.kind in ("nan", "inf"):
             knobs.append(f"stage={self.stage}")
@@ -199,6 +254,25 @@ class FaultInjector:
         """The permanent replica loss scheduled at ``iteration`` (or ``None``)."""
         specs = self.specs_at(iteration, "replica_loss")
         return specs[0] if specs else None
+
+    # -- worker-side faults ------------------------------------------------------------
+
+    def worker_faults(self, replica: int, after_iteration: int | None = None) -> tuple[FaultSpec, ...]:
+        """The faults replica ``replica``'s forked worker fires on itself.
+
+        Under ``executor="process"`` the :data:`WORKER_FAULT_KINDS` are
+        delivered to the worker at fork time so crash/hang/replica-loss
+        exercise the real death paths.  ``after_iteration`` filters out faults
+        at or before that iteration — a respawned worker must not re-fire the
+        fault that killed it while replaying the in-flight iteration.
+        """
+        return tuple(
+            spec
+            for spec in self.faults
+            if spec.kind in WORKER_FAULT_KINDS
+            and spec.replica == replica
+            and (after_iteration is None or spec.iteration > after_iteration)
+        )
 
     # -- collective faults -----------------------------------------------------------
 

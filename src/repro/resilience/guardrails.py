@@ -2,10 +2,14 @@
 
 :class:`GuardrailPolicy` bounds how much misbehaviour a guarded run tolerates
 (retry budget for transient collectives, consecutive-skip budget for poisoned
-updates, optional global grad-norm cap).  :class:`ResilienceReport` is the
-mutable ledger every outcome lands in — faults injected, retries, simulated
-backoff, skipped steps, rollbacks, and topology degradations — surfaced
-through the engine result and ``repro train`` output.
+updates, optional global grad-norm cap).  :class:`SupervisionPolicy` does the
+same for the process executor's workers: the hang-watchdog deadline, the
+respawn budgets, and the escalation when they run out.
+:class:`ResilienceReport` is the mutable ledger every outcome lands in —
+faults injected, retries, simulated backoff, skipped steps, rollbacks, worker
+respawns (with per-worker attribution), and topology degradations — surfaced
+through the engine result and ``repro train`` output, and carried through
+checkpoints so ``--resume`` preserves the full incident history.
 
 Backoff is *simulated*: the retry loop records ``base * 2**attempt`` seconds
 in the report instead of sleeping, so tests stay fast and the accounting stays
@@ -55,6 +59,50 @@ class GuardrailPolicy:
             raise ValueError("backoff_base_seconds must be non-negative")
 
 
+#: Escalations a :class:`SupervisionPolicy` may prescribe once the respawn
+#: budget is spent.
+ON_EXHAUSTED_KINDS = ("degrade", "checkpoint_abort")
+
+#: Default per-iteration reply deadline of the hang watchdog, in seconds.
+#: Generous against slow machines, finite against wedged workers.
+DEFAULT_WORKER_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Budget knobs for the worker supervision layer (``executor="process"``).
+
+    ``worker_timeout``
+        Per-iteration deadline (seconds) on every worker reply; a live worker
+        that misses it is treated as hung (``WorkerTimeout``) and respawned.
+    ``max_respawns_per_worker`` / ``max_total_respawns``
+        How many automatic kill+re-fork+replay recoveries one worker (and the
+        whole run) gets before escalation.
+    ``on_exhausted``
+        What happens when the budget runs out: ``"degrade"`` drops the failing
+        replica (elastic DP shrink) and replays the iteration on the
+        survivors; ``"checkpoint_abort"`` writes a final checkpoint and raises
+        ``ResilienceExhausted``.
+    """
+
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT
+    max_respawns_per_worker: int = 2
+    max_total_respawns: int = 8
+    on_exhausted: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+        if self.max_respawns_per_worker < 0:
+            raise ValueError("max_respawns_per_worker must be non-negative")
+        if self.max_total_respawns < 0:
+            raise ValueError("max_total_respawns must be non-negative")
+        if self.on_exhausted not in ON_EXHAUSTED_KINDS:
+            raise ValueError(
+                f"on_exhausted must be one of {ON_EXHAUSTED_KINDS}, got {self.on_exhausted!r}"
+            )
+
+
 @dataclass
 class ResilienceReport:
     """Cumulative ledger of resilience events (mutated in place)."""
@@ -65,9 +113,31 @@ class ResilienceReport:
     skipped_steps: int = 0
     rollbacks: int = 0
     degraded: list[dict] = field(default_factory=list)
+    #: Total automatic worker respawns (kill + re-fork + replay).
+    respawns: int = 0
+    #: Per-worker incident attribution, in event order.  Every entry carries
+    #: the original DP shard id (``replica``), the in-flight ``iteration``,
+    #: the failure ``kind`` (``"crash"``/``"hang"``), that worker's cumulative
+    #: ``respawn_count`` at the time, and the ``action`` taken (``"respawn"``,
+    #: ``"degrade"``, or ``"checkpoint_abort"``).
+    worker_events: list[dict] = field(default_factory=list)
 
     def record_fault(self, kind: str) -> None:
         self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    def record_worker_event(
+        self, kind: str, replica: int, iteration: int, respawn_count: int, action: str
+    ) -> None:
+        """Ledger one worker failure with full attribution."""
+        self.worker_events.append(
+            {
+                "kind": kind,
+                "replica": int(replica),
+                "iteration": int(iteration),
+                "respawn_count": int(respawn_count),
+                "action": action,
+            }
+        )
 
     @property
     def total_faults(self) -> int:
@@ -81,6 +151,8 @@ class ResilienceReport:
             or self.skipped_steps
             or self.rollbacks
             or self.degraded
+            or self.respawns
+            or self.worker_events
         )
 
     def copy(self) -> "ResilienceReport":
@@ -91,6 +163,8 @@ class ResilienceReport:
             skipped_steps=self.skipped_steps,
             rollbacks=self.rollbacks,
             degraded=[dict(entry) for entry in self.degraded],
+            respawns=self.respawns,
+            worker_events=[dict(entry) for entry in self.worker_events],
         )
 
     def delta_since(self, before: "ResilienceReport") -> "ResilienceReport":
@@ -107,6 +181,10 @@ class ResilienceReport:
             skipped_steps=self.skipped_steps - before.skipped_steps,
             rollbacks=self.rollbacks - before.rollbacks,
             degraded=[dict(entry) for entry in self.degraded[len(before.degraded) :]],
+            respawns=self.respawns - before.respawns,
+            worker_events=[
+                dict(entry) for entry in self.worker_events[len(before.worker_events) :]
+            ],
         )
 
     def to_dict(self) -> dict:
@@ -117,6 +195,8 @@ class ResilienceReport:
             "skipped_steps": self.skipped_steps,
             "rollbacks": self.rollbacks,
             "degraded": [dict(entry) for entry in self.degraded],
+            "respawns": self.respawns,
+            "worker_events": [dict(entry) for entry in self.worker_events],
         }
 
     @classmethod
@@ -128,6 +208,8 @@ class ResilienceReport:
             skipped_steps=int(payload.get("skipped_steps", 0)),
             rollbacks=int(payload.get("rollbacks", 0)),
             degraded=[dict(entry) for entry in payload.get("degraded", [])],
+            respawns=int(payload.get("respawns", 0)),
+            worker_events=[dict(entry) for entry in payload.get("worker_events", [])],
         )
 
     def describe(self) -> str:
@@ -143,6 +225,9 @@ class ResilienceReport:
             f"skipped steps: {self.skipped_steps}",
             f"rollbacks: {self.rollbacks}",
         ]
+        if self.respawns or self.worker_events:
+            hangs = sum(1 for entry in self.worker_events if entry["kind"] == "hang")
+            parts.append(f"worker respawns: {self.respawns} ({hangs} hangs)")
         if self.degraded:
             degree = self.degraded[-1]["data_parallel_degree"]
             parts.append(f"degraded to dp={degree} ({len(self.degraded)} replica losses)")

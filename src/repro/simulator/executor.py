@@ -29,6 +29,12 @@ from repro.plan import Boundary, ParallelPlan, SPLIT_BACKWARD_KINDS
 from repro.plan import DP_CODECS as DP_CODECS  # single shared codec vocabulary
 from repro.simulator.cost_model import CostModel, TrainingJob
 
+#: Modelled latency of respawning one worker after a crash or hang: fork the
+#: replacement over the existing shared segment, verify it with a heartbeat,
+#: and rewind the pre-iteration state.  The replay of the interrupted
+#: iteration is costed separately (one extra iteration per respawn).
+WORKER_RESPAWN_LATENCY_S = 2.0
+
 
 def build_job_schedule(job: TrainingJob, cost: CostModel | None = None) -> list[list[PipelineOp]]:
     """Per-stage op lists for a training job's ``schedule_kind``.
@@ -363,16 +369,23 @@ class PipelineTimingSimulator:
 
     # -- main simulation ---------------------------------------------------------------
 
-    def run(self, resilience_overhead_s: float = 0.0) -> IterationTiming:
+    def run(self, resilience_overhead_s: float = 0.0, respawns: float = 0.0) -> IterationTiming:
         """Simulate one iteration and return its timing.
 
         ``resilience_overhead_s`` is an additive per-iteration cost for guarded
         runs (snapshot copies + gradient validation + amortised retry backoff,
         e.g. measured by the ``resilience_overhead`` benchmark section); it is
         folded into ``iteration_time`` and reported as ``recovery_overhead``.
+
+        ``respawns`` is the *expected worker respawns per iteration* under the
+        supervised process executor (e.g. MTBF-derived); each one costs a
+        re-fork (:data:`WORKER_RESPAWN_LATENCY_S`) plus a full replay of the
+        iteration it interrupted, and is amortised into the same overhead.
         """
         if resilience_overhead_s < 0:
             raise ValueError("resilience_overhead_s must be non-negative")
+        if respawns < 0:
+            raise ValueError("respawns must be non-negative")
         num_stages = self.job.num_stages
         num_micro = self.job.num_micro_batches
         chunks = self.job.num_model_chunks if num_stages > 1 else 1
@@ -637,8 +650,14 @@ class PipelineTimingSimulator:
             self.cost.tensor_parallel_wire_bytes(stage) for stage in range(num_stages)
         )
 
+        # A respawn re-forks the worker and replays the interrupted iteration
+        # from the pre-step snapshot, so each one costs the fork latency plus
+        # one extra (undisturbed) iteration.
+        recovery_overhead = resilience_overhead_s + respawns * (
+            WORKER_RESPAWN_LATENCY_S + iteration_time
+        )
         return IterationTiming(
-            iteration_time=iteration_time + resilience_overhead_s,
+            iteration_time=iteration_time + recovery_overhead,
             stage_backward_finish=stage_backward_finish,
             stage_finish=stage_finish,
             dp_times=dp_times,
@@ -655,12 +674,17 @@ class PipelineTimingSimulator:
             bubble_fraction=bubble_fraction,
             pipeline_time=pipeline_makespan,
             schedule_kind=self.job.schedule_kind,
-            recovery_overhead=resilience_overhead_s,
+            recovery_overhead=recovery_overhead,
         )
 
 
 def simulate_plan(
-    job: TrainingJob, plan: CompressionPlan, resilience_overhead_s: float = 0.0
+    job: TrainingJob,
+    plan: CompressionPlan,
+    resilience_overhead_s: float = 0.0,
+    respawns: float = 0.0,
 ) -> IterationTiming:
     """Convenience wrapper: simulate one iteration of ``job`` under ``plan``."""
-    return PipelineTimingSimulator(job, plan).run(resilience_overhead_s=resilience_overhead_s)
+    return PipelineTimingSimulator(job, plan).run(
+        resilience_overhead_s=resilience_overhead_s, respawns=respawns
+    )

@@ -224,6 +224,8 @@ def load_checkpoint(trainer: Pretrainer, path: str | pathlib.Path) -> int:
     report.skipped_steps = restored_report.skipped_steps
     report.rollbacks = restored_report.rollbacks
     report.degraded = restored_report.degraded
+    report.respawns = restored_report.respawns
+    report.worker_events = restored_report.worker_events
     return trainer._iteration
 
 

@@ -28,6 +28,14 @@ and skip the step.  Injected crashes surface as
 group in place.  Fault-free guarded runs are bit-identical to unguarded runs —
 the guards only *read* live state unless a violation fires.
 
+Self-healing (PR 9): under ``executor="process"`` the crash/hang/replica-loss
+faults route *into* the forked workers (real SIGKILL / wedge), and the
+engine's :class:`repro.exec.WorkerSupervisor` respawns and replays them
+bit-exactly.  The trainer only sees the escalation ladder's end:
+:class:`repro.resilience.RespawnExhausted` either shrinks the DP group
+(``on_exhausted="degrade"``, replaying the iteration on the survivors) or
+writes a final checkpoint and raises (``on_exhausted="checkpoint_abort"``).
+
 This is the "functional layer" of the reproduction: the models are small enough to
 train on a CPU, but the parallel structure, the compression algebra, and therefore
 the *quality* effects are the real thing.
@@ -49,7 +57,13 @@ from repro.optim import FusedAdam, LRSchedule
 from repro.parallel.collectives import CommunicationLog
 from repro.parallel.engine import EngineIterationResult
 from repro.plan import ParallelPlan, ResilienceSpec
-from repro.resilience import GuardrailPolicy, ResilienceExhausted, ResilienceReport, WorkerCrash
+from repro.resilience import (
+    GuardrailPolicy,
+    ResilienceExhausted,
+    ResilienceReport,
+    RespawnExhausted,
+    WorkerCrash,
+)
 from repro.training.metrics import TrainingHistory
 
 
@@ -189,11 +203,22 @@ class Pretrainer:
         self.resilience_spec = resilience
         self.guardrails: GuardrailPolicy | None = None
         if resilience is not None:
+            if resilience.requires_process_executor() and self.executor_kind != "process":
+                raise ValueError(
+                    "hang faults wedge a forked worker and need the hang watchdog; "
+                    'they require executor="process"'
+                )
             self.guardrails = resilience.policy()
             self.engine.fault_injector = resilience.injector()
             self.engine.guardrails = self.guardrails
+            if self.executor_kind == "process":
+                # Arm self-healing supervision before the lazy executor forks.
+                self.engine.supervision = resilience.supervision_policy()
         self.resilience_report = self.engine.resilience
         self._consecutive_skips = 0
+        #: Checkpoint-abort escalation target; :meth:`train` keeps it current.
+        self._checkpoint_dir = None
+        self._keep_last = 3
         #: Original loader shard index of each surviving replica (graceful
         #: degradation drops entries; the loader keeps producing all shards).
         self._replica_ids = list(range(self.data_parallel_degree))
@@ -212,7 +237,12 @@ class Pretrainer:
         iteration = self._iteration
         injector = self.engine.fault_injector
         policy = self.guardrails
-        if injector is not None:
+        if injector is not None and self.executor_kind != "process":
+            # Serial executor: there is no worker to kill, so crash/replica_loss
+            # fire parent-side — a crash is fatal (restart with --resume), a
+            # replica loss shrinks the DP group up front.  Under the process
+            # executor these same specs route into the forked workers (real
+            # SIGKILL) and come back through the supervisor's escalation below.
             if injector.crash_due(iteration) is not None:
                 self.resilience_report.record_fault("crash")
                 raise WorkerCrash(iteration)
@@ -224,13 +254,20 @@ class Pretrainer:
             for optimizer in self.optimizers:
                 self.lr_schedule.apply(optimizer, iteration)
 
-        for optimizer in self.optimizers:
-            optimizer.zero_grad()
-        snapshot = self._rollback_snapshot() if policy is not None else None
-        batches = self.loader.iteration_batches(iteration)
-        if len(self._replica_ids) != self.loader.data_parallel_degree:
-            batches = [batches[index] for index in self._replica_ids]
-        result = self.engine.run_iteration(batches)
+        while True:
+            for optimizer in self.optimizers:
+                optimizer.zero_grad()
+            snapshot = self._rollback_snapshot() if policy is not None else None
+            batches = self.loader.iteration_batches(iteration)
+            if len(self._replica_ids) != self.loader.data_parallel_degree:
+                batches = [batches[index] for index in self._replica_ids]
+            try:
+                result = self.engine.run_iteration(batches)
+                break
+            except RespawnExhausted as exhausted:
+                # The supervisor already rewound to the pre-iteration state;
+                # degrade shrinks the DP group and replays on the survivors.
+                self._escalate(exhausted, iteration)
         self.last_iteration_result = result
 
         if policy is not None and not self._gradients_healthy(policy):
@@ -279,6 +316,11 @@ class Pretrainer:
                 raise ValueError("checkpoint_every requires checkpoint_dir")
             # Lazy: the checkpoint module imports this one for type references.
             from repro.training.checkpoint import save_rotating_checkpoint
+        if checkpoint_dir is not None:
+            # Remembered so a checkpoint_abort escalation mid-run can write its
+            # final checkpoint into the run's own rotation.
+            self._checkpoint_dir = checkpoint_dir
+            self._keep_last = keep_last
         interval = validation_interval if validation_interval is not None else max(1, num_iterations // 5)
         for _ in range(num_iterations):
             self.train_iteration()
@@ -341,7 +383,33 @@ class Pretrainer:
                 return False
         return True
 
-    def _degrade(self, replica_index: int, iteration: int) -> None:
+    def _escalate(self, exhausted: RespawnExhausted, iteration: int) -> None:
+        """Resolve a :class:`RespawnExhausted` per its policy-chosen action.
+
+        ``degrade`` drops the unrecoverable replica (the caller then replays
+        the iteration on the survivors); ``checkpoint_abort`` writes a final
+        checkpoint of the pre-iteration state (the supervisor already restored
+        it and retired the executor) and raises :class:`ResilienceExhausted`.
+        """
+        if exhausted.action == "checkpoint_abort":
+            detail = "no checkpoint directory configured — final state not saved"
+            if self._checkpoint_dir is not None:
+                from repro.training.checkpoint import save_rotating_checkpoint
+
+                path = save_rotating_checkpoint(
+                    self, self._checkpoint_dir, keep_last=self._keep_last
+                )
+                detail = f"final checkpoint written to {path}"
+            raise ResilienceExhausted(
+                f"worker dp{exhausted.worker} is unrecoverable at iteration "
+                f"{iteration} and on_exhausted='checkpoint_abort': {detail}"
+            ) from exhausted
+        # A budget-spent degrade is not an *injected* replica loss — only a
+        # scheduled permanent loss lands in the injected-fault tally (the
+        # worker-event ledger attributes the degrade either way).
+        self._degrade(exhausted.replica, iteration, injected=exhausted.permanent)
+
+    def _degrade(self, replica_index: int, iteration: int, injected: bool = True) -> None:
         """Permanently drop one replica: shrink the DP group and rescale."""
         if replica_index >= len(self._replica_ids):
             replica_index = len(self._replica_ids) - 1
@@ -352,7 +420,8 @@ class Pretrainer:
         self.data_parallel_degree = self.engine.data_parallel_degree
         self.dp_sync = self.engine.dp_sync
         self.embedding_sync = self.engine.embedding_sync
-        self.resilience_report.record_fault("replica_loss")
+        if injected:
+            self.resilience_report.record_fault("replica_loss")
         self.resilience_report.degraded.append(
             {
                 "iteration": iteration,
