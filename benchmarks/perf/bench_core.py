@@ -30,7 +30,12 @@ Four hot paths are measured, each against the implementation it replaced:
   fault-free per-iteration recovery-point overhead (snapshot + CB-state
   fetch) versus the raw executor, and the kill -> detect -> respawn -> replay
   latency of healing a SIGKILLed worker (bit-identical final weights versus
-  the serial oracle — asserted here).
+  the serial oracle — asserted here);
+* **plan search** — cold versus warm latency of a ``repro search`` capacity
+  query through the content-keyed on-disk result cache: the cold run pays the
+  simulator for every candidate, the warm rerun must serve every candidate
+  from the cache (zero evaluations — asserted here) and return byte-identical
+  JSON (asserted here).
 
 Results are written to ``benchmarks/results/BENCH_core.json`` so the performance
 trajectory is tracked from PR 2 onward; the perf smoke test
@@ -655,6 +660,60 @@ def bench_worker_recovery(repeats: int = 3, iterations_per_repeat: int = 2) -> d
     }
 
 
+def bench_plan_search(workers: int = 2) -> dict:
+    """Cold vs warm ``repro search`` latency through the on-disk result cache.
+
+    A moderate GPT-2.5B capacity query (~100 candidates) runs twice against a
+    fresh cache directory: the cold pass evaluates every candidate through the
+    timing simulator in a small worker pool; the warm pass must answer
+    entirely from the content-keyed cache (``warm_evaluated`` asserted 0,
+    byte-identical frontier JSON asserted too).  ``warm_speedup`` (tracked,
+    higher is better) is cold/warm wall time — machine-dependent like every
+    wall-clock ratio here, but the fresh/committed comparison is same-machine.
+    """
+    import tempfile
+
+    from repro.search import SearchCache, SearchQuery, run_search
+
+    query = SearchQuery(
+        model="GPT-2.5B",
+        gpus=32,
+        micro_batches=(8,),
+        schedules=("1f1b", "zb1"),
+        dp_codecs=("none", "powersgd", "topk"),
+        stage_fractions=(1.0,),
+        pp_codecs=("none",),
+        embedding=("none",),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SearchCache(pathlib.Path(tmp))
+        start = time.perf_counter()
+        cold = run_search(query, workers=workers, cache=cache)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_search(query, workers=0, cache=cache)
+        warm_s = time.perf_counter() - start
+
+    # The cache's whole contract: a warm rerun touches the simulator zero
+    # times and reproduces the cold frontier byte for byte.
+    assert cold.errors == 0, f"{cold.errors} candidates failed to evaluate"
+    assert warm.evaluated == 0, "warm rerun re-ran the simulator"
+    assert warm.to_json() == cold.to_json(), "warm frontier diverged from cold"
+
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "candidates": cold.candidates,
+        "cold_evaluated": cold.evaluated,
+        "warm_evaluated": warm.evaluated,
+        "warm_cache_hits": warm.cache_hits,
+        "frontier_size": len(cold.entries),
+        "workers": workers,
+        "query": "GPT-2.5B on 32 GPUs, 2 schedules x 3 DP codecs",
+    }
+
+
 def run_all(
     optimizer_repeats: int = 5, engine_repeats: int = 3, codec_repeats: int = 5
 ) -> dict:
@@ -675,6 +734,7 @@ def run_all(
         "resilience_overhead": bench_resilience_overhead(repeats=engine_repeats),
         "process_executor": bench_process_executor(repeats=engine_repeats),
         "worker_recovery": bench_worker_recovery(repeats=engine_repeats),
+        "plan_search": bench_plan_search(),
     }
 
 
@@ -745,6 +805,13 @@ def main() -> int:
         f"({recovery['supervised_over_unsupervised']:.2f}x); kill->heal "
         f"{recovery['recovered_iteration_ms']:.1f} ms ({recovery['respawns_per_s']:.1f} "
         f"respawns/s, {recovery['respawns']} respawns, bit parity {recovery['bit_parity']})"
+    )
+    search = results["plan_search"]
+    print(
+        f"plan search [{search['query']}]: {search['cold_s']:.2f} s cold "
+        f"({search['candidates']} candidates, {search['workers']} workers) -> "
+        f"{search['warm_s']:.2f} s warm ({search['warm_speedup']:.1f}x, "
+        f"{search['warm_evaluated']} warm evaluations)"
     )
     print(f"[written to {path}]")
     return 0

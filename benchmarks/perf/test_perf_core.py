@@ -99,6 +99,18 @@ def test_bench_core_smoke():
     assert recovery["supervised_over_unsupervised"] <= 3.0, recovery
     assert recovery["respawns_per_s"] > 0.0, recovery
 
+    # The plan-search cache: the warm rerun answers entirely from disk (zero
+    # simulator evaluations and byte-identical JSON are asserted inside the
+    # benchmark); the wall-clock speedup must be real, not marginal — a cache
+    # read is orders of magnitude cheaper than a simulator evaluation, so the
+    # bound stays loose only for CI filesystem noise.
+    search = results["plan_search"]
+    assert search["warm_evaluated"] == 0, search
+    assert search["warm_cache_hits"] == search["candidates"], search
+    assert search["candidates"] >= 50, search
+    assert search["warm_speedup"] >= 1.5, search
+    assert search["frontier_size"] >= 1, search
+
     # The artifact is valid JSON on disk where CI picks it up.
     assert path == RESULTS_PATH
     reloaded = json.loads(path.read_text(encoding="utf-8"))
@@ -125,6 +137,7 @@ def test_regression_checker_flags_real_drops():
         "resilience_overhead": {"unguarded_over_guarded": 0.97},
         "process_executor": {"speedup": 1.0},
         "worker_recovery": {"unsupervised_over_supervised": 0.95, "respawns_per_s": 2.0},
+        "plan_search": {"warm_speedup": 8.0},
     }
     same, _ = compare(baseline, baseline, tolerance=0.30)
     assert same == []
@@ -167,6 +180,7 @@ def test_regression_checker_hard_fails_on_missing_fresh_metric():
         "resilience_overhead": {"unguarded_over_guarded": 0.97},
         "process_executor": {"speedup": 1.0},
         "worker_recovery": {"unsupervised_over_supervised": 0.95, "respawns_per_s": 2.0},
+        "plan_search": {"warm_speedup": 8.0},
     }
 
     # Whole tracked section gone from the fresh run: one hard failure per

@@ -21,6 +21,13 @@ Subcommands
     aggressiveness budget (Section 9.4's future-work knob).
 ``reproduce``
     Run one of the paper's tables/figures (fast functional settings) and print it.
+``search``
+    Capacity planning: expand a search query into thousands of candidate plans,
+    evaluate them through the simulator (pooled workers + on-disk cache), and
+    print the ranked Pareto frontier (throughput vs. wire bytes vs. peak memory).
+``docs``
+    Documentation helpers: ``docs cli`` renders the generated CLI reference
+    (``docs/CLI.md``) from the live argparse tree.
 ``list``
     List the available models, configurations, plan presets, and artefacts.
 
@@ -29,12 +36,14 @@ Example
 ``python -m repro simulate --model GPT-8.3B --config cb_fe_sc --iterations 230000``
 ``python -m repro train --preset cb_fe_sc``
 ``python -m repro plan diff cb_fe examples/plans/cb_fe_sc.json``
+``python -m repro search --model GPT-8.3B --gpus 128 --max-memory-gb 40``
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Callable, Sequence
@@ -572,6 +581,201 @@ def command_list(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _default_search_cache_dir() -> str:
+    """The default plan-search cache directory (honours ``XDG_CACHE_HOME``)."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "plan_search")
+
+
+def _default_search_workers() -> int:
+    """Default worker-process count for ``repro search`` (leaves cores for the OS)."""
+    return max(1, min(8, (os.cpu_count() or 2) - 2))
+
+
+def _search_queries(arguments: argparse.Namespace):
+    """Resolve the ``search`` arguments into the list of queries to answer."""
+    from repro.search import SearchQuery
+
+    if arguments.queries is not None and arguments.query is not None:
+        raise SystemExit("--query and --queries are mutually exclusive")
+    try:
+        if arguments.queries is not None:
+            with open(arguments.queries, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if isinstance(payload, dict) and "queries" in payload:
+                payload = payload["queries"]
+            if not isinstance(payload, list):
+                raise ValueError(
+                    "batch file must be a JSON array of query objects "
+                    '(or {"queries": [...]})'
+                )
+            return [SearchQuery.from_dict(entry) for entry in payload]
+        if arguments.query is not None:
+            with open(arguments.query, "r", encoding="utf-8") as handle:
+                return [SearchQuery.from_dict(json.load(handle))]
+    except OSError as error:
+        raise SystemExit(f"cannot read query file: {error}") from error
+    except (ValueError, TypeError, json.JSONDecodeError) as error:
+        raise SystemExit(f"invalid query file: {error}") from error
+    try:
+        return [
+            SearchQuery(
+                model=arguments.model,
+                gpus=arguments.gpus,
+                hardware=tuple(arguments.hardware or ("infiniband",)),
+                micro_batch_size=arguments.micro_batch_size,
+                max_memory_gb=arguments.max_memory_gb,
+                max_compression_loss=arguments.max_compression_loss,
+                weight_throughput=arguments.weight_throughput,
+                weight_wire=arguments.weight_wire,
+                weight_memory=arguments.weight_memory,
+                max_candidates=arguments.max_candidates,
+            )
+        ]
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+
+def command_search(arguments: argparse.Namespace) -> int:
+    """Answer one or many capacity-planning queries and print ranked frontiers.
+
+    The deterministic result (table or ``--json`` document) goes to stdout;
+    the run-dependent stats line (candidates, evaluations, cache hits, wall
+    clock) goes to stderr so JSON output stays byte-identical across runs.
+    """
+    from repro.search import SearchCache, run_queries
+
+    queries = _search_queries(arguments)
+    workers = (
+        arguments.workers if arguments.workers is not None else _default_search_workers()
+    )
+    cache_dir = arguments.cache_dir or _default_search_cache_dir()
+    cache = None if arguments.no_cache else SearchCache(cache_dir)
+    outcomes = run_queries(queries, workers=workers, cache=cache)
+    for position, outcome in enumerate(outcomes):
+        if arguments.json:
+            if position:
+                print()
+            print(outcome.to_json(top=arguments.top), end="")
+        else:
+            if position:
+                print()
+            print(outcome.render_table(top=arguments.top))
+        print(
+            f"[search] {outcome.candidates} candidates: {outcome.evaluated} evaluated, "
+            f"{outcome.cache_hits} cached, {outcome.errors} errors in "
+            f"{outcome.elapsed_s:.2f}s "
+            f"(workers={workers}, cache={'off' if cache is None else 'on'})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _walk_parsers(prog: str, parser: argparse.ArgumentParser, summary: str = ""):
+    """Yield ``(prog, parser, depth, summary)`` for the parser and every subparser.
+
+    ``summary`` is the one-line help the parent registered for the subcommand
+    (``add_parser(..., help=...)``), falling back to the parser's own
+    description for the root.
+    """
+    yield prog, parser, prog.count(" "), summary or (parser.description or "")
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            helps = {
+                pseudo.dest: pseudo.help or "" for pseudo in action._choices_actions
+            }
+            for name, sub in action.choices.items():
+                yield from _walk_parsers(f"{prog} {name}", sub, helps.get(name, ""))
+
+
+def _argument_rows(parser: argparse.ArgumentParser) -> list[tuple[str, str, str]]:
+    """The ``(argument, default, help)`` doc rows of one parser's arguments."""
+
+    def clean(text: object) -> str:
+        return " ".join(str(text).split()).replace("|", "\\|")
+
+    rows: list[tuple[str, str, str]] = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction, argparse._SubParsersAction)):
+            continue
+        if action.option_strings:
+            name = ", ".join(f"`{option}`" for option in action.option_strings)
+            takes_value = action.nargs != 0 and not isinstance(
+                action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+            )
+            if takes_value and action.choices is not None:
+                name += " `{" + ",".join(str(choice) for choice in action.choices) + "}`"
+            elif takes_value:
+                name += f" `{(action.metavar or action.dest).upper()}`"
+        else:
+            name = f"`{action.metavar or action.dest}`"
+            if action.choices is not None:
+                name += " `{" + ",".join(str(choice) for choice in action.choices) + "}`"
+        default = ""
+        if action.default is not None and action.default != argparse.SUPPRESS:
+            default = f"`{action.default}`"
+        rows.append((name, default, clean(action.help or "")))
+    return rows
+
+
+def render_cli_reference() -> str:
+    """Render ``docs/CLI.md`` from the live argparse tree (deterministic).
+
+    Walks :func:`build_parser` depth-first and emits one section per
+    (sub)command with its description and an argument table.  The output is a
+    pure function of the parser definition — no terminal-width dependent
+    formatting — so CI can regenerate it and fail on drift.
+    """
+    lines = [
+        "# `repro` CLI reference",
+        "",
+        "> Generated by `python -m repro docs cli --output docs/CLI.md`.",
+        "> Do not edit by hand: CI regenerates this file from the argparse tree",
+        "> and fails on drift.",
+        "",
+    ]
+    for prog, parser, depth, summary in _walk_parsers("repro", build_parser()):
+        lines.append(f"{'#' * (depth + 2)} `{prog}`")
+        lines.append("")
+        if summary:
+            summary = " ".join(summary.split())
+            lines.append(summary[0].upper() + summary[1:].rstrip(".") + ".")
+            lines.append("")
+        rows = _argument_rows(parser)
+        if rows:
+            lines.append("| Argument | Default | Description |")
+            lines.append("| --- | --- | --- |")
+            lines.extend(f"| {name} | {default} | {help_}" " |" for name, default, help_ in rows)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def command_docs_cli(arguments: argparse.Namespace) -> int:
+    """Print, write, or drift-check the generated CLI reference."""
+    rendered = render_cli_reference()
+    if arguments.check:
+        target = pathlib.Path(arguments.output or "docs/CLI.md")
+        try:
+            current = target.read_text(encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"cannot read {target}: {error}") from error
+        if current != rendered:
+            raise SystemExit(
+                f"{target} is stale; regenerate with "
+                f"'python -m repro docs cli --output {target}'"
+            )
+        print(f"{target} is up to date.")
+        return 0
+    if arguments.output is not None:
+        pathlib.Path(arguments.output).write_text(rendered, encoding="utf-8")
+        print(f"wrote {arguments.output}")
+        return 0
+    print(rendered, end="")
+    return 0
+
+
 # ----------------------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------------------
@@ -737,6 +941,74 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = subparsers.add_parser("reproduce", help="run one paper table/figure")
     reproduce.add_argument("artefact", help="e.g. table2, fig10, fig16")
     reproduce.set_defaults(handler=command_reproduce)
+
+    from repro.search.query import HARDWARE_TIERS
+
+    search = subparsers.add_parser(
+        "search",
+        help="capacity planning: rank candidate parallel plans for a model/GPU budget",
+    )
+    search.add_argument("--model", default="GPT-8.3B",
+                        help="catalogue model to place (see 'repro list')")
+    search.add_argument("--gpus", type=int, default=128,
+                        help="total GPU count to place the model on")
+    search.add_argument("--hardware", action="append", choices=HARDWARE_TIERS,
+                        default=None, metavar="TIER",
+                        help="interconnect tier to sweep (repeatable; "
+                             f"one of {', '.join(HARDWARE_TIERS)}; "
+                             "default: infiniband)")
+    search.add_argument("--micro-batch-size", type=int, default=8,
+                        help="sequences per micro-batch (the global batch follows "
+                             "from each candidate's topology)")
+    search.add_argument("--max-memory-gb", type=float, default=None,
+                        help="per-GPU peak-memory budget (candidates above it are "
+                             "excluded; default: unconstrained)")
+    search.add_argument("--max-compression-loss", type=float, default=None,
+                        help="accuracy budget as a cap on the heuristic "
+                             "compression-loss score in [0, 1)")
+    search.add_argument("--weight-throughput", type=float, default=1.0,
+                        help="objective weight of tokens/s (maximised)")
+    search.add_argument("--weight-wire", type=float, default=0.25,
+                        help="objective weight of total wire bytes (minimised)")
+    search.add_argument("--weight-memory", type=float, default=0.1,
+                        help="objective weight of peak memory (minimised)")
+    search.add_argument("--max-candidates", type=int, default=None,
+                        help="hard cap on the sweep size (truncates the "
+                             "deterministic expansion order)")
+    search.add_argument("--query", default=None, metavar="FILE",
+                        help="read one SearchQuery from a JSON file instead of the "
+                             "flags above (full sweep-axis control)")
+    search.add_argument("--queries", default=None, metavar="FILE",
+                        help="batch mode: answer every query in a JSON array (or "
+                             '{"queries": [...]}) over one shared pool and cache')
+    search.add_argument("--workers", type=int, default=None,
+                        help="evaluation worker processes (0 = inline; default: "
+                             "up to 8, leaving two cores free)")
+    search.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk evaluation cache (content-keyed; warm reruns "
+                             "skip the simulator entirely; default: "
+                             "$XDG_CACHE_HOME/repro/plan_search)")
+    search.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk cache for this run")
+    search.add_argument("--top", type=int, default=10,
+                        help="frontier entries to print (tables and --json alike)")
+    search.add_argument("--json", action="store_true",
+                        help="print the deterministic result document as JSON "
+                             "instead of a table (stats go to stderr)")
+    search.set_defaults(handler=command_search)
+
+    docs = subparsers.add_parser("docs", help="documentation helpers")
+    docs_sub = docs.add_subparsers(dest="docs_command", required=True)
+    docs_cli = docs_sub.add_parser(
+        "cli", help="render the generated CLI reference from the argparse tree"
+    )
+    docs_cli.add_argument("--output", default=None, metavar="FILE",
+                          help="write the reference here instead of stdout "
+                               "(CI uses docs/CLI.md)")
+    docs_cli.add_argument("--check", action="store_true",
+                          help="exit non-zero if --output (default docs/CLI.md) "
+                               "differs from the rendered reference")
+    docs_cli.set_defaults(handler=command_docs_cli)
 
     lister = subparsers.add_parser("list", help="list models, configurations, artefacts")
     lister.set_defaults(handler=command_list)

@@ -271,9 +271,11 @@ class Topology:
 
     @property
     def world_size(self) -> int:
+        """Total GPU count: ``dp * pp * tp``."""
         return self.dp * self.pp * self.tp
 
     def with_(self, **kwargs: Any) -> "Topology":
+        """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
     def layout(self) -> "ParallelLayout":
@@ -285,6 +287,7 @@ class Topology:
         )
 
     def describe(self) -> str:
+        """The canonical one-token layout label (``PP4xDP2xTP1/mb4``)."""
         return f"PP{self.pp}xDP{self.dp}xTP{self.tp}/mb{self.micro_batches}"
 
 
@@ -363,9 +366,11 @@ class Schedule:
         return self.kind == "1f1b" or self.kind in SPLIT_BACKWARD_KINDS
 
     def with_(self, **kwargs: Any) -> "Schedule":
+        """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
     def describe(self) -> str:
+        """The schedule's label: kind, chunks, cap, overlap, and firing mode."""
         kind = self.kind
         if kind == "auto":
             kind += f"@{self.memory_cap_factor:g}x"
@@ -446,6 +451,7 @@ class ResilienceSpec:
             )
 
     def with_(self, **kwargs: Any) -> "ResilienceSpec":
+        """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
     def requires_process_executor(self) -> bool:
@@ -485,6 +491,7 @@ class ResilienceSpec:
         return SupervisionPolicy(**kwargs)
 
     def describe(self) -> str:
+        """One line naming the fault schedule and the guardrail/respawn budgets."""
         faults = ", ".join(self.faults) if self.faults else "none"
         base = f"faults: {faults}; retries<={self.max_collective_retries}, skips<={self.max_consecutive_skips}"
         return (
@@ -582,6 +589,7 @@ class ParallelPlan:
 
     @property
     def compresses_anything(self) -> bool:
+        """Whether any boundary carries an active codec."""
         return any(spec.compresses for spec in self.compression.values())
 
     # -- sweep helpers ----------------------------------------------------------------
@@ -705,8 +713,22 @@ class ParallelPlan:
         """JSON form (stable key order)."""
         return json.dumps(self.to_dict(), indent=indent) + "\n"
 
+    def canonical_json(self) -> str:
+        """Compact, sorted-keys, whitespace-free JSON — the plan's content identity.
+
+        Two plans produce the same canonical string iff :meth:`to_dict` agrees,
+        so this is the string the plan-search result cache hashes
+        (:mod:`repro.search.cache`).  Unlike :meth:`to_json` it never changes
+        with pretty-printing defaults, and sorted keys make it independent of
+        dict insertion order.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        )
+
     @classmethod
     def from_json(cls, text: str) -> "ParallelPlan":
+        """Parse a plan from its JSON text form (inverse of :meth:`to_json`)."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:

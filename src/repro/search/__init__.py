@@ -1,0 +1,47 @@
+"""Plan search: a parallel, cached capacity-planning service over the simulator.
+
+PRs 1–9 made any single ``(topology x schedule x codec x overlap)`` point
+simulatable in milliseconds; this package answers the question users actually
+ask — *"given this model, GPU count, and budget, which*
+:class:`~repro.plan.ParallelPlan` *should I run?"* — by brute-forcing the
+space and caching every verdict:
+
+1. a :class:`~repro.search.query.SearchQuery` expands deterministically into
+   thousands of candidate plans (:mod:`repro.search.query`);
+2. each candidate is scored by
+   :func:`~repro.simulator.evaluate.evaluate_plan`, fanned out across forked
+   worker processes (:mod:`repro.search.pool`) and memoised in a
+   content-keyed on-disk cache (:mod:`repro.search.cache`);
+3. budget-passing candidates collapse to a Pareto frontier over throughput /
+   wire bytes / peak memory, ranked by the query's objective weights
+   (:mod:`repro.search.frontier`);
+4. :func:`~repro.search.service.run_search` ties it together and
+   :func:`~repro.search.service.run_queries` answers query batches over one
+   shared pool and cache — the heavy-traffic service shape.
+
+Everything downstream of the query is deterministic: the ranked frontier JSON
+is byte-identical across runs, pool sizes, and cold/warm caches.
+"""
+
+from repro.search.cache import SearchCache
+from repro.search.frontier import FrontierEntry, ObjectiveWeights, pareto_frontier, rank_frontier
+from repro.search.pool import EvaluationPool, evaluate_task
+from repro.search.query import HARDWARE_TIERS, SEARCH_MODELS, Candidate, SearchQuery
+from repro.search.service import SearchOutcome, run_queries, run_search
+
+__all__ = [
+    "Candidate",
+    "EvaluationPool",
+    "FrontierEntry",
+    "HARDWARE_TIERS",
+    "ObjectiveWeights",
+    "SEARCH_MODELS",
+    "SearchCache",
+    "SearchOutcome",
+    "SearchQuery",
+    "evaluate_task",
+    "pareto_frontier",
+    "rank_frontier",
+    "run_queries",
+    "run_search",
+]

@@ -1,0 +1,109 @@
+"""Content-keyed on-disk result cache for plan evaluations.
+
+The cache key of one evaluation is the SHA-256 of a canonical-JSON document
+spelling out *everything* that can change the simulator's answer: the plan
+(via :meth:`~repro.plan.ParallelPlan.canonical_json` semantics), the model
+spec, the resolved hardware description, the micro-batch size, and
+:data:`~repro.simulator.cost_model.COST_MODEL_VERSION`.  Because
+:func:`~repro.simulator.evaluate.evaluate_plan` is a pure function of exactly
+those inputs, a hit is always safe to serve — and flipping any single field
+(a codec knob, a cap factor, a hardware tier, the cost-model version) changes
+the key, so stale numbers can never leak across configurations.
+
+Entries are one small JSON file each, sharded by the first two key hex digits
+to keep directories shallow, written atomically (temp file + ``os.replace``)
+so a crashed or concurrent writer can never leave a torn entry.  The cache
+keeps hit/miss/store counters so callers (and the warm-cache tests) can
+assert exactly how many evaluations were skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from repro.simulator.cost_model import COST_MODEL_VERSION
+from repro.simulator.hardware import ClusterSpec
+
+__all__ = ["SearchCache", "cache_key", "task_key_material"]
+
+
+def task_key_material(task: Mapping[str, Any], cluster: ClusterSpec) -> dict[str, Any]:
+    """The full key document of one evaluation task.
+
+    ``task`` is the pool work unit (:meth:`repro.search.query.Candidate.task`);
+    ``cluster`` is the tier resolved to concrete hardware numbers, folded in
+    as a nested dict so a change to the tier's bandwidths or calibration
+    constants — not just its name — misses the cache.
+    """
+    return {
+        "plan": task["plan"],
+        "model": task["model"],
+        "hardware": asdict(cluster),
+        "micro_batch_size": task["micro_batch_size"],
+        "cost_model_version": COST_MODEL_VERSION,
+    }
+
+
+def cache_key(material: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``material``."""
+    canonical = json.dumps(
+        material, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+class SearchCache:
+    """One directory of memoised plan evaluations, keyed by content hash.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first store).  Entries live at
+        ``root/<key[:2]>/<key>.json``.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        """Entry path of ``key`` (two-hex-digit shard directories)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload of ``key``, or ``None`` on a miss.
+
+        Unreadable or torn entries (which atomic writes should preclude, but
+        a hostile filesystem can still produce) count as misses and are left
+        for the next :meth:`put` to overwrite.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(dict(payload), handle, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot: ``{"hits": ..., "misses": ..., "stores": ...}``."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -1,0 +1,170 @@
+"""Budget filtering, Pareto frontier extraction, and deterministic ranking.
+
+The search's verdict is not one plan but a *frontier*: the set of candidates
+no other candidate beats on every objective at once — maximise throughput,
+minimise wire bytes, minimise peak memory.  Budgets (memory, accuracy) apply
+before nondomination, so "dominated but within budget" never displaces
+"dominant but over budget".
+
+Everything here is pure arithmetic over the metric dicts with fully specified
+tie-breaks (score, then throughput, then wire bytes, then memory, then the
+candidate's expansion index), so the ranked frontier — and therefore the
+service's JSON output — is byte-identical across runs, worker counts, and
+completion orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "FrontierEntry",
+    "ObjectiveWeights",
+    "pareto_frontier",
+    "rank_frontier",
+    "within_budget",
+]
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Relative importance of the three ranking objectives (all non-negative).
+
+    ``throughput`` weights the maximised axis (tokens/s); ``wire`` and
+    ``memory`` weight the minimised axes (total wire bytes, peak GB).  The
+    score of a frontier entry is the weighted sum of its per-axis min–max
+    normalised values, with the minimised axes entering negatively.
+    """
+
+    throughput: float = 1.0
+    wire: float = 0.25
+    memory: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("throughput", "wire", "memory"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"objective weight {name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One ranked frontier member: candidate index, metrics, and its score."""
+
+    index: int
+    metrics: Mapping[str, float]
+    score: float
+
+
+def _objectives(metrics: Mapping[str, float]) -> tuple[float, float, float]:
+    """The ``(throughput, wire, memory)`` triple of one metrics dict."""
+    return (
+        metrics["tokens_per_second"],
+        metrics["wire_bytes_total"],
+        metrics["peak_memory_gb"],
+    )
+
+
+def _dominates(mine: tuple[float, float, float], theirs: tuple[float, float, float]) -> bool:
+    """Whether ``mine`` Pareto-dominates ``theirs`` (>= throughput, <= costs, one strict)."""
+    no_worse = mine[0] >= theirs[0] and mine[1] <= theirs[1] and mine[2] <= theirs[2]
+    strictly_better = mine[0] > theirs[0] or mine[1] < theirs[1] or mine[2] < theirs[2]
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    points: Iterable[tuple[int, Mapping[str, float]]],
+) -> list[tuple[int, Mapping[str, float]]]:
+    """The nondominated subset of ``(index, metrics)`` points.
+
+    Points are scanned in descending-throughput order (ties broken by
+    ascending wire bytes, memory, then index), so each point only needs to be
+    checked against the frontier kept so far; duplicates of an already-kept
+    objective triple are dropped (the lowest index survives), keeping the
+    frontier free of indistinguishable entries.
+    """
+    ordered = sorted(
+        points,
+        key=lambda item: (
+            -_objectives(item[1])[0],
+            _objectives(item[1])[1],
+            _objectives(item[1])[2],
+            item[0],
+        ),
+    )
+    kept: list[tuple[int, Mapping[str, float]]] = []
+    kept_objectives: list[tuple[float, float, float]] = []
+    for index, metrics in ordered:
+        mine = _objectives(metrics)
+        if any(theirs == mine or _dominates(theirs, mine) for theirs in kept_objectives):
+            continue
+        kept.append((index, metrics))
+        kept_objectives.append(mine)
+    return kept
+
+
+def rank_frontier(
+    frontier: Sequence[tuple[int, Mapping[str, float]]],
+    weights: ObjectiveWeights,
+) -> list[FrontierEntry]:
+    """Order the frontier by weighted normalised score, best first.
+
+    Each objective is min–max normalised across the frontier (constant axes
+    contribute zero); the score is
+    ``throughput_weight * throughput_norm - wire_weight * wire_norm -
+    memory_weight * memory_norm``.  Ties break on raw throughput (desc), wire
+    bytes (asc), memory (asc), then candidate index (asc) — a total order, so
+    the ranking is unique.
+    """
+    if not frontier:
+        return []
+    triples = [_objectives(metrics) for _, metrics in frontier]
+
+    def normalise(axis: int) -> list[float]:
+        values = [triple[axis] for triple in triples]
+        low, high = min(values), max(values)
+        if high == low:
+            return [0.0 for _ in values]
+        return [(value - low) / (high - low) for value in values]
+
+    throughput_norm = normalise(0)
+    wire_norm = normalise(1)
+    memory_norm = normalise(2)
+    entries = [
+        FrontierEntry(
+            index=index,
+            metrics=metrics,
+            score=(
+                weights.throughput * throughput_norm[position]
+                - weights.wire * wire_norm[position]
+                - weights.memory * memory_norm[position]
+            ),
+        )
+        for position, (index, metrics) in enumerate(frontier)
+    ]
+    return sorted(
+        entries,
+        key=lambda entry: (
+            -entry.score,
+            -_objectives(entry.metrics)[0],
+            _objectives(entry.metrics)[1],
+            _objectives(entry.metrics)[2],
+            entry.index,
+        ),
+    )
+
+
+def within_budget(
+    metrics: Mapping[str, float],
+    max_memory_gb: float | None,
+    max_compression_loss: float | None,
+) -> bool:
+    """Whether one candidate's metrics respect the query's budgets."""
+    if max_memory_gb is not None and metrics["peak_memory_gb"] > max_memory_gb:
+        return False
+    if (
+        max_compression_loss is not None
+        and metrics["compression_loss"] > max_compression_loss
+    ):
+        return False
+    return True

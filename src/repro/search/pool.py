@@ -1,0 +1,214 @@
+"""Forked worker pool that fans plan evaluations across CPU cores.
+
+Same substrate as :mod:`repro.exec`: ``fork``-context workers, one duplex pipe
+each, tiny picklable messages.  The parent dispatches *windowed* — at most
+:data:`TASK_WINDOW` tasks outstanding per worker, topped up as replies drain —
+so a query of thousands of candidates can never wedge both ends of a pipe's
+~64 KiB kernel buffer with a bulk send.
+
+Determinism does not depend on the pool: replies carry the candidate index
+they answer, the parent keys results by that index, and
+:func:`evaluate_task` itself is pure — so any completion order, any worker
+count (including ``workers=0``, which runs everything inline), and any
+mid-flight worker crash (survivors and the parent absorb the requeued tasks)
+produce the same result map.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import weakref
+from collections import deque
+from multiprocessing.connection import Connection, wait
+from typing import Any, Iterable, Mapping
+
+from repro.models.gpt_configs import PaperModelSpec
+from repro.plan import ParallelPlan
+from repro.search.query import resolve_cluster
+from repro.simulator.evaluate import evaluate_plan
+
+__all__ = ["EvaluationPool", "TASK_WINDOW", "evaluate_task"]
+
+#: Maximum tasks outstanding per worker.  Small enough that a window of task
+#: messages (~0.5 KiB each) never fills a pipe buffer, large enough that
+#: workers stay busy while the parent is busy elsewhere.
+TASK_WINDOW = 16
+
+
+def evaluate_task(task: Mapping[str, Any]) -> dict[str, float]:
+    """Evaluate one pool work unit (pure; runs identically in any process).
+
+    Rebuilds the plan, model, and cluster from the JSON-safe ``task`` dict
+    (:meth:`repro.search.query.Candidate.task`) and returns
+    :meth:`~repro.simulator.evaluate.PlanEvaluation.to_dict` output.
+    """
+    plan = ParallelPlan.from_dict(task["plan"])
+    model = PaperModelSpec(**task["model"])
+    cluster = resolve_cluster(task["tier"], task["gpus"])
+    evaluation = evaluate_plan(
+        plan, model, cluster=cluster, micro_batch_size=task["micro_batch_size"]
+    )
+    return evaluation.to_dict()
+
+
+def _worker_main(connection: Connection) -> None:
+    """Worker loop: evaluate ``("eval", index, task)`` messages until shutdown."""
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        _, index, task = message
+        try:
+            reply = ("ok", index, evaluate_task(task))
+        except Exception:  # noqa: BLE001 - the traceback is the payload
+            reply = ("error", index, traceback.format_exc())
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """Parent-side record of one forked worker: process, pipe, in-flight tasks."""
+
+    def __init__(self, context, index: int) -> None:
+        self.connection, child = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child,), name=f"repro-search-{index}", daemon=True
+        )
+        self.process.start()
+        child.close()
+        #: Tasks sent but not yet answered, keyed by candidate index.
+        self.outstanding: dict[int, Mapping[str, Any]] = {}
+
+    def close(self) -> None:
+        """Shut the worker down (sentinel, short join, terminate as last resort)."""
+        try:
+            self.connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.connection.close()
+
+
+def _close_workers(workers: list[_Worker]) -> None:
+    """Finalizer target: close every worker (idempotent, exception-safe)."""
+    for worker in workers:
+        try:
+            worker.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+    workers.clear()
+
+
+class EvaluationPool:
+    """A pool of forked evaluation workers with windowed task dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``0`` disables forking entirely — every task
+        runs inline in the parent (the degraded-but-correct fallback, also
+        used when a platform has no ``fork`` start method).
+
+    Use as a context manager, or rely on the ``weakref`` finalizer; either
+    way workers are shut down deterministically.  One pool can serve many
+    :meth:`run` calls (the batch-query service shape).
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        self._workers: list[_Worker] = []
+        if workers > 0:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = None
+            if context is not None:
+                self._workers = [_Worker(context, index) for index in range(workers)]
+        self._finalizer = weakref.finalize(self, _close_workers, self._workers)
+
+    @property
+    def worker_count(self) -> int:
+        """Live worker processes (0 means inline evaluation)."""
+        return len(self._workers)
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down all workers (idempotent)."""
+        self._finalizer()
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def run(
+        self, tasks: Iterable[tuple[int, Mapping[str, Any]]]
+    ) -> dict[int, tuple[str, Any]]:
+        """Evaluate every ``(index, task)`` pair; return ``{index: (kind, payload)}``.
+
+        ``kind`` is ``"ok"`` (payload: metrics dict) or ``"error"`` (payload:
+        the worker's formatted traceback).  Tasks owed by a crashed worker are
+        requeued to the survivors; with no survivors the parent finishes
+        inline, so the call always returns a complete map.
+        """
+        queue: deque[tuple[int, Mapping[str, Any]]] = deque(tasks)
+        results: dict[int, tuple[str, Any]] = {}
+        alive = list(self._workers)
+        while alive and (queue or any(worker.outstanding for worker in alive)):
+            for worker in list(alive):
+                if not self._top_up(worker, queue):
+                    alive.remove(worker)
+                    queue.extend(worker.outstanding.items())
+                    worker.outstanding.clear()
+            busy = [worker for worker in alive if worker.outstanding]
+            if not busy:
+                continue
+            ready = wait([worker.connection for worker in busy], timeout=5.0)
+            for worker in busy:
+                if worker.connection not in ready:
+                    continue
+                if not self._drain(worker, results):
+                    alive.remove(worker)
+                    queue.extend(worker.outstanding.items())
+                    worker.outstanding.clear()
+        # Inline fallback: workers==0, or every worker crashed mid-query.
+        for index, task in queue:
+            try:
+                results[index] = ("ok", evaluate_task(task))
+            except Exception:  # noqa: BLE001 - mirrored worker-side contract
+                results[index] = ("error", traceback.format_exc())
+        return results
+
+    @staticmethod
+    def _top_up(worker: _Worker, queue: deque[tuple[int, Mapping[str, Any]]]) -> bool:
+        """Send tasks until the worker's window is full; ``False`` if it died."""
+        while queue and len(worker.outstanding) < TASK_WINDOW:
+            index, task = queue.popleft()
+            try:
+                worker.connection.send(("eval", index, task))
+            except (BrokenPipeError, OSError):
+                queue.appendleft((index, task))
+                return False
+            worker.outstanding[index] = task
+        return True
+
+    @staticmethod
+    def _drain(worker: _Worker, results: dict[int, tuple[str, Any]]) -> bool:
+        """Receive one ready reply from the worker; ``False`` if it died."""
+        try:
+            kind, index, payload = worker.connection.recv()
+        except (EOFError, OSError):
+            return False
+        worker.outstanding.pop(index, None)
+        results[index] = (kind, payload)
+        return True

@@ -1,0 +1,222 @@
+"""The search service: expand, evaluate (pooled + cached), rank, render.
+
+:func:`run_search` answers one :class:`~repro.search.query.SearchQuery`;
+:func:`run_queries` answers a batch over one shared worker pool and cache, so
+overlapping queries (same model, overlapping sweeps) pay for each distinct
+candidate once.  The outcome separates the *deterministic* answer — the ranked
+frontier, byte-identical across runs, pool sizes, and cold/warm caches
+(:meth:`SearchOutcome.to_json`) — from the *run-dependent* bookkeeping
+(elapsed time, cache hits, evaluation counts), which callers print separately.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.search.cache import SearchCache, cache_key, task_key_material
+from repro.search.frontier import (
+    FrontierEntry,
+    ObjectiveWeights,
+    pareto_frontier,
+    rank_frontier,
+    within_budget,
+)
+from repro.search.pool import EvaluationPool
+from repro.search.query import Candidate, SearchQuery, resolve_cluster
+from repro.utils.tables import Table, format_float
+
+__all__ = ["SearchOutcome", "run_queries", "run_search"]
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one query's search produced.
+
+    ``entries`` (via ``query``/``candidates``/…) is the deterministic answer;
+    ``evaluated``/``cache_hits``/``errors``/``elapsed_s`` describe how this
+    particular run got there and stay out of :meth:`to_json` on purpose.
+    """
+
+    #: The query answered.
+    query: SearchQuery
+    #: Ranked frontier, best first, as JSON-safe dicts
+    #: (``rank``/``index``/``tier``/``plan``/``label``/``score``/``metrics``).
+    entries: list[dict[str, Any]] = field(default_factory=list)
+    #: Candidates the query expanded to.
+    candidates: int = 0
+    #: Candidates whose metrics respected the query's budgets.
+    within_budget: int = 0
+    #: Candidates that failed to evaluate (deterministically excluded).
+    errors: int = 0
+    #: Simulator evaluations actually performed by this run.
+    evaluated: int = 0
+    #: Evaluations served from the on-disk cache by this run.
+    cache_hits: int = 0
+    #: Wall-clock seconds this run took (not part of the deterministic output).
+    elapsed_s: float = 0.0
+
+    def to_dict(self, top: int | None = None) -> dict[str, Any]:
+        """The deterministic result document (frontier capped at ``top``)."""
+        entries = self.entries if top is None else self.entries[:top]
+        return {
+            "query": self.query.to_dict(),
+            "model": self.query.model_spec().name,
+            "candidates": self.candidates,
+            "within_budget": self.within_budget,
+            "frontier_size": len(self.entries),
+            "frontier": entries,
+        }
+
+    def to_json(self, top: int | None = None) -> str:
+        """Canonical JSON of :meth:`to_dict` — byte-identical across runs."""
+        return json.dumps(self.to_dict(top=top), indent=2, sort_keys=True) + "\n"
+
+    def render_table(self, top: int | None = 10) -> str:
+        """The frontier as an aligned text table (plan labels via ``describe``)."""
+        model = self.query.model_spec()
+        table = Table(
+            title=(
+                f"{model.name} on {self.query.gpus} GPUs: "
+                f"{len(self.entries)} Pareto-optimal of {self.within_budget} "
+                f"in-budget candidates ({self.candidates} evaluated)"
+            ),
+            columns=["#", "Plan", "Tier", "Tokens/s", "Wire GB", "Peak GB", "Loss", "Score"],
+        )
+        entries = self.entries if top is None else self.entries[:top]
+        for entry in entries:
+            metrics = entry["metrics"]
+            table.add_row(
+                [
+                    entry["rank"],
+                    entry["label"],
+                    entry["tier"],
+                    format_float(metrics["tokens_per_second"], 0),
+                    format_float(metrics["wire_bytes_total"] / 1e9, 1),
+                    format_float(metrics["peak_memory_gb"], 1),
+                    format_float(metrics["compression_loss"], 3),
+                    format_float(entry["score"], 4),
+                ]
+            )
+        return table.render()
+
+
+def _ranked_entries(
+    ranked: Sequence[FrontierEntry], by_index: Mapping[int, Candidate]
+) -> list[dict[str, Any]]:
+    """Serialise ranked frontier entries back into candidate-labelled dicts."""
+    entries = []
+    for rank, entry in enumerate(ranked, start=1):
+        candidate = by_index[entry.index]
+        entries.append(
+            {
+                "rank": rank,
+                "index": entry.index,
+                "tier": candidate.tier,
+                "label": candidate.plan.describe(),
+                "plan": candidate.plan.to_dict(),
+                "score": entry.score,
+                "metrics": dict(entry.metrics),
+            }
+        )
+    return entries
+
+
+def _search_with(
+    query: SearchQuery, pool: EvaluationPool, cache: SearchCache | None
+) -> SearchOutcome:
+    """Answer one query on an existing pool/cache (the batch-mode core)."""
+    started = time.perf_counter()
+    candidates = query.expand()
+    by_index = {candidate.index: candidate for candidate in candidates}
+    clusters = {tier: resolve_cluster(tier, query.gpus) for tier in query.hardware}
+
+    metrics: dict[int, Mapping[str, float]] = {}
+    pending: list[tuple[int, dict[str, Any]]] = []
+    keys: dict[int, str] = {}
+    cache_hits = 0
+    for candidate in candidates:
+        task = candidate.task(query)
+        if cache is not None:
+            key = cache_key(task_key_material(task, clusters[candidate.tier]))
+            keys[candidate.index] = key
+            cached = cache.get(key)
+            if cached is not None:
+                metrics[candidate.index] = cached
+                cache_hits += 1
+                continue
+        pending.append((candidate.index, task))
+
+    errors = 0
+    evaluated = 0
+    if pending:
+        for index, (kind, payload) in pool.run(pending).items():
+            if kind != "ok":
+                errors += 1
+                continue
+            evaluated += 1
+            metrics[index] = payload
+            if cache is not None:
+                cache.put(keys[index], payload)
+
+    in_budget = [
+        (index, candidate_metrics)
+        for index, candidate_metrics in sorted(metrics.items())
+        if within_budget(
+            candidate_metrics, query.max_memory_gb, query.max_compression_loss
+        )
+    ]
+    weights = ObjectiveWeights(
+        throughput=query.weight_throughput,
+        wire=query.weight_wire,
+        memory=query.weight_memory,
+    )
+    ranked = rank_frontier(pareto_frontier(in_budget), weights)
+    return SearchOutcome(
+        query=query,
+        entries=_ranked_entries(ranked, by_index),
+        candidates=len(candidates),
+        within_budget=len(in_budget),
+        errors=errors,
+        evaluated=evaluated,
+        cache_hits=cache_hits,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def run_search(
+    query: SearchQuery,
+    workers: int = 0,
+    cache: SearchCache | None = None,
+    pool: EvaluationPool | None = None,
+) -> SearchOutcome:
+    """Answer one query; spin up (and tear down) a pool unless one is passed.
+
+    Parameters
+    ----------
+    query:
+        The capacity-planning question.
+    workers:
+        Worker processes for a pool created here (ignored when ``pool`` is
+        given); ``0`` evaluates inline.
+    cache:
+        Optional on-disk result cache; hits skip the simulator entirely.
+    pool:
+        An existing pool to reuse (the caller keeps ownership).
+    """
+    if pool is not None:
+        return _search_with(query, pool, cache)
+    with EvaluationPool(workers=workers) as owned:
+        return _search_with(query, owned, cache)
+
+
+def run_queries(
+    queries: Sequence[SearchQuery],
+    workers: int = 0,
+    cache: SearchCache | None = None,
+) -> list[SearchOutcome]:
+    """Answer a batch of queries over one shared pool and cache, in order."""
+    with EvaluationPool(workers=workers) as pool:
+        return [_search_with(query, pool, cache) for query in queries]

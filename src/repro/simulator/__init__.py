@@ -17,13 +17,14 @@ from repro.simulator.hardware import (
     GPUSpec,
     SimulationConstants,
 )
-from repro.simulator.cost_model import CostModel, TrainingJob
+from repro.simulator.cost_model import COST_MODEL_VERSION, CostModel, TrainingJob
 from repro.simulator.executor import (
     CompressionPlan,
     IterationTiming,
     PipelineTimingSimulator,
 )
 from repro.simulator.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.simulator.evaluate import PlanEvaluation, evaluate_plan
 from repro.simulator.memory_model import MemoryModel, MemoryReport
 from repro.simulator.throughput import (
     CompressionThroughputModel,
@@ -36,8 +37,11 @@ __all__ = [
     "GPUSpec",
     "A100",
     "SimulationConstants",
+    "COST_MODEL_VERSION",
     "CostModel",
     "TrainingJob",
+    "PlanEvaluation",
+    "evaluate_plan",
     "CompressionPlan",
     "IterationTiming",
     "PipelineTimingSimulator",

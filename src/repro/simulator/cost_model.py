@@ -26,6 +26,14 @@ from repro.simulator.hardware import ClusterSpec, PAPER_CLUSTER_SPEC
 #: Pipeline shapes the timing simulator can replay.
 SIM_SCHEDULE_KINDS = ("1f1b", "zb1", "auto")
 
+#: Version tag of the analytic cost model, folded into plan-search cache keys
+#: (:mod:`repro.search.cache`).  Bump it whenever a change to the cost methods,
+#: the calibration constants' defaults, the memory model, or the schedule
+#: replay alters what :func:`repro.simulator.evaluate.evaluate_plan` returns
+#: for an unchanged plan — cached evaluations from the older model then miss
+#: instead of serving stale numbers.
+COST_MODEL_VERSION = "2026.08-1"
+
 #: fp16 weight + fp16 gradient + fp32 master weight + fp32 Adam m + fp32 Adam v.
 BYTES_PER_PARAMETER_WITH_OPTIMIZER = 2 + 2 + 4 + 4 + 4
 

@@ -1,0 +1,163 @@
+"""One-call plan evaluation: the simulator entry point the plan search drives.
+
+The capacity-planning service (:mod:`repro.search`) needs to score thousands of
+candidate :class:`~repro.plan.ParallelPlan`s per query, each in milliseconds,
+each producing exactly the same numbers no matter which worker process computed
+it or in which order.  :func:`evaluate_plan` is that seam: it derives the
+simulator's job and compression views from the plan (the same single-source
+``from_plan`` paths every other consumer uses), replays one iteration through
+:class:`~repro.simulator.executor.PipelineTimingSimulator`, reads the peak
+memory off :class:`~repro.simulator.memory_model.MemoryModel`, and folds the
+result into one flat, JSON-safe :class:`PlanEvaluation`.
+
+Determinism contract: the evaluation is a pure function of
+``(plan, model, cluster, micro_batch_size)`` — no wall clock, no RNG, no
+global state — so identical inputs produce bit-identical outputs across
+processes and runs.  That property is what makes the search's content-keyed
+result cache (:mod:`repro.search.cache`) sound, and
+:data:`~repro.simulator.cost_model.COST_MODEL_VERSION` is the escape hatch for
+the one thing the inputs cannot capture: changes to this model's own code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.plan import Boundary, ParallelPlan
+from repro.simulator.cost_model import TrainingJob
+from repro.simulator.executor import PipelineTimingSimulator
+from repro.simulator.hardware import ClusterSpec
+from repro.simulator.memory_model import MemoryModel
+
+__all__ = ["PlanEvaluation", "compression_loss", "evaluate_plan"]
+
+
+def _codec_aggressiveness(codec: str, rank: int, bits: int, fraction: float) -> float:
+    """Monotone lossiness score of one codec setting, in ``[0, 1)``.
+
+    This is a *ranking heuristic*, not a measured perplexity: it only promises
+    that turning a knob toward heavier compression never lowers the score
+    (smaller rank, fewer bits, smaller kept fraction are all monotonically more
+    aggressive), so an accuracy budget expressed as a cap on the score excludes
+    candidates in a stable, explainable order.
+    """
+    if codec == "none" or codec == "fused":
+        return 0.0
+    if codec == "powersgd":
+        return 8.0 / (8.0 + rank)
+    if codec == "qsgd":
+        return (8.0 - bits) / 8.0
+    if codec == "topk":
+        return 1.0 - fraction
+    raise ValueError(f"unknown codec {codec!r}")
+
+
+def compression_loss(plan: ParallelPlan) -> float:
+    """Heuristic accuracy-impact score of a plan's compression stack, in ``[0, 1)``.
+
+    The DP boundary contributes its codec aggressiveness scaled by the selected
+    stage fraction (selective stage compression touches less of the gradient);
+    the PP boundary contributes its codec aggressiveness, halved when only the
+    epilogue transfers are compressed and halved again when lazy error
+    propagation is on (the paper's convergence-preserving variants).  Fused
+    embedding synchronisation is lossless and contributes nothing.  The two
+    boundary terms are averaged, so the score stays comparable across plans
+    that compress one or both boundaries.
+    """
+    dp = plan.spec(Boundary.DP)
+    pp = plan.spec(Boundary.PP)
+    dp_term = (
+        _codec_aggressiveness(dp.codec, dp.rank, dp.bits, dp.fraction) * dp.stage_fraction
+    )
+    pp_term = _codec_aggressiveness(pp.codec, pp.rank, pp.bits, pp.fraction)
+    if pp_term > 0.0 and pp.epilogue_only:
+        pp_term *= 0.5
+    if pp_term > 0.0 and pp.error_feedback:
+        pp_term *= 0.5
+    return (dp_term + pp_term) / 2.0
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Flat, JSON-safe simulator verdict on one candidate plan.
+
+    All fields are deterministic outputs of the analytic model — the search
+    layer caches instances verbatim (:meth:`to_dict` / :meth:`from_dict`) and
+    ranks Pareto frontiers over the ``tokens_per_second`` /
+    ``wire_bytes_total`` / ``peak_memory_gb`` triple.
+    """
+
+    #: Simulated duration of one training iteration in seconds.
+    iteration_time_s: float
+    #: End-to-end training throughput (global batch x sequence length / iteration).
+    tokens_per_second: float
+    #: Fraction of device-seconds idle inside the pipeline phase.
+    bubble_fraction: float
+    #: Total per-iteration wire bytes across every communication axis.
+    wire_bytes_total: float
+    #: Data-parallel all-reduce wire bytes per iteration.
+    dp_wire_bytes: float
+    #: Inter-stage pipeline wire bytes per iteration (both directions).
+    pp_wire_bytes: float
+    #: Embedding-synchronisation wire bytes per iteration.
+    embedding_wire_bytes: float
+    #: Intra-node tensor-parallel wire bytes per iteration.
+    tp_wire_bytes: float
+    #: Peak per-GPU memory of the worst pipeline stage, in gigabytes.
+    peak_memory_gb: float
+    #: Heuristic accuracy-impact score of the compression stack (:func:`compression_loss`).
+    compression_loss: float
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form (JSON-safe; round-trips through :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PlanEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output (extra keys raise)."""
+        return cls(**{key: float(value) for key, value in payload.items()})
+
+
+def evaluate_plan(
+    plan: ParallelPlan,
+    model,
+    cluster: ClusterSpec | None = None,
+    micro_batch_size: int = 8,
+) -> PlanEvaluation:
+    """Simulate one iteration of ``plan`` on ``model`` and return its metrics.
+
+    Parameters
+    ----------
+    plan:
+        The candidate :class:`~repro.plan.ParallelPlan`; the simulator job and
+        compression view both derive from it, so the evaluation describes the
+        same configuration every other layer would run.
+    model:
+        A :class:`~repro.models.gpt_configs.PaperModelSpec`.
+    cluster:
+        Hardware to simulate on (defaults to the paper's 16x8 A100 cluster).
+    micro_batch_size:
+        Sequences per micro-batch; the global batch follows from the plan's
+        topology (``micro_batch_size x micro_batches x dp``).
+    """
+    job: TrainingJob = (
+        plan.training_job(model, cluster=cluster, micro_batch_size=micro_batch_size)
+    )
+    compression = plan.compression_plan()
+    timing = PipelineTimingSimulator(job, compression).run()
+    memory = MemoryModel(job, compression).peak_report()
+    tokens = job.global_batch_size * job.seq_length
+    wire = timing.wire_bytes_by_axis()
+    return PlanEvaluation(
+        iteration_time_s=timing.iteration_time,
+        tokens_per_second=tokens / timing.iteration_time,
+        bubble_fraction=timing.bubble_fraction,
+        wire_bytes_total=sum(wire.values()),
+        dp_wire_bytes=wire["data_parallel"],
+        pp_wire_bytes=wire["pipeline"],
+        embedding_wire_bytes=wire["embedding"],
+        tp_wire_bytes=wire["tensor_parallel"],
+        peak_memory_gb=memory.total_gb,
+        compression_loss=compression_loss(plan),
+    )

@@ -1,0 +1,456 @@
+"""Tests for the plan-search capacity-planning service (repro.search).
+
+Covers the PR-10 acceptance criteria: deterministic query expansion, cache-key
+stability (any single input field change misses; identical inputs hit with
+zero re-evaluations), frontier determinism under worker-pool nondeterministic
+completion order, the CLI surface (search + docs cli drift check), and the
+GPT-8.3B >= 1000-candidate acceptance query.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.models.gpt_configs import GPT_2_5B
+from repro.plan import Boundary, ParallelPlan, Topology
+from repro.search import (
+    EvaluationPool,
+    ObjectiveWeights,
+    SearchCache,
+    SearchQuery,
+    evaluate_task,
+    pareto_frontier,
+    rank_frontier,
+    run_queries,
+    run_search,
+)
+from repro.search.cache import cache_key, task_key_material
+from repro.search.frontier import within_budget
+from repro.search.query import resolve_cluster
+from repro.simulator.evaluate import PlanEvaluation, compression_loss, evaluate_plan
+
+
+def tiny_query(**overrides) -> SearchQuery:
+    """A fast query (tens of candidates) for unit tests."""
+    defaults = dict(model="GPT-2.5B", gpus=8, max_candidates=24)
+    defaults.update(overrides)
+    return SearchQuery(**defaults)
+
+
+class TestEvaluatePlan:
+    def test_metrics_roundtrip_and_sanity(self):
+        plan = ParallelPlan.cb_fe_sc(Topology(dp=2, pp=4, tp=1, micro_batches=8))
+        evaluation = evaluate_plan(plan, GPT_2_5B)
+        assert evaluation.iteration_time_s > 0
+        assert evaluation.tokens_per_second > 0
+        assert 0 <= evaluation.bubble_fraction < 1
+        assert evaluation.wire_bytes_total == pytest.approx(
+            evaluation.dp_wire_bytes
+            + evaluation.pp_wire_bytes
+            + evaluation.embedding_wire_bytes
+            + evaluation.tp_wire_bytes
+        )
+        assert PlanEvaluation.from_dict(evaluation.to_dict()) == evaluation
+
+    def test_evaluation_is_pure(self):
+        plan = ParallelPlan.cb(Topology(dp=2, pp=4, tp=1, micro_batches=4))
+        assert evaluate_plan(plan, GPT_2_5B) == evaluate_plan(plan, GPT_2_5B)
+
+    def test_compression_loss_monotone(self):
+        base = ParallelPlan.baseline()
+        assert compression_loss(base) == 0.0
+        low_rank = base.with_boundary(Boundary.DP, codec="powersgd", rank=4)
+        high_rank = base.with_boundary(Boundary.DP, codec="powersgd", rank=128)
+        assert compression_loss(low_rank) > compression_loss(high_rank) > 0.0
+        full = high_rank.with_boundary(Boundary.DP, stage_fraction=1.0)
+        partial = high_rank.with_boundary(Boundary.DP, stage_fraction=0.5)
+        assert compression_loss(partial) < compression_loss(full)
+        assert compression_loss(base.with_boundary(Boundary.EMBEDDING, codec="fused")) == 0.0
+
+
+class TestQueryExpansion:
+    def test_expansion_is_deterministic(self):
+        query = tiny_query(max_candidates=None)
+        first, second = query.expand(), query.expand()
+        assert [c.index for c in first] == list(range(len(first)))
+        assert [(c.plan, c.tier) for c in first] == [(c.plan, c.tier) for c in second]
+
+    def test_default_gpt83b_query_exceeds_1000_candidates(self):
+        assert len(SearchQuery().expand()) >= 1000
+
+    def test_topologies_fill_the_gpu_budget(self):
+        query = tiny_query(max_candidates=None)
+        for topology in query.topologies():
+            assert topology.world_size == query.gpus
+            assert topology.pp <= query.model_spec().num_layers
+
+    def test_max_candidates_truncates(self):
+        assert len(tiny_query(max_candidates=7).expand()) == 7
+
+    def test_query_roundtrips_through_dict(self):
+        query = tiny_query(max_memory_gb=40.0, hardware=("infiniband", "ethernet"))
+        assert SearchQuery.from_dict(query.to_dict()) == query
+
+    def test_unknown_fields_and_vocabulary_raise(self):
+        with pytest.raises(ValueError, match="unknown query field"):
+            SearchQuery.from_dict({"modle": "GPT-2.5B"})
+        with pytest.raises(ValueError, match="hardware tier"):
+            SearchQuery(hardware=("token-ring",))
+        with pytest.raises(ValueError, match="unknown model"):
+            SearchQuery(model="GPT-1T")
+
+    def test_custom_model_query(self):
+        query = tiny_query(
+            custom_model={
+                "name": "tiny",
+                "num_layers": 8,
+                "hidden_size": 256,
+                "num_heads": 4,
+            }
+        )
+        assert query.model_spec().name == "tiny"
+        assert SearchQuery.from_dict(query.to_dict()) == query
+
+    def test_proxy_scaled_caps_ranks(self):
+        query = tiny_query(proxy_scale_max_rank=2, max_candidates=None)
+        for candidate in query.expand():
+            for boundary in (Boundary.DP, Boundary.PP):
+                assert candidate.plan.spec(boundary).rank <= 2
+
+
+class TestCacheKeys:
+    def task(self, **query_overrides):
+        query = tiny_query(**query_overrides)
+        candidate = query.expand()[-1]  # a compressed candidate, not the baseline
+        return query, candidate.task(query)
+
+    def key_of(self, query, task):
+        return cache_key(task_key_material(task, resolve_cluster(task["tier"], task["gpus"])))
+
+    def test_same_inputs_same_key(self):
+        query, task = self.task()
+        query2, task2 = self.task()
+        assert self.key_of(query, task) == self.key_of(query2, task2)
+
+    def test_codec_change_misses(self):
+        query, task = self.task()
+        changed = json.loads(json.dumps(task))
+        changed["plan"]["compression"]["dp"]["codec"] = "qsgd"
+        assert self.key_of(query, task) != self.key_of(query, changed)
+
+    def test_cap_factor_change_misses(self):
+        query, task = self.task()
+        changed = json.loads(json.dumps(task))
+        changed["plan"]["schedule"]["memory_cap_factor"] = 2.0
+        assert self.key_of(query, task) != self.key_of(query, changed)
+
+    def test_hardware_tier_change_misses(self):
+        query, task = self.task()
+        changed = dict(task, tier="ethernet")
+        assert self.key_of(query, task) != self.key_of(query, changed)
+
+    def test_micro_batch_size_change_misses(self):
+        query, task = self.task()
+        changed = dict(task, micro_batch_size=task["micro_batch_size"] * 2)
+        assert self.key_of(query, task) != self.key_of(query, changed)
+
+    def test_cost_model_version_change_misses(self, monkeypatch):
+        query, task = self.task()
+        before = self.key_of(query, task)
+        monkeypatch.setattr("repro.search.cache.COST_MODEL_VERSION", "9999.99-0")
+        assert self.key_of(query, task) != before
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        plan = ParallelPlan.cb_fe_sc()
+        canonical = plan.canonical_json()
+        assert "\n" not in canonical and ": " not in canonical
+        assert json.loads(canonical) == plan.to_dict()
+        assert ParallelPlan.from_dict(json.loads(canonical)) == plan
+
+    def test_cache_store_and_hit(self, tmp_path):
+        cache = SearchCache(tmp_path / "cache")
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"x": 1.0})
+        assert cache.get("ab" * 32) == {"x": 1.0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_torn_entry_counts_as_miss(self, tmp_path):
+        cache = SearchCache(tmp_path / "cache")
+        key = "cd" * 32
+        cache.put(key, {"x": 1.0})
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+
+class TestWarmCache:
+    def test_second_run_skips_all_evaluations(self, tmp_path):
+        query = tiny_query()
+        cache = SearchCache(tmp_path / "cache")
+        cold = run_search(query, workers=0, cache=cache)
+        assert cold.evaluated == cold.candidates and cold.cache_hits == 0
+        warm = run_search(query, workers=0, cache=cache)
+        assert warm.evaluated == 0
+        assert warm.cache_hits == warm.candidates == cold.candidates
+        assert warm.to_json() == cold.to_json()
+
+    def test_changed_query_field_reevaluates(self, tmp_path):
+        cache = SearchCache(tmp_path / "cache")
+        run_search(tiny_query(), workers=0, cache=cache)
+        bumped = run_search(tiny_query(micro_batch_size=4), workers=0, cache=cache)
+        assert bumped.evaluated == bumped.candidates and bumped.cache_hits == 0
+
+
+class TestPoolAndDeterminism:
+    def test_json_identical_across_pool_sizes(self, tmp_path):
+        query = tiny_query(max_candidates=30)
+        inline = run_search(query, workers=0)
+        pooled = run_search(query, workers=3)
+        assert pooled.to_json() == inline.to_json()
+
+    def test_pool_reports_worker_errors(self):
+        query = tiny_query(max_candidates=2)
+        good = query.expand()[0].task(query)
+        bad = json.loads(json.dumps(good))
+        bad["plan"]["topology"]["pp"] = -1
+        with EvaluationPool(workers=2) as pool:
+            results = pool.run([(0, good), (1, bad)])
+        assert results[0][0] == "ok"
+        assert results[1][0] == "error" and "must be positive" in results[1][1]
+
+    def test_pool_survives_worker_crash(self):
+        query = tiny_query(max_candidates=12)
+        tasks = [(c.index, c.task(query)) for c in query.expand()]
+        with EvaluationPool(workers=2) as pool:
+            pool._workers[0].process.terminate()
+            pool._workers[0].process.join()
+            results = pool.run(tasks)
+        assert sorted(results) == [index for index, _ in tasks]
+        assert all(kind == "ok" for kind, _ in results.values())
+
+    def test_inline_matches_worker_evaluation(self):
+        query = tiny_query(max_candidates=3)
+        candidate = query.expand()[-1]
+        task = candidate.task(query)
+        with EvaluationPool(workers=1) as pool:
+            pooled = pool.run([(candidate.index, task)])
+        assert pooled[candidate.index] == ("ok", evaluate_task(task))
+
+    def test_run_queries_shares_pool_and_cache(self, tmp_path):
+        cache = SearchCache(tmp_path / "cache")
+        queries = [tiny_query(), tiny_query()]  # identical: second is all cache hits
+        first, second = run_queries(queries, workers=2, cache=cache)
+        assert first.evaluated == first.candidates
+        assert second.evaluated == 0 and second.cache_hits == second.candidates
+        assert first.to_json() == second.to_json()
+
+
+class TestFrontier:
+    def metrics(self, tokens, wire, memory, loss=0.0):
+        return {
+            "tokens_per_second": tokens,
+            "wire_bytes_total": wire,
+            "peak_memory_gb": memory,
+            "compression_loss": loss,
+        }
+
+    def test_dominated_points_are_dropped(self):
+        points = [
+            (0, self.metrics(100.0, 10.0, 1.0)),
+            (1, self.metrics(90.0, 20.0, 2.0)),  # dominated by 0
+            (2, self.metrics(80.0, 5.0, 3.0)),  # cheaper wire: survives
+        ]
+        assert [index for index, _ in pareto_frontier(points)] == [0, 2]
+
+    def test_duplicate_triples_keep_lowest_index(self):
+        points = [
+            (5, self.metrics(100.0, 10.0, 1.0)),
+            (3, self.metrics(100.0, 10.0, 1.0)),
+        ]
+        assert [index for index, _ in pareto_frontier(points)] == [3]
+
+    def test_ranking_orders_by_weighted_score(self):
+        frontier = [
+            (0, self.metrics(100.0, 100.0, 1.0)),
+            (1, self.metrics(50.0, 10.0, 1.0)),
+        ]
+        fast_first = rank_frontier(frontier, ObjectiveWeights(throughput=1.0, wire=0.1))
+        cheap_first = rank_frontier(frontier, ObjectiveWeights(throughput=0.1, wire=1.0))
+        assert [entry.index for entry in fast_first] == [0, 1]
+        assert [entry.index for entry in cheap_first] == [1, 0]
+
+    def test_budgets_filter(self):
+        metrics = self.metrics(10.0, 1.0, 50.0, loss=0.4)
+        assert within_budget(metrics, None, None)
+        assert not within_budget(metrics, 40.0, None)
+        assert not within_budget(metrics, None, 0.3)
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ObjectiveWeights(throughput=-1.0)
+
+
+class TestSearchProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        gpus=st.sampled_from([8, 16]),
+        micro_batches=st.sampled_from([(4,), (8,), (4, 8)]),
+        schedules=st.sampled_from([("1f1b",), ("zb1",), ("1f1b", "zb1")]),
+        max_memory_gb=st.sampled_from([None, 40.0, 200.0]),
+        max_compression_loss=st.sampled_from([None, 0.2, 0.5]),
+        weight_wire=st.sampled_from([0.0, 0.25, 1.0]),
+    )
+    def test_fuzzed_queries_are_deterministic_and_nondominated(
+        self, gpus, micro_batches, schedules, max_memory_gb, max_compression_loss, weight_wire
+    ):
+        query = SearchQuery(
+            model="GPT-2.5B",
+            gpus=gpus,
+            micro_batches=micro_batches,
+            schedules=schedules,
+            max_memory_gb=max_memory_gb,
+            max_compression_loss=max_compression_loss,
+            weight_wire=weight_wire,
+            max_candidates=16,
+        )
+        first = run_search(query, workers=0)
+        second = run_search(query, workers=0)
+        assert first.to_json() == second.to_json()
+        entries = first.entries
+        assert len(entries) <= first.within_budget <= first.candidates
+        for entry in entries:
+            assert within_budget(entry["metrics"], max_memory_gb, max_compression_loss)
+        for mine in entries:
+            for theirs in entries:
+                if mine is theirs:
+                    continue
+                strictly_better_everywhere = (
+                    theirs["metrics"]["tokens_per_second"]
+                    > mine["metrics"]["tokens_per_second"]
+                    and theirs["metrics"]["wire_bytes_total"]
+                    < mine["metrics"]["wire_bytes_total"]
+                    and theirs["metrics"]["peak_memory_gb"]
+                    < mine["metrics"]["peak_memory_gb"]
+                )
+                assert not strictly_better_everywhere
+
+
+class TestSearchCli:
+    def run_cli(self, capsys, *argv):
+        code = cli.main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_search_json_smoke_and_warm_cache(self, capsys, tmp_path):
+        argv = [
+            "search", "--model", "GPT-2.5B", "--gpus", "8", "--max-candidates", "20",
+            "--workers", "0", "--cache-dir", str(tmp_path / "cache"), "--json",
+        ]
+        code, cold_out, cold_err = self.run_cli(capsys, *argv)
+        assert code == 0
+        assert "20 evaluated, 0 cached" in cold_err
+        code, warm_out, warm_err = self.run_cli(capsys, *argv)
+        assert code == 0
+        assert "0 evaluated, 20 cached" in warm_err
+        assert warm_out == cold_out  # byte-identical across cold/warm runs
+        payload = json.loads(cold_out)
+        assert payload["candidates"] == 20
+        assert payload["frontier"][0]["rank"] == 1
+
+    def test_search_table_output(self, capsys, tmp_path):
+        code, out, _ = self.run_cli(
+            capsys,
+            "search", "--model", "GPT-2.5B", "--gpus", "8", "--max-candidates", "12",
+            "--workers", "0", "--no-cache", "--top", "3",
+        )
+        assert code == 0
+        assert "Pareto-optimal" in out and "Tokens/s" in out
+
+    def test_search_query_file_and_budget(self, capsys, tmp_path):
+        query_file = tmp_path / "q.json"
+        query_file.write_text(
+            json.dumps(
+                {"model": "GPT-2.5B", "gpus": 8, "max_candidates": 12, "max_memory_gb": 100.0}
+            ),
+            encoding="utf-8",
+        )
+        code, out, _ = self.run_cli(
+            capsys,
+            "search", "--query", str(query_file), "--workers", "0", "--no-cache", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["query"]["max_memory_gb"] == 100.0
+        for entry in payload["frontier"]:
+            assert entry["metrics"]["peak_memory_gb"] <= 100.0
+
+    def test_search_batch_mode(self, capsys, tmp_path):
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            json.dumps(
+                {
+                    "queries": [
+                        {"model": "GPT-2.5B", "gpus": 8, "max_candidates": 10},
+                        {"model": "GPT-2.5B", "gpus": 16, "max_candidates": 10},
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        code, out, err = self.run_cli(
+            capsys,
+            "search", "--queries", str(batch), "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert out.count("Pareto-optimal") == 2
+        assert err.count("[search]") == 2
+
+    def test_query_and_queries_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            cli.main(["search", "--query", "a.json", "--queries", "b.json"])
+
+    def test_invalid_query_file_fails_loudly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"modle": "GPT-2.5B"}), encoding="utf-8")
+        with pytest.raises(SystemExit, match="invalid query file"):
+            cli.main(["search", "--query", str(bad)])
+
+
+class TestDocsCli:
+    def test_reference_matches_checked_in_file(self, capsys):
+        assert cli.main(["docs", "cli", "--check"]) == 0
+
+    def test_output_writes_rendered_reference(self, capsys, tmp_path):
+        target = tmp_path / "CLI.md"
+        assert cli.main(["docs", "cli", "--output", str(target)]) == 0
+        text = target.read_text(encoding="utf-8")
+        assert text.startswith("# `repro` CLI reference")
+        for subcommand in ("repro search", "repro docs cli", "repro train", "repro plan diff"):
+            assert f"`{subcommand}`" in text
+
+    def test_stale_reference_fails_check(self, capsys, tmp_path):
+        target = tmp_path / "CLI.md"
+        target.write_text("stale\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="stale"):
+            cli.main(["docs", "cli", "--check", "--output", str(target)])
+
+
+class TestAcceptance:
+    def test_gpt83b_query_thousand_candidates_deterministic(self, tmp_path):
+        """PR-10 acceptance: >= 1000 candidates, deterministic frontier, warm skip."""
+        query = SearchQuery()  # GPT-8.3B on 128 GPUs, default sweep
+        cache = SearchCache(tmp_path / "cache")
+        cold = run_search(query, workers=4, cache=cache)
+        assert cold.candidates >= 1000
+        assert cold.errors == 0
+        assert cold.evaluated == cold.candidates
+        assert cold.entries, "default query must produce a non-empty frontier"
+        warm = run_search(query, workers=4, cache=cache)
+        assert warm.evaluated == 0 and warm.cache_hits == warm.candidates
+        assert warm.to_json() == cold.to_json()
